@@ -1,0 +1,84 @@
+// Ablation: intra-cluster peer forwarding (Section 4.2's completeness
+// enhancement). Without it a member misses the health-status update with the
+// raw loss probability p; with it the miss probability collapses to
+// p * (1 - q(1-p)^3)^(N-2).
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/figures.h"
+#include "bench/bench_util.h"
+#include "sim/fast_mc.h"
+#include "sim/single_cluster.h"
+
+namespace {
+
+using namespace cfds;
+
+constexpr long kTrials = 300000;
+
+void print_ablation() {
+  bench::banner("Ablation", "incompleteness with/without peer forwarding");
+  for (int n : {50, 100}) {
+    std::printf("\n-- N = %d  (semantic MC, %ld trials/point) --\n", n,
+                kTrials);
+    bench::table_header(
+        {"without MC", "ref p", "with MC", "ref closed", "gain"});
+    Rng rng(0xAB2 + std::uint64_t(n));
+    for (int i = 0; i < analysis::sweep_points(); ++i) {
+      const double p = analysis::sweep_p(i);
+      FastMcConfig with;
+      with.n = n;
+      with.p = p;
+      FastMcConfig without = with;
+      without.peer_forwarding = false;
+      const double mc_without =
+          mc_incompleteness(without, kTrials, rng).estimate();
+      const auto mc_with = mc_incompleteness(with, kTrials, rng);
+      const double closed = analysis::incompleteness_upper_bound(p, n);
+      bench::table_row(
+          p, std::vector<std::string>{
+                 bench::sci_cell(mc_without), bench::sci_cell(p),
+                 closed * kTrials >= 10.0 ? bench::sci_cell(mc_with.estimate())
+                                          : std::string("<floor"),
+                 bench::sci_cell(closed),
+                 bench::fixed_cell(p / closed, 1) + "x"});
+    }
+  }
+
+  std::printf("\n-- full protocol stack confirmation (N = 20, p = 0.5) --\n");
+  for (bool enabled : {true, false}) {
+    SingleClusterConfig config;
+    config.n = 20;
+    config.p = 0.5;
+    config.seed = 0xAB3;
+    config.num_deputies = 0;
+    config.peer_forwarding = enabled;
+    SingleClusterExperiment experiment(config);
+    const auto estimate = experiment.run_incompleteness(8000);
+    std::printf("  peer forwarding %-3s  ->  %s\n", enabled ? "ON" : "OFF",
+                bench::mc_cell(estimate.estimate(), estimate.ci99()).c_str());
+  }
+}
+
+void BM_PeerForwardingTrialCost(benchmark::State& state) {
+  Rng rng(13);
+  FastMcConfig config;
+  config.n = 75;
+  config.p = 0.3;
+  config.peer_forwarding = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc_incompleteness(config, 1000, rng).trials());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PeerForwardingTrialCost)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  std::printf("\n-- timings --\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

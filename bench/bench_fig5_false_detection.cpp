@@ -1,0 +1,121 @@
+// Figure 5: P^(False detection) vs message-loss probability p, for cluster
+// populations N = 50, 75, 100.
+//
+// Regenerates the paper's series three ways:
+//   analytic   — the closed form  p^2 * (1 - q(1-p)^2)^(N-2)
+//   paper-sum  — the paper's literal double-sum expression (log space)
+//   semantic MC— protocol-rule Monte-Carlo over sampled geometry/losses
+// plus a full protocol-stack spot check (event queue, real frames) at the
+// points where the probability is large enough to sample in reasonable time.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/figures.h"
+#include "bench/bench_util.h"
+#include "sim/fast_mc.h"
+#include "sim/single_cluster.h"
+
+namespace {
+
+using namespace cfds;
+
+constexpr long kSemanticTrials = 400000;
+
+void print_figure() {
+  bench::banner("Figure 5", "P^(False detection) vs p  (N = 50, 75, 100)");
+  for (int n : {50, 75, 100}) {
+    std::printf("\n-- N = %d  (semantic MC: %ld trials/point) --\n", n,
+                kSemanticTrials);
+    bench::table_header({"analytic", "paper-sum", "semantic MC"});
+    Rng rng(0xF15 + std::uint64_t(n));
+    for (int i = 0; i < analysis::sweep_points(); ++i) {
+      const double p = analysis::sweep_p(i);
+      const double closed = analysis::false_detection_upper_bound(p, n);
+      const double sum = analysis::false_detection_upper_bound_sum(p, n);
+      FastMcConfig config;
+      config.n = n;
+      config.p = p;
+      const auto mc = mc_false_detection(config, kSemanticTrials, rng);
+      // Only print the MC estimate when the expected event count is >= ~10.
+      const bool sampleable = closed * double(kSemanticTrials) >= 10.0;
+      bench::table_row(
+          p, std::vector<std::string>{
+                 bench::sci_cell(closed), bench::sci_cell(sum),
+                 sampleable ? bench::mc_cell(mc.estimate(), mc.ci99())
+                            : std::string("<sampling floor")});
+    }
+  }
+
+  std::printf(
+      "\n-- full protocol stack spot checks (event-driven, real frames) --\n");
+  std::printf("%-18s  %14s  %20s\n", "point", "analytic", "protocol MC");
+  for (const auto& [n, p, trials] :
+       {std::tuple<int, double, int>{20, 0.5, 12000},
+        std::tuple<int, double, int>{20, 0.4, 12000},
+        std::tuple<int, double, int>{50, 0.5, 6000}}) {
+    SingleClusterConfig config;
+    config.n = n;
+    config.p = p;
+    config.seed = 0xF5;
+    config.num_deputies = 0;
+    SingleClusterExperiment experiment(config);
+    const auto estimate = experiment.run_false_detection(trials);
+    std::printf("N=%-3d p=%.2f       %14.4e  %20s\n", n, p,
+                analysis::false_detection_upper_bound(p, n),
+                bench::mc_cell(estimate.estimate(), estimate.ci99()).c_str());
+  }
+}
+
+void BM_Fig5Analytic(benchmark::State& state) {
+  const int n = int(state.range(0));
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += analysis::false_detection_upper_bound(0.3, n);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_Fig5Analytic)->Arg(50)->Arg(100);
+
+void BM_Fig5PaperSum(benchmark::State& state) {
+  const int n = int(state.range(0));
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += analysis::false_detection_upper_bound_sum(0.3, n);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_Fig5PaperSum)->Arg(50)->Arg(100);
+
+void BM_Fig5SemanticMcTrial(benchmark::State& state) {
+  Rng rng(1);
+  FastMcConfig config;
+  config.n = int(state.range(0));
+  config.p = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc_false_detection(config, 100, rng).trials());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_Fig5SemanticMcTrial)->Arg(50)->Arg(100);
+
+void BM_Fig5FullStackExecution(benchmark::State& state) {
+  SingleClusterConfig config;
+  config.n = int(state.range(0));
+  config.p = 0.3;
+  config.num_deputies = 0;
+  SingleClusterExperiment experiment(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(experiment.run_false_detection(1).trials());
+  }
+}
+BENCHMARK(BM_Fig5FullStackExecution)->Arg(50)->Arg(100);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  std::printf("\n-- timings --\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

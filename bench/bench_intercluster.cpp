@@ -1,0 +1,172 @@
+// Inter-cluster forwarding study (Section 4.3): delivery probability and
+// frame cost of a failure report crossing a cluster boundary, comparing
+//   implicit acks + ranked BGW assistance   (the paper's scheme)
+//   implicit acks, no BGW assistance        (ablation)
+//   explicit two-acknowledgement handshake  (the strawman the paper rejects
+//                                            as "not acceptable due to
+//                                            energy limitations")
+// under increasing message loss.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "fds/agent.h"
+#include "intercluster/forwarder.h"
+#include "net/network.h"
+#include "sim/metrics.h"
+
+namespace {
+
+using namespace cfds;
+
+struct TrialResult {
+  bool delivered = false;
+  std::uint64_t forwarding_frames = 0;  // frames attributable to Section 4.3
+};
+
+/// One trial: a fresh two-cluster bridge, one member crash, one FDS
+/// execution plus drain time; did the report reach the far CH and at what
+/// forwarding cost?
+TrialResult run_trial(double p, std::size_t num_backups,
+                      ForwarderConfig fwd_config, std::uint64_t seed) {
+  NetworkConfig net_config;
+  net_config.seed = seed;
+  Network network(net_config, std::make_unique<BernoulliLoss>(p));
+  network.add_node({0.0, 0.0});     // 0: CH A
+  network.add_node({160.0, 0.0});   // 1: CH B
+  network.add_node({-20.0, 10.0});  // 2: A deputy
+  network.add_node({20.0, -25.0});  // 3: A member
+  network.add_node({10.0, 30.0});   // 4: victim
+  network.add_node({175.0, 15.0});  // 5: B deputy
+  network.add_node({140.0, -15.0}); // 6: B member
+  network.add_node({80.0, 0.0});    // 7: GW
+  network.add_node({80.0, 15.0});   // 8: BGW rank 1
+  network.add_node({80.0, -15.0});  // 9: BGW rank 2
+
+  ClusterView a;
+  a.id = ClusterId{0};
+  a.clusterhead = NodeId{0};
+  a.members = {NodeId{2}, NodeId{3}, NodeId{4},
+               NodeId{7}, NodeId{8}, NodeId{9}};
+  a.deputies = {NodeId{2}};
+  ClusterView b;
+  b.id = ClusterId{1};
+  b.clusterhead = NodeId{1};
+  b.members = {NodeId{5}, NodeId{6}};
+  b.deputies = {NodeId{5}};
+  GatewayLink ab;
+  ab.neighbor_cluster = b.id;
+  ab.neighbor_clusterhead = b.clusterhead;
+  ab.gateway = NodeId{7};
+  if (num_backups >= 1) ab.backups.push_back(NodeId{8});
+  if (num_backups >= 2) ab.backups.push_back(NodeId{9});
+  a.links.push_back(ab);
+  GatewayLink ba = ab;
+  ba.neighbor_cluster = a.id;
+  ba.neighbor_clusterhead = a.clusterhead;
+  b.links.push_back(ba);
+
+  std::vector<std::unique_ptr<MembershipView>> views;
+  std::vector<MembershipView*> ptrs;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    views.push_back(std::make_unique<MembershipView>(NodeId{i}));
+    ptrs.push_back(views.back().get());
+  }
+  for (const ClusterView* cv : {&a, &b}) {
+    ptrs[cv->clusterhead.value()]->set_cluster(*cv);
+    network.node(cv->clusterhead).set_marked(true);
+    for (NodeId m : cv->members) {
+      ptrs[m.value()]->set_cluster(*cv);
+      network.node(m).set_marked(true);
+    }
+  }
+
+  FdsConfig fds_config;
+  fds_config.heartbeat_interval = SimTime::seconds(5);
+  FdsService fds(network, ptrs, fds_config);
+  ForwarderService forwarder(network, fds, ptrs, fwd_config);
+
+  network.crash(NodeId{4});
+  fds.schedule_epoch(0, SimTime::zero());
+  network.simulator().run_until(SimTime::seconds(5));
+
+  TrialResult result;
+  result.delivered = fds.agent_for(NodeId{1}).log().knows(NodeId{4});
+  const ForwarderStats& stats = forwarder.stats();
+  result.forwarding_frames = stats.reports_forwarded + stats.gw_retries +
+                             stats.bgw_assists + stats.ch_retransmissions +
+                             stats.explicit_acks + stats.reports_received;
+  // reports_received counts the relay/ack emissions by the receiving CH.
+  return result;
+}
+
+void print_study() {
+  bench::banner("Section 4.3", "across-cluster report delivery vs loss");
+  constexpr int kTrials = 500;
+
+  struct Scheme {
+    const char* name;
+    std::size_t backups;
+    ForwarderConfig config;
+  };
+  std::vector<Scheme> schemes;
+  schemes.push_back({"implicit+2BGW", 2, ForwarderConfig{}});
+  ForwarderConfig no_bgw;
+  no_bgw.bgw_assist = false;
+  schemes.push_back({"implicit,noBGW", 0, no_bgw});
+  ForwarderConfig explicit_acks;
+  explicit_acks.ack_mode = AckMode::kExplicit;
+  schemes.push_back({"explicit+2BGW", 2, explicit_acks});
+
+  std::printf("\n(%d trials per point; 'frames' = forwarding-layer frames per"
+              " trial)\n", kTrials);
+  std::printf("%-6s", "p");
+  for (const Scheme& s : schemes) {
+    std::printf("  %14s  %10s", s.name, "frames");
+  }
+  std::printf("\n");
+
+  for (double p : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    std::printf("%-6.2f", p);
+    for (const Scheme& scheme : schemes) {
+      int delivered = 0;
+      std::uint64_t frames = 0;
+      for (int t = 0; t < kTrials; ++t) {
+        const TrialResult r =
+            run_trial(p, scheme.backups, scheme.config,
+                      std::uint64_t(t) * 977 + std::uint64_t(p * 1000));
+        if (r.delivered) ++delivered;
+        frames += r.forwarding_frames;
+      }
+      std::printf("  %14s  %10.2f",
+                  bench::fixed_cell(double(delivered) / kTrials, 3).c_str(),
+                  double(frames) / kTrials);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nReading: BGW assistance holds delivery near 1 deep into the"
+              " loss range at sub-explicit frame cost; the explicit scheme"
+              " pays two acknowledgements per hop even at p = 0.\n");
+}
+
+void BM_BridgeTrial(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_trial(0.2, 2, ForwarderConfig{}, seed++).delivered);
+  }
+}
+BENCHMARK(BM_BridgeTrial);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_study();
+  std::printf("\n-- timings --\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Host migration study (the extension Section 2.1 defers): how the service
+// degrades and self-heals as random-waypoint speed grows.
+//
+// With motion, members drift out of their CH's range; the re-affiliation
+// rule (miss k consecutive updates -> unmark -> re-subscribe via F5) moves
+// them to reachable clusters. The cost is migration-induced false reports:
+// a CH that can no longer hear a departed member correctly concludes it is
+// gone from the *cluster*, but the system-level interpretation "crashed"
+// is wrong. The paper's stance — pair the FDS with a stability-oriented
+// clustering algorithm for mobile settings — is visible in the numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "net/mobility.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using namespace cfds;
+
+struct Outcome {
+  double affiliation = 0.0;
+  std::size_t migration_false_reports = 0;
+  bool crash_detected = false;
+  double crash_coverage = 0.0;
+};
+
+Outcome run(double speed_mps, std::uint64_t seed) {
+  ScenarioConfig config;
+  config.width = 550.0;
+  config.height = 400.0;
+  config.node_count = 300;
+  config.loss_p = 0.05;
+  config.seed = seed;
+  Scenario scenario(config);
+  scenario.setup();
+
+  // Pending tick events die with the scenario's simulator, so a scoped
+  // mobility process is safe here.
+  std::unique_ptr<RandomWaypointMobility> mobility;
+  if (speed_mps > 0.0) {
+    WaypointConfig wp;
+    wp.width = 550.0;
+    wp.height = 400.0;
+    wp.min_speed_mps = speed_mps / 2.0;
+    wp.max_speed_mps = speed_mps;
+    mobility = std::make_unique<RandomWaypointMobility>(scenario.network(),
+                                                        wp, Rng(seed ^ 0xAAA));
+    mobility->run(SimTime::zero(), SimTime::seconds(2 * 16));
+  }
+
+  scenario.run_epochs(8);
+  NodeId victim = NodeId::invalid();
+  for (MembershipView* view : scenario.views()) {
+    if (view->role() == Role::kOrdinaryMember &&
+        scenario.network().node(view->self()).alive()) {
+      victim = view->self();
+      break;
+    }
+  }
+  scenario.network().crash(victim);
+  scenario.run_epochs(6);
+
+  Outcome outcome;
+  outcome.affiliation = scenario.affiliation_rate();
+  outcome.migration_false_reports = scenario.metrics().false_detections();
+  outcome.crash_detected =
+      scenario.metrics().first_detection(victim).has_value();
+  outcome.crash_coverage =
+      knowledge_coverage(scenario.fds(), scenario.network(), victim);
+  return outcome;
+}
+
+void print_study() {
+  bench::banner("Mobility",
+                "service health vs random-waypoint speed (300 nodes)");
+  std::printf("\n%-12s %12s %16s %12s %12s\n", "speed (m/s)", "affiliation",
+              "false reports", "crash found", "coverage");
+  for (double speed : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const Outcome outcome = run(speed, 97);
+    std::printf("%-12.1f %12.3f %16zu %12s %12.3f\n", speed,
+                outcome.affiliation, outcome.migration_false_reports,
+                outcome.crash_detected ? "yes" : "NO",
+                outcome.crash_coverage);
+  }
+  std::printf(
+      "\nReading: re-affiliation keeps nearly everyone clustered and real"
+      "\ncrashes detectable across pedestrian and vehicle speeds; the cost"
+      "\nis migration-induced false reports growing with speed — exactly why"
+      "\nthe paper pairs mobile deployments with stability-oriented"
+      "\nclustering [8, 9].\n");
+}
+
+void BM_MobileEpoch(benchmark::State& state) {
+  ScenarioConfig config;
+  config.width = 550.0;
+  config.height = 400.0;
+  config.node_count = 300;
+  config.loss_p = 0.05;
+  config.seed = 97;
+  Scenario scenario(config);
+  scenario.setup();
+  WaypointConfig wp;
+  wp.width = 550.0;
+  wp.height = 400.0;
+  RandomWaypointMobility mobility(scenario.network(), wp, Rng(1));
+  mobility.run(SimTime::zero(), SimTime::seconds(3600));
+  for (auto _ : state) {
+    scenario.run_epochs(1);
+  }
+}
+BENCHMARK(BM_MobileEpoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_study();
+  std::printf("\n-- timings --\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

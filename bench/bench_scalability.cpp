@@ -1,0 +1,138 @@
+// Scalability (Section 3's claim): the two-tier architecture keeps per-node
+// cost flat as the population grows, and backbone dissemination beats flat
+// flooding by roughly the average cluster population.
+//
+// Fields grow with the node count at constant density (~50 nodes per
+// transmission disk, the paper's regime), so cluster sizes stay constant
+// while the cluster count scales.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "baseline/flooding.h"
+#include "bench/bench_util.h"
+#include "net/topology.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using namespace cfds;
+
+/// Field dimensions for n nodes at ~constant density.
+void field_for(std::size_t n, double& width, double& height) {
+  // 500 nodes <-> 700 x 450; scale the area linearly.
+  const double scale = std::sqrt(double(n) / 500.0);
+  width = 700.0 * scale;
+  height = 450.0 * scale;
+}
+
+void print_study() {
+  bench::banner("Scalability", "per-node cost and dissemination vs size");
+  std::printf("\n%-8s %10s %12s %16s %14s %16s\n", "nodes", "clusters",
+              "FDS frames", "frames/node", "flood frames", "backbone fwd");
+  for (std::size_t n : {125, 250, 500, 1000, 2000}) {
+    double width = 0.0, height = 0.0;
+    field_for(n, width, height);
+
+    ScenarioConfig config;
+    config.width = width;
+    config.height = height;
+    config.node_count = n;
+    config.loss_p = 0.1;
+    config.seed = 19;
+    Scenario scenario(config);
+    scenario.setup();
+
+    const auto before = traffic_totals(scenario.network());
+    scenario.run_epochs(1);
+    const auto after_epoch = traffic_totals(scenario.network());
+    const double fds_frames = double(after_epoch.frames - before.frames);
+
+    // Dissemination cost of one failure report: crash a member, count the
+    // backbone forwards, and compare with flooding the same news flat.
+    NodeId victim = NodeId::invalid();
+    for (MembershipView* view : scenario.views()) {
+      if (view->role() == Role::kOrdinaryMember) {
+        victim = view->self();
+        break;
+      }
+    }
+    scenario.network().crash(victim);
+    scenario.run_epochs(1);
+    const std::uint64_t backbone_forwards =
+        scenario.forwarder()->stats().reports_forwarded +
+        scenario.forwarder()->stats().gw_retries +
+        scenario.forwarder()->stats().bgw_assists;
+
+    // Flat flooding of one report on an identical field.
+    NetworkConfig flood_config;
+    flood_config.seed = 19;
+    Network flood_net(flood_config, std::make_unique<BernoulliLoss>(0.1));
+    Rng placement(19);
+    flood_net.add_nodes(uniform_rect(n, width, height, placement));
+    FloodService flood(flood_net);
+    flood.agent_for(NodeId{0}).originate({NodeId{1}});
+    flood_net.simulator().run_to_completion();
+
+    std::printf("%-8zu %10zu %12.0f %16.1f %14llu %16llu\n", n,
+                scenario.cluster_count(), fds_frames, fds_frames / double(n),
+                (unsigned long long)(flood.total_rebroadcasts() + 1),
+                (unsigned long long)backbone_forwards);
+  }
+  std::printf(
+      "\nReading: frames/node/epoch stays ~flat with population (two-tier"
+      "\nscalability), and the backbone carries a report in ~one frame per"
+      "\ncluster versus one frame per NODE for flat flooding.\n");
+}
+
+void BM_FdsEpochAtScale(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  double width = 0.0, height = 0.0;
+  field_for(n, width, height);
+  ScenarioConfig config;
+  config.width = width;
+  config.height = height;
+  config.node_count = n;
+  config.loss_p = 0.1;
+  config.seed = 19;
+  Scenario scenario(config);
+  scenario.setup();
+  for (auto _ : state) {
+    scenario.run_epochs(1);
+  }
+  state.SetItemsProcessed(state.iterations() * std::int64_t(n));
+}
+BENCHMARK(BM_FdsEpochAtScale)
+    ->Arg(125)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CentralizedFormationAtScale(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  double width = 0.0, height = 0.0;
+  field_for(n, width, height);
+  Rng rng(19);
+  const auto positions = uniform_rect(n, width, height, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ClusterDirectory::build(positions, 100.0).clusters().size());
+  }
+}
+BENCHMARK(BM_CentralizedFormationAtScale)
+    ->Arg(250)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_study();
+  std::printf("\n-- timings --\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

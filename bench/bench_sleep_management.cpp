@@ -1,0 +1,103 @@
+// Sleep-mode false detections and the announcement mitigation — the
+// investigation Section 6 proposes as future work ("sleep mode may cause
+// false detections ... deriving algorithms to reduce the likelihood of
+// sleep-mode-caused false detection").
+//
+// Sweeps the fraction of ordinary members duty-cycling per window and
+// counts accuracy violations with announcements off (the hazard) and on
+// (the mitigation: a SleepNotice during fds.R-1 exempts the sleeper from
+// the detection rule for the announced window).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "power/duty_cycle.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using namespace cfds;
+
+struct Outcome {
+  std::size_t sleepers = 0;
+  std::size_t false_detections = 0;
+  std::size_t true_detections = 0;
+};
+
+Outcome run(double sleep_fraction, bool announce, bool digest_relay,
+            double loss_p, std::uint64_t seed) {
+  ScenarioConfig config;
+  config.width = 550.0;
+  config.height = 400.0;
+  config.node_count = 300;
+  config.loss_p = loss_p;
+  config.seed = seed;
+  config.fds.relay_sleep_notices = digest_relay;
+  Scenario scenario(config);
+  scenario.setup();
+  scenario.run_epochs(1);
+
+  DutyCycleConfig dc;
+  dc.sleep_fraction = sleep_fraction;
+  dc.sleep_epochs = 2;
+  dc.announce = announce;
+  DutyCycleScheduler scheduler(scenario.network(), scenario.fds(), dc,
+                               Rng(seed ^ 0x51EE9));
+
+  Outcome outcome;
+  // Three consecutive sleep windows.
+  for (int window = 0; window < 3; ++window) {
+    outcome.sleepers +=
+        scheduler
+            .begin_window(scenario.network().simulator().now(),
+                          scenario.config().heartbeat_interval)
+            .size();
+    scenario.run_epochs(3);
+  }
+  outcome.false_detections = scenario.metrics().false_detections();
+  outcome.true_detections = scenario.metrics().true_detections();
+  return outcome;
+}
+
+void print_study() {
+  bench::banner("Section 6 extension",
+                "sleep-mode false detections and the announcement fix");
+  for (double p : {0.0, 0.2}) {
+    std::printf("\n-- message loss p = %.2f (300 nodes, 3 windows of 2"
+                " epochs) --\n", p);
+    std::printf("%-10s %10s %16s %16s %16s\n", "sleep frac", "sleepers",
+                "false+ silent", "false+ notice", "false+ relayed");
+    for (double fraction : {0.1, 0.2, 0.3, 0.5}) {
+      const Outcome silent = run(fraction, false, false, p, 71);
+      const Outcome notice_only = run(fraction, true, false, p, 71);
+      const Outcome relayed = run(fraction, true, true, p, 71);
+      std::printf("%-10.2f %10zu %16zu %16zu %16zu\n", fraction,
+                  silent.sleepers, silent.false_detections,
+                  notice_only.false_detections, relayed.false_detections);
+    }
+  }
+  std::printf("\nReading: silent duty-cycling converts sleepers into false"
+              " casualty reports (wasted maintenance, Section 2.1). The"
+              " one-frame announcement removes them at p = 0 but leaks when"
+              " the notice itself is lost; relaying overheard notices inside"
+              " digests — the paper's spatial redundancy applied to the"
+              " extension — suppresses the leak by orders of magnitude.\n");
+}
+
+void BM_SleepWindow(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run(0.3, state.range(0) != 0, true, 0.1, 3).false_detections);
+  }
+}
+BENCHMARK(BM_SleepWindow)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_study();
+  std::printf("\n-- timings --\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

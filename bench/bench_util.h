@@ -1,0 +1,65 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every bench binary regenerates one of the paper's evaluation artifacts: it
+// first prints the figure's data series (analytic sweep plus Monte-Carlo
+// cross-checks where the probabilities are sampleable), then runs its
+// google-benchmark timings. Output is aligned plain text so the series can
+// be diffed against EXPERIMENTS.md or piped into a plotting script.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cfds::bench {
+
+/// Prints a banner for one reproduced artifact.
+inline void banner(const char* figure, const char* what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("================================================================\n");
+}
+
+/// Prints a table header: first column "p", then the given column names.
+inline void table_header(const std::vector<std::string>& columns) {
+  std::printf("%-6s", "p");
+  for (const std::string& c : columns) std::printf("  %14s", c.c_str());
+  std::printf("\n");
+}
+
+/// Prints one table row: p followed by values in scientific notation.
+inline void table_row(double p, const std::vector<double>& values) {
+  std::printf("%-6.2f", p);
+  for (double v : values) std::printf("  %14.4e", v);
+  std::printf("\n");
+}
+
+/// Prints one table row with string cells (for "n/a" style entries).
+inline void table_row(double p, const std::vector<std::string>& cells) {
+  std::printf("%-6.2f", p);
+  for (const std::string& c : cells) std::printf("  %14s", c.c_str());
+  std::printf("\n");
+}
+
+/// Formats a Monte-Carlo estimate with its 99% half-width.
+inline std::string mc_cell(double estimate, double ci) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.2e±%.0e", estimate, ci);
+  return buffer;
+}
+
+/// Formats a plain value in scientific notation.
+inline std::string sci_cell(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.4e", value);
+  return buffer;
+}
+
+inline std::string fixed_cell(double value, int precision = 4) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace cfds::bench

@@ -1,0 +1,39 @@
+// Frame payloads of the aggregation layer.
+
+#pragma once
+
+#include "aggregation/types.h"
+#include "common/ids.h"
+#include "fds/messages.h"
+
+namespace cfds {
+
+/// A sensor reading emitted in fds.R-1. Derives from HeartbeatPayload so
+/// the FDS accepts it as heartbeat evidence unchanged — one frame serves
+/// both services (the "message sharing" energy benefit of Section 6).
+struct MeasurementPayload final : HeartbeatPayload {
+  double reading = 0.0;
+
+  [[nodiscard]] std::string_view kind() const override { return "measure"; }
+  [[nodiscard]] std::size_t size_bytes() const override { return 14; }
+};
+
+/// A cluster's per-epoch aggregate, broadcast by its CH. Two dissemination
+/// modes: flooded across the backbone (every CH learns every aggregate), or
+/// — when `directed` — routed hop by hop toward a sink cluster.
+struct ClusterAggregatePayload final : Payload {
+  ClusterId cluster;
+  NodeId sender;
+  std::uint64_t epoch = 0;
+  Aggregate aggregate;
+  /// Directed mode: only gateways on the (emitting cluster, toward) link
+  /// carry the frame. `toward` invalid with `directed` set means the
+  /// emitter is the sink (or has no route): no forwarding at all.
+  bool directed = false;
+  ClusterId toward;
+
+  [[nodiscard]] std::string_view kind() const override { return "agg"; }
+  [[nodiscard]] std::size_t size_bytes() const override { return 50; }
+};
+
+}  // namespace cfds

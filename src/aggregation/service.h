@@ -1,0 +1,120 @@
+// Cluster-based data aggregation with FDS piggybacking (Section 6).
+//
+// Per FDS execution:
+//   fds.R-1   every node emits a MeasurementPayload — which IS its
+//             heartbeat (set FdsConfig::external_heartbeats so the FDS
+//             doesn't emit a redundant bare heartbeat);
+//   T+2*Thop  each CH folds the readings it heard from its members into a
+//             cluster Aggregate and broadcasts it;
+//   backbone  gateways forward cluster aggregates across links; CHs
+//             re-broadcast first-seen (cluster, epoch) aggregates, flooding
+//             every cluster's summary to every CH.
+//
+// Any CH can then answer global average/min/max queries from its table of
+// per-cluster aggregates. Aggregate frames are fire-and-forget (a lost
+// epoch summary is superseded next epoch), unlike failure reports, which
+// carry the Section 4.3 acknowledgement machinery.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "aggregation/messages.h"
+#include "cluster/membership.h"
+#include "fds/agent.h"
+#include "intercluster/routing.h"
+#include "net/network.h"
+
+namespace cfds {
+
+/// Supplies node readings: (node, epoch) -> measurement value.
+using SensorModel = std::function<double(NodeId, std::uint64_t)>;
+
+class AggregationService;
+
+class AggregationAgent {
+ public:
+  AggregationAgent(Node& node, MembershipView& view,
+                   AggregationService& service);
+
+  [[nodiscard]] NodeId id() const { return node_.id(); }
+
+  /// Clears the per-epoch reading buffer (epoch-start action).
+  void readings_epoch_begin(std::uint64_t epoch);
+
+  /// Emits this epoch's measurement (R-1 action).
+  void send_measurement(std::uint64_t epoch);
+
+  /// CH action at T+2*Thop: fold heard readings, broadcast the aggregate.
+  void publish_cluster_aggregate(std::uint64_t epoch);
+
+  /// Per-cluster aggregates this node has collected for `epoch`
+  /// (meaningful at CHs; members only hold their own cluster's).
+  [[nodiscard]] std::vector<Aggregate> aggregates_for(
+      std::uint64_t epoch) const;
+
+  /// Merged global view for `epoch` from every cluster aggregate known here.
+  [[nodiscard]] Aggregate global_view(std::uint64_t epoch) const;
+
+ private:
+  void on_frame(const Reception& reception);
+  void handle_cluster_aggregate(
+      const std::shared_ptr<const ClusterAggregatePayload>& payload);
+
+  Node& node_;
+  MembershipView& view_;
+  AggregationService& service_;
+
+  /// Member readings heard this epoch (CH side): member -> reading.
+  std::map<NodeId, double> readings_;
+  std::uint64_t readings_epoch_ = 0;
+
+  /// Known cluster aggregates: (epoch, cluster) -> aggregate.
+  std::map<std::pair<std::uint64_t, ClusterId>, Aggregate> table_;
+  /// Flood dedup: aggregates already re-broadcast / forwarded.
+  std::set<std::pair<std::uint64_t, ClusterId>> relayed_;
+  /// Gateway dedup: (epoch, origin cluster, destination cluster) carried.
+  std::set<std::tuple<std::uint64_t, ClusterId, ClusterId>> gw_carried_;
+};
+
+class AggregationService {
+ public:
+  /// Requires the FdsService so epochs co-schedule; set
+  /// FdsConfig::external_heartbeats before constructing the FdsService for
+  /// the message-sharing mode, or leave it false to run both layers with
+  /// separate frames (the configuration the sharing bench compares against).
+  AggregationService(Network& network, FdsService& fds,
+                     std::vector<MembershipView*> views, SensorModel sensor);
+
+  [[nodiscard]] std::vector<AggregationAgent*> agents();
+  [[nodiscard]] AggregationAgent& agent_for(NodeId id);
+  [[nodiscard]] const SensorModel& sensor() const { return sensor_; }
+  [[nodiscard]] Network& network() { return network_; }
+
+  /// Switches dissemination from backbone flooding to next-hop routing
+  /// toward `routing->sink()` (Section 2.4's pluggable routing layer).
+  /// The routing object must outlive the service; nullptr restores flooding.
+  void set_routing(const BackboneRouting* routing) { routing_ = routing; }
+  [[nodiscard]] const BackboneRouting* routing() const { return routing_; }
+
+  /// Schedules one joint FDS + aggregation execution at `t`.
+  void schedule_epoch(std::uint64_t epoch, SimTime t);
+
+  /// Schedules `count` executions and runs past them.
+  SimTime run_epochs(std::uint64_t count, SimTime start);
+
+ private:
+  Network& network_;
+  FdsService& fds_;
+  SensorModel sensor_;
+  const BackboneRouting* routing_ = nullptr;
+  std::vector<std::unique_ptr<AggregationAgent>> agents_;
+};
+
+}  // namespace cfds

@@ -1,0 +1,49 @@
+// Aggregate algebra for in-network computation.
+//
+// Section 6: "cluster-based communication architectures can also be utilized
+// for scalable, robust aggregation (e.g., coordinated in-network computation
+// for average, maximum, or minimum of sensor measurements)". The Aggregate
+// is a commutative monoid (merge is associative and commutative with an
+// empty identity), so partial aggregates can combine in any order along the
+// backbone.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace cfds {
+
+/// Running summary of a set of sensor readings: supports average, min, max.
+struct Aggregate {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  /// Folds one reading in.
+  void add(double reading) {
+    ++count;
+    sum += reading;
+    min = std::min(min, reading);
+    max = std::max(max, reading);
+  }
+
+  /// Combines two partial aggregates.
+  void merge(const Aggregate& other) {
+    count += other.count;
+    sum += other.sum;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+
+  [[nodiscard]] bool empty() const { return count == 0; }
+  [[nodiscard]] double average() const {
+    return count > 0 ? sum / double(count) : 0.0;
+  }
+
+  friend bool operator==(const Aggregate&, const Aggregate&) = default;
+};
+
+}  // namespace cfds

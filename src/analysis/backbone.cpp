@@ -1,0 +1,71 @@
+#include "analysis/backbone.h"
+
+#include <cmath>
+#include <queue>
+
+#include "common/expect.h"
+
+namespace cfds::analysis {
+
+double link_delivery_probability(double p, std::size_t n_backups,
+                                 int ch_retransmits, int gw_retries) {
+  CFDS_EXPECT(p >= 0.0 && p <= 1.0, "loss probability outside [0,1]");
+  // The GW learns the update from the CH's broadcast or one of the
+  // ch_retransmits direct re-sends; with it, it makes 1 + gw_retries
+  // forwarding attempts, each landing with probability 1-p.
+  const double gw_never_learns = std::pow(p, 1.0 + ch_retransmits);
+  const double attempts_fail = std::pow(p, 1.0 + gw_retries);
+  const double gw_fails =
+      gw_never_learns + (1.0 - gw_never_learns) * attempts_fail;
+  // Each BGW holds the update iff it heard the CH's broadcast (1-p) and
+  // contributes its own attempt budget when the ack stays silent.
+  const double bgw_fails = p + (1.0 - p) * attempts_fail;
+  return 1.0 - gw_fails * std::pow(bgw_fails, double(n_backups));
+}
+
+BackboneCompleteness backbone_completeness(const BackboneGraph& graph,
+                                           std::size_t origin,
+                                           double link_success, int samples,
+                                           Rng& rng) {
+  CFDS_EXPECT(origin < graph.cluster_count, "origin out of range");
+  CFDS_EXPECT(samples > 0, "need at least one sample");
+
+  BackboneCompleteness result;
+  std::vector<std::vector<std::size_t>> adjacency(graph.cluster_count);
+  std::vector<bool> reached(graph.cluster_count);
+
+  int all_count = 0;
+  double coverage_sum = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    for (auto& list : adjacency) list.clear();
+    for (const auto& [a, b] : graph.links) {
+      if (rng.bernoulli(link_success)) {
+        adjacency[a].push_back(b);
+        adjacency[b].push_back(a);
+      }
+    }
+    std::fill(reached.begin(), reached.end(), false);
+    std::queue<std::size_t> frontier;
+    reached[origin] = true;
+    frontier.push(origin);
+    std::size_t count = 1;
+    while (!frontier.empty()) {
+      const std::size_t u = frontier.front();
+      frontier.pop();
+      for (std::size_t v : adjacency[u]) {
+        if (!reached[v]) {
+          reached[v] = true;
+          ++count;
+          frontier.push(v);
+        }
+      }
+    }
+    if (count == graph.cluster_count) ++all_count;
+    coverage_sum += double(count) / double(graph.cluster_count);
+  }
+  result.p_all_reached = double(all_count) / double(samples);
+  result.expected_coverage = coverage_sum / double(samples);
+  return result;
+}
+
+}  // namespace cfds::analysis

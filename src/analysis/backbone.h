@@ -1,0 +1,57 @@
+// System-level completeness model (beyond the paper).
+//
+// Section 5 deliberately confines its measures to a single cluster, arguing
+// that global measures "require the assumptions of an inter-cluster routing
+// algorithm and a network topology". Having built both (the Section 4.3
+// forwarding machinery and the clustering directory), we can supply the
+// missing piece: the probability that a failure report reaches every
+// cluster.
+//
+// Two components:
+//   1. link_delivery_probability — closed-form estimate of one report
+//      crossing one gateway link under the implicit-ack machinery: the CH
+//      retransmits toward a deaf GW, the GW retries without an ack, ranked
+//      BGWs (each holding the update with probability 1-p) add their own
+//      attempts;
+//   2. backbone_completeness — Monte-Carlo network reliability over a
+//      cluster graph whose links each operate with that probability
+//      (exact reliability is #P-hard; sampling is cheap and unbiased).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cfds::analysis {
+
+/// P(one failure report crosses one gateway link), given the loss
+/// probability `p`, `n_backups` ranked BGWs, and the retry budgets of
+/// Section 4.3's machinery. Monotone in every redundancy parameter.
+[[nodiscard]] double link_delivery_probability(double p, std::size_t n_backups,
+                                               int ch_retransmits,
+                                               int gw_retries);
+
+/// A cluster-level backbone: nodes are clusters, edges are gateway links.
+struct BackboneGraph {
+  std::size_t cluster_count = 0;
+  /// Undirected edges as (a, b) cluster indices.
+  std::vector<std::pair<std::size_t, std::size_t>> links;
+};
+
+struct BackboneCompleteness {
+  /// P(every cluster is reached from the origin).
+  double p_all_reached = 0.0;
+  /// E[fraction of clusters reached].
+  double expected_coverage = 0.0;
+};
+
+/// Monte-Carlo reliability: each link operates independently with
+/// probability `link_success`; a report floods from `origin` over operating
+/// links. `samples` graph states are drawn.
+[[nodiscard]] BackboneCompleteness backbone_completeness(
+    const BackboneGraph& graph, std::size_t origin, double link_success,
+    int samples, Rng& rng);
+
+}  // namespace cfds::analysis

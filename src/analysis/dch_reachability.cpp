@@ -1,0 +1,48 @@
+#include "analysis/dch_reachability.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+#include "common/geometry.h"
+#include "common/statistics.h"
+
+namespace cfds::analysis {
+
+DchReachability dch_reachability(double r, double d, int n, double p,
+                                 int samples, Rng& rng) {
+  CFDS_EXPECT(r > 0.0 && d >= 0.0 && d <= r, "DCH must lie inside the cluster");
+  CFDS_EXPECT(n >= 3, "need the CH, the DCH and at least one member");
+
+  DchReachability result;
+  const Disk cluster{{0.0, 0.0}, r};
+  const Disk dch_disk{{d, 0.0}, r};
+  const double cluster_area = cluster.area();
+  result.p_out_of_range =
+      1.0 - lens_area(cluster, dch_disk) / cluster_area;
+  if (result.p_out_of_range <= 0.0) {
+    result.p_out_of_range = 0.0;
+    result.p_reachable_given_out = 1.0;  // vacuous: nobody is out of range
+    return result;
+  }
+
+  const double helper_success = (1.0 - p) * (1.0 - p);
+  RunningStats reach;
+  int accepted = 0;
+  // Rejection-sample v uniform over cluster \ dch_disk.
+  while (accepted < samples) {
+    const double rad = r * std::sqrt(rng.uniform());
+    const double theta = rng.uniform(0.0, 2.0 * M_PI);
+    const Vec2 v{rad * std::cos(theta), rad * std::sin(theta)};
+    if (dch_disk.contains(v)) continue;
+    ++accepted;
+    const Disk v_disk{v, r};
+    const double ag = triple_intersection_area(cluster, dch_disk, v_disk);
+    const double per_helper = (ag / cluster_area) * helper_success;
+    // N-3 potential helpers: everyone except the failed CH, the DCH, and v.
+    reach.add(1.0 - std::pow(1.0 - per_helper, double(n - 3)));
+  }
+  result.p_reachable_given_out = reach.mean();
+  return result;
+}
+
+}  // namespace cfds::analysis

@@ -1,0 +1,50 @@
+// Model-based analysis of a DCH's reachability (Section 4.2).
+//
+// The paper reports having run this study but omits it "due to space
+// limitations"; we reconstruct it. Setting (Figure 2(a)): the CH at the
+// cluster centre has failed and the DCH, at distance d from the centre, is
+// the detection authority. A member v at distance > R from the DCH is out of
+// its transmission range; the DCH can still learn that v is alive if some
+// node v' in Ag = disk(DCH, R) ∩ disk(v, R) ∩ disk(CH, R) overhears v's
+// heartbeat in fds.R-1 (probability 1-p) and lands its digest on the DCH in
+// fds.R-2 (probability 1-p).
+//
+// With members uniform in the cluster disk, a helper lands in Ag with
+// probability |Ag| / (pi R^2); conditioning on v's position (uniform over
+// the out-of-range sliver of the cluster) gives
+//
+//   P(reachable | out of range)
+//     = E_v [ 1 - (1 - (|Ag(v)|/pi R^2) * (1-p)^2)^(N-3) ]
+//
+// The expectation is taken by Monte-Carlo integration over v (the
+// three-disk area has no closed form); |Ag| itself is computed by adaptive
+// quadrature, so the only sampling error is over v's position.
+
+#pragma once
+
+#include "common/rng.h"
+
+namespace cfds::analysis {
+
+struct DchReachability {
+  /// Fraction of the cluster area outside the DCH's range (exact lens
+  /// complement): the probability a uniform member is out of range at all.
+  double p_out_of_range = 0.0;
+  /// P(the DCH hears of v via some digest | v out of the DCH's range).
+  double p_reachable_given_out = 0.0;
+  /// Unconditional P(the DCH obtains evidence of v's liveness) for a
+  /// uniform member v: in-range members count as reachable directly.
+  [[nodiscard]] double p_reachable() const {
+    return (1.0 - p_out_of_range) +
+           p_out_of_range * p_reachable_given_out;
+  }
+};
+
+/// Evaluates the reachability measures for transmission range `r`, DCH at
+/// distance `d` from the (failed) CH, cluster population `n`, message-loss
+/// probability `p`. `samples` positions of v are drawn for the expectation.
+[[nodiscard]] DchReachability dch_reachability(double r, double d, int n,
+                                               double p, int samples,
+                                               Rng& rng);
+
+}  // namespace cfds::analysis

@@ -1,0 +1,87 @@
+#include "analysis/figures.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/expect.h"
+#include "common/geometry.h"
+#include "common/logmath.h"
+
+namespace cfds::analysis {
+
+double worst_case_q() { return worst_case_overlap_fraction(); }
+
+double log_no_helper(double q, double s, int n) {
+  CFDS_EXPECT(n >= 2, "cluster population must be at least 2");
+  return double(n - 2) * std::log1p(-q * s);
+}
+
+double log_no_helper_sum(double q, double stage1, double stage2, int n) {
+  CFDS_EXPECT(n >= 2, "cluster population must be at least 2");
+  const int pool = n - 2;
+  // The paper's literal nested-sum structure (Figure 5's expression):
+  // outer sum over the Binomial(pool, q) number k of in-region neighbours;
+  // inner sum over the number j of those that pass stage one of the helper
+  // chain (e.g. overhear the heartbeat, probability `stage1`) but whose
+  // stage-two attempts (e.g. the digest reaching the CH, probability
+  // `stage2`) all fail. Algebraically this telescopes to
+  // (1 - q*stage1*stage2)^pool; we evaluate the sums term by term in log
+  // space, and tests pin the equality.
+  std::vector<double> outer;
+  outer.reserve(std::size_t(pool) + 1);
+  for (int k = 0; k <= pool; ++k) {
+    std::vector<double> inner;
+    inner.reserve(std::size_t(k) + 1);
+    for (int j = 0; j <= k; ++j) {
+      inner.push_back(log_binomial_pmf(k, j, stage1) +
+                      double(j) * std::log1p(-stage2));
+    }
+    outer.push_back(log_binomial_pmf(pool, k, q) + log_sum_exp(inner));
+  }
+  return log_sum_exp(outer);
+}
+
+double false_detection_upper_bound(double p, int n) {
+  const double s = (1.0 - p) * (1.0 - p);
+  return std::exp(2.0 * safe_log(p) + log_no_helper(worst_case_q(), s, n));
+}
+
+double false_detection_upper_bound_sum(double p, int n) {
+  // Stage one: a neighbour overhears v's heartbeat in fds.R-1 (1-p).
+  // Stage two: that neighbour's digest reaches the CH in fds.R-2 (1-p).
+  return std::exp(2.0 * safe_log(p) +
+                  log_no_helper_sum(worst_case_q(), 1.0 - p, 1.0 - p, n));
+}
+
+double false_detection_on_ch(double p, int n) {
+  const double s = (1.0 - p) * (1.0 - p);
+  return std::exp(3.0 * safe_log(p) + log_no_helper(1.0, s, n));
+}
+
+double false_detection_on_ch_sum(double p, int n) {
+  // Every member is one-hop from the CH (q = 1); the extra factor of p is
+  // the loss of the CH's R-3 update at the DCH (rule condition 3).
+  return std::exp(3.0 * safe_log(p) +
+                  log_no_helper_sum(1.0, 1.0 - p, 1.0 - p, n));
+}
+
+double incompleteness_upper_bound(double p, int n) {
+  const double s = (1.0 - p) * (1.0 - p) * (1.0 - p);
+  return std::exp(safe_log(p) + log_no_helper(worst_case_q(), s, n));
+}
+
+double incompleteness_upper_bound_sum(double p, int n) {
+  // Stage one: the neighbour itself received the CH's update (1-p).
+  // Stage two: it hears v's forwarding request AND its forward lands,
+  // (1-p)^2 — the factoring is arbitrary; only the product matters.
+  const double stage2 = (1.0 - p) * (1.0 - p);
+  return std::exp(safe_log(p) +
+                  log_no_helper_sum(worst_case_q(), 1.0 - p, stage2, n));
+}
+
+double sweep_p(int index) {
+  CFDS_EXPECT(index >= 0 && index < sweep_points(), "sweep index out of range");
+  return 0.05 * double(index + 1);
+}
+
+}  // namespace cfds::analysis

@@ -1,0 +1,64 @@
+// Analytic measures of Section 5 (Figures 5, 6, 7).
+//
+// All three figures share one structure: a bad event needs (a) direct
+// evidence about a node to be lost, and (b) none of the other N-2 cluster
+// members to "help". A member helps with probability q*s, where q is the
+// chance it lies in the relevant overlap region (q = An/Au for the paper's
+// worst-case node on the cluster circumference; q = 1 for the CH, whose
+// heartbeat every member can hear) and s is the per-helper success chain:
+//
+//   Figure 5  P^(False detection)       = p^2 * (1 - q*(1-p)^2)^(N-2)
+//             helper chain s=(1-p)^2: overhear the heartbeat, land the digest
+//   Figure 6  P(False detection on CH)  = p^3 * (1 - (1-p)^2)^(N-2)
+//             the extra p: the CH's R-3 update must also be lost (rule
+//             condition 3); q = 1 (every member is one-hop from the CH)
+//   Figure 7  P^(Incompleteness)        = p * (1 - q*(1-p)^3)^(N-2)
+//             helper chain s=(1-p)^3: hold the update, hear the request,
+//             land the forward
+//
+// The paper prints the Figure 5 formula as a double sum over the Binomial
+// number of in-cluster neighbours and the number of overhearing neighbours;
+// the sums telescope to the closed forms above. We provide both: the *_sum
+// functions evaluate the paper's literal expression in log space (needed —
+// Figure 6 reaches 1e-120), and tests assert the two agree to ~1e-12
+// relative error. Figures 6 and 7 omit their formulations "due to space
+// limitations"; DESIGN.md records our derivations and the checks against
+// every quantitative statement the paper makes about those curves.
+
+#pragma once
+
+namespace cfds::analysis {
+
+/// The paper's q = An/Au for a node on the cluster circumference
+/// (= 2/3 - sqrt(3)/(2*pi), about 0.391; independent of R).
+[[nodiscard]] double worst_case_q();
+
+/// log of (1 - q*s)^(N-2): no member out of a pool of (N-2) both lies in the
+/// overlap region (probability q) and completes the per-helper success chain
+/// (probability s). The shared building block of all three figures.
+[[nodiscard]] double log_no_helper(double q, double s, int n);
+
+/// Same quantity evaluated as the paper's literal double sum over the
+/// Binomial neighbour count k and the count j of neighbours passing stage
+/// one of the helper chain (success `stage1`) whose stage-two attempts
+/// (success `stage2`) all fail. Telescopes to log_no_helper(q, s1*s2, n).
+[[nodiscard]] double log_no_helper_sum(double q, double stage1, double stage2,
+                                       int n);
+
+// --- Figure 5 ---------------------------------------------------------
+[[nodiscard]] double false_detection_upper_bound(double p, int n);
+[[nodiscard]] double false_detection_upper_bound_sum(double p, int n);
+
+// --- Figure 6 ---------------------------------------------------------
+[[nodiscard]] double false_detection_on_ch(double p, int n);
+[[nodiscard]] double false_detection_on_ch_sum(double p, int n);
+
+// --- Figure 7 ---------------------------------------------------------
+[[nodiscard]] double incompleteness_upper_bound(double p, int n);
+[[nodiscard]] double incompleteness_upper_bound_sum(double p, int n);
+
+/// The paper's sweep: p in {0.05, 0.10, ..., 0.50}.
+[[nodiscard]] inline constexpr int sweep_points() { return 10; }
+[[nodiscard]] double sweep_p(int index);  // index in [0, sweep_points())
+
+}  // namespace cfds::analysis

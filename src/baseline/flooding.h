@@ -1,0 +1,73 @@
+// Flat-flooding dissemination baseline.
+//
+// The scalability claim of Section 3 — "system-wide information
+// dissemination can be done far more efficiently than with flat flooding" —
+// needs flat flooding to compare against: every node rebroadcasts every new
+// report exactly once (classic blind flooding with duplicate suppression).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/ids.h"
+#include "fds/failure_log.h"
+#include "net/network.h"
+#include "radio/payload.h"
+
+namespace cfds {
+
+struct FloodPayload final : Payload {
+  ReportId id;
+  NodeId origin;
+  NodeId forwarder;
+  std::vector<NodeId> failed;
+
+  [[nodiscard]] std::string_view kind() const override { return "flood"; }
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 17 + 4 * failed.size();
+  }
+};
+
+class FloodAgent {
+ public:
+  FloodAgent(Node& node, Simulator& sim);
+
+  [[nodiscard]] NodeId id() const { return node_.id(); }
+  [[nodiscard]] const FailureLog& log() const { return log_; }
+
+  /// Originates a new flood carrying `failed` from this node.
+  void originate(const std::vector<NodeId>& failed);
+
+  /// Frames this agent rebroadcast (the flooding cost metric).
+  [[nodiscard]] std::uint64_t rebroadcasts() const { return rebroadcasts_; }
+
+ private:
+  void on_frame(const Reception& reception);
+
+  Node& node_;
+  Simulator& sim_;
+  FailureLog log_;
+  std::set<ReportId> seen_;
+  std::uint64_t next_report_ = 0;
+  std::uint64_t rebroadcasts_ = 0;
+};
+
+/// Convenience owner for one agent per node.
+class FloodService {
+ public:
+  explicit FloodService(Network& network);
+
+  [[nodiscard]] std::vector<FloodAgent*> agents();
+  [[nodiscard]] FloodAgent& agent_for(NodeId id);
+
+  /// Total rebroadcasts across all agents.
+  [[nodiscard]] std::uint64_t total_rebroadcasts() const;
+
+ private:
+  std::vector<std::unique_ptr<FloodAgent>> agents_;
+};
+
+}  // namespace cfds

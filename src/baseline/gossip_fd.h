@@ -1,0 +1,98 @@
+// Gossip-style failure detection baseline (van Renesse, Minsky & Hayden —
+// the paper's reference [11]), adapted to a broadcast wireless medium.
+//
+// Each node keeps a heartbeat counter per known node. Every gossip interval
+// it increments its own counter and broadcasts its table; receivers merge by
+// taking the counter-wise maximum and timestamping increases. A node whose
+// counter has not advanced for `fail_timeout` is suspected.
+//
+// This is the "flat" competitor the cluster-based FDS is judged against:
+// tables grow with the full network population (O(n) bytes per frame versus
+// the FDS's constant-size heartbeats and per-cluster digests), and every
+// node gossips every interval.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "net/network.h"
+#include "radio/payload.h"
+
+namespace cfds {
+
+struct GossipConfig {
+  /// Interval between gossip emissions.
+  SimTime gossip_interval = SimTime::seconds(1);
+  /// A counter silent for this long marks its node suspected.
+  SimTime fail_timeout = SimTime::seconds(10);
+};
+
+/// The gossiped table: (nid, heartbeat counter) pairs.
+struct GossipPayload final : Payload {
+  NodeId sender;
+  std::vector<std::pair<NodeId, std::uint64_t>> entries;
+
+  [[nodiscard]] std::string_view kind() const override { return "gossip"; }
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 5 + 12 * entries.size();
+  }
+};
+
+class GossipAgent {
+ public:
+  GossipAgent(Node& node, Simulator& sim, const GossipConfig& config);
+
+  [[nodiscard]] NodeId id() const { return node_.id(); }
+
+  /// Increment own counter and broadcast the table.
+  void gossip_round();
+
+  /// Nodes whose counters have been silent for at least fail_timeout at
+  /// time `now`, among nodes this agent has ever heard of.
+  [[nodiscard]] std::vector<NodeId> suspected(SimTime now) const;
+
+  /// True if `v`'s counter is currently considered live at time `now`.
+  [[nodiscard]] bool considers_alive(NodeId v, SimTime now) const;
+
+  /// Number of nodes this agent has entries for (table growth metric).
+  [[nodiscard]] std::size_t table_size() const { return table_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t counter = 0;
+    SimTime last_advance;
+  };
+
+  void on_frame(const Reception& reception);
+
+  Node& node_;
+  Simulator& sim_;
+  const GossipConfig& config_;
+  std::map<NodeId, Entry> table_;
+  std::uint64_t own_counter_ = 0;
+};
+
+/// Owns the agents and drives synchronized gossip rounds.
+class GossipService {
+ public:
+  GossipService(Network& network, GossipConfig config);
+
+  [[nodiscard]] std::vector<GossipAgent*> agents();
+  [[nodiscard]] GossipAgent& agent_for(NodeId id);
+  [[nodiscard]] const GossipConfig& config() const { return config_; }
+
+  /// Schedules `count` rounds starting at `start` and runs past them.
+  SimTime run_rounds(std::uint64_t count, SimTime start);
+
+ private:
+  Network& network_;
+  GossipConfig config_;
+  std::vector<std::unique_ptr<GossipAgent>> agents_;
+};
+
+}  // namespace cfds

@@ -1,0 +1,132 @@
+#include "cluster/directory.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/expect.h"
+#include "net/graph.h"
+
+namespace cfds {
+
+ClusterDirectory ClusterDirectory::build(const std::vector<Vec2>& positions,
+                                         double range,
+                                         DirectoryConfig config) {
+  ClusterDirectory dir;
+  const UnitDiskGraph graph(positions, range);
+  const std::size_t n = positions.size();
+  std::vector<bool> marked(n, false);
+
+  // Greedy lowest-NID clustering: in NID order, an unmarked node founds a
+  // cluster over its unmarked in-range neighbours. Isolated nodes stay out.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (marked[v] || graph.degree(v) == 0) continue;
+    ClusterView cluster;
+    cluster.id = ClusterId{std::uint32_t(v)};
+    cluster.clusterhead = NodeId{std::uint32_t(v)};
+    marked[v] = true;
+    for (std::size_t u : graph.neighbors(v)) {
+      if (!marked[u]) {
+        marked[u] = true;
+        cluster.members.push_back(NodeId{std::uint32_t(u)});
+      }
+    }
+    std::sort(cluster.members.begin(), cluster.members.end());
+    dir.clusters_.push_back(std::move(cluster));
+  }
+
+  // Deputies: members ranked by one-hop degree (descending), ties to NID.
+  for (ClusterView& cluster : dir.clusters_) {
+    std::vector<NodeId> ranked = cluster.members;
+    std::sort(ranked.begin(), ranked.end(), [&](NodeId a, NodeId b) {
+      const std::size_t da = graph.degree(a.value());
+      const std::size_t db = graph.degree(b.value());
+      if (da != db) return da > db;
+      return a < b;
+    });
+    cluster.deputies.assign(
+        ranked.begin(),
+        ranked.begin() + std::min(config.num_deputies, ranked.size()));
+  }
+
+  // Gateways: for each ordered cluster pair, candidates are the nodes within
+  // range of both CHs (members of either cluster); GW = lowest NID,
+  // remaining candidates become ranked BGWs.
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<NodeId>> candidates;
+  for (std::size_t a = 0; a < dir.clusters_.size(); ++a) {
+    for (std::size_t b = a + 1; b < dir.clusters_.size(); ++b) {
+      const Vec2 ch_a = positions[dir.clusters_[a].clusterhead.value()];
+      const Vec2 ch_b = positions[dir.clusters_[b].clusterhead.value()];
+      std::vector<NodeId> pool;
+      auto collect = [&](const ClusterView& c) {
+        for (NodeId m : c.members) {
+          const Vec2 pos = positions[m.value()];
+          if (within_range(pos, ch_a, range) && within_range(pos, ch_b, range)) {
+            pool.push_back(m);
+          }
+        }
+      };
+      collect(dir.clusters_[a]);
+      collect(dir.clusters_[b]);
+      if (!pool.empty()) {
+        std::sort(pool.begin(), pool.end());
+        candidates[{a, b}] = std::move(pool);
+      }
+    }
+  }
+  for (const auto& [pair, pool] : candidates) {
+    const auto [a, b] = pair;
+    auto make_link = [&](const ClusterView& to) {
+      GatewayLink link;
+      link.neighbor_cluster = to.id;
+      link.neighbor_clusterhead = to.clusterhead;
+      link.gateway = pool.front();
+      for (std::size_t i = 1;
+           i < pool.size() && link.backups.size() < config.max_backup_gateways;
+           ++i) {
+        link.backups.push_back(pool[i]);
+      }
+      return link;
+    };
+    dir.clusters_[a].links.push_back(make_link(dir.clusters_[b]));
+    dir.clusters_[b].links.push_back(make_link(dir.clusters_[a]));
+  }
+  return dir;
+}
+
+ClusterDirectory ClusterDirectory::single_cluster(std::size_t n,
+                                                  DirectoryConfig config) {
+  CFDS_EXPECT(n >= 2, "a cluster needs a CH and at least one member");
+  ClusterDirectory dir;
+  ClusterView cluster;
+  cluster.id = ClusterId{0};
+  cluster.clusterhead = NodeId{0};
+  for (std::uint32_t i = 1; i < n; ++i) cluster.members.push_back(NodeId{i});
+  for (std::size_t i = 0; i < std::min(config.num_deputies, n - 1); ++i) {
+    cluster.deputies.push_back(cluster.members[i]);
+  }
+  dir.clusters_.push_back(std::move(cluster));
+  return dir;
+}
+
+const ClusterView* ClusterDirectory::cluster_of(NodeId node) const {
+  for (const ClusterView& c : clusters_) {
+    if (c.is_member(node)) return &c;
+  }
+  return nullptr;
+}
+
+void ClusterDirectory::install(Network& network,
+                               std::vector<MembershipView*>& views) const {
+  for (const ClusterView& cluster : clusters_) {
+    auto apply = [&](NodeId id) {
+      CFDS_EXPECT(id.value() < views.size() && views[id.value()] != nullptr,
+                  "missing membership view for node");
+      views[id.value()]->set_cluster(cluster);
+      network.node(id).set_marked(true);
+    };
+    apply(cluster.clusterhead);
+    for (NodeId m : cluster.members) apply(m);
+  }
+}
+
+}  // namespace cfds

@@ -1,0 +1,62 @@
+#include "cluster/membership.h"
+
+#include <algorithm>
+
+namespace cfds {
+namespace {
+
+void erase_value(std::vector<NodeId>& v, NodeId value) {
+  v.erase(std::remove(v.begin(), v.end(), value), v.end());
+}
+
+}  // namespace
+
+void MembershipView::apply_takeover(NodeId deputy) {
+  if (!cluster_) return;
+  ClusterView& c = *cluster_;
+  if (!c.is_member(deputy)) return;
+  erase_value(c.members, deputy);
+  erase_value(c.deputies, deputy);
+  // The old CH is gone; it does not rejoin as a member (fail-stop).
+  c.clusterhead = deputy;
+  // The cluster keeps its identity: reports remain attributable.
+}
+
+void MembershipView::remove_members(const std::vector<NodeId>& failed) {
+  if (!cluster_) return;
+  ClusterView& c = *cluster_;
+  for (NodeId f : failed) {
+    erase_value(c.members, f);
+    erase_value(c.deputies, f);
+    for (GatewayLink& link : c.links) {
+      if (link.gateway == f) {
+        // Highest-ranked surviving backup becomes the gateway.
+        if (!link.backups.empty()) {
+          link.gateway = link.backups.front();
+          link.backups.erase(link.backups.begin());
+        } else {
+          link.gateway = NodeId::invalid();
+        }
+      } else {
+        erase_value(link.backups, f);
+      }
+    }
+  }
+}
+
+void MembershipView::update_link_neighbor(ClusterId neighbor, NodeId new_ch) {
+  if (!cluster_) return;
+  for (GatewayLink& link : cluster_->links) {
+    if (link.neighbor_cluster == neighbor) link.neighbor_clusterhead = new_ch;
+  }
+}
+
+void MembershipView::admit_members(const std::vector<NodeId>& admitted) {
+  if (!cluster_) return;
+  ClusterView& c = *cluster_;
+  for (NodeId a : admitted) {
+    if (!c.is_member(a)) c.members.push_back(a);
+  }
+}
+
+}  // namespace cfds

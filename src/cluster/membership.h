@@ -1,0 +1,102 @@
+// Per-node membership state.
+//
+// Each node keeps its own view of the cluster it belongs to; the FDS and the
+// inter-cluster forwarder consult this view for the node's role, the expected
+// heartbeat sources, and the gateway structure. Views are updated by the
+// formation protocol, by CH announcements, and by DCH takeover.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/roles.h"
+#include "common/ids.h"
+
+namespace cfds {
+
+/// What one node believes about its own cluster.
+class MembershipView {
+ public:
+  explicit MembershipView(NodeId self) : self_(self) {}
+
+  [[nodiscard]] NodeId self() const { return self_; }
+
+  [[nodiscard]] bool affiliated() const { return cluster_.has_value(); }
+  [[nodiscard]] const std::optional<ClusterView>& cluster() const {
+    return cluster_;
+  }
+
+  /// Installs or replaces the cluster organization.
+  void set_cluster(ClusterView view) { cluster_ = std::move(view); }
+  void clear() { cluster_.reset(); }
+
+  /// This node's current role.
+  [[nodiscard]] Role role() const {
+    return cluster_ ? cluster_->role_of(self_) : Role::kUnaffiliated;
+  }
+
+  [[nodiscard]] bool is_clusterhead() const {
+    return cluster_ && cluster_->clusterhead == self_;
+  }
+
+  /// True if this node is the highest-ranked deputy (the CH-failure
+  /// detection authority, Section 4.2).
+  [[nodiscard]] bool is_primary_deputy() const {
+    return cluster_ && !cluster_->deputies.empty() &&
+           cluster_->deputies.front() == self_;
+  }
+
+  /// True if this node holds any deputy rank. All deputies collect digest
+  /// evidence so that a lower rank inherits the same witness protection
+  /// when the chain of command above it goes silent.
+  [[nodiscard]] bool is_deputy() const {
+    if (!cluster_) return false;
+    for (NodeId d : cluster_->deputies) {
+      if (d == self_) return true;
+    }
+    return false;
+  }
+
+  /// Nodes the CH expects to hear from during an FDS execution: all non-CH
+  /// members of the cluster.
+  [[nodiscard]] std::vector<NodeId> expected_members() const {
+    return cluster_ ? cluster_->members : std::vector<NodeId>{};
+  }
+
+  /// Gateway links on which this node is the GW or a BGW, with its rank.
+  struct LinkRole {
+    const GatewayLink* link;
+    std::size_t rank;  ///< 0 = GW, k >= 1 = rank-k BGW
+  };
+  [[nodiscard]] std::vector<LinkRole> my_links() const {
+    std::vector<LinkRole> out;
+    if (!cluster_) return out;
+    for (const GatewayLink& link : cluster_->links) {
+      if (auto rank = link.rank_of(self_)) out.push_back({&link, *rank});
+    }
+    return out;
+  }
+
+  /// Applies a DCH takeover: `deputy` becomes the CH, the failed CH is
+  /// removed, remaining deputies shift up. No-op if not affiliated.
+  void apply_takeover(NodeId deputy);
+
+  /// Removes failed members from the view (after a health-status update).
+  void remove_members(const std::vector<NodeId>& failed);
+
+  /// Admits newly subscribed members (feature F5: unmarked heartbeats act as
+  /// membership subscriptions).
+  void admit_members(const std::vector<NodeId>& admitted);
+
+  /// Records that the neighbouring cluster `neighbor` is now headed by
+  /// `new_ch` (a gateway overheard its takeover update); future reports on
+  /// that link are addressed to the new CH.
+  void update_link_neighbor(ClusterId neighbor, NodeId new_ch);
+
+ private:
+  NodeId self_;
+  std::optional<ClusterView> cluster_;
+};
+
+}  // namespace cfds

@@ -1,0 +1,92 @@
+// Frame payloads used by the distributed cluster-formation protocol.
+//
+// Sizes are nominal over-the-air byte counts used by the energy model: NIDs
+// are 4 bytes, cluster ids 4 bytes, plus a 1-byte frame type.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/roles.h"
+#include "common/ids.h"
+#include "radio/payload.h"
+
+namespace cfds {
+
+/// One-hop neighbourhood probe (formation round 1). In steady state this
+/// round merges with fds.R-1 (feature F5): the FDS heartbeat carries the same
+/// NID + mark bit.
+struct ProbePayload final : Payload {
+  NodeId sender;
+  bool marked = false;
+
+  [[nodiscard]] std::string_view kind() const override { return "probe"; }
+  [[nodiscard]] std::size_t size_bytes() const override { return 6; }
+};
+
+/// Clusterhead self-election claim (round 2): the sender believes it has the
+/// lowest NID in its unmarked one-hop neighbourhood.
+struct ChClaimPayload final : Payload {
+  NodeId claimant;
+
+  [[nodiscard]] std::string_view kind() const override { return "ch-claim"; }
+  [[nodiscard]] std::size_t size_bytes() const override { return 5; }
+};
+
+/// Join request (round 3), addressed to the chosen claimant. Carries the
+/// sender's observed one-hop degree, the input to deputy ranking (feature
+/// F2 favours well-connected deputies).
+struct JoinPayload final : Payload {
+  NodeId sender;
+  NodeId clusterhead;
+  std::size_t observed_degree = 0;
+
+  [[nodiscard]] std::string_view kind() const override { return "join"; }
+  [[nodiscard]] std::size_t size_bytes() const override { return 12; }
+};
+
+/// Cluster organization announcement (round 4): the CH names its members and
+/// ranked deputies. Receipt of this frame is what "marks" a node (footnote 2).
+struct AnnouncePayload final : Payload {
+  ClusterId cluster;
+  NodeId clusterhead;
+  std::vector<NodeId> members;
+  std::vector<NodeId> deputies;
+
+  [[nodiscard]] std::string_view kind() const override { return "announce"; }
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 9 + 4 * (members.size() + deputies.size());
+  }
+};
+
+/// Gateway candidacy (round 5): a marked node tells its own CH which foreign
+/// clusterheads it can hear directly (the "one-hop neighbour of the CHs of
+/// two different clusters" qualification, Section 3).
+struct GatewayCandidacyPayload final : Payload {
+  NodeId sender;
+  ClusterId home_cluster;
+  /// Foreign clusters whose CH the sender hears, with that CH's NID.
+  std::vector<std::pair<ClusterId, NodeId>> reachable;
+
+  [[nodiscard]] std::string_view kind() const override { return "gw-cand"; }
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 9 + 8 * reachable.size();
+  }
+};
+
+/// Gateway assignment (round 6): the CH publishes the per-neighbour-cluster
+/// GW/BGW ranking. Members merge these links into their views.
+struct GatewayAssignmentPayload final : Payload {
+  ClusterId cluster;
+  std::vector<GatewayLink> links;
+
+  [[nodiscard]] std::string_view kind() const override { return "gw-assign"; }
+  [[nodiscard]] std::size_t size_bytes() const override {
+    std::size_t n = 5;
+    for (const GatewayLink& link : links) n += 12 + 4 * link.backups.size();
+    return n;
+  }
+};
+
+}  // namespace cfds

@@ -1,0 +1,26 @@
+// Lightweight precondition/invariant checking.
+//
+// CFDS_EXPECT aborts with a diagnostic on violation in all build types;
+// protocol-state invariants are cheap relative to simulation work, and a
+// silently corrupted simulation is worse than a crash.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cfds::detail {
+[[noreturn]] inline void expect_failed(const char* expr, const char* file,
+                                       int line, const char* msg) {
+  std::fprintf(stderr, "CFDS_EXPECT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg);
+  std::abort();
+}
+}  // namespace cfds::detail
+
+#define CFDS_EXPECT(expr, msg)                                      \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::cfds::detail::expect_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                               \
+  } while (false)

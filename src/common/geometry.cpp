@@ -1,0 +1,107 @@
+#include "common/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cfds {
+namespace {
+
+double simpson(double lo, double hi, double flo, double fmid, double fhi) {
+  return (hi - lo) / 6.0 * (flo + 4.0 * fmid + fhi);
+}
+
+double adaptive(const std::function<double(double)>& f, double lo, double hi,
+                double flo, double fmid, double fhi, double whole, double tol,
+                int depth) {
+  const double mid = 0.5 * (lo + hi);
+  const double lmid = 0.5 * (lo + mid);
+  const double rmid = 0.5 * (mid + hi);
+  const double flmid = f(lmid);
+  const double frmid = f(rmid);
+  const double left = simpson(lo, mid, flo, flmid, fmid);
+  const double right = simpson(mid, hi, fmid, frmid, fhi);
+  if (depth <= 0 || std::abs(left + right - whole) <= 15.0 * tol) {
+    return left + right + (left + right - whole) / 15.0;
+  }
+  return adaptive(f, lo, mid, flo, flmid, fmid, left, tol / 2, depth - 1) +
+         adaptive(f, mid, hi, fmid, frmid, fhi, right, tol / 2, depth - 1);
+}
+
+}  // namespace
+
+double integrate(const std::function<double(double)>& f, double lo, double hi,
+                 double tolerance) {
+  if (lo == hi) return 0.0;
+  const double mid = 0.5 * (lo + hi);
+  const double flo = f(lo);
+  const double fmid = f(mid);
+  const double fhi = f(hi);
+  const double whole = simpson(lo, hi, flo, fmid, fhi);
+  return adaptive(f, lo, hi, flo, fmid, fhi, whole, tolerance, 48);
+}
+
+double lens_area(const Disk& a, const Disk& b) {
+  const double d = distance(a.center, b.center);
+  const double r1 = a.radius;
+  const double r2 = b.radius;
+  if (d >= r1 + r2) return 0.0;                       // disjoint
+  if (d <= std::abs(r1 - r2)) {                       // nested
+    const double r = std::min(r1, r2);
+    return M_PI * r * r;
+  }
+  // Standard two-circle lens: sum of two circular segments.
+  const double alpha = std::acos(std::clamp(
+      (d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1), -1.0, 1.0));
+  const double beta = std::acos(std::clamp(
+      (d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2), -1.0, 1.0));
+  return r1 * r1 * (alpha - std::sin(alpha) * std::cos(alpha)) +
+         r2 * r2 * (beta - std::sin(beta) * std::cos(beta));
+}
+
+double worst_case_overlap_area(double r) {
+  return lens_area(Disk{{0.0, 0.0}, r}, Disk{{r, 0.0}, r});
+}
+
+double worst_case_overlap_fraction() {
+  return 2.0 / 3.0 - std::sqrt(3.0) / (2.0 * M_PI);
+}
+
+double triple_intersection_area(const Disk& a, const Disk& b, const Disk& c) {
+  // Integrate the chord length of (b ∩ c) inside a, sweeping x across a's
+  // horizontal extent. For each x we intersect the three disks' y-intervals.
+  const Disk* smallest = &a;
+  for (const Disk* d : {&b, &c}) {
+    if (d->radius < smallest->radius) smallest = d;
+  }
+  const double x_lo = smallest->center.x - smallest->radius;
+  const double x_hi = smallest->center.x + smallest->radius;
+
+  auto y_interval = [](const Disk& d, double x, double& lo, double& hi) {
+    const double dx = x - d.center.x;
+    const double h2 = d.radius * d.radius - dx * dx;
+    if (h2 <= 0.0) {
+      lo = 1.0;
+      hi = 0.0;  // empty
+      return;
+    }
+    const double h = std::sqrt(h2);
+    lo = d.center.y - h;
+    hi = d.center.y + h;
+  };
+
+  auto chord = [&](double x) {
+    double lo = -1e300, hi = 1e300;
+    for (const Disk* d : {&a, &b, &c}) {
+      double dlo = 0.0, dhi = 0.0;
+      y_interval(*d, x, dlo, dhi);
+      lo = std::max(lo, dlo);
+      hi = std::min(hi, dhi);
+      if (lo >= hi) return 0.0;
+    }
+    return hi - lo;
+  };
+
+  return integrate(chord, x_lo, x_hi, 1e-8);
+}
+
+}  // namespace cfds

@@ -1,0 +1,75 @@
+// Strongly-typed identifiers used throughout the CFDS library.
+//
+// The paper assumes globally unique node IDs (NIDs); the clustering
+// algorithm elects the lowest NID in a one-hop neighbourhood as clusterhead,
+// and peer-forwarding waiting periods are derived from the NID, so ordering
+// and hashing must be cheap and total. A strong typedef prevents the classic
+// bug of passing a cluster id where a node id is expected.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace cfds {
+
+/// Tag-discriminated integral id. Comparable, hashable, streamable.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  /// Underlying integral value.
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  /// Sentinel meaning "no such entity".
+  [[nodiscard]] static constexpr StrongId invalid() {
+    return StrongId{std::numeric_limits<Rep>::max()};
+  }
+
+  [[nodiscard]] constexpr bool is_valid() const {
+    return value_ != std::numeric_limits<Rep>::max();
+  }
+
+  friend constexpr bool operator==(StrongId, StrongId) = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.is_valid()) return os << "<invalid>";
+    return os << id.value();
+  }
+
+ private:
+  Rep value_ = std::numeric_limits<Rep>::max();
+};
+
+struct NodeIdTag {};
+struct ClusterIdTag {};
+struct ReportIdTag {};
+
+/// Globally unique node identifier (the paper's NID).
+using NodeId = StrongId<NodeIdTag>;
+
+/// Cluster identifier. By convention a cluster is named after the NID of the
+/// clusterhead that founded it.
+using ClusterId = StrongId<ClusterIdTag>;
+
+/// Identifier for a failure report traveling across the backbone
+/// (used for dedup during inter-cluster flooding).
+using ReportId = StrongId<ReportIdTag, std::uint64_t>;
+
+}  // namespace cfds
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<cfds::StrongId<Tag, Rep>> {
+  size_t operator()(cfds::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

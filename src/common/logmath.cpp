@@ -1,0 +1,66 @@
+#include "common/logmath.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cfds {
+
+double log_factorial(std::int64_t n) {
+  return std::lgamma(double(n) + 1.0);
+}
+
+double log_binomial_coefficient(std::int64_t n, std::int64_t k) {
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double safe_log(double p) {
+  if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+  return std::log(p);
+}
+
+double log_sum_exp(double a, double b) {
+  if (std::isinf(a) && a < 0) return b;
+  if (std::isinf(b) && b < 0) return a;
+  const double m = std::max(a, b);
+  return m + std::log1p(std::exp(std::min(a, b) - m));
+}
+
+double log_sum_exp(std::span<const double> terms) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double t : terms) m = std::max(m, t);
+  if (std::isinf(m) && m < 0) return m;
+  double sum = 0.0;
+  for (double t : terms) sum += std::exp(t - m);
+  return m + std::log(sum);
+}
+
+double log_binomial_pmf(std::int64_t n, std::int64_t k, double p) {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  // Handle the endpoint probabilities exactly (0^0 == 1 convention).
+  double term = log_binomial_coefficient(n, k);
+  if (k > 0) term += double(k) * safe_log(p);
+  if (n - k > 0) term += double(n - k) * std::log1p(-p);
+  return term;
+}
+
+double log1m_exp(double x) {
+  // Mächler's algorithm: branch at log(1/2) for accuracy.
+  if (x >= 0.0) return -std::numeric_limits<double>::infinity();
+  if (x > -M_LN2) return std::log(-std::expm1(x));
+  return std::log1p(-std::exp(x));
+}
+
+double binomial_ci99_halfwidth(std::int64_t successes, std::int64_t trials) {
+  if (trials <= 0) return std::numeric_limits<double>::infinity();
+  const double z = 2.5758;  // 99% two-sided normal quantile
+  const double phat = double(successes) / double(trials);
+  const double normal =
+      z * std::sqrt(phat * (1.0 - phat) / double(trials));
+  // Near-degenerate counts break the normal approximation; fall back to the
+  // rule-of-three bound so a zero-success estimate still brackets small
+  // true probabilities.
+  return std::max(normal, 5.0 / double(trials));
+}
+
+}  // namespace cfds

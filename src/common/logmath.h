@@ -1,0 +1,44 @@
+// Numerically stable combinatorics in log space.
+//
+// The paper's Figures 5-7 plot probabilities down to 1e-120, far below
+// double underflow when computed naively as products of binomial terms.
+// All analytic measures are therefore evaluated as log-probabilities and
+// combined with log-sum-exp; callers exponentiate only for display.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cfds {
+
+/// Natural log of n! via lgamma. Exact for the integer arguments used here.
+[[nodiscard]] double log_factorial(std::int64_t n);
+
+/// Natural log of the binomial coefficient C(n, k). Requires 0 <= k <= n.
+[[nodiscard]] double log_binomial_coefficient(std::int64_t n, std::int64_t k);
+
+/// log(p) that maps p == 0 to -infinity without raising FE_DIVBYZERO noise.
+[[nodiscard]] double safe_log(double p);
+
+/// log(exp(a) + exp(b)) without overflow/underflow.
+[[nodiscard]] double log_sum_exp(double a, double b);
+
+/// log(sum_i exp(terms[i])); returns -infinity for an empty span.
+[[nodiscard]] double log_sum_exp(std::span<const double> terms);
+
+/// Log of the Binomial(n, p) pmf at k.
+[[nodiscard]] double log_binomial_pmf(std::int64_t n, std::int64_t k, double p);
+
+/// log1p(-exp(x)) for x <= 0: log(1 - exp(x)) evaluated stably.
+/// Used for complements of tiny probabilities, e.g. log(1 - P) where
+/// P = exp(x) may be 1e-120.
+[[nodiscard]] double log1m_exp(double x);
+
+/// Two-sided (Wilson) confidence interval half-width helper:
+/// the normal-approximation 99% CI half-width for a Binomial proportion with
+/// `successes` out of `trials`. Used by Monte-Carlo vs analytic cross-checks.
+[[nodiscard]] double binomial_ci99_halfwidth(std::int64_t successes,
+                                             std::int64_t trials);
+
+}  // namespace cfds

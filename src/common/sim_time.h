@@ -1,0 +1,62 @@
+// Simulation time: a signed 64-bit count of microseconds.
+//
+// The paper's protocol timing is expressed in units of Thop (the one-hop
+// delivery bound) and the heartbeat interval phi; both map naturally onto an
+// integral microsecond clock, which keeps event ordering exact (no float
+// comparison hazards in the event queue).
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace cfds {
+
+/// A point in simulated time or a duration, in microseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime micros(std::int64_t us) {
+    return SimTime{us};
+  }
+  [[nodiscard]] static constexpr SimTime millis(std::int64_t ms) {
+    return SimTime{ms * 1000};
+  }
+  [[nodiscard]] static constexpr SimTime seconds(std::int64_t s) {
+    return SimTime{s * 1'000'000};
+  }
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+
+  [[nodiscard]] constexpr std::int64_t as_micros() const { return us_; }
+  [[nodiscard]] constexpr double as_seconds() const { return double(us_) / 1e6; }
+
+  friend constexpr bool operator==(SimTime, SimTime) = default;
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.us_ + b.us_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.us_ - b.us_};
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime{a.us_ * k};
+  }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return a * k; }
+  constexpr SimTime& operator+=(SimTime b) {
+    us_ += b.us_;
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.us_ << "us";
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace cfds

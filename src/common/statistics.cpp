@@ -1,0 +1,78 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logmath.h"
+
+namespace cfds {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sem() const {
+  return n_ > 0 ? stddev() / std::sqrt(double(n_)) : 0.0;
+}
+
+void ProportionEstimator::add(bool success) {
+  ++trials_;
+  if (success) ++successes_;
+}
+
+double ProportionEstimator::estimate() const {
+  return trials_ > 0 ? double(successes_) / double(trials_) : 0.0;
+}
+
+double ProportionEstimator::ci99() const {
+  return binomial_ci99_halfwidth(successes_, trials_);
+}
+
+bool ProportionEstimator::consistent_with(double value) const {
+  return std::abs(estimate() - value) <= ci99();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0) {}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = std::int64_t(t * double(bins_.size()));
+  idx = std::clamp<std::int64_t>(idx, 0, std::int64_t(bins_.size()) - 1);
+  ++bins_[std::size_t(idx)];
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  const double target = q * double(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cumulative + double(bins_[i]);
+    if (next >= target) {
+      const double within =
+          bins_[i] > 0 ? (target - cumulative) / double(bins_[i]) : 0.0;
+      const double bin_width = (hi_ - lo_) / double(bins_.size());
+      return lo_ + (double(i) + within) * bin_width;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+}  // namespace cfds

@@ -1,0 +1,73 @@
+// Small online statistics toolkit used by the simulation harness and the
+// Monte-Carlo cross-check benches.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cfds {
+
+/// Welford online accumulator for mean and variance.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two observations).
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Counter for Bernoulli outcomes with confidence-interval support.
+class ProportionEstimator {
+ public:
+  /// Records one trial.
+  void add(bool success);
+
+  [[nodiscard]] std::int64_t trials() const { return trials_; }
+  [[nodiscard]] std::int64_t successes() const { return successes_; }
+  [[nodiscard]] double estimate() const;
+  /// Half-width of the 99% normal-approximation CI.
+  [[nodiscard]] double ci99() const;
+  /// True if `value` lies within the 99% CI of the estimate.
+  [[nodiscard]] bool consistent_with(double value) const;
+
+ private:
+  std::int64_t trials_ = 0;
+  std::int64_t successes_ = 0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins. Used for detection-latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  [[nodiscard]] const std::vector<std::int64_t>& bins() const { return bins_; }
+  /// Value at the given quantile in [0, 1]; linear within a bin's range.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::int64_t> bins_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace cfds

@@ -1,0 +1,62 @@
+#include "event/simulator.h"
+
+#include <utility>
+
+#include "common/expect.h"
+
+namespace cfds {
+
+void TimerHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool TimerHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+TimerHandle Simulator::schedule_at(SimTime when, Action action) {
+  CFDS_EXPECT(when >= now_, "cannot schedule events in the past");
+  auto state = std::make_shared<TimerHandle::State>();
+  queue_.push(Entry{when, next_sequence_++, std::move(action), state});
+  return TimerHandle{std::move(state)};
+}
+
+TimerHandle Simulator::schedule_after(SimTime delay, Action action) {
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; entries must be moved out via a
+    // const_cast-free copy of the cheap fields and a move of the action.
+    Entry entry{queue_.top().when, queue_.top().sequence,
+                std::move(const_cast<Entry&>(queue_.top()).action),
+                queue_.top().state};
+    queue_.pop();
+    if (entry.state->cancelled) continue;
+    now_ = entry.when;
+    entry.state->fired = true;
+    ++executed_;
+    entry.action();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    if (queue_.top().when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_to_completion(std::uint64_t max_events) {
+  std::uint64_t steps = 0;
+  while (step()) {
+    CFDS_EXPECT(++steps <= max_events,
+                "event budget exhausted: likely a runaway timer loop");
+  }
+}
+
+}  // namespace cfds

@@ -1,0 +1,567 @@
+#include "fds/agent.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace cfds {
+
+SimTime peer_waiting_period(NodeId id, double energy_frac, SimTime t_hop) {
+  // NID-derived point in (0, 1): globally unique NIDs give (probabilistically)
+  // unique waiting periods, so candidate forwarders fire one at a time.
+  std::uint64_t sm = id.value();
+  const double unique = double(splitmix64(sm) >> 11) * 0x1.0p-53;
+  // Energy stretch: a full battery halves the wait relative to an empty one,
+  // draining well-charged peers first (energy balancing).
+  const double stretch = (2.0 - std::clamp(energy_frac, 0.0, 1.0)) / 2.0;
+  const double frac = 0.04 + 0.92 * unique * stretch;
+  return SimTime::micros(std::int64_t(frac * double(t_hop.as_micros())));
+}
+
+FdsAgent::FdsAgent(Node& node, MembershipView& view, Simulator& sim,
+                   SimTime t_hop, const FdsConfig& config, FdsHooks& hooks)
+    : node_(node),
+      view_(view),
+      sim_(sim),
+      t_hop_(t_hop),
+      config_(config),
+      hooks_(hooks) {
+  node_.add_frame_handler(
+      [this](const Reception& reception) { on_frame(reception); });
+}
+
+double FdsAgent::energy_fraction() const {
+  const double initial = node_.initial_energy_uj();
+  return initial > 0.0 ? node_.remaining_energy_uj() / initial : 1.0;
+}
+
+ReportId FdsAgent::fresh_report_id() {
+  return ReportId{(std::uint64_t(node_.id().value()) << 32) |
+                  ++report_counter_};
+}
+
+void FdsAgent::begin_epoch(std::uint64_t epoch) {
+  // Close out the previous execution's contact accounting before resetting.
+  if (node_.alive() && view_.affiliated() && !view_.is_clusterhead() &&
+      node_.radio().powered()) {
+    missed_updates_ = got_scheduled_update_ ? 0 : missed_updates_ + 1;
+    if (config_.reaffiliate_after_missed > 0 &&
+        missed_updates_ >= config_.reaffiliate_after_missed) {
+      // Lost contact with the cluster (drifted out of range, or the CH we
+      // can hear changed): revert to unmarked and re-subscribe (F5).
+      view_.clear();
+      node_.set_marked(false);
+      missed_updates_ = 0;
+    }
+  }
+  epoch_ = epoch;
+  evidence_.clear();
+  unmarked_heard_.clear();
+  notices_heard_.clear();
+  // leaves_heard_ persists across the epoch boundary: a notice arriving
+  // after this epoch's R-3 must still be honoured by the next one.
+  got_scheduled_update_ = false;
+  scheduled_update_.reset();
+  acked_requesters_.clear();
+  for (auto& [target, timer] : pending_forwards_) timer.cancel();
+  pending_forwards_.clear();
+  sent_ack_ = false;
+}
+
+void FdsAgent::round1_heartbeat() {
+  if (!node_.alive() || left_) return;
+  if (config_.external_heartbeats) return;  // another layer supplies them
+  auto heartbeat = std::make_shared<HeartbeatPayload>();
+  heartbeat->sender = node_.id();
+  heartbeat->marked = node_.marked();
+  node_.radio().send(std::move(heartbeat));
+}
+
+void FdsAgent::announce_leave() {
+  if (!node_.alive()) return;
+  auto notice = std::make_shared<LeaveNoticePayload>();
+  notice->sender = node_.id();
+  node_.radio().send(std::move(notice));
+  view_.clear();
+  node_.set_marked(false);
+  left_ = true;
+}
+
+void FdsAgent::rejoin() { left_ = false; }
+
+void FdsAgent::announce_sleep(std::uint32_t epochs) {
+  if (!node_.alive()) return;
+  auto notice = std::make_shared<SleepNoticePayload>();
+  notice->sender = node_.id();
+  notice->epochs = epochs;
+  node_.radio().send(std::move(notice));
+  node_.radio().set_powered(false);
+}
+
+void FdsAgent::wake_up() {
+  if (!node_.alive()) return;
+  node_.radio().set_powered(true);
+}
+
+void FdsAgent::round2_digest() {
+  if (!node_.alive() || !view_.affiliated()) return;
+  const ClusterView& cluster = *view_.cluster();
+  auto digest = std::make_shared<DigestPayload>();
+  digest->sender = node_.id();
+  digest->cluster = cluster.id;
+  // Enumerate only in-cluster heartbeats (the digest "enumerates the nodes
+  // in C from which the sender hears or overhears their heartbeats").
+  for (NodeId heard : evidence_.heartbeats) {
+    if (cluster.is_member(heard)) digest->heard.push_back(heard);
+  }
+  if (config_.relay_sleep_notices) {
+    for (const auto& [sleeper, epochs] : notices_heard_) {
+      if (cluster.is_member(sleeper)) digest->sleeping.emplace_back(sleeper, epochs);
+    }
+  }
+  // Members send to the CH; the CH broadcasts its own digest.
+  const NodeId intended =
+      view_.is_clusterhead() ? NodeId::invalid() : cluster.clusterhead;
+  node_.radio().send(std::move(digest), intended);
+}
+
+void FdsAgent::round3_update() {
+  if (!node_.alive() || !view_.is_clusterhead()) return;
+  // Voluntary departures announced this epoch leave the membership first —
+  // bookkept as departures, never as failures.
+  std::vector<NodeId> departed;
+  for (NodeId leaver : leaves_heard_) {
+    if (view_.cluster()->is_member(leaver)) departed.push_back(leaver);
+  }
+  view_.remove_members(departed);
+  leaves_heard_.clear();
+
+  // Members inside an announced sleep window are not expected to show any
+  // sign of life (Section 6 extension); consume one exempt execution each.
+  std::vector<NodeId> expected;
+  for (NodeId member : view_.expected_members()) {
+    const auto it = sleep_exemptions_.find(member);
+    if (it != sleep_exemptions_.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    expected.push_back(member);
+  }
+  const std::vector<NodeId> failed =
+      detect_failed(expected, evidence_, config_.rule_mode);
+
+  auto update = std::make_shared<HealthUpdatePayload>();
+  update->cluster = view_.cluster()->id;
+  update->sender = node_.id();
+  update->epoch = epoch_;
+  update->newly_failed = failed;
+  update->departed = departed;
+
+  for (NodeId f : failed) {
+    log_.record(f, {sim_.now(), epoch_, node_.id()});
+  }
+  view_.remove_members(failed);
+  update->all_failed = log_.known_failed();
+
+  if (config_.admit_unmarked) {
+    for (NodeId newcomer : unmarked_heard_) {
+      if (!view_.cluster()->is_member(newcomer)) {
+        update->admitted.push_back(newcomer);
+      }
+    }
+    if (!update->admitted.empty()) {
+      view_.admit_members(update->admitted);
+      update->members_snapshot = view_.cluster()->members;
+    }
+  }
+
+  if (!failed.empty()) {
+    update->report = fresh_report_id();
+    if (hooks_.on_detection) {
+      hooks_.on_detection(node_.id(), epoch_, failed, /*by_deputy=*/false);
+    }
+  }
+  got_scheduled_update_ = true;  // the author trivially has the update
+  scheduled_update_ = update;
+  broadcast_update(std::move(update));
+}
+
+void FdsAgent::deputy_check() {
+  if (!node_.alive() || !view_.affiliated()) return;
+  // Ranked deputies (feature F2): the highest-ranked DCH decides now; each
+  // lower rank stands by one further Thop and only acts if no takeover (or
+  // CH update) has been heard by then — covering the CH and higher deputies
+  // dying in the same interval.
+  const auto& deputies = view_.cluster()->deputies;
+  std::size_t rank = deputies.size();
+  for (std::size_t i = 0; i < deputies.size(); ++i) {
+    if (deputies[i] == node_.id()) rank = i;
+  }
+  if (rank == deputies.size()) return;  // not a deputy
+  if (rank == 0) {
+    evaluate_ch_failure();
+  } else {
+    const std::uint64_t epoch_at_arming = epoch_;
+    sim_.schedule_after(std::int64_t(rank) * t_hop_,
+                        [this, epoch_at_arming] {
+                          if (epoch_ == epoch_at_arming) {
+                            evaluate_ch_failure();
+                          }
+                        });
+  }
+}
+
+void FdsAgent::evaluate_ch_failure() {
+  if (!node_.alive() || !view_.affiliated()) return;
+  if (got_scheduled_update_) return;  // the CH (or a higher deputy) spoke
+  evidence_.ch_update_heard = got_scheduled_update_;
+  const NodeId ch = view_.cluster()->clusterhead;
+  if (!clusterhead_failed(ch, evidence_, config_.rule_mode)) return;
+
+  // Takeover (Section 4.2): the highest-ranked DCH assumes the CH role and
+  // announces the failure together with its own R-1 hearing so members can
+  // proactively cover any member outside the new CH's range (Figure 2(a)).
+  view_.apply_takeover(node_.id());
+  log_.record(ch, {sim_.now(), epoch_, node_.id()});
+
+  auto update = std::make_shared<HealthUpdatePayload>();
+  update->cluster = view_.cluster()->id;
+  update->sender = node_.id();
+  update->epoch = epoch_;
+  update->newly_failed = {ch};
+  update->all_failed = log_.known_failed();
+  update->takeover = true;
+  update->sender_heard.assign(evidence_.heartbeats.begin(),
+                              evidence_.heartbeats.end());
+  update->report = fresh_report_id();
+
+  if (hooks_.on_detection) {
+    hooks_.on_detection(node_.id(), epoch_, update->newly_failed,
+                        /*by_deputy=*/true);
+  }
+  if (hooks_.on_takeover) hooks_.on_takeover(node_.id(), ch, epoch_);
+
+  got_scheduled_update_ = true;
+  scheduled_update_ = update;
+  broadcast_update(std::move(update));
+}
+
+void FdsAgent::completeness_check() {
+  if (!node_.alive() || !view_.affiliated() || view_.is_clusterhead()) return;
+  if (got_scheduled_update_) return;
+  auto request = std::make_shared<UpdateRequestPayload>();
+  request->sender = node_.id();
+  request->cluster = view_.cluster()->id;
+  request->epoch = epoch_;
+  node_.radio().send(std::move(request));
+}
+
+void FdsAgent::broadcast_relay(const std::vector<NodeId>& reported_failed,
+                               ReportId ack, ClusterId learned_from) {
+  if (!node_.alive() || !view_.is_clusterhead()) return;
+  std::vector<NodeId> news;
+  for (NodeId f : reported_failed) {
+    if (f != node_.id() && log_.record(f, {sim_.now(), epoch_, node_.id()})) {
+      news.push_back(f);
+    }
+  }
+  auto update = std::make_shared<HealthUpdatePayload>();
+  update->cluster = view_.cluster()->id;
+  update->sender = node_.id();
+  update->epoch = epoch_;
+  update->newly_failed = news;
+  update->all_failed = log_.known_failed();
+  update->learned_from = learned_from;
+  if (ack.is_valid()) update->acks.push_back(ack);
+  if (!news.empty()) {
+    update->report = fresh_report_id();
+    view_.remove_members(news);
+  }
+  broadcast_update(std::move(update));
+}
+
+void FdsAgent::broadcast_update(std::shared_ptr<HealthUpdatePayload> update) {
+  std::shared_ptr<const HealthUpdatePayload> frozen = std::move(update);
+  if (hooks_.on_update_sent) hooks_.on_update_sent(node_.id(), frozen);
+  node_.radio().send(frozen);
+}
+
+void FdsAgent::apply_failures(const HealthUpdatePayload& update) {
+  std::vector<NodeId> to_remove;
+  auto learn = [&](NodeId f, bool fresh_news) {
+    if (f == node_.id()) {
+      // We were falsely detected. Re-subscribe by reverting to the unmarked
+      // state: our next heartbeat acts as a membership subscription (F5).
+      if (fresh_news) node_.set_marked(false);
+      return;
+    }
+    if (log_.record(f, {sim_.now(), update.epoch, update.sender})) {
+      to_remove.push_back(f);
+    }
+  };
+  for (NodeId f : update.newly_failed) learn(f, true);
+  for (NodeId f : update.all_failed) learn(f, false);
+  view_.remove_members(to_remove);
+}
+
+void FdsAgent::handle_update(
+    const std::shared_ptr<const HealthUpdatePayload>& update) {
+  if (!view_.affiliated()) {
+    // An unaffiliated node admitted via subscription installs a fresh view.
+    const bool admitted_me =
+        std::find(update->admitted.begin(), update->admitted.end(),
+                  node_.id()) != update->admitted.end();
+    if (admitted_me) {
+      ClusterView fresh;
+      fresh.id = update->cluster;
+      fresh.clusterhead = update->sender;
+      fresh.members = update->members_snapshot;
+      view_.set_cluster(std::move(fresh));
+      node_.set_marked(true);
+    } else {
+      return;
+    }
+  }
+  if (update->cluster != view_.cluster()->id) return;  // foreign cluster
+
+  const bool scheduled =
+      update->epoch == epoch_ &&
+      (update->sender == view_.cluster()->clusterhead || update->takeover);
+
+  apply_failures(*update);
+  if (!update->departed.empty()) view_.remove_members(update->departed);
+  if (update->takeover) view_.apply_takeover(update->sender);
+  if (!update->admitted.empty()) {
+    const bool admitted_me =
+        std::find(update->admitted.begin(), update->admitted.end(),
+                  node_.id()) != update->admitted.end();
+    if (admitted_me) node_.set_marked(true);
+    view_.admit_members(update->admitted);
+    // A snapshot from a CH with a staler failure log than ours could have
+    // re-introduced members we already know to be gone.
+    view_.remove_members(log_.known_failed());
+  }
+
+  if (scheduled && !got_scheduled_update_) {
+    got_scheduled_update_ = true;
+    scheduled_update_ = update;
+    // Proactive post-takeover coverage (Figure 2(a)): forward to members we
+    // heard in R-1 that the new CH did not hear.
+    if (update->takeover && config_.proactive_takeover_forwarding) {
+      const std::set<NodeId> covered(update->sender_heard.begin(),
+                                     update->sender_heard.end());
+      for (NodeId heard : evidence_.heartbeats) {
+        if (heard == update->sender || covered.contains(heard)) continue;
+        if (!view_.cluster()->is_member(heard)) continue;
+        schedule_peer_forward(heard);
+      }
+    }
+  }
+  if (hooks_.on_update_applied) {
+    hooks_.on_update_applied(node_.id(), *update);
+  }
+}
+
+void FdsAgent::schedule_peer_forward(NodeId target) {
+  if (!config_.peer_forwarding) return;
+  if (acked_requesters_.contains(target)) return;
+  if (pending_forwards_.contains(target) &&
+      pending_forwards_[target].pending()) {
+    return;
+  }
+  const SimTime wait =
+      peer_waiting_period(node_.id(), energy_fraction(), t_hop_);
+  pending_forwards_[target] = sim_.schedule_after(wait, [this, target] {
+    if (!node_.alive() || acked_requesters_.contains(target)) return;
+    if (!scheduled_update_) return;
+    auto forward = std::make_shared<UpdateForwardPayload>();
+    forward->forwarder = node_.id();
+    forward->target = target;
+    forward->update = scheduled_update_;
+    node_.radio().send(std::move(forward), target);
+  });
+}
+
+void FdsAgent::on_frame(const Reception& reception) {
+  if (!node_.alive()) return;
+
+  if (const auto* hb = payload_cast<HeartbeatPayload>(reception.payload)) {
+    evidence_.heartbeats.insert(hb->sender);
+    if (!hb->marked) unmarked_heard_.insert(hb->sender);
+    return;
+  }
+
+  if (const auto* leave = payload_cast<LeaveNoticePayload>(reception.payload)) {
+    // The departing node is alive right now (evidence) but will be removed
+    // from the membership at the next update, not reported failed.
+    evidence_.heartbeats.insert(leave->sender);
+    leaves_heard_.insert(leave->sender);
+    return;
+  }
+
+  if (const auto* notice =
+          payload_cast<SleepNoticePayload>(reception.payload)) {
+    // The notice itself proves the sender alive this execution.
+    evidence_.heartbeats.insert(notice->sender);
+    notices_heard_[notice->sender] = notice->epochs;
+    if (config_.honor_sleep_notices) {
+      // +1: the first exemption is consumed by this very execution (the
+      // sleeper has already powered down and sends no digest), leaving
+      // `epochs` exemptions for the announced window itself.
+      sleep_exemptions_[notice->sender] = notice->epochs + 1;
+    }
+    return;
+  }
+
+  if (const auto* digest = payload_cast<DigestPayload>(reception.payload)) {
+    // Digests feed the CH's rule and the DCH's CH-failure rule; other
+    // members don't need them, so skip the bookkeeping there.
+    if (view_.affiliated() && digest->cluster == view_.cluster()->id &&
+        (view_.is_clusterhead() || view_.is_deputy())) {
+      evidence_.digests[digest->sender] =
+          std::set<NodeId>(digest->heard.begin(), digest->heard.end());
+      // Relayed sleep notices: grant (or extend) exemptions for sleepers
+      // whose own notice we missed.
+      if (config_.honor_sleep_notices) {
+        for (const auto& [sleeper, epochs] : digest->sleeping) {
+          auto& exemption = sleep_exemptions_[sleeper];
+          exemption = std::max(exemption, epochs + 1);
+          // The notice also proves the sleeper was alive in R-1.
+          evidence_.heartbeats.insert(sleeper);
+        }
+      }
+    }
+    return;
+  }
+
+  if (auto update = std::dynamic_pointer_cast<const HealthUpdatePayload>(
+          reception.payload)) {
+    handle_update(update);
+    return;
+  }
+
+  if (const auto* request =
+          payload_cast<UpdateRequestPayload>(reception.payload)) {
+    if (!view_.affiliated() || request->cluster != view_.cluster()->id) return;
+    if (request->epoch != epoch_ || !got_scheduled_update_) return;
+    if (!scheduled_update_ || scheduled_update_->sender == node_.id()) return;
+    schedule_peer_forward(request->sender);
+    return;
+  }
+
+  if (const auto* forward =
+          payload_cast<UpdateForwardPayload>(reception.payload)) {
+    if (forward->target != node_.id()) return;
+    handle_update(forward->update);
+    if (forward->update->epoch == epoch_) {
+      got_scheduled_update_ = true;
+      if (!scheduled_update_) scheduled_update_ = forward->update;
+      if (!sent_ack_) {
+        sent_ack_ = true;
+        auto ack = std::make_shared<UpdateAckPayload>();
+        ack->sender = node_.id();
+        ack->epoch = epoch_;
+        node_.radio().send(std::move(ack));
+      }
+    }
+    return;
+  }
+
+  if (const auto* ack = payload_cast<UpdateAckPayload>(reception.payload)) {
+    if (ack->epoch != epoch_) return;
+    acked_requesters_.insert(ack->sender);
+    if (const auto it = pending_forwards_.find(ack->sender);
+        it != pending_forwards_.end()) {
+      it->second.cancel();
+    }
+    return;
+  }
+}
+
+FdsService::FdsService(Network& network, std::vector<MembershipView*> views,
+                       FdsConfig config)
+    : network_(network), config_(config) {
+  const SimTime t_hop = network_.channel().config().t_hop;
+  CFDS_EXPECT(config_.heartbeat_interval.as_micros() >= 7 * t_hop.as_micros(),
+              "heartbeat interval must cover all rounds plus peer forwarding");
+  for (Node* node : network_.nodes()) {
+    CFDS_EXPECT(node->id().value() < views.size() &&
+                    views[node->id().value()] != nullptr,
+                "missing membership view");
+    agents_.push_back(std::make_unique<FdsAgent>(
+        *node, *views[node->id().value()], network_.simulator(), t_hop,
+        config_, hooks_));
+  }
+}
+
+std::vector<FdsAgent*> FdsService::agents() {
+  std::vector<FdsAgent*> out;
+  out.reserve(agents_.size());
+  for (auto& a : agents_) out.push_back(a.get());
+  return out;
+}
+
+FdsAgent& FdsService::agent_for(NodeId id) {
+  for (auto& a : agents_) {
+    if (a->id() == id) return *a;
+  }
+  CFDS_EXPECT(false, "no FDS agent for node id");
+  __builtin_unreachable();
+}
+
+FdsAgent& FdsService::adopt_node(Node& node, MembershipView& view) {
+  agents_.push_back(std::make_unique<FdsAgent>(
+      node, view, network_.simulator(), network_.channel().config().t_hop,
+      config_, hooks_));
+  return *agents_.back();
+}
+
+void FdsService::schedule_epoch(std::uint64_t epoch, SimTime t) {
+  Simulator& sim = network_.simulator();
+  const SimTime t_hop = network_.channel().config().t_hop;
+  if (config_.max_clock_skew == SimTime::zero()) {
+    // Common case: one event per round drives every agent, in NID order.
+    auto all = [this](void (FdsAgent::*action)()) {
+      return [this, action] {
+        for (auto& agent : agents_) (agent.get()->*action)();
+      };
+    };
+    sim.schedule_at(t, [this, epoch] {
+      for (auto& agent : agents_) agent->begin_epoch(epoch);
+    });
+    sim.schedule_at(t, all(&FdsAgent::round1_heartbeat));
+    sim.schedule_at(t + t_hop, all(&FdsAgent::round2_digest));
+    sim.schedule_at(t + 2 * t_hop, all(&FdsAgent::round3_update));
+    sim.schedule_at(t + 3 * t_hop, all(&FdsAgent::deputy_check));
+    sim.schedule_at(t + 4 * t_hop, all(&FdsAgent::completeness_check));
+    return;
+  }
+  // Skewed clocks: each agent runs its rounds shifted by its own fixed
+  // offset in [0, max_clock_skew] — derived from its NID so the offset is
+  // stable across epochs, like a real mis-set clock.
+  for (auto& agent : agents_) {
+    std::uint64_t sm = agent->id().value() ^ 0x5CE4;
+    const double frac = double(splitmix64(sm) >> 11) * 0x1.0p-53;
+    const SimTime skew = SimTime::micros(
+        std::int64_t(frac * double(config_.max_clock_skew.as_micros())));
+    FdsAgent* a = agent.get();
+    sim.schedule_at(t + skew, [a, epoch] { a->begin_epoch(epoch); });
+    sim.schedule_at(t + skew, [a] { a->round1_heartbeat(); });
+    sim.schedule_at(t + skew + t_hop, [a] { a->round2_digest(); });
+    sim.schedule_at(t + skew + 2 * t_hop, [a] { a->round3_update(); });
+    sim.schedule_at(t + skew + 3 * t_hop, [a] { a->deputy_check(); });
+    sim.schedule_at(t + skew + 4 * t_hop, [a] { a->completeness_check(); });
+  }
+}
+
+SimTime FdsService::run_epochs(std::uint64_t count, SimTime start) {
+  for (std::uint64_t k = 0; k < count; ++k) {
+    schedule_epoch(k, start + std::int64_t(k) * config_.heartbeat_interval);
+  }
+  const SimTime end =
+      start + std::int64_t(count) * config_.heartbeat_interval;
+  network_.simulator().run_until(end);
+  return end;
+}
+
+}  // namespace cfds

@@ -1,0 +1,219 @@
+// Per-node FDS protocol agent.
+//
+// Executes the node's part of the three-round service (Section 4.2) every
+// heartbeat interval, under whatever role its MembershipView currently
+// assigns. Round offsets within an execution starting at epoch time T
+// (Thop is the one-hop bound of the channel):
+//
+//   T          fds.R-1  every alive node sends its heartbeat
+//   T + Thop   fds.R-2  members and the CH exchange digests
+//   T + 2Thop  fds.R-3  the CH runs the detection rule and broadcasts the
+//                       health-status update
+//   T + 3Thop           the highest-ranked DCH applies the CH-failure rule;
+//                       on detection it broadcasts a takeover update
+//   T + 4Thop           members missing the update broadcast forwarding
+//                       requests; holders answer after unique waiting
+//                       periods; the first success is acknowledged and the
+//                       other candidates stand down
+//
+// All frames are emitted onto the promiscuous channel, so digests reach
+// deputies, updates reach gateways, and forwarded updates are overheard by
+// competing forwarders — the inherent message redundancy the paper exploits.
+
+#pragma once
+
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/membership.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "event/simulator.h"
+#include "fds/config.h"
+#include "fds/detector.h"
+#include "fds/failure_log.h"
+#include "fds/messages.h"
+#include "net/network.h"
+#include "net/node.h"
+
+namespace cfds {
+
+/// Chains `extra` after an existing std::function-valued hook. Use this
+/// instead of plain assignment when several layers observe the same hook
+/// (e.g. MetricsCollector + a demo trace): assignment silently disconnects
+/// the earlier observer.
+template <typename F>
+void chain_hook(std::function<F>& slot, std::function<F> extra) {
+  if (!slot) {
+    slot = std::move(extra);
+    return;
+  }
+  slot = [first = std::move(slot),
+          second = std::move(extra)](auto&&... args) {
+    first(args...);
+    second(std::forward<decltype(args)>(args)...);
+  };
+}
+
+/// Instrumentation and layering hooks, owned by FdsService and shared by all
+/// of its agents. All callbacks are optional.
+struct FdsHooks {
+  /// A CH/DCH broadcast a health-status update (scheduled, takeover, or
+  /// relay). The inter-cluster forwarder uses this to watch the sender's own
+  /// emissions, which its radio never hears back.
+  std::function<void(NodeId sender, const std::shared_ptr<const HealthUpdatePayload>&)>
+      on_update_sent;
+  /// A node applied an update it received.
+  std::function<void(NodeId node, const HealthUpdatePayload&)> on_update_applied;
+  /// A decider (CH, or DCH when `by_deputy`) judged `failed` to have crashed.
+  std::function<void(NodeId decider, std::uint64_t epoch,
+                     const std::vector<NodeId>& failed, bool by_deputy)>
+      on_detection;
+  /// A deputy took over from `old_ch`.
+  std::function<void(NodeId deputy, NodeId old_ch, std::uint64_t epoch)>
+      on_takeover;
+};
+
+/// The waiting period a peer with NID `id` and remaining-energy fraction
+/// `energy_frac` applies before answering a forwarding request: a unique
+/// NID-derived point in (0, Thop), stretched for energy-depleted nodes so
+/// well-charged peers answer first (Section 4.2, "Energy Considerations").
+[[nodiscard]] SimTime peer_waiting_period(NodeId id, double energy_frac,
+                                          SimTime t_hop);
+
+class FdsAgent {
+ public:
+  FdsAgent(Node& node, MembershipView& view, Simulator& sim, SimTime t_hop,
+           const FdsConfig& config, FdsHooks& hooks);
+
+  [[nodiscard]] NodeId id() const { return node_.id(); }
+  [[nodiscard]] MembershipView& view() { return view_; }
+  [[nodiscard]] const MembershipView& view() const { return view_; }
+  [[nodiscard]] FailureLog& log() { return log_; }
+  [[nodiscard]] const FailureLog& log() const { return log_; }
+
+  /// True if this node received (or authored) the scheduled health-status
+  /// update of the current epoch — the completeness event of Figure 7.
+  [[nodiscard]] bool got_scheduled_update() const {
+    return got_scheduled_update_;
+  }
+  [[nodiscard]] std::uint64_t current_epoch() const { return epoch_; }
+
+  // --- Round actions, driven by FdsService -----------------------------
+  void begin_epoch(std::uint64_t epoch);
+  void round1_heartbeat();
+  void round2_digest();
+  void round3_update();
+  /// Arms this node's CH-failure evaluation: rank-0 deputies decide
+  /// immediately, rank-k deputies stand by k further Thop (feature F2's
+  /// ranked redundancy — a lower deputy acts only if everyone above it,
+  /// including the CH, stays silent).
+  void deputy_check();
+  void completeness_check();
+
+  /// Announces a voluntary departure (group-membership unsubscription) and
+  /// leaves the cluster: the CH removes this node as `departed` — not
+  /// failed — and the node stops participating (no heartbeats, digests or
+  /// requests) until rejoin() is called.
+  void announce_leave();
+  /// Re-enters the group after announce_leave(): the next heartbeat is
+  /// unmarked and acts as a fresh subscription (F5).
+  void rejoin();
+  [[nodiscard]] bool has_left() const { return left_; }
+
+  /// Announces a sleep window covering the next `epochs` executions and
+  /// powers the radio down. The harness (or application) is responsible for
+  /// calling wake_up() when the window ends. Section 6 extension.
+  void announce_sleep(std::uint32_t epochs);
+  /// Powers the radio back up after a sleep window.
+  void wake_up();
+
+  /// Called by the inter-cluster layer when, as a CH, this node learns
+  /// failures from another cluster's report: filters genuinely new NIDs,
+  /// records them, and broadcasts a relay update that both informs the local
+  /// cluster and serves as the implicit acknowledgement of Section 4.3.
+  /// `ack` is the report id being acknowledged; `learned_from` the cluster
+  /// the report came from (for gateway back-forwarding suppression).
+  void broadcast_relay(const std::vector<NodeId>& reported_failed,
+                       ReportId ack, ClusterId learned_from);
+
+ private:
+  void on_frame(const Reception& reception);
+  void evaluate_ch_failure();
+  void handle_update(const std::shared_ptr<const HealthUpdatePayload>& update);
+  void apply_failures(const HealthUpdatePayload& update);
+  void schedule_peer_forward(NodeId target);
+  void broadcast_update(std::shared_ptr<HealthUpdatePayload> update);
+  [[nodiscard]] ReportId fresh_report_id();
+  [[nodiscard]] double energy_fraction() const;
+
+  Node& node_;
+  MembershipView& view_;
+  Simulator& sim_;
+  SimTime t_hop_;
+  const FdsConfig& config_;
+  FdsHooks& hooks_;
+  FailureLog log_;
+
+  std::uint64_t epoch_ = 0;
+  std::uint64_t report_counter_ = 0;
+
+  /// Announced sleep windows: node -> executions it may still sit out
+  /// (consumed by this node's own detection decisions).
+  std::unordered_map<NodeId, std::uint32_t> sleep_exemptions_;
+  /// Voluntary departures heard this epoch (consumed by the CH's update).
+  std::set<NodeId> leaves_heard_;
+  /// Notices overheard this execution, for relaying in our digest.
+  std::unordered_map<NodeId, std::uint32_t> notices_heard_;
+  /// Consecutive executions whose scheduled update never arrived.
+  std::uint32_t missed_updates_ = 0;
+  /// Voluntarily departed (announce_leave) and not yet rejoined.
+  bool left_ = false;
+
+  // Per-epoch evidence and peer-forwarding state.
+  RoundEvidence evidence_;
+  std::set<NodeId> unmarked_heard_;
+  bool got_scheduled_update_ = false;
+  std::shared_ptr<const HealthUpdatePayload> scheduled_update_;
+  std::set<NodeId> acked_requesters_;
+  std::unordered_map<NodeId, TimerHandle> pending_forwards_;
+  bool sent_ack_ = false;
+};
+
+/// Owns the per-node agents and drives synchronized FDS executions.
+class FdsService {
+ public:
+  /// `views[i]` must be the membership view of the node with NID i; it may
+  /// be owned by a FormationAgent (distributed path) or by the caller
+  /// (directory-installed path).
+  FdsService(Network& network, std::vector<MembershipView*> views,
+             FdsConfig config);
+
+  [[nodiscard]] FdsHooks& hooks() { return hooks_; }
+  [[nodiscard]] FdsConfig& config() { return config_; }
+  [[nodiscard]] std::vector<FdsAgent*> agents();
+  [[nodiscard]] FdsAgent& agent_for(NodeId id);
+
+  /// Wires a node added after construction (replenishment, Section 2.1)
+  /// into the service. The node participates from the next scheduled
+  /// execution; if unmarked, its heartbeat subscribes it to a cluster (F5).
+  FdsAgent& adopt_node(Node& node, MembershipView& view);
+
+  /// Schedules one FDS execution with epoch index `epoch` starting at `t`.
+  void schedule_epoch(std::uint64_t epoch, SimTime t);
+
+  /// Schedules `count` executions phi apart starting at `start` and runs the
+  /// simulator past the last one. Returns the end time.
+  SimTime run_epochs(std::uint64_t count, SimTime start);
+
+ private:
+  Network& network_;
+  FdsConfig config_;
+  FdsHooks hooks_;
+  std::vector<std::unique_ptr<FdsAgent>> agents_;
+};
+
+}  // namespace cfds

@@ -1,0 +1,62 @@
+// FDS tuning knobs.
+
+#pragma once
+
+#include "common/sim_time.h"
+#include "fds/detector.h"
+
+namespace cfds {
+
+struct FdsConfig {
+  /// Heartbeat interval phi: time between consecutive FDS executions.
+  /// Must be at least 7 * Thop so that all rounds plus peer forwarding fit
+  /// strictly inside one interval.
+  SimTime heartbeat_interval = SimTime::seconds(10);
+
+  /// Evidence policy; kFull is the paper's rule (ablations use the others).
+  RuleMode rule_mode = RuleMode::kFull;
+
+  /// Intra-cluster peer forwarding of missed health-status updates
+  /// (Section 4.2, "Intra-Cluster Completeness Enhancement").
+  bool peer_forwarding = true;
+
+  /// Proactive forwarding after a DCH takeover to members the new CH did not
+  /// hear (Figure 2(a): v' forwards based on the DCH's digest).
+  bool proactive_takeover_forwarding = true;
+
+  /// Treat unmarked heartbeats as membership subscriptions (feature F5).
+  bool admit_unmarked = true;
+
+  /// When true, the agent emits no bare heartbeat in fds.R-1; another layer
+  /// (e.g. the aggregation service, whose measurement frames derive from
+  /// HeartbeatPayload) supplies the heartbeats instead — Section 6's
+  /// "message sharing" between failure detection and data aggregation.
+  bool external_heartbeats = false;
+
+  /// Honour SleepNoticePayload announcements: a node that declared a sleep
+  /// window is exempt from the detection rule for that many executions
+  /// (Section 6's sleep/wakeup extension). When false, sleepers are
+  /// (falsely) reported failed — the hazard the paper flags.
+  bool honor_sleep_notices = true;
+
+  /// Relay overheard sleep notices inside digests, so a notice whose direct
+  /// transmission to the CH is lost still arrives via any member whose
+  /// digest lands — spatial redundancy for the sleep extension.
+  bool relay_sleep_notices = true;
+
+  /// After this many consecutive executions without receiving the scheduled
+  /// health-status update (directly or via peers), a member concludes it has
+  /// lost contact with its cluster — it drifted away (mobility), or its CH
+  /// was replaced by a deputy it cannot hear — and reverts to the unmarked
+  /// state so its next heartbeat re-subscribes it to whatever cluster hears
+  /// it (feature F5). 0 disables re-affiliation.
+  std::uint32_t reaffiliate_after_missed = 3;
+
+  /// Per-node clock skew bound: each node's round actions are offset by a
+  /// fixed draw from [-max_clock_skew, +max_clock_skew]. Zero models the
+  /// paper's assumption that "the clock rate on each host is close to
+  /// accurate"; raising it stress-tests that assumption.
+  SimTime max_clock_skew = SimTime::zero();
+};
+
+}  // namespace cfds

@@ -1,0 +1,34 @@
+#include "fds/detector.h"
+
+#include <algorithm>
+
+namespace cfds {
+
+bool silent(NodeId v, const RoundEvidence& evidence, RuleMode mode) {
+  if (evidence.heartbeats.contains(v)) return false;
+  if (mode == RuleMode::kHeartbeatOnly) return true;
+  if (evidence.digests.contains(v)) return false;
+  if (mode == RuleMode::kNoSpatial) return true;
+  for (const auto& [sender, heard] : evidence.digests) {
+    if (sender != v && heard.contains(v)) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> detect_failed(const std::vector<NodeId>& expected,
+                                  const RoundEvidence& evidence,
+                                  RuleMode mode) {
+  std::vector<NodeId> failed;
+  for (NodeId v : expected) {
+    if (silent(v, evidence, mode)) failed.push_back(v);
+  }
+  std::sort(failed.begin(), failed.end());
+  return failed;
+}
+
+bool clusterhead_failed(NodeId ch, const RoundEvidence& evidence,
+                        RuleMode mode) {
+  return silent(ch, evidence, mode) && !evidence.ch_update_heard;
+}
+
+}  // namespace cfds

@@ -1,0 +1,61 @@
+// The failure detection rules of Section 4.2, as pure functions.
+//
+// Keeping the rules free of protocol plumbing makes them directly
+// unit-testable and lets the ablation benches swap evidence policies:
+//
+//   kFull          the paper's rule — heartbeat, the suspect's own digest
+//                  (time redundancy), and every other member's digest
+//                  (spatial + inherent message redundancy) all count as
+//                  evidence of life;
+//   kNoSpatial     only the suspect's own heartbeat and digest count
+//                  (time redundancy alone);
+//   kHeartbeatOnly a plain heartbeat detector (the strawman a flat FDS
+//                  would implement): miss one heartbeat and you're suspect.
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace cfds {
+
+/// Evidence a deciding node (CH or DCH) accumulates over one FDS execution.
+struct RoundEvidence {
+  /// Heartbeat senders heard during fds.R-1.
+  std::set<NodeId> heartbeats;
+  /// Digests received during fds.R-2: sender -> NIDs it reported hearing.
+  std::map<NodeId, std::set<NodeId>> digests;
+  /// Whether the CH's R-3 health-status update was received (DCH rule only).
+  bool ch_update_heard = false;
+
+  void clear() {
+    heartbeats.clear();
+    digests.clear();
+    ch_update_heard = false;
+  }
+};
+
+/// Evidence policy (see file comment).
+enum class RuleMode { kFull, kNoSpatial, kHeartbeatOnly };
+
+/// True if, under `mode`, the evidence contains no sign of life from `v`:
+/// no heartbeat, no digest from v, and (kFull) no digest mentioning v.
+[[nodiscard]] bool silent(NodeId v, const RoundEvidence& evidence,
+                          RuleMode mode);
+
+/// The CH's failure detection rule applied to every expected member:
+/// returns the members judged failed, in ascending NID order.
+[[nodiscard]] std::vector<NodeId> detect_failed(
+    const std::vector<NodeId>& expected, const RoundEvidence& evidence,
+    RuleMode mode);
+
+/// The CH-failure detection rule evaluated by the highest-ranked DCH:
+/// the CH is judged failed iff it is silent under `mode` AND its R-3
+/// health-status update was not received.
+[[nodiscard]] bool clusterhead_failed(NodeId ch, const RoundEvidence& evidence,
+                                      RuleMode mode);
+
+}  // namespace cfds

@@ -1,0 +1,59 @@
+// Per-node record of known failures.
+//
+// The completeness property is about this log: "every node failure will be
+// reported to every operational node" means every operational node's log
+// eventually contains the failed NID. Entries are monotone — once a node is
+// recorded failed it never leaves (fail-stop model).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+
+namespace cfds {
+
+class FailureLog {
+ public:
+  struct Entry {
+    SimTime learned_at;
+    std::uint64_t epoch = 0;
+    NodeId reported_by;  ///< the CH/DCH whose update carried the news
+  };
+
+  /// Records `failed`; keeps the earliest entry on duplicates.
+  /// Returns true if the NID was new to this log.
+  bool record(NodeId failed, Entry entry) {
+    return entries_.emplace(failed, entry).second;
+  }
+
+  [[nodiscard]] bool knows(NodeId failed) const {
+    return entries_.contains(failed);
+  }
+
+  [[nodiscard]] const Entry* entry(NodeId failed) const {
+    const auto it = entries_.find(failed);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// All known-failed NIDs in ascending order.
+  [[nodiscard]] std::vector<NodeId> known_failed() const {
+    std::vector<NodeId> out;
+    out.reserve(entries_.size());
+    for (const auto& [nid, entry] : entries_) {
+      (void)entry;
+      out.push_back(nid);
+    }
+    return out;
+  }
+
+ private:
+  std::map<NodeId, Entry> entries_;
+};
+
+}  // namespace cfds

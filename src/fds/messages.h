@@ -1,0 +1,156 @@
+// Frame payloads of the three-round failure detection service (Section 4.2)
+// and its intra-cluster completeness enhancement.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/ids.h"
+#include "radio/payload.h"
+
+namespace cfds {
+
+/// fds.R-1: heartbeat — the sender's NID plus the one-bit mark indicator.
+/// Unmarked heartbeats double as membership subscriptions (feature F5).
+///
+/// Deliberately non-final: the aggregation layer's MeasurementPayload
+/// derives from it, so a sensor reading IS a heartbeat ("message sharing"
+/// between failure detection and data aggregation, Section 6) and the FDS
+/// evidence collection needs no special case.
+struct HeartbeatPayload : Payload {
+  NodeId sender;
+  bool marked = true;
+
+  [[nodiscard]] std::string_view kind() const override { return "heartbeat"; }
+  [[nodiscard]] std::size_t size_bytes() const override { return 6; }
+};
+
+/// Voluntary departure notice. The paper intends the FDS "to support group
+/// membership management" (Section 2.4); unsubscription is the complement
+/// of the unmarked-heartbeat subscription of F5: a leaving node announces
+/// itself so its disappearance is bookkept as a departure, not reported as
+/// a failure.
+struct LeaveNoticePayload final : Payload {
+  NodeId sender;
+
+  [[nodiscard]] std::string_view kind() const override { return "leave"; }
+  [[nodiscard]] std::size_t size_bytes() const override { return 5; }
+};
+
+/// Sleep notice (Section 6's future-work extension): a node about to enter
+/// a sleep/wakeup power-management cycle announces how many FDS executions
+/// it will sit out, so the CH and DCH exempt it from the detection rule
+/// instead of falsely reporting it failed.
+struct SleepNoticePayload final : Payload {
+  NodeId sender;
+  /// Executions the node will miss, starting with the next one.
+  std::uint32_t epochs = 1;
+
+  [[nodiscard]] std::string_view kind() const override { return "sleep"; }
+  [[nodiscard]] std::size_t size_bytes() const override { return 9; }
+};
+
+/// fds.R-2: digest — the cluster members whose heartbeats the sender heard
+/// or overheard during R-1 (inherent message redundancy made explicit).
+struct DigestPayload final : Payload {
+  NodeId sender;
+  ClusterId cluster;
+  std::vector<NodeId> heard;
+  /// Sleep notices overheard this execution, relayed so a notice lost on
+  /// the direct path to the CH still registers (the same spatial redundancy
+  /// the detection rule exploits, applied to the Section 6 extension).
+  std::vector<std::pair<NodeId, std::uint32_t>> sleeping;
+
+  [[nodiscard]] std::string_view kind() const override { return "digest"; }
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 9 + 4 * heard.size() + 8 * sleeping.size();
+  }
+};
+
+/// fds.R-3: health-status update, broadcast by the CH every execution
+/// (and by the highest-ranked DCH on takeover). Also reused as the
+/// inter-cluster relay a CH emits when it learns failures from a report —
+/// the emission doubles as the implicit acknowledgement of Section 4.3.
+struct HealthUpdatePayload final : Payload {
+  ClusterId cluster;
+  NodeId sender;
+  std::uint64_t epoch = 0;
+
+  /// Failures detected (or learned) since the last update from this node.
+  std::vector<NodeId> newly_failed;
+  /// Cumulative failure knowledge ("a failure report may also include the
+  /// NIDs of the previously detected failed nodes", Section 4.3).
+  std::vector<NodeId> all_failed;
+
+  /// Members admitted this epoch via unmarked-heartbeat subscription (F5).
+  std::vector<NodeId> admitted;
+  /// Members that announced voluntary departure this epoch: removed from
+  /// the membership without being reported failed.
+  std::vector<NodeId> departed;
+  /// Full member list; populated only when `admitted` is non-empty so the
+  /// newcomers can install a complete view.
+  std::vector<NodeId> members_snapshot;
+
+  /// True when this update announces a DCH takeover of a failed CH.
+  bool takeover = false;
+  /// On takeover: the heartbeats the new CH heard in R-1, so members can
+  /// proactively forward to nodes the new CH may not reach (Figure 2(a)).
+  std::vector<NodeId> sender_heard;
+
+  /// Fresh report id when newly_failed is non-empty (for implicit-ack
+  /// matching by GWs/BGWs downstream); invalid otherwise.
+  ReportId report;
+  /// Report ids this update implicitly acknowledges (reports whose content
+  /// this CH just relayed or already knew).
+  std::vector<ReportId> acks;
+  /// For relays: the cluster whose report triggered this relay, so gateways
+  /// on that link suppress forwarding it straight back.
+  ClusterId learned_from;
+
+  [[nodiscard]] std::string_view kind() const override { return "update"; }
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 24 +
+           4 * (newly_failed.size() + all_failed.size() + admitted.size() +
+                members_snapshot.size() + sender_heard.size()) +
+           8 * acks.size();
+  }
+};
+
+/// End of fds.R-3: a member that received no health-status update asks its
+/// in-cluster neighbours to forward it (intra-cluster peer forwarding).
+struct UpdateRequestPayload final : Payload {
+  NodeId sender;
+  ClusterId cluster;
+  std::uint64_t epoch = 0;
+
+  [[nodiscard]] std::string_view kind() const override { return "upd-req"; }
+  [[nodiscard]] std::size_t size_bytes() const override { return 17; }
+};
+
+/// A peer forwarding the health-status update to a specific requester.
+struct UpdateForwardPayload final : Payload {
+  NodeId forwarder;
+  NodeId target;
+  std::shared_ptr<const HealthUpdatePayload> update;
+
+  [[nodiscard]] std::string_view kind() const override { return "upd-fwd"; }
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 9 + update->size_bytes();
+  }
+};
+
+/// Acknowledgement broadcast by a requester once any forward arrives;
+/// overhearing peers stand down ("the other neighbors will quit upon
+/// overhearing an acknowledgment", Section 4.2).
+struct UpdateAckPayload final : Payload {
+  NodeId sender;
+  std::uint64_t epoch = 0;
+
+  [[nodiscard]] std::string_view kind() const override { return "upd-ack"; }
+  [[nodiscard]] std::size_t size_bytes() const override { return 13; }
+};
+
+}  // namespace cfds

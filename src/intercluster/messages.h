@@ -1,0 +1,54 @@
+// Frame payloads for inter-cluster failure-report forwarding (Section 4.3).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "radio/payload.h"
+
+namespace cfds {
+
+/// A failure report forwarded across a cluster boundary by a GW or BGW.
+/// Carries the cumulative failure set ("no news is good news" — reports are
+/// emitted only when there IS news, and aggregate older news for clusters
+/// that missed earlier reports).
+struct FailureReportPayload final : Payload {
+  /// Id of the health-status update being forwarded; the implicit
+  /// acknowledgement is any emission by the destination CH whose `acks`
+  /// list contains this id.
+  ReportId report;
+  /// Cluster whose CH emitted the update being forwarded (one hop back).
+  ClusterId from_cluster;
+  NodeId forwarder;
+  /// The destination clusterhead.
+  NodeId to_ch;
+  std::uint64_t epoch = 0;
+  /// Newly detected plus previously known failed NIDs.
+  std::vector<NodeId> failed;
+
+  [[nodiscard]] std::string_view kind() const override { return "report"; }
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 29 + 4 * failed.size();
+  }
+};
+
+/// Explicit acknowledgement — only used by the `kExplicit` ablation mode,
+/// the costly scheme the paper's implicit acknowledgements replace.
+struct ExplicitAckPayload final : Payload {
+  ReportId report;
+  NodeId sender;
+  NodeId to;
+  /// For a receipt ack: the acknowledging CH's cluster. For a forward ack
+  /// (GW promising the CH it will forward): the destination cluster covered.
+  ClusterId cluster;
+  /// True: the destination CH confirms receipt. False: the GW confirms it
+  /// took responsibility for forwarding.
+  bool receipt = true;
+
+  [[nodiscard]] std::string_view kind() const override { return "eack"; }
+  [[nodiscard]] std::size_t size_bytes() const override { return 17; }
+};
+
+}  // namespace cfds

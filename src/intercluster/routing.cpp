@@ -1,0 +1,54 @@
+#include "intercluster/routing.h"
+
+#include <limits>
+#include <queue>
+
+namespace cfds {
+
+BackboneRouting BackboneRouting::toward(const ClusterDirectory& directory,
+                                        ClusterId sink) {
+  BackboneRouting routing;
+  routing.sink_ = sink;
+  routing.hops_[sink] = 0;
+
+  std::queue<ClusterId> frontier;
+  frontier.push(sink);
+  // Adjacency from the directory's (symmetric) link tables.
+  auto neighbors_of = [&](ClusterId id) {
+    std::vector<ClusterId> out;
+    for (const ClusterView& cluster : directory.clusters()) {
+      if (cluster.id != id) continue;
+      for (const GatewayLink& link : cluster.links) {
+        out.push_back(link.neighbor_cluster);
+      }
+    }
+    return out;
+  };
+
+  while (!frontier.empty()) {
+    const ClusterId current = frontier.front();
+    frontier.pop();
+    const std::size_t d = routing.hops_.at(current);
+    for (ClusterId neighbor : neighbors_of(current)) {
+      if (routing.hops_.contains(neighbor)) continue;
+      routing.hops_[neighbor] = d + 1;
+      routing.next_hop_[neighbor] = current;
+      frontier.push(neighbor);
+    }
+  }
+  return routing;
+}
+
+std::optional<ClusterId> BackboneRouting::next_hop(ClusterId from) const {
+  const auto it = next_hop_.find(from);
+  if (it == next_hop_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t BackboneRouting::hops_from(ClusterId from) const {
+  const auto it = hops_.find(from);
+  return it == hops_.end() ? std::numeric_limits<std::size_t>::max()
+                           : it->second;
+}
+
+}  // namespace cfds

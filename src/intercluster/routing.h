@@ -1,0 +1,54 @@
+// Backbone routing toward a sink cluster.
+//
+// The paper distinguishes "across-cluster forwarding" (one hop between
+// neighbouring clusters) from "inter-cluster forwarding", "in which the
+// source and destination are not necessarily neighboring clusters"
+// (Section 2.3), and assumes "the presence of a routing protocol at the
+// inter-cluster communication layer" (Section 2.4). Failure reports use
+// backbone flooding (robustness first); for periodic bulk data — cluster
+// aggregates bound for a base station — directed next-hop routing over the
+// same gateway links costs one path instead of a flood.
+//
+// The table is computed from global knowledge (the directory), matching the
+// paper's stance that any routing algorithm can be plugged in; a
+// distributed distance-vector construction would converge to the same
+// next-hops.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+
+#include "cluster/directory.h"
+#include "common/ids.h"
+
+namespace cfds {
+
+class BackboneRouting {
+ public:
+  /// BFS over the directory's gateway-link graph from `sink`: every cluster
+  /// gets its next hop toward the sink (clusters with no path get none).
+  static BackboneRouting toward(const ClusterDirectory& directory,
+                                ClusterId sink);
+
+  [[nodiscard]] ClusterId sink() const { return sink_; }
+
+  /// The neighbouring cluster a report from `from` should cross into next,
+  /// or nullopt if `from` is the sink or unreachable.
+  [[nodiscard]] std::optional<ClusterId> next_hop(ClusterId from) const;
+
+  /// Backbone hops from `from` to the sink; SIZE_MAX if unreachable.
+  [[nodiscard]] std::size_t hops_from(ClusterId from) const;
+
+  [[nodiscard]] bool reachable(ClusterId from) const {
+    return from == sink_ || next_hop(from).has_value();
+  }
+
+ private:
+  ClusterId sink_;
+  std::map<ClusterId, ClusterId> next_hop_;
+  std::map<ClusterId, std::size_t> hops_;
+};
+
+}  // namespace cfds

@@ -1,0 +1,79 @@
+#include "net/graph.h"
+
+#include <limits>
+#include <queue>
+
+namespace cfds {
+
+UnitDiskGraph::UnitDiskGraph(const std::vector<Vec2>& positions, double range)
+    : adjacency_(positions.size()) {
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      if (within_range(positions[i], positions[j], range)) {
+        adjacency_[i].push_back(j);
+        adjacency_[j].push_back(i);
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> UnitDiskGraph::hop_distances(std::size_t from) const {
+  std::vector<std::size_t> dist(size(), std::numeric_limits<std::size_t>::max());
+  std::queue<std::size_t> frontier;
+  dist[from] = 0;
+  frontier.push(from);
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop();
+    for (std::size_t v : adjacency_[u]) {
+      if (dist[v] == std::numeric_limits<std::size_t>::max()) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::size_t> UnitDiskGraph::components() const {
+  constexpr auto kUnset = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> label(size(), kUnset);
+  std::size_t next = 0;
+  for (std::size_t seed = 0; seed < size(); ++seed) {
+    if (label[seed] != kUnset) continue;
+    label[seed] = next;
+    std::queue<std::size_t> frontier;
+    frontier.push(seed);
+    while (!frontier.empty()) {
+      const std::size_t u = frontier.front();
+      frontier.pop();
+      for (std::size_t v : adjacency_[u]) {
+        if (label[v] == kUnset) {
+          label[v] = next;
+          frontier.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+bool UnitDiskGraph::connected() const {
+  if (size() == 0) return false;
+  const auto dist = hop_distances(0);
+  for (std::size_t d : dist) {
+    if (d == std::numeric_limits<std::size_t>::max()) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> UnitDiskGraph::isolated_nodes() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (adjacency_[i].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace cfds

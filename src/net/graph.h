@@ -1,0 +1,49 @@
+// Connectivity-graph utilities over node placements.
+//
+// The paper models the network as G = (V, E) with an edge whenever two hosts
+// are within the common transmission range (Section 2.3). These helpers are
+// used by topology validation, by tests of clustering invariants (every OM
+// one hop from its CH; any two co-members at most two hops apart), and by
+// the scalability bench.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace cfds {
+
+/// Undirected unit-disk graph: adjacency[i] lists the indices of nodes within
+/// `range` of node i (excluding i itself).
+class UnitDiskGraph {
+ public:
+  UnitDiskGraph(const std::vector<Vec2>& positions, double range);
+
+  [[nodiscard]] std::size_t size() const { return adjacency_.size(); }
+  [[nodiscard]] const std::vector<std::size_t>& neighbors(std::size_t i) const {
+    return adjacency_[i];
+  }
+  [[nodiscard]] std::size_t degree(std::size_t i) const {
+    return adjacency_[i].size();
+  }
+
+  /// Hop distance from `from` to every node; unreachable nodes get SIZE_MAX.
+  [[nodiscard]] std::vector<std::size_t> hop_distances(std::size_t from) const;
+
+  /// Component label per node (labels are 0..k-1 in discovery order).
+  [[nodiscard]] std::vector<std::size_t> components() const;
+
+  /// True if every node is reachable from node 0 (false for an empty graph).
+  [[nodiscard]] bool connected() const;
+
+  /// Indices of nodes with no neighbours at all — the paper's "isolated"
+  /// nodes, which clustering legitimately leaves uncovered.
+  [[nodiscard]] std::vector<std::size_t> isolated_nodes() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+}  // namespace cfds

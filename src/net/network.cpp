@@ -1,0 +1,71 @@
+#include "net/network.h"
+
+#include "common/expect.h"
+
+namespace cfds {
+
+Network::Network(NetworkConfig config, std::unique_ptr<LossModel> loss)
+    : config_(config),
+      loss_(std::move(loss)),
+      rng_(config.seed),
+      channel_(sim_, *loss_, config.channel, Rng(config.seed ^ 0x5EED)) {
+  CFDS_EXPECT(loss_ != nullptr, "loss model required");
+}
+
+Node& Network::add_node(Vec2 position) {
+  const NodeId id{next_nid_++};
+  auto node = std::make_unique<Node>(id, position, config_.energy,
+                                     config_.initial_energy_uj);
+  channel_.attach(node->radio());
+  index_.emplace(id, nodes_.size());
+  nodes_.push_back(std::move(node));
+  return *nodes_.back();
+}
+
+void Network::add_nodes(const std::vector<Vec2>& positions) {
+  for (Vec2 p : positions) add_node(p);
+}
+
+Node& Network::node(NodeId id) {
+  const auto it = index_.find(id);
+  CFDS_EXPECT(it != index_.end(), "unknown node id");
+  return *nodes_[it->second];
+}
+
+const Node& Network::node(NodeId id) const {
+  const auto it = index_.find(id);
+  CFDS_EXPECT(it != index_.end(), "unknown node id");
+  return *nodes_[it->second];
+}
+
+bool Network::has_node(NodeId id) const { return index_.contains(id); }
+
+std::vector<Node*> Network::nodes() {
+  std::vector<Node*> out;
+  out.reserve(nodes_.size());
+  for (auto& n : nodes_) out.push_back(n.get());
+  return out;
+}
+
+std::vector<const Node*> Network::nodes() const {
+  std::vector<const Node*> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n.get());
+  return out;
+}
+
+std::size_t Network::alive_count() const {
+  std::size_t alive = 0;
+  for (const auto& n : nodes_) {
+    if (n->alive()) ++alive;
+  }
+  return alive;
+}
+
+void Network::crash(NodeId id) { node(id).crash(); }
+
+void Network::schedule_crash(NodeId id, SimTime when) {
+  sim_.schedule_at(when, [this, id] { crash(id); });
+}
+
+}  // namespace cfds

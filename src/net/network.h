@@ -1,0 +1,84 @@
+// Network: the composition root for a simulated deployment.
+//
+// Owns the simulator, the loss model, the channel, and every node. Provides
+// fail-stop crash injection and replenishment (the paper's application model,
+// Section 2.1: new resources are deployed when the operational population
+// drops), and exposes lookups used by protocol layers and metrics.
+
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "event/simulator.h"
+#include "net/node.h"
+#include "radio/channel.h"
+#include "radio/loss_model.h"
+
+namespace cfds {
+
+/// Everything needed to stand up a deployment.
+struct NetworkConfig {
+  ChannelConfig channel;
+  EnergyModel energy;
+  /// Initial per-node radio energy budget, microjoules.
+  double initial_energy_uj = 1e9;
+  std::uint64_t seed = 1;
+};
+
+class Network {
+ public:
+  /// The network takes ownership of the loss model.
+  Network(NetworkConfig config, std::unique_ptr<LossModel> loss);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Creates a node at `position` with the next sequential NID.
+  Node& add_node(Vec2 position);
+
+  /// Creates one node per position, in order (NIDs are assigned in order, so
+  /// generators that place special nodes first — e.g. analysis_cluster's CH —
+  /// give them the lowest NIDs, matching the lowest-NID election).
+  void add_nodes(const std::vector<Vec2>& positions);
+
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] bool has_node(NodeId id) const;
+
+  [[nodiscard]] std::vector<Node*> nodes();
+  [[nodiscard]] std::vector<const Node*> nodes() const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t alive_count() const;
+
+  /// Immediately crashes the node (fail-stop).
+  void crash(NodeId id);
+
+  /// Schedules a crash at an absolute simulated time.
+  void schedule_crash(NodeId id, SimTime when);
+
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+  [[nodiscard]] Channel& channel() { return channel_; }
+  [[nodiscard]] const Channel& channel() const { return channel_; }
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+  /// Fork of the network-level RNG for components needing their own stream.
+  [[nodiscard]] Rng fork_rng() { return rng_.fork(); }
+
+ private:
+  NetworkConfig config_;
+  Simulator sim_;
+  std::unique_ptr<LossModel> loss_;
+  Rng rng_;
+  Channel channel_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<NodeId, std::size_t> index_;
+  std::uint32_t next_nid_ = 0;
+};
+
+}  // namespace cfds

@@ -1,0 +1,35 @@
+#include "net/node.h"
+
+#include <algorithm>
+
+namespace cfds {
+
+Node::Node(NodeId id, Vec2 position, EnergyModel energy_model,
+           double initial_energy_uj)
+    : radio_(id, position),
+      energy_model_(energy_model),
+      initial_energy_uj_(initial_energy_uj) {
+  radio_.set_receive_handler(
+      [this](const Reception& reception) { dispatch(reception); });
+}
+
+void Node::add_frame_handler(FrameHandler handler) {
+  handlers_.push_back(std::move(handler));
+}
+
+void Node::crash() {
+  alive_ = false;
+  radio_.set_powered(false);
+}
+
+double Node::remaining_energy_uj() const {
+  return std::max(0.0, initial_energy_uj_ -
+                           energy_model_.spent_uj(radio_.counters()));
+}
+
+void Node::dispatch(const Reception& reception) {
+  if (!alive_) return;
+  for (const auto& handler : handlers_) handler(reception);
+}
+
+}  // namespace cfds

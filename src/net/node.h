@@ -1,0 +1,81 @@
+// Node runtime.
+//
+// A node hosts a radio plus any number of protocol layers (cluster formation,
+// the FDS, inter-cluster forwarding, baselines). The node fans incoming
+// frames out to every registered layer, tracks fail-stop crash state, and
+// accounts radio energy — peer-forwarding waiting periods (Section 4.2,
+// "Energy Considerations") are a function of remaining energy.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "radio/channel.h"
+
+namespace cfds {
+
+/// Linear radio energy model: cost = base + per_byte * bytes, per frame.
+struct EnergyModel {
+  double tx_base_uj = 50.0;    ///< microjoules per transmitted frame
+  double tx_per_byte_uj = 2.0;
+  double rx_base_uj = 20.0;    ///< microjoules per received frame
+  double rx_per_byte_uj = 1.0;
+
+  /// Total energy implied by the given traffic counters, in microjoules.
+  [[nodiscard]] double spent_uj(const RadioCounters& counters) const {
+    return tx_base_uj * double(counters.frames_sent) +
+           tx_per_byte_uj * double(counters.bytes_sent) +
+           rx_base_uj * double(counters.frames_received) +
+           rx_per_byte_uj * double(counters.bytes_received);
+  }
+};
+
+/// A host in the ad hoc network.
+class Node {
+ public:
+  using FrameHandler = std::function<void(const Reception&)>;
+
+  Node(NodeId id, Vec2 position, EnergyModel energy_model,
+       double initial_energy_uj);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return radio_.id(); }
+  [[nodiscard]] Vec2 position() const { return radio_.position(); }
+
+  [[nodiscard]] Radio& radio() { return radio_; }
+  [[nodiscard]] const Radio& radio() const { return radio_; }
+
+  /// Registers a protocol layer's frame handler. Handlers run in
+  /// registration order for every frame the radio hears.
+  void add_frame_handler(FrameHandler handler);
+
+  /// Fail-stop crash: the node permanently stops sending and receiving.
+  void crash();
+  [[nodiscard]] bool alive() const { return alive_; }
+
+  /// Remaining radio energy in microjoules (never negative).
+  [[nodiscard]] double remaining_energy_uj() const;
+  [[nodiscard]] double initial_energy_uj() const { return initial_energy_uj_; }
+
+  /// Marked nodes have been admitted to a cluster (paper footnote 2).
+  /// Maintained by the clustering layer; read by the FDS heartbeats.
+  [[nodiscard]] bool marked() const { return marked_; }
+  void set_marked(bool m) { marked_ = m; }
+
+ private:
+  void dispatch(const Reception& reception);
+
+  Radio radio_;
+  EnergyModel energy_model_;
+  double initial_energy_uj_;
+  bool alive_ = true;
+  bool marked_ = false;
+  std::vector<FrameHandler> handlers_;
+};
+
+}  // namespace cfds

@@ -1,0 +1,79 @@
+#include "net/topology.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace cfds {
+
+std::vector<Vec2> uniform_disk(std::size_t n, Vec2 center, double radius,
+                               Rng& rng) {
+  std::vector<Vec2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = radius * std::sqrt(rng.uniform());
+    const double theta = rng.uniform(0.0, 2.0 * M_PI);
+    points.push_back(
+        {center.x + r * std::cos(theta), center.y + r * std::sin(theta)});
+  }
+  return points;
+}
+
+std::vector<Vec2> uniform_rect(std::size_t n, double w, double h, Rng& rng) {
+  std::vector<Vec2> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.uniform(0.0, w), rng.uniform(0.0, h)});
+  }
+  return points;
+}
+
+std::vector<Vec2> jittered_grid(std::size_t rows, std::size_t cols,
+                                double spacing, double jitter, Rng& rng) {
+  std::vector<Vec2> points;
+  points.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      points.push_back({double(c) * spacing + rng.uniform(-jitter, jitter),
+                        double(r) * spacing + rng.uniform(-jitter, jitter)});
+    }
+  }
+  return points;
+}
+
+std::vector<Vec2> poisson_field(double intensity, double w, double h,
+                                Rng& rng) {
+  CFDS_EXPECT(intensity >= 0.0, "intensity must be non-negative");
+  // Sample the count from Poisson(intensity * area) by inversion.
+  const double lambda = intensity * w * h;
+  std::size_t count = 0;
+  double acc = std::exp(-lambda);
+  double cdf = acc;
+  const double u = rng.uniform();
+  while (u > cdf && count < 10'000'000) {
+    ++count;
+    acc *= lambda / double(count);
+    cdf += acc;
+  }
+  return uniform_rect(count, w, h, rng);
+}
+
+std::vector<Vec2> analysis_cluster(std::size_t n, Vec2 center, double radius,
+                                   Rng& rng) {
+  CFDS_EXPECT(n >= 1, "cluster needs at least the CH");
+  auto points = uniform_disk(n - 1, center, radius, rng);
+  points.insert(points.begin(), center);
+  return points;
+}
+
+std::vector<Vec2> analysis_cluster_worst_case(std::size_t n, Vec2 center,
+                                              double radius, Rng& rng) {
+  CFDS_EXPECT(n >= 2, "worst-case cluster needs the CH and the edge node");
+  auto points = analysis_cluster(n - 1, center, radius, rng);
+  const double theta = rng.uniform(0.0, 2.0 * M_PI);
+  points.push_back({center.x + radius * std::cos(theta),
+                    center.y + radius * std::sin(theta)});
+  return points;
+}
+
+}  // namespace cfds

@@ -1,0 +1,50 @@
+// Node placement generators.
+//
+// The paper's evaluation assumes 50-100 hosts per cluster, uniformly
+// distributed within the clusterhead's transmission range (a unit disk of
+// radius R = 100 m). The generators here cover that single-cluster setting
+// plus multi-cluster fields for end-to-end experiments.
+
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+
+namespace cfds {
+
+/// n points uniform in the disk (rejection-free polar sampling).
+[[nodiscard]] std::vector<Vec2> uniform_disk(std::size_t n, Vec2 center,
+                                             double radius, Rng& rng);
+
+/// n points uniform in the axis-aligned rectangle [0,w] x [0,h].
+[[nodiscard]] std::vector<Vec2> uniform_rect(std::size_t n, double w, double h,
+                                             Rng& rng);
+
+/// rows x cols lattice with the given spacing, origin at (0,0), plus
+/// uniform jitter in [-jitter, jitter] per coordinate.
+[[nodiscard]] std::vector<Vec2> jittered_grid(std::size_t rows,
+                                              std::size_t cols, double spacing,
+                                              double jitter, Rng& rng);
+
+/// Homogeneous Poisson point process with the given intensity
+/// (points per square metre) on [0,w] x [0,h].
+[[nodiscard]] std::vector<Vec2> poisson_field(double intensity, double w,
+                                              double h, Rng& rng);
+
+/// The paper's single-cluster analysis geometry: the clusterhead at `center`
+/// and n-1 members uniform in the disk of `radius` around it. The first
+/// returned point is the CH position (the exact centre).
+[[nodiscard]] std::vector<Vec2> analysis_cluster(std::size_t n, Vec2 center,
+                                                 double radius, Rng& rng);
+
+/// Like analysis_cluster, but the last member is pinned to the circumference
+/// — the worst-case node position used by the paper's upper-bound measures
+/// (Figures 5 and 7).
+[[nodiscard]] std::vector<Vec2> analysis_cluster_worst_case(std::size_t n,
+                                                            Vec2 center,
+                                                            double radius,
+                                                            Rng& rng);
+
+}  // namespace cfds

@@ -1,0 +1,64 @@
+// Sleep/wakeup power management (Section 6's future-work extension).
+//
+// "A cluster-based architecture may support sleep/wakeup power management
+// strategies ... On the other hand, sleep mode may cause false detections.
+// Accordingly, we plan to investigate ... deriving algorithms to reduce the
+// likelihood of sleep-mode-caused false detection."
+//
+// The mechanism implemented here: a node entering a sleep window announces
+// it with a SleepNoticePayload during fds.R-1 (the notice doubles as that
+// execution's heartbeat), then powers its radio down; the CH and DCH exempt
+// it from the detection rule for the announced number of executions. With
+// announcements disabled (the hazard configuration), sleepers are duly —
+// and falsely — reported failed.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "fds/agent.h"
+#include "net/network.h"
+
+namespace cfds {
+
+struct DutyCycleConfig {
+  /// Fraction of ordinary members put to sleep per window.
+  double sleep_fraction = 0.2;
+  /// FDS executions each sleeper sits out (beyond the announcing one).
+  std::uint32_t sleep_epochs = 2;
+  /// true: announce via SleepNoticePayload (the mitigation);
+  /// false: sleep silently (the paper's hazard).
+  bool announce = true;
+};
+
+/// Drives duty-cycled sleeping on top of a running FdsService.
+class DutyCycleScheduler {
+ public:
+  DutyCycleScheduler(Network& network, FdsService& fds,
+                     DutyCycleConfig config, Rng rng);
+
+  /// Starts one sleep window at simulated time `now` (must be an epoch
+  /// start): a random sleep_fraction of the alive ordinary members announce
+  /// (if configured) and power down, with wake-ups scheduled after
+  /// sleep_epochs further executions of length `interval`. Returns the
+  /// sleepers.
+  std::vector<NodeId> begin_window(SimTime now, SimTime interval);
+
+  /// Nodes currently inside a sleep window.
+  [[nodiscard]] std::size_t asleep_now() const { return asleep_; }
+  /// Total sleep windows entered so far.
+  [[nodiscard]] std::uint64_t windows_started() const { return windows_; }
+
+ private:
+  Network& network_;
+  FdsService& fds_;
+  DutyCycleConfig config_;
+  Rng rng_;
+  std::size_t asleep_ = 0;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace cfds

@@ -1,0 +1,137 @@
+#include "radio/channel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/expect.h"
+
+namespace cfds {
+
+void Radio::send(PayloadPtr payload, NodeId intended) {
+  CFDS_EXPECT(channel_ != nullptr, "radio not attached to a channel");
+  if (!powered_) return;  // a crashed node emits nothing (fail-stop)
+  counters_.frames_sent++;
+  counters_.bytes_sent += payload->size_bytes();
+  channel_->transmit(*this, std::move(payload), intended);
+}
+
+void Radio::set_position(Vec2 p) {
+  const Vec2 old_position = position_;
+  position_ = p;
+  if (channel_ != nullptr) channel_->reindex(this, old_position, p);
+}
+
+void Radio::deliver(const Reception& reception) {
+  if (!powered_) return;  // crashed between emission and arrival
+  counters_.frames_received++;
+  counters_.bytes_received += reception.payload->size_bytes();
+  if (on_receive_) on_receive_(reception);
+}
+
+Channel::Channel(Simulator& sim, LossModel& loss, ChannelConfig config, Rng rng)
+    : sim_(sim), loss_(loss), config_(config), rng_(rng) {
+  CFDS_EXPECT(config_.range > 0.0, "range must be positive");
+  CFDS_EXPECT(config_.min_delay_frac >= 0.0 &&
+                  config_.max_delay_frac <= 1.0 &&
+                  config_.min_delay_frac <= config_.max_delay_frac,
+              "delay fractions must satisfy 0 <= min <= max <= 1");
+}
+
+std::int64_t Channel::cell_key(Vec2 p) const {
+  // Cell size = transmission range: any receiver lies within the 3x3 cell
+  // block around the sender. Coordinates are packed into one 64-bit key
+  // (biased to keep negative positions well-defined).
+  const auto cx = std::int64_t(std::floor(p.x / config_.range));
+  const auto cy = std::int64_t(std::floor(p.y / config_.range));
+  return ((cx + 0x40000000) << 32) | std::int64_t(std::uint32_t(cy + 0x40000000));
+}
+
+void Channel::index_insert(Radio* radio) {
+  grid_[cell_key(radio->position())].push_back(radio);
+}
+
+void Channel::index_remove(Radio* radio) {
+  auto& cell = grid_[cell_key(radio->position())];
+  cell.erase(std::remove(cell.begin(), cell.end(), radio), cell.end());
+}
+
+void Channel::reindex(Radio* radio, Vec2 old_position, Vec2 new_position) {
+  const std::int64_t old_key = cell_key(old_position);
+  const std::int64_t new_key = cell_key(new_position);
+  if (old_key == new_key) return;
+  auto& old_cell = grid_[old_key];
+  old_cell.erase(std::remove(old_cell.begin(), old_cell.end(), radio),
+                 old_cell.end());
+  grid_[new_key].push_back(radio);
+}
+
+template <typename Fn>
+void Channel::for_each_in_range(Vec2 center, const Radio* exclude,
+                                Fn&& fn) const {
+  const auto ccx = std::int64_t(std::floor(center.x / config_.range));
+  const auto ccy = std::int64_t(std::floor(center.y / config_.range));
+  for (std::int64_t cx = ccx - 1; cx <= ccx + 1; ++cx) {
+    for (std::int64_t cy = ccy - 1; cy <= ccy + 1; ++cy) {
+      const std::int64_t key = ((cx + 0x40000000) << 32) |
+                               std::int64_t(std::uint32_t(cy + 0x40000000));
+      const auto it = grid_.find(key);
+      if (it == grid_.end()) continue;
+      for (Radio* radio : it->second) {
+        if (radio == exclude) continue;
+        if (!within_range(center, radio->position(), config_.range)) continue;
+        fn(radio);
+      }
+    }
+  }
+}
+
+void Channel::attach(Radio& radio) {
+  CFDS_EXPECT(radio.channel_ == nullptr, "radio already attached");
+  radio.channel_ = this;
+  radios_.push_back(&radio);
+  index_insert(&radio);
+}
+
+std::vector<NodeId> Channel::neighbors_of(NodeId self) const {
+  const Radio* me = nullptr;
+  for (const Radio* r : radios_) {
+    if (r->id() == self) {
+      me = r;
+      break;
+    }
+  }
+  CFDS_EXPECT(me != nullptr, "unknown radio id");
+  std::vector<NodeId> out;
+  for_each_in_range(me->position(), me,
+                    [&](Radio* radio) { out.push_back(radio->id()); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Channel::transmit(Radio& sender, PayloadPtr payload, NodeId intended) {
+  stats_.transmissions++;
+  if (tap_) tap_(sender.id(), intended, *payload, sim_.now());
+  const Vec2 from = sender.position();
+  const SimTime sent_at = sim_.now();
+  for_each_in_range(from, &sender, [&](Radio* receiver) {
+    if (!receiver->powered()) return;
+    if (loss_.lost(sender.id(), from, receiver->id(), receiver->position(),
+                   rng_)) {
+      stats_.losses++;
+      return;
+    }
+    stats_.deliveries++;
+    const double frac =
+        rng_.uniform(config_.min_delay_frac, config_.max_delay_frac);
+    const auto delay =
+        SimTime::micros(std::int64_t(frac * double(config_.t_hop.as_micros())));
+    sim_.schedule_after(
+        delay, [receiver, reception = Reception{sender.id(), intended, payload,
+                                                sent_at}] {
+          receiver->deliver(reception);
+        });
+  });
+}
+
+}  // namespace cfds

@@ -1,0 +1,163 @@
+// Broadcast wireless channel with promiscuous delivery.
+//
+// Models the paper's medium (Sections 2.2-2.3): unit-disk connectivity with a
+// common transmission range R; every frame a node emits is heard by each
+// in-range, powered-on neighbour independently with probability 1-p
+// (promiscuous receiving mode — "send" and "broadcast" coincide); frames are
+// delivered within the one-hop bound Thop; frames are never created or
+// altered in flight, only dropped. Collisions are not modelled (masked by
+// CSMA per the paper's footnote 4).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "event/simulator.h"
+#include "radio/loss_model.h"
+#include "radio/payload.h"
+
+namespace cfds {
+
+class Channel;
+
+/// A frame as seen by a receiver.
+struct Reception {
+  NodeId sender;
+  /// Addressed recipient, or NodeId::invalid() for a broadcast. Receivers
+  /// other than `intended` are overhearing — the inherent message redundancy
+  /// the FDS exploits.
+  NodeId intended;
+  PayloadPtr payload;
+  SimTime sent_at;
+};
+
+/// Per-radio traffic counters (basis of the energy model).
+struct RadioCounters {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// A node's attachment point to the channel. Owned by the node; registered
+/// with exactly one Channel for the lifetime of the simulation.
+class Radio {
+ public:
+  using ReceiveHandler = std::function<void(const Reception&)>;
+
+  Radio(NodeId id, Vec2 position) : id_(id), position_(position) {}
+
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] Vec2 position() const { return position_; }
+  /// Moves the radio; keeps the channel's spatial index in sync.
+  void set_position(Vec2 p);
+
+  /// A powered-off radio neither transmits nor receives (fail-stop crash).
+  [[nodiscard]] bool powered() const { return powered_; }
+  void set_powered(bool on) { powered_ = on; }
+
+  /// Handler invoked on every frame this radio hears (addressed or overheard).
+  void set_receive_handler(ReceiveHandler handler) {
+    on_receive_ = std::move(handler);
+  }
+
+  /// Emits a frame. All in-range powered radios are candidates to hear it.
+  /// `intended` marks the addressed recipient (invalid() = broadcast); it
+  /// does not affect propagation, only what receivers see in Reception.
+  void send(PayloadPtr payload, NodeId intended = NodeId::invalid());
+
+  [[nodiscard]] const RadioCounters& counters() const { return counters_; }
+
+ private:
+  friend class Channel;
+
+  void deliver(const Reception& reception);
+
+  NodeId id_;
+  Vec2 position_;
+  bool powered_ = true;
+  Channel* channel_ = nullptr;
+  ReceiveHandler on_receive_;
+  RadioCounters counters_;
+};
+
+/// Channel-wide totals for scalability/energy comparisons.
+struct ChannelStats {
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t losses = 0;  ///< in-range candidates that drew a loss
+};
+
+/// Channel configuration.
+struct ChannelConfig {
+  /// Common transmission range R in metres (paper: 100 m).
+  double range = 100.0;
+  /// One-hop delivery bound Thop; frames arrive strictly within it.
+  SimTime t_hop = SimTime::millis(100);
+  /// Delivery latency is uniform in [min_delay_frac, max_delay_frac]*Thop.
+  double min_delay_frac = 0.1;
+  double max_delay_frac = 0.9;
+};
+
+/// The shared medium. Does not own radios; the Network keeps radios alive for
+/// the channel's lifetime.
+class Channel {
+ public:
+  /// Observer invoked once per transmission (not per delivery).
+  using Tap = std::function<void(NodeId sender, NodeId intended,
+                                 const Payload& payload, SimTime when)>;
+
+  Channel(Simulator& sim, LossModel& loss, ChannelConfig config, Rng rng);
+
+  /// Registers a radio. A radio may be attached to at most one channel.
+  void attach(Radio& radio);
+
+  /// Installs a transmission observer (tracing/diagnostics). Replaces any
+  /// previous tap; pass nullptr to remove.
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] const ChannelConfig& config() const { return config_; }
+
+  /// Radios currently within range of `position` (excluding `self`),
+  /// regardless of power state. Used by topology diagnostics.
+  [[nodiscard]] std::vector<NodeId> neighbors_of(NodeId self) const;
+
+ private:
+  friend class Radio;
+
+  void transmit(Radio& sender, PayloadPtr payload, NodeId intended);
+
+  // --- Spatial index: uniform grid with cell size = range. Reach from any
+  // point spans at most the 3x3 cell block around it, so transmissions and
+  // neighbour queries touch O(local density) radios instead of O(n). ------
+  [[nodiscard]] std::int64_t cell_key(Vec2 p) const;
+  void index_insert(Radio* radio);
+  void index_remove(Radio* radio);
+  void reindex(Radio* radio, Vec2 old_position, Vec2 new_position);
+  /// Invokes fn(radio) for every indexed radio within `range` of `center`
+  /// (excluding `exclude`).
+  template <typename Fn>
+  void for_each_in_range(Vec2 center, const Radio* exclude, Fn&& fn) const;
+
+  Simulator& sim_;
+  LossModel& loss_;
+  ChannelConfig config_;
+  Rng rng_;
+  std::vector<Radio*> radios_;
+  std::unordered_map<std::int64_t, std::vector<Radio*>> grid_;
+  ChannelStats stats_;
+  Tap tap_;
+};
+
+}  // namespace cfds

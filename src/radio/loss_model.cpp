@@ -1,0 +1,54 @@
+#include "radio/loss_model.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace cfds {
+
+BernoulliLoss::BernoulliLoss(double loss_probability) : p_(loss_probability) {
+  CFDS_EXPECT(p_ >= 0.0 && p_ <= 1.0, "loss probability outside [0,1]");
+}
+
+bool BernoulliLoss::lost(NodeId, Vec2, NodeId, Vec2, Rng& rng) {
+  return rng.bernoulli(p_);
+}
+
+GilbertElliottLoss::GilbertElliottLoss(Params params) : params_(params) {
+  CFDS_EXPECT(params_.p_gb > 0.0 && params_.p_bg > 0.0,
+              "degenerate Gilbert-Elliott chain");
+}
+
+bool GilbertElliottLoss::lost(NodeId sender, Vec2, NodeId receiver, Vec2,
+                              Rng& rng) {
+  const std::uint64_t key =
+      (std::uint64_t(sender.value()) << 32) | receiver.value();
+  bool& bad = link_bad_[key];
+  // Step the chain, then sample loss in the new state.
+  bad = bad ? !rng.bernoulli(params_.p_bg) : rng.bernoulli(params_.p_gb);
+  return rng.bernoulli(bad ? params_.p_bad : params_.p_good);
+}
+
+double GilbertElliottLoss::stationary_loss() const {
+  const double frac_bad = params_.p_gb / (params_.p_gb + params_.p_bg);
+  return frac_bad * params_.p_bad + (1.0 - frac_bad) * params_.p_good;
+}
+
+DistanceLoss::DistanceLoss(double floor, double ceiling, double range,
+                           double gamma)
+    : floor_(floor), ceiling_(ceiling), range_(range), gamma_(gamma) {
+  CFDS_EXPECT(floor_ >= 0.0 && ceiling_ <= 1.0 && floor_ <= ceiling_,
+              "invalid distance-loss bounds");
+  CFDS_EXPECT(range_ > 0.0, "range must be positive");
+}
+
+double DistanceLoss::probability_at(double dist) const {
+  const double t = std::min(dist / range_, 1.0);
+  return floor_ + (ceiling_ - floor_) * std::pow(t, gamma_);
+}
+
+bool DistanceLoss::lost(NodeId, Vec2 from, NodeId, Vec2 to, Rng& rng) {
+  return rng.bernoulli(probability_at(distance(from, to)));
+}
+
+}  // namespace cfds

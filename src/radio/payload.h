@@ -1,0 +1,39 @@
+// Payload abstraction for simulated radio frames.
+//
+// The radio substrate is protocol-agnostic: upper layers (clustering, FDS,
+// inter-cluster forwarding, baselines) define payload types derived from
+// Payload, and receivers dispatch on the concrete type. Payloads are
+// immutable and shared between all receivers of a broadcast — the channel
+// never copies them, mirroring the fact that a radio transmission is a single
+// emission heard by many.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+
+namespace cfds {
+
+/// Base class for everything carried over the simulated radio.
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Human-readable frame type for traces ("heartbeat", "digest", ...).
+  [[nodiscard]] virtual std::string_view kind() const = 0;
+
+  /// Nominal over-the-air size in bytes; feeds the energy model. The paper's
+  /// frames are tiny (a heartbeat is an NID plus a one-bit mark indicator).
+  [[nodiscard]] virtual std::size_t size_bytes() const = 0;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// Downcast helper; returns nullptr when the payload is of a different type.
+template <typename T>
+[[nodiscard]] const T* payload_cast(const PayloadPtr& p) {
+  return dynamic_cast<const T*>(p.get());
+}
+
+}  // namespace cfds

@@ -1,0 +1,75 @@
+// Frame tracer: per-kind transmission accounting and an optional rolling
+// frame log. Attach to a Channel's tap to see exactly what a protocol puts
+// on the air — used by the traffic-mix tests, the CLI tool's --trace mode,
+// and when debugging protocol schedules.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "radio/channel.h"
+
+namespace cfds {
+
+class FrameTracer {
+ public:
+  struct KindStats {
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  struct LoggedFrame {
+    SimTime when;
+    NodeId sender;
+    NodeId intended;
+    std::string kind;
+    std::size_t bytes = 0;
+  };
+
+  /// Installs this tracer as the channel's tap. `log_depth` > 0 keeps the
+  /// most recent frames for dumping.
+  void attach(Channel& channel, std::size_t log_depth = 0) {
+    log_depth_ = log_depth;
+    channel.set_tap([this](NodeId sender, NodeId intended,
+                           const Payload& payload, SimTime when) {
+      KindStats& stats = by_kind_[std::string(payload.kind())];
+      stats.frames++;
+      stats.bytes += payload.size_bytes();
+      ++total_frames_;
+      if (log_depth_ > 0) {
+        log_.push_back({when, sender, intended, std::string(payload.kind()),
+                        payload.size_bytes()});
+        if (log_.size() > log_depth_) log_.pop_front();
+      }
+    });
+  }
+
+  [[nodiscard]] const std::map<std::string, KindStats>& by_kind() const {
+    return by_kind_;
+  }
+  [[nodiscard]] std::uint64_t total_frames() const { return total_frames_; }
+  [[nodiscard]] std::uint64_t frames_of(const std::string& kind) const {
+    const auto it = by_kind_.find(kind);
+    return it == by_kind_.end() ? 0 : it->second.frames;
+  }
+  [[nodiscard]] const std::deque<LoggedFrame>& log() const { return log_; }
+
+  void reset() {
+    by_kind_.clear();
+    log_.clear();
+    total_frames_ = 0;
+  }
+
+ private:
+  std::map<std::string, KindStats> by_kind_;
+  std::deque<LoggedFrame> log_;
+  std::size_t log_depth_ = 0;
+  std::uint64_t total_frames_ = 0;
+};
+
+}  // namespace cfds

@@ -1,0 +1,198 @@
+// Tests for the aggregation layer and its FDS piggybacking (Section 6).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aggregation/service.h"
+#include "cluster/directory.h"
+#include "net/topology.h"
+#include "sim/metrics.h"
+
+namespace cfds {
+namespace {
+
+TEST(Aggregate, MonoidLaws) {
+  Aggregate a;
+  a.add(1.0);
+  a.add(5.0);
+  Aggregate b;
+  b.add(3.0);
+
+  Aggregate ab = a;
+  ab.merge(b);
+  Aggregate ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);  // commutative
+
+  Aggregate identity;
+  Aggregate a_id = a;
+  a_id.merge(identity);
+  EXPECT_EQ(a_id, a);  // identity
+
+  EXPECT_EQ(ab.count, 3u);
+  EXPECT_DOUBLE_EQ(ab.sum, 9.0);
+  EXPECT_DOUBLE_EQ(ab.average(), 3.0);
+  EXPECT_DOUBLE_EQ(ab.min, 1.0);
+  EXPECT_DOUBLE_EQ(ab.max, 5.0);
+}
+
+TEST(Aggregate, EmptyBehaviour) {
+  Aggregate empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.average(), 0.0);
+}
+
+/// Multi-cluster deployment with both services wired for message sharing.
+struct AggDeployment {
+  explicit AggDeployment(bool share_heartbeats, double loss_p = 0.0,
+                         std::size_t n = 220) {
+    NetworkConfig net_config;
+    net_config.seed = 29;
+    network = std::make_unique<Network>(
+        net_config, loss_p == 0.0
+                        ? std::unique_ptr<LossModel>(new PerfectLinks())
+                        : std::unique_ptr<LossModel>(
+                              new BernoulliLoss(loss_p)));
+    Rng placement(29);
+    positions = uniform_rect(n, 500.0, 350.0, placement);
+    network->add_nodes(positions);
+    const auto directory = ClusterDirectory::build(positions, 100.0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      views.push_back(std::make_unique<MembershipView>(NodeId{i}));
+      ptrs.push_back(views.back().get());
+    }
+    directory.install(*network, ptrs);
+
+    FdsConfig fds_config;
+    fds_config.heartbeat_interval = SimTime::seconds(2);
+    fds_config.external_heartbeats = share_heartbeats;
+    fds = std::make_unique<FdsService>(*network, ptrs, fds_config);
+    // Reading = NID value, so global aggregates are exactly checkable.
+    aggregation = std::make_unique<AggregationService>(
+        *network, *fds, ptrs,
+        [](NodeId node, std::uint64_t) { return double(node.value()); });
+  }
+
+  std::unique_ptr<Network> network;
+  std::vector<Vec2> positions;
+  std::vector<std::unique_ptr<MembershipView>> views;
+  std::vector<MembershipView*> ptrs;
+  std::unique_ptr<FdsService> fds;
+  std::unique_ptr<AggregationService> aggregation;
+};
+
+TEST(Aggregation, ClusterAggregatesAreExactWithoutLoss) {
+  AggDeployment d(/*share_heartbeats=*/true);
+  d.aggregation->run_epochs(1, SimTime::zero());
+  // Each CH's own-cluster aggregate covers its full population exactly.
+  for (AggregationAgent* agent : d.aggregation->agents()) {
+    const MembershipView& view = *d.ptrs[agent->id().value()];
+    if (!view.is_clusterhead()) continue;
+    const auto aggregates = agent->aggregates_for(0);
+    ASSERT_FALSE(aggregates.empty());
+    // Find this cluster's own entry by reconstructing it.
+    Aggregate expected;
+    expected.add(double(view.self().value()));
+    for (NodeId m : view.cluster()->members) expected.add(double(m.value()));
+    bool found = false;
+    for (const Aggregate& a : aggregates) {
+      if (a == expected) found = true;
+    }
+    EXPECT_TRUE(found) << "CH " << agent->id();
+  }
+}
+
+TEST(Aggregation, GlobalViewFloodsToEveryClusterhead) {
+  AggDeployment d(/*share_heartbeats=*/true);
+  d.aggregation->run_epochs(1, SimTime::zero());
+  // Ground truth: every affiliated node counted once.
+  std::size_t affiliated = 0;
+  for (auto& view : d.views) {
+    if (view->affiliated()) ++affiliated;
+  }
+  std::size_t clusterheads = 0;
+  for (AggregationAgent* agent : d.aggregation->agents()) {
+    if (!d.ptrs[agent->id().value()]->is_clusterhead()) continue;
+    ++clusterheads;
+    const Aggregate global = agent->global_view(0);
+    EXPECT_EQ(global.count, affiliated) << "CH " << agent->id();
+    EXPECT_DOUBLE_EQ(global.min, 0.0);
+  }
+  EXPECT_GT(clusterheads, 2u);
+}
+
+TEST(Aggregation, MeasurementsDoubleAsHeartbeats) {
+  // With external_heartbeats, no bare heartbeat is ever sent, yet the FDS
+  // neither false-detects anyone nor misses a real crash.
+  AggDeployment d(/*share_heartbeats=*/true);
+  MetricsCollector metrics;
+  metrics.attach(*d.fds, *d.network);
+  d.aggregation->run_epochs(2, SimTime::zero());
+  EXPECT_TRUE(metrics.detections().empty());
+
+  NodeId victim = NodeId::invalid();
+  for (auto& view : d.views) {
+    if (view->role() == Role::kOrdinaryMember) {
+      victim = view->self();
+      break;
+    }
+  }
+  d.network->crash(victim);
+  d.aggregation->schedule_epoch(2, SimTime::seconds(4));
+  d.network->simulator().run_until(SimTime::seconds(6));
+  const auto first = metrics.first_detection(victim);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(first->suspect_was_alive);
+}
+
+TEST(Aggregation, SharingSavesFrames) {
+  AggDeployment shared(/*share_heartbeats=*/true);
+  AggDeployment separate(/*share_heartbeats=*/false);
+  shared.aggregation->run_epochs(2, SimTime::zero());
+  separate.aggregation->run_epochs(2, SimTime::zero());
+  const auto shared_frames = traffic_totals(*shared.network).frames;
+  const auto separate_frames = traffic_totals(*separate.network).frames;
+  // Separate mode pays one extra bare heartbeat per node per epoch.
+  EXPECT_EQ(separate_frames, shared_frames + 2 * 220);
+}
+
+TEST(Aggregation, CrashedNodesDropOutOfTheAggregate) {
+  AggDeployment d(/*share_heartbeats=*/true);
+  NodeId victim = NodeId::invalid();
+  for (auto& view : d.views) {
+    if (view->role() == Role::kOrdinaryMember) {
+      victim = view->self();
+      break;
+    }
+  }
+  d.network->crash(victim);
+  d.aggregation->run_epochs(1, SimTime::zero());
+  std::size_t affiliated_alive = 0;
+  for (auto& view : d.views) {
+    if (view->affiliated() && d.network->node(view->self()).alive()) {
+      ++affiliated_alive;
+    }
+  }
+  for (AggregationAgent* agent : d.aggregation->agents()) {
+    if (!d.ptrs[agent->id().value()]->is_clusterhead()) continue;
+    EXPECT_EQ(agent->global_view(0).count, affiliated_alive);
+    break;
+  }
+}
+
+TEST(Aggregation, LossyChannelYieldsPartialButSaneAggregates) {
+  AggDeployment d(/*share_heartbeats=*/true, /*loss_p=*/0.3);
+  d.aggregation->run_epochs(1, SimTime::zero());
+  for (AggregationAgent* agent : d.aggregation->agents()) {
+    if (!d.ptrs[agent->id().value()]->is_clusterhead()) continue;
+    const Aggregate global = agent->global_view(0);
+    EXPECT_GT(global.count, 0u);
+    EXPECT_LE(global.count, 220u);
+    EXPECT_GE(global.min, 0.0);
+    EXPECT_LT(global.max, 220.0);
+  }
+}
+
+}  // namespace
+}  // namespace cfds

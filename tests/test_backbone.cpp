@@ -1,0 +1,98 @@
+// Tests for the system-level completeness model (analysis/backbone).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/backbone.h"
+
+namespace cfds::analysis {
+namespace {
+
+TEST(LinkDelivery, BoundaryCases) {
+  EXPECT_DOUBLE_EQ(link_delivery_probability(0.0, 0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(link_delivery_probability(1.0, 3, 5, 5), 0.0);
+  // Single bare attempt: success = 1 - [p + (1-p)p] = (1-p)^2
+  // (GW must hear the update AND land its one forward).
+  const double p = 0.3;
+  EXPECT_NEAR(link_delivery_probability(p, 0, 0, 0), (1 - p) * (1 - p),
+              1e-12);
+}
+
+TEST(LinkDelivery, MonotoneInEveryRedundancyKnob) {
+  const double p = 0.4;
+  const double base = link_delivery_probability(p, 0, 0, 0);
+  EXPECT_GT(link_delivery_probability(p, 1, 0, 0), base);
+  EXPECT_GT(link_delivery_probability(p, 0, 1, 0), base);
+  EXPECT_GT(link_delivery_probability(p, 0, 0, 1), base);
+  EXPECT_GT(link_delivery_probability(p, 2, 2, 2),
+            link_delivery_probability(p, 1, 1, 1));
+}
+
+TEST(LinkDelivery, MonotoneDecreasingInLoss) {
+  double previous = 1.1;
+  for (double p : {0.05, 0.2, 0.35, 0.5, 0.8}) {
+    const double value = link_delivery_probability(p, 2, 2, 2);
+    EXPECT_LT(value, previous);
+    previous = value;
+  }
+}
+
+BackboneGraph line(std::size_t n) {
+  BackboneGraph graph;
+  graph.cluster_count = n;
+  for (std::size_t i = 0; i + 1 < n; ++i) graph.links.emplace_back(i, i + 1);
+  return graph;
+}
+
+TEST(BackboneCompleteness, PerfectLinksReachEverything) {
+  Rng rng(1);
+  const auto result = backbone_completeness(line(10), 0, 1.0, 200, rng);
+  EXPECT_DOUBLE_EQ(result.p_all_reached, 1.0);
+  EXPECT_DOUBLE_EQ(result.expected_coverage, 1.0);
+}
+
+TEST(BackboneCompleteness, DeadLinksReachOnlyTheOrigin) {
+  Rng rng(2);
+  const auto result = backbone_completeness(line(10), 0, 0.0, 200, rng);
+  EXPECT_DOUBLE_EQ(result.p_all_reached, 0.0);
+  EXPECT_NEAR(result.expected_coverage, 0.1, 1e-12);
+}
+
+TEST(BackboneCompleteness, LineMatchesClosedForm) {
+  // On a line from one end, all reached iff all n-1 links operate.
+  Rng rng(3);
+  const double s = 0.9;
+  const auto result = backbone_completeness(line(6), 0, s, 200000, rng);
+  EXPECT_NEAR(result.p_all_reached, std::pow(s, 5), 0.005);
+  // Expected coverage: (1 + sum_{k=1..5} s^k) / 6.
+  double expected = 1.0;
+  for (int k = 1; k <= 5; ++k) expected += std::pow(s, k);
+  EXPECT_NEAR(result.expected_coverage, expected / 6.0, 0.003);
+}
+
+TEST(BackboneCompleteness, RedundantPathsBeatTheLine) {
+  // A cycle adds a second path; reliability must beat the open line.
+  BackboneGraph cycle = line(8);
+  cycle.links.emplace_back(7, 0);
+  Rng rng(4);
+  const double s = 0.8;
+  const auto with_cycle = backbone_completeness(cycle, 0, s, 50000, rng);
+  const auto without = backbone_completeness(line(8), 0, s, 50000, rng);
+  EXPECT_GT(with_cycle.p_all_reached, without.p_all_reached + 0.05);
+}
+
+TEST(BackboneCompleteness, OriginChoiceMattersOnAsymmetricGraphs) {
+  // A star: from the hub everything is one hop; from a leaf, two.
+  BackboneGraph star;
+  star.cluster_count = 6;
+  for (std::size_t leaf = 1; leaf < 6; ++leaf) star.links.emplace_back(0, leaf);
+  Rng rng(5);
+  const double s = 0.7;
+  const auto from_hub = backbone_completeness(star, 0, s, 50000, rng);
+  const auto from_leaf = backbone_completeness(star, 1, s, 50000, rng);
+  EXPECT_GT(from_hub.expected_coverage, from_leaf.expected_coverage);
+}
+
+}  // namespace
+}  // namespace cfds::analysis

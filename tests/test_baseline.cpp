@@ -1,0 +1,138 @@
+// Tests for the baselines: gossip-style FD and flat flooding.
+
+#include <gtest/gtest.h>
+
+#include "baseline/flooding.h"
+#include "baseline/gossip_fd.h"
+#include "net/topology.h"
+
+namespace cfds {
+namespace {
+
+std::unique_ptr<Network> line_network(std::size_t n, double spacing,
+                                      double loss_p = 0.0) {
+  NetworkConfig config;
+  config.seed = 5;
+  auto network = std::make_unique<Network>(
+      config, loss_p == 0.0
+                  ? std::unique_ptr<LossModel>(std::make_unique<PerfectLinks>())
+                  : std::make_unique<BernoulliLoss>(loss_p));
+  for (std::size_t i = 0; i < n; ++i) {
+    network->add_node({double(i) * spacing, 0.0});
+  }
+  return network;
+}
+
+TEST(GossipFd, CountersSpreadEpidemically) {
+  // 6 nodes in a line, 80 m apart: only adjacent pairs hear each other, so
+  // counters must travel hop by hop.
+  auto network = line_network(6, 80.0);
+  GossipConfig config;
+  GossipService gossip(*network, config);
+  gossip.run_rounds(10, SimTime::zero());
+  // After 10 rounds everyone has a fresh entry for everyone.
+  const SimTime now = network->simulator().now();
+  for (GossipAgent* agent : gossip.agents()) {
+    EXPECT_EQ(agent->table_size(), 6u);
+    for (std::uint32_t other = 0; other < 6; ++other) {
+      if (NodeId{other} == agent->id()) continue;
+      EXPECT_TRUE(agent->considers_alive(NodeId{other}, now))
+          << agent->id() << " about " << other;
+    }
+  }
+}
+
+TEST(GossipFd, CrashedNodeSuspectedAfterTimeout) {
+  auto network = line_network(5, 50.0);
+  GossipConfig config;
+  config.gossip_interval = SimTime::seconds(1);
+  config.fail_timeout = SimTime::seconds(5);
+  GossipService gossip(*network, config);
+  gossip.run_rounds(8, SimTime::zero());
+  network->crash(NodeId{2});
+  gossip.run_rounds(10, network->simulator().now());
+
+  const SimTime now = network->simulator().now();
+  for (GossipAgent* agent : gossip.agents()) {
+    if (agent->id() == NodeId{2} ||
+        !network->node(agent->id()).alive()) {
+      continue;
+    }
+    const auto suspects = agent->suspected(now);
+    EXPECT_EQ(suspects, std::vector<NodeId>{NodeId{2}}) << agent->id();
+  }
+}
+
+TEST(GossipFd, NoFalseSuspicionsWithoutLoss) {
+  auto network = line_network(5, 50.0);
+  GossipConfig config;
+  GossipService gossip(*network, config);
+  gossip.run_rounds(20, SimTime::zero());
+  const SimTime now = network->simulator().now();
+  for (GossipAgent* agent : gossip.agents()) {
+    EXPECT_TRUE(agent->suspected(now).empty());
+  }
+}
+
+TEST(GossipFd, TablesGrowWithPopulation) {
+  // The flat detector's frame size is O(network), unlike the FDS's
+  // constant-size heartbeats — the scalability argument of Section 3.
+  auto network = line_network(12, 10.0);
+  GossipService gossip(*network, GossipConfig{});
+  gossip.run_rounds(3, SimTime::zero());
+  const auto& counters = network->node(NodeId{0}).radio().counters();
+  // Last gossip frame carries ~12 entries * 12 bytes.
+  EXPECT_GT(counters.bytes_sent, 12u * 12u);
+}
+
+TEST(Flooding, ReachesEveryoneAndCountsRebroadcasts) {
+  auto network = line_network(8, 80.0);
+  FloodService flood(*network);
+  flood.agent_for(NodeId{0}).originate({NodeId{42}});
+  network->simulator().run_to_completion();
+  for (FloodAgent* agent : flood.agents()) {
+    EXPECT_TRUE(agent->log().knows(NodeId{42})) << agent->id();
+  }
+  // Blind flooding: every node except the origin rebroadcasts once.
+  EXPECT_EQ(flood.total_rebroadcasts(), 7u);
+}
+
+TEST(Flooding, DuplicateSuppression) {
+  // Dense clique: everyone hears everyone, still exactly one rebroadcast
+  // per node.
+  auto network = line_network(6, 5.0);
+  FloodService flood(*network);
+  flood.agent_for(NodeId{0}).originate({NodeId{9}});
+  network->simulator().run_to_completion();
+  EXPECT_EQ(flood.total_rebroadcasts(), 5u);
+}
+
+TEST(Flooding, CrashedNodesDoNotRelay) {
+  auto network = line_network(5, 80.0);
+  FloodService flood(*network);
+  network->crash(NodeId{2});  // cuts the line
+  flood.agent_for(NodeId{0}).originate({NodeId{9}});
+  network->simulator().run_to_completion();
+  EXPECT_TRUE(flood.agent_for(NodeId{1}).log().knows(NodeId{9}));
+  EXPECT_FALSE(flood.agent_for(NodeId{3}).log().knows(NodeId{9}));
+  EXPECT_FALSE(flood.agent_for(NodeId{4}).log().knows(NodeId{9}));
+}
+
+TEST(Flooding, LossyFloodStillMostlyCovers) {
+  NetworkConfig config;
+  config.seed = 5;
+  Network network(config, std::make_unique<BernoulliLoss>(0.2));
+  Rng rng(8);
+  network.add_nodes(uniform_rect(150, 500.0, 400.0, rng));
+  FloodService flood(network);
+  flood.agent_for(NodeId{0}).originate({NodeId{99}});
+  network.simulator().run_to_completion();
+  std::size_t covered = 0;
+  for (FloodAgent* agent : flood.agents()) {
+    if (agent->log().knows(NodeId{99})) ++covered;
+  }
+  EXPECT_GT(covered, 120u);  // dense flooding shrugs off 20% loss
+}
+
+}  // namespace
+}  // namespace cfds

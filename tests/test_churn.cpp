@@ -1,0 +1,167 @@
+// Churn storms: sustained simultaneous failure + replenishment load, under
+// loss, for many executions. These are endurance/invariant tests — the
+// paper's application regime is exactly this (Section 2.1: hosts fail over
+// time and the field is replenished to preserve density).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/scenario.h"
+
+namespace cfds {
+namespace {
+
+class ChurnSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnSweep, TwentyEpochsOfChurnKeepInvariants) {
+  ScenarioConfig config;
+  config.width = 500.0;
+  config.height = 350.0;
+  config.node_count = 250;
+  config.loss_p = 0.15;
+  config.seed = GetParam();
+  Scenario scenario(config);
+  scenario.setup();
+
+  Rng chaos(GetParam() ^ 0xC0);
+  std::set<NodeId> crashed;
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    // Kill 0-2 members...
+    const auto kills = chaos.below(3);
+    for (std::uint64_t k = 0; k < kills; ++k) {
+      std::vector<NodeId> candidates;
+      for (MembershipView* view : scenario.views()) {
+        if (view->role() == Role::kOrdinaryMember &&
+            scenario.network().node(view->self()).alive()) {
+          candidates.push_back(view->self());
+        }
+      }
+      if (candidates.empty()) break;
+      const NodeId victim = candidates[chaos.below(candidates.size())];
+      scenario.network().crash(victim);
+      crashed.insert(victim);
+    }
+    // ...and occasionally drop replacements.
+    if (epoch % 5 == 4) scenario.replenish(5);
+    scenario.run_epochs(1);
+  }
+
+  // Invariant 1: every crashed node was detected (soundness of the rule —
+  // a fail-stop node can produce no evidence of life).
+  for (NodeId victim : crashed) {
+    EXPECT_TRUE(scenario.metrics().first_detection(victim).has_value())
+        << "crashed node " << victim << " was never detected";
+  }
+
+  // Invariant 2: detections of crashed nodes dominate; false detections
+  // stay a small fraction at p = 0.15.
+  EXPECT_GE(scenario.metrics().true_detections(), crashed.size());
+  EXPECT_LE(scenario.metrics().false_detections(),
+            scenario.metrics().true_detections());
+
+  // Invariant 3: no alive affiliated node's view names a crashed member.
+  for (FdsAgent* agent : scenario.fds().agents()) {
+    if (!scenario.network().node(agent->id()).alive()) continue;
+    if (!agent->view().affiliated()) continue;
+    for (NodeId victim : crashed) {
+      if (agent->log().knows(victim)) {
+        EXPECT_FALSE(agent->view().cluster()->is_member(victim))
+            << agent->id() << " still expects crashed " << victim;
+      }
+    }
+  }
+
+  // Invariant 4: knowledge of early casualties has propagated broadly.
+  if (!crashed.empty()) {
+    EXPECT_GT(knowledge_coverage(scenario.fds(), scenario.network(),
+                                 *crashed.begin()),
+              0.9);
+  }
+
+  // Invariant 5: the population is still being served — most alive nodes
+  // affiliated despite 20 epochs of churn.
+  EXPECT_GT(scenario.affiliation_rate(), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnSweep,
+                         ::testing::Values(2u, 77u, 4242u));
+
+TEST(Churn, MassSimultaneousFailure) {
+  // A quarter of the field dies at once (localized EMP-style event): the
+  // service must detect all of it and keep running.
+  ScenarioConfig config;
+  config.width = 500.0;
+  config.height = 350.0;
+  config.node_count = 240;
+  config.loss_p = 0.1;
+  config.seed = 31;
+  Scenario scenario(config);
+  scenario.setup();
+  scenario.run_epochs(1);
+
+  std::vector<NodeId> victims;
+  for (MembershipView* view : scenario.views()) {
+    if (view->role() == Role::kOrdinaryMember && victims.size() < 60) {
+      victims.push_back(view->self());
+    }
+  }
+  for (NodeId v : victims) scenario.network().crash(v);
+  scenario.run_epochs(4);
+
+  std::size_t detected = 0;
+  for (NodeId v : victims) {
+    if (scenario.metrics().first_detection(v)) ++detected;
+  }
+  EXPECT_EQ(detected, victims.size());
+  EXPECT_GT(knowledge_coverage(scenario.fds(), scenario.network(),
+                               victims.front()),
+            0.9);
+}
+
+TEST(Churn, EveryClusterheadDies) {
+  // Decapitation: all clusterheads crash simultaneously; deputies must take
+  // over everywhere and the service must keep detecting.
+  ScenarioConfig config;
+  config.width = 450.0;
+  config.height = 300.0;
+  config.node_count = 220;
+  config.loss_p = 0.0;
+  config.seed = 53;
+  Scenario scenario(config);
+  scenario.setup();
+  scenario.run_epochs(1);
+
+  std::vector<NodeId> heads;
+  for (MembershipView* view : scenario.views()) {
+    if (view->is_clusterhead()) heads.push_back(view->self());
+  }
+  ASSERT_GT(heads.size(), 2u);
+  for (NodeId head : heads) scenario.network().crash(head);
+  scenario.run_epochs(3);
+
+  std::size_t taken_over = 0;
+  for (NodeId head : heads) {
+    const auto first = scenario.metrics().first_detection(head);
+    if (first && first->by_deputy) ++taken_over;
+  }
+  EXPECT_EQ(taken_over, heads.size());
+
+  // The decapitated clusters keep working: crash a member under new
+  // management and expect detection.
+  NodeId member = NodeId::invalid();
+  for (MembershipView* view : scenario.views()) {
+    if (view->role() == Role::kOrdinaryMember &&
+        scenario.network().node(view->self()).alive()) {
+      member = view->self();
+      break;
+    }
+  }
+  ASSERT_TRUE(member.is_valid());
+  scenario.network().crash(member);
+  scenario.run_epochs(2);
+  EXPECT_TRUE(scenario.metrics().first_detection(member).has_value());
+}
+
+}  // namespace
+}  // namespace cfds

@@ -1,0 +1,69 @@
+// Tests for the reconstructed DCH-reachability model (the study Section 4.2
+// references but omits).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/dch_reachability.h"
+#include "common/geometry.h"
+
+namespace cfds::analysis {
+namespace {
+
+TEST(DchReachability, DchAtCenterReachesEveryone) {
+  Rng rng(1);
+  const auto result = dch_reachability(100.0, 0.0, 75, 0.1, 100, rng);
+  EXPECT_DOUBLE_EQ(result.p_out_of_range, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_reachable(), 1.0);
+}
+
+TEST(DchReachability, OutOfRangeFractionMatchesLensComplement) {
+  Rng rng(2);
+  const double r = 100.0;
+  const double d = 60.0;
+  const auto result = dch_reachability(r, d, 75, 0.1, 100, rng);
+  const double lens = lens_area(Disk{{0, 0}, r}, Disk{{d, 0}, r});
+  EXPECT_NEAR(result.p_out_of_range, 1.0 - lens / (M_PI * r * r), 1e-9);
+}
+
+TEST(DchReachability, PaperClaimHighProbabilityAtDensePopulations) {
+  // "unless the node population density is low and the DCH's distance from
+  // the original CH is big, with high probability a DCH will be able to
+  // hear from an out-of-range cluster member" (Section 4.2).
+  Rng rng(3);
+  const auto dense = dch_reachability(100.0, 40.0, 100, 0.1, 400, rng);
+  EXPECT_GT(dense.p_reachable_given_out, 0.99);
+  EXPECT_GT(dense.p_reachable(), 0.99);
+}
+
+TEST(DchReachability, DegradesWithDistanceAndSparsity) {
+  Rng rng(4);
+  const auto near = dch_reachability(100.0, 30.0, 75, 0.1, 300, rng);
+  const auto far = dch_reachability(100.0, 90.0, 75, 0.1, 300, rng);
+  EXPECT_GT(near.p_reachable_given_out, far.p_reachable_given_out);
+
+  const auto dense = dch_reachability(100.0, 90.0, 100, 0.1, 300, rng);
+  const auto sparse = dch_reachability(100.0, 90.0, 20, 0.1, 300, rng);
+  EXPECT_GT(dense.p_reachable_given_out, sparse.p_reachable_given_out);
+}
+
+TEST(DchReachability, MoreLossLessReachability) {
+  Rng rng(5);
+  const auto low = dch_reachability(100.0, 70.0, 30, 0.05, 300, rng);
+  const auto high = dch_reachability(100.0, 70.0, 30, 0.5, 300, rng);
+  EXPECT_GT(low.p_reachable_given_out, high.p_reachable_given_out);
+}
+
+TEST(DchReachability, UnconditionalCombinesBothTerms) {
+  Rng rng(6);
+  const auto result = dch_reachability(100.0, 60.0, 50, 0.2, 200, rng);
+  const double expected =
+      (1.0 - result.p_out_of_range) +
+      result.p_out_of_range * result.p_reachable_given_out;
+  EXPECT_DOUBLE_EQ(result.p_reachable(), expected);
+  EXPECT_GE(result.p_reachable(), result.p_reachable_given_out);
+}
+
+}  // namespace
+}  // namespace cfds::analysis

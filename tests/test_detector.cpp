@@ -1,0 +1,121 @@
+// Unit tests for the pure detection rules (Section 4.2).
+
+#include <gtest/gtest.h>
+
+#include "fds/detector.h"
+
+namespace cfds {
+namespace {
+
+RoundEvidence evidence_with(std::initializer_list<std::uint32_t> heartbeats) {
+  RoundEvidence e;
+  for (auto h : heartbeats) e.heartbeats.insert(NodeId{h});
+  return e;
+}
+
+TEST(Detector, HeartbeatAloneClearsSuspicion) {
+  const RoundEvidence e = evidence_with({1, 2});
+  EXPECT_FALSE(silent(NodeId{1}, e, RuleMode::kFull));
+  EXPECT_TRUE(silent(NodeId{3}, e, RuleMode::kFull));
+}
+
+TEST(Detector, OwnDigestClearsSuspicion) {
+  // Time redundancy: heartbeat lost, but the digest from v arrived.
+  RoundEvidence e;
+  e.digests[NodeId{4}] = {};
+  EXPECT_FALSE(silent(NodeId{4}, e, RuleMode::kFull));
+  EXPECT_FALSE(silent(NodeId{4}, e, RuleMode::kNoSpatial));
+  // A heartbeat-only detector ignores the digest.
+  EXPECT_TRUE(silent(NodeId{4}, e, RuleMode::kHeartbeatOnly));
+}
+
+TEST(Detector, WitnessDigestClearsSuspicionOnlyInFullMode) {
+  // Spatial redundancy: node 5 silent to the CH, but node 6 heard it.
+  RoundEvidence e;
+  e.digests[NodeId{6}] = {NodeId{5}};
+  EXPECT_FALSE(silent(NodeId{5}, e, RuleMode::kFull));
+  EXPECT_TRUE(silent(NodeId{5}, e, RuleMode::kNoSpatial));
+  EXPECT_TRUE(silent(NodeId{5}, e, RuleMode::kHeartbeatOnly));
+}
+
+TEST(Detector, SelfMentionInOwnDigestDoesNotCount) {
+  // A digest from v mentioning v is direct evidence anyway; but a digest
+  // from v mentioning *only others* still proves v alive (it sent a frame).
+  RoundEvidence e;
+  e.digests[NodeId{7}] = {NodeId{7}};
+  EXPECT_FALSE(silent(NodeId{7}, e, RuleMode::kFull));
+}
+
+TEST(Detector, DetectFailedFiltersExpectedMembers) {
+  RoundEvidence e = evidence_with({1, 3});
+  e.digests[NodeId{5}] = {NodeId{2}};
+  const std::vector<NodeId> expected{NodeId{1}, NodeId{2}, NodeId{3},
+                                     NodeId{4}, NodeId{5}};
+  // 1, 3 heartbeats; 2 witnessed by 5; 5 sent a digest; 4 fully silent.
+  const auto failed = detect_failed(expected, e, RuleMode::kFull);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], NodeId{4});
+}
+
+TEST(Detector, DetectFailedEmptyEvidenceFlagsEveryone) {
+  const std::vector<NodeId> expected{NodeId{1}, NodeId{2}};
+  const auto failed = detect_failed(expected, RoundEvidence{}, RuleMode::kFull);
+  EXPECT_EQ(failed.size(), 2u);
+}
+
+TEST(Detector, DetectFailedSortsOutput) {
+  const std::vector<NodeId> expected{NodeId{9}, NodeId{1}, NodeId{5}};
+  const auto failed = detect_failed(expected, RoundEvidence{}, RuleMode::kFull);
+  EXPECT_TRUE(std::is_sorted(failed.begin(), failed.end()));
+}
+
+TEST(Detector, ClusterheadRuleRequiresAllThreeConditions) {
+  const NodeId ch{0};
+  {  // condition 1 fails: heartbeat heard
+    RoundEvidence e = evidence_with({0});
+    EXPECT_FALSE(clusterhead_failed(ch, e, RuleMode::kFull));
+  }
+  {  // condition 2 fails: witness digest reflects the CH
+    RoundEvidence e;
+    e.digests[NodeId{3}] = {NodeId{0}};
+    EXPECT_FALSE(clusterhead_failed(ch, e, RuleMode::kFull));
+  }
+  {  // condition 3 fails: the R-3 update arrived
+    RoundEvidence e;
+    e.ch_update_heard = true;
+    EXPECT_FALSE(clusterhead_failed(ch, e, RuleMode::kFull));
+  }
+  {  // all conditions met
+    RoundEvidence e;
+    e.digests[NodeId{3}] = {NodeId{4}};  // digest exists but no CH mention
+    EXPECT_TRUE(clusterhead_failed(ch, e, RuleMode::kFull));
+  }
+}
+
+TEST(Detector, EvidenceClearResets) {
+  RoundEvidence e = evidence_with({1});
+  e.digests[NodeId{2}] = {NodeId{1}};
+  e.ch_update_heard = true;
+  e.clear();
+  EXPECT_TRUE(e.heartbeats.empty());
+  EXPECT_TRUE(e.digests.empty());
+  EXPECT_FALSE(e.ch_update_heard);
+}
+
+// Soundness: under the fail-stop model a crashed node generates no frames,
+// so *no possible evidence set* that truthfully reflects transmissions can
+// clear it. Conversely the rule only clears nodes with genuine evidence.
+TEST(Detector, NoEvidenceChannelCanFabricateLife) {
+  RoundEvidence e = evidence_with({1, 2, 3});
+  e.digests[NodeId{1}] = {NodeId{2}, NodeId{3}};
+  e.digests[NodeId{2}] = {NodeId{1}};
+  // Node 9 crashed: it appears in no heartbeat and no digest. All modes
+  // must flag it.
+  for (RuleMode mode :
+       {RuleMode::kFull, RuleMode::kNoSpatial, RuleMode::kHeartbeatOnly}) {
+    EXPECT_TRUE(silent(NodeId{9}, e, mode));
+  }
+}
+
+}  // namespace
+}  // namespace cfds

@@ -1,0 +1,54 @@
+// Death tests for precondition checking: a corrupted simulation must crash
+// loudly, not proceed quietly.
+
+#include <gtest/gtest.h>
+
+#include "common/expect.h"
+#include "event/simulator.h"
+#include "fds/agent.h"
+#include "net/network.h"
+#include "radio/loss_model.h"
+
+namespace cfds {
+namespace {
+
+TEST(ExpectDeath, MacroAbortsWithDiagnostic) {
+  EXPECT_DEATH(CFDS_EXPECT(false, "intentional"), "intentional");
+  CFDS_EXPECT(true, "never fires");  // the passing path is silent
+}
+
+TEST(ExpectDeath, SchedulingInThePastAborts) {
+  Simulator sim;
+  sim.schedule_at(SimTime::seconds(5), [] {});
+  sim.run_to_completion();
+  EXPECT_DEATH(sim.schedule_at(SimTime::seconds(1), [] {}),
+               "cannot schedule events in the past");
+}
+
+TEST(ExpectDeath, InvalidLossProbabilityAborts) {
+  EXPECT_DEATH(BernoulliLoss(-0.1), "loss probability");
+  EXPECT_DEATH(BernoulliLoss(1.5), "loss probability");
+}
+
+TEST(ExpectDeath, UnknownNodeLookupAborts) {
+  NetworkConfig config;
+  Network network(config, std::make_unique<PerfectLinks>());
+  network.add_node({0, 0});
+  EXPECT_DEATH(network.node(NodeId{42}), "unknown node id");
+}
+
+TEST(ExpectDeath, TooShortHeartbeatIntervalAborts) {
+  NetworkConfig net_config;
+  Network network(net_config, std::make_unique<PerfectLinks>());
+  network.add_node({0, 0});
+  std::vector<MembershipView*> views;
+  MembershipView view{NodeId{0}};
+  views.push_back(&view);
+  FdsConfig fds_config;
+  fds_config.heartbeat_interval = SimTime::millis(100);  // == Thop
+  EXPECT_DEATH(FdsService(network, views, fds_config),
+               "heartbeat interval");
+}
+
+}  // namespace
+}  // namespace cfds

@@ -1,0 +1,292 @@
+// Behavioural tests for the FDS agent machinery on a controlled cluster:
+// round timing, digests, updates, DCH takeover, peer forwarding, admission.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/directory.h"
+#include "fds/agent.h"
+#include "net/topology.h"
+
+namespace cfds {
+namespace {
+
+/// A hand-built cluster: CH 0 at the origin, members on a small ring, one
+/// far member reachable by the CH but not by everyone.
+class FdsFixture : public ::testing::Test {
+ protected:
+  static constexpr int kN = 8;
+
+  explicit FdsFixture(double loss_p = 0.0) {
+    NetworkConfig net_config;
+    net_config.seed = 13;
+    network_ = std::make_unique<Network>(
+        net_config, loss_p == 0.0 ? std::unique_ptr<LossModel>(
+                                        std::make_unique<PerfectLinks>())
+                                  : std::make_unique<BernoulliLoss>(loss_p));
+    network_->add_node({0.0, 0.0});  // CH
+    for (int i = 1; i < kN; ++i) {
+      const double angle = 2.0 * M_PI * double(i) / double(kN - 1);
+      network_->add_node({60.0 * std::cos(angle), 60.0 * std::sin(angle)});
+    }
+    for (int i = 0; i < kN; ++i) {
+      views_.push_back(std::make_unique<MembershipView>(
+          NodeId{std::uint32_t(i)}));
+    }
+    FdsConfig config;
+    config.heartbeat_interval = SimTime::millis(800);
+    fds_ = std::make_unique<FdsService>(*network_, view_ptrs(), config);
+    ClusterDirectory::single_cluster(kN).install(*network_, view_ptrs_);
+  }
+
+  std::vector<MembershipView*> view_ptrs() {
+    view_ptrs_.clear();
+    for (auto& v : views_) view_ptrs_.push_back(v.get());
+    return view_ptrs_;
+  }
+
+  void run_epoch(std::uint64_t epoch) {
+    const SimTime start = network_->simulator().now();
+    fds_->schedule_epoch(epoch, start);
+    network_->simulator().run_until(start + SimTime::millis(800));
+  }
+
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<MembershipView>> views_;
+  std::vector<MembershipView*> view_ptrs_;
+  std::unique_ptr<FdsService> fds_;
+};
+
+TEST_F(FdsFixture, QuietEpochProducesEmptyUpdateEverywhereReceived) {
+  int updates_applied = 0;
+  fds_->hooks().on_update_applied = [&](NodeId, const HealthUpdatePayload& u) {
+    EXPECT_TRUE(u.newly_failed.empty());
+    EXPECT_FALSE(u.takeover);
+    ++updates_applied;
+  };
+  run_epoch(0);
+  EXPECT_EQ(updates_applied, kN - 1);  // every member, not the CH itself
+  for (FdsAgent* agent : fds_->agents()) {
+    EXPECT_TRUE(agent->got_scheduled_update()) << agent->id();
+  }
+}
+
+TEST_F(FdsFixture, CrashedMemberDetectedInOneExecution) {
+  network_->crash(NodeId{5});
+  std::vector<NodeId> detected;
+  fds_->hooks().on_detection = [&](NodeId decider, std::uint64_t,
+                                   const std::vector<NodeId>& failed,
+                                   bool by_deputy) {
+    EXPECT_EQ(decider, NodeId{0});
+    EXPECT_FALSE(by_deputy);
+    detected = failed;
+  };
+  run_epoch(0);
+  ASSERT_EQ(detected.size(), 1u);
+  EXPECT_EQ(detected[0], NodeId{5});
+  // Every surviving member learned and pruned its view.
+  for (FdsAgent* agent : fds_->agents()) {
+    if (agent->id() == NodeId{5}) continue;
+    EXPECT_TRUE(agent->log().knows(NodeId{5}));
+    EXPECT_FALSE(agent->view().cluster()->is_member(NodeId{5}));
+  }
+}
+
+TEST_F(FdsFixture, DetectedNodeIsNotReDetected) {
+  network_->crash(NodeId{5});
+  int detections = 0;
+  fds_->hooks().on_detection = [&](NodeId, std::uint64_t,
+                                   const std::vector<NodeId>&,
+                                   bool) { ++detections; };
+  run_epoch(0);
+  run_epoch(1);
+  run_epoch(2);
+  EXPECT_EQ(detections, 1);  // removed from the expected set after epoch 0
+}
+
+TEST_F(FdsFixture, ClusterheadCrashYieldsTakeoverByPrimaryDeputy) {
+  network_->crash(NodeId{0});
+  NodeId takeover_by = NodeId::invalid();
+  fds_->hooks().on_takeover = [&](NodeId deputy, NodeId old_ch,
+                                  std::uint64_t) {
+    takeover_by = deputy;
+    EXPECT_EQ(old_ch, NodeId{0});
+  };
+  run_epoch(0);
+  EXPECT_EQ(takeover_by, NodeId{1});  // highest-ranked DCH
+  for (FdsAgent* agent : fds_->agents()) {
+    if (agent->id() == NodeId{0}) continue;
+    EXPECT_EQ(agent->view().cluster()->clusterhead, NodeId{1}) << agent->id();
+    EXPECT_TRUE(agent->log().knows(NodeId{0}));
+  }
+  // The new CH runs subsequent executions: crash another member.
+  network_->crash(NodeId{6});
+  bool detected_by_new_ch = false;
+  fds_->hooks().on_detection = [&](NodeId decider, std::uint64_t,
+                                   const std::vector<NodeId>& failed, bool) {
+    if (decider == NodeId{1} && failed == std::vector<NodeId>{NodeId{6}}) {
+      detected_by_new_ch = true;
+    }
+  };
+  run_epoch(1);
+  EXPECT_TRUE(detected_by_new_ch);
+}
+
+TEST_F(FdsFixture, SecondDeputyTakesOverWhenChAndFirstDeputyDie) {
+  // Feature F2's ranked redundancy: CH (0) and the primary deputy (1) die
+  // in the same interval; the rank-2 deputy (2) must still take over.
+  network_->crash(NodeId{0});
+  network_->crash(NodeId{1});
+  NodeId takeover_by = NodeId::invalid();
+  fds_->hooks().on_takeover = [&](NodeId deputy, NodeId, std::uint64_t) {
+    takeover_by = deputy;
+  };
+  run_epoch(0);
+  EXPECT_EQ(takeover_by, NodeId{2});
+  for (FdsAgent* agent : fds_->agents()) {
+    if (agent->id() == NodeId{0} || agent->id() == NodeId{1}) continue;
+    EXPECT_EQ(agent->view().cluster()->clusterhead, NodeId{2}) << agent->id();
+    EXPECT_TRUE(agent->log().knows(NodeId{0}));
+  }
+  // The dead primary deputy is detected by the new CH next epoch.
+  run_epoch(1);
+  FdsAgent& new_ch = fds_->agent_for(NodeId{2});
+  EXPECT_TRUE(new_ch.log().knows(NodeId{1}));
+}
+
+TEST_F(FdsFixture, LowerDeputyStandsDownWhenPrimaryActs) {
+  network_->crash(NodeId{0});
+  std::vector<NodeId> takeovers;
+  fds_->hooks().on_takeover = [&](NodeId deputy, NodeId, std::uint64_t) {
+    takeovers.push_back(deputy);
+  };
+  run_epoch(0);
+  // Exactly one takeover, by the primary; rank 2 heard the announcement.
+  ASSERT_EQ(takeovers.size(), 1u);
+  EXPECT_EQ(takeovers[0], NodeId{1});
+}
+
+TEST(FdsAdmission, UnmarkedHeartbeatTriggersAdmission) {
+  // A replenishment node lands inside a cluster, unmarked: its heartbeat is
+  // a membership subscription (feature F5) and the CH admits it.
+  NetworkConfig net_config;
+  net_config.seed = 13;
+  Network network(net_config, std::make_unique<PerfectLinks>());
+  network.add_node({0.0, 0.0});  // CH
+  for (int i = 1; i < 8; ++i) {
+    const double angle = 2.0 * M_PI * double(i) / 7.0;
+    network.add_node({60.0 * std::cos(angle), 60.0 * std::sin(angle)});
+  }
+  Node& newcomer = network.add_node({30.0, 10.0});  // NID 8, unmarked
+
+  std::vector<std::unique_ptr<MembershipView>> views;
+  std::vector<MembershipView*> ptrs;
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    views.push_back(std::make_unique<MembershipView>(NodeId{i}));
+    ptrs.push_back(views.back().get());
+  }
+  FdsConfig config;
+  config.heartbeat_interval = SimTime::millis(800);
+  FdsService fds(network, ptrs, config);
+  // The installed cluster covers only nodes 0..7.
+  ClusterDirectory::single_cluster(8).install(network, ptrs);
+
+  EXPECT_FALSE(newcomer.marked());
+  fds.schedule_epoch(0, SimTime::zero());
+  network.simulator().run_until(SimTime::millis(800));
+
+  EXPECT_TRUE(newcomer.marked());
+  FdsAgent& agent = fds.agent_for(newcomer.id());
+  ASSERT_TRUE(agent.view().affiliated());
+  EXPECT_EQ(agent.view().cluster()->clusterhead, NodeId{0});
+  EXPECT_TRUE(views[0]->cluster()->is_member(newcomer.id()));
+}
+
+TEST_F(FdsFixture, WaitingPeriodsAreUniqueAndBounded) {
+  const SimTime t_hop = SimTime::millis(100);
+  std::set<std::int64_t> seen;
+  for (std::uint32_t nid = 0; nid < 500; ++nid) {
+    const SimTime w = peer_waiting_period(NodeId{nid}, 1.0, t_hop);
+    EXPECT_GT(w.as_micros(), 0);
+    EXPECT_LT(w, t_hop);
+    seen.insert(w.as_micros());
+  }
+  // NID-derived spreading: collisions only via the microsecond rounding of
+  // the timer (birthday bound ~1-2 for 500 draws over ~92k slots).
+  EXPECT_GE(seen.size(), 497u);
+}
+
+TEST_F(FdsFixture, WaitingPeriodStretchesWhenEnergyDepleted) {
+  const SimTime t_hop = SimTime::millis(100);
+  const NodeId node{42};
+  EXPECT_LT(peer_waiting_period(node, 1.0, t_hop),
+            peer_waiting_period(node, 0.2, t_hop));
+}
+
+// Peer forwarding: block the direct CH->member delivery for one node by
+// using a loss model that targets it, then verify the request/forward/ack
+// machinery recovers the update.
+class TargetedLoss final : public LossModel {
+ public:
+  explicit TargetedLoss(NodeId victim) : victim_(victim) {}
+  bool lost(NodeId sender, Vec2, NodeId receiver, Vec2, Rng&) override {
+    // Drop exactly the CH's frames to the victim (heartbeats, digests and
+    // the R-3 update) — peers must fill the gap.
+    return sender == NodeId{0} && receiver == victim_;
+  }
+
+ private:
+  NodeId victim_;
+};
+
+TEST(FdsPeerForwarding, MissedUpdateRecoveredViaRequest) {
+  NetworkConfig net_config;
+  net_config.seed = 31;
+  const NodeId victim{4};
+  Network network(net_config, std::make_unique<TargetedLoss>(victim));
+  network.add_node({0.0, 0.0});
+  for (int i = 1; i < 8; ++i) {
+    const double angle = 2.0 * M_PI * double(i) / 7.0;
+    network.add_node({50.0 * std::cos(angle), 50.0 * std::sin(angle)});
+  }
+  std::vector<std::unique_ptr<MembershipView>> views;
+  std::vector<MembershipView*> ptrs;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    views.push_back(std::make_unique<MembershipView>(NodeId{i}));
+    ptrs.push_back(views.back().get());
+  }
+  FdsConfig config;
+  config.heartbeat_interval = SimTime::millis(800);
+  FdsService fds(network, ptrs, config);
+  ClusterDirectory::single_cluster(8).install(network, ptrs);
+
+  fds.schedule_epoch(0, SimTime::zero());
+  network.simulator().run_until(SimTime::millis(800));
+  EXPECT_TRUE(fds.agent_for(victim).got_scheduled_update());
+
+  // And with peer forwarding disabled, the victim stays dark.
+  FdsConfig no_pf = config;
+  no_pf.peer_forwarding = false;
+  Network network2(net_config, std::make_unique<TargetedLoss>(victim));
+  network2.add_node({0.0, 0.0});
+  for (int i = 1; i < 8; ++i) {
+    const double angle = 2.0 * M_PI * double(i) / 7.0;
+    network2.add_node({50.0 * std::cos(angle), 50.0 * std::sin(angle)});
+  }
+  std::vector<std::unique_ptr<MembershipView>> views2;
+  std::vector<MembershipView*> ptrs2;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    views2.push_back(std::make_unique<MembershipView>(NodeId{i}));
+    ptrs2.push_back(views2.back().get());
+  }
+  FdsService fds2(network2, ptrs2, no_pf);
+  ClusterDirectory::single_cluster(8).install(network2, ptrs2);
+  fds2.schedule_epoch(0, SimTime::zero());
+  network2.simulator().run_until(SimTime::millis(800));
+  EXPECT_FALSE(fds2.agent_for(victim).got_scheduled_update());
+}
+
+}  // namespace
+}  // namespace cfds

@@ -1,0 +1,126 @@
+// Analytic measures (Section 5): closed forms vs the paper's double sums,
+// and the quantitative statements the paper makes about Figures 5-7.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/figures.h"
+#include "common/geometry.h"
+
+namespace cfds::analysis {
+namespace {
+
+class FigureGrid : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  [[nodiscard]] double p() const { return sweep_p(std::get<0>(GetParam())); }
+  [[nodiscard]] int n() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(FigureGrid, Fig5ClosedFormMatchesPaperSum) {
+  const double closed = false_detection_upper_bound(p(), n());
+  const double sum = false_detection_upper_bound_sum(p(), n());
+  EXPECT_NEAR(std::log(sum), std::log(closed), 1e-9);
+}
+
+TEST_P(FigureGrid, Fig6ClosedFormMatchesPaperSum) {
+  const double closed = false_detection_on_ch(p(), n());
+  const double sum = false_detection_on_ch_sum(p(), n());
+  EXPECT_NEAR(std::log(sum), std::log(closed), 1e-9);
+}
+
+TEST_P(FigureGrid, Fig7ClosedFormMatchesPaperSum) {
+  const double closed = incompleteness_upper_bound(p(), n());
+  const double sum = incompleteness_upper_bound_sum(p(), n());
+  EXPECT_NEAR(std::log(sum), std::log(closed), 1e-9);
+}
+
+TEST_P(FigureGrid, MoreNodesNeverHurt) {
+  // All three measures decrease in N for fixed p (more redundancy).
+  EXPECT_LE(false_detection_upper_bound(p(), n() + 25),
+            false_detection_upper_bound(p(), n()));
+  EXPECT_LE(false_detection_on_ch(p(), n() + 25),
+            false_detection_on_ch(p(), n()));
+  EXPECT_LE(incompleteness_upper_bound(p(), n() + 25),
+            incompleteness_upper_bound(p(), n()));
+}
+
+TEST_P(FigureGrid, MeasuresAreProbabilities) {
+  for (double value :
+       {false_detection_upper_bound(p(), n()), false_detection_on_ch(p(), n()),
+        incompleteness_upper_bound(p(), n())}) {
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FigureGrid,
+    ::testing::Combine(::testing::Range(0, sweep_points()),
+                       ::testing::Values(50, 75, 100)));
+
+TEST(Figures, WorstCaseQMatchesLensGeometry) {
+  // q = An/Au with An the equal-radius lens at distance R.
+  const double r = 100.0;
+  const double q_geo = worst_case_overlap_area(r) / (M_PI * r * r);
+  EXPECT_NEAR(worst_case_q(), q_geo, 1e-12);
+  EXPECT_NEAR(worst_case_q(), 2.0 / 3.0 - std::sqrt(3.0) / (2.0 * M_PI),
+              1e-15);
+}
+
+TEST(Figures, MonotoneIncreasingInLossProbability) {
+  for (int n : {50, 75, 100}) {
+    for (int i = 0; i + 1 < sweep_points(); ++i) {
+      const double p0 = sweep_p(i);
+      const double p1 = sweep_p(i + 1);
+      EXPECT_LT(false_detection_upper_bound(p0, n),
+                false_detection_upper_bound(p1, n));
+      EXPECT_LT(false_detection_on_ch(p0, n), false_detection_on_ch(p1, n));
+      EXPECT_LT(incompleteness_upper_bound(p0, n),
+                incompleteness_upper_bound(p1, n));
+    }
+  }
+}
+
+// The paper's explicit quantitative reading of Figure 6 (Section 5.1).
+TEST(Figures, PaperStatementsAboutFig6) {
+  // "below 1e-6 even when N drops to 50" at p = 0.5.
+  EXPECT_LT(false_detection_on_ch(0.5, 50), 1e-6);
+  // "practically negligible or extremely low when p is below 0.25".
+  EXPECT_LT(false_detection_on_ch(0.25, 50), 1e-18);
+  // The DCH is *less* likely to false-detect the CH than the CH is to
+  // false-detect a circumference member (the paper's Section 5.1
+  // comparison of Figures 5 and 6).
+  for (int n : {50, 75, 100}) {
+    for (int i = 0; i < sweep_points(); ++i) {
+      const double p = sweep_p(i);
+      EXPECT_LT(false_detection_on_ch(p, n),
+                false_detection_upper_bound(p, n));
+    }
+  }
+}
+
+// Figure 5's visible range: top curve (N=50) stays "very reasonable";
+// dense clusters reach deep suppression at small p.
+TEST(Figures, PaperStatementsAboutFig5) {
+  EXPECT_LT(false_detection_upper_bound(0.5, 50), 5e-3);
+  EXPECT_LT(false_detection_upper_bound(0.5, 100), 5e-5);
+  EXPECT_LT(false_detection_upper_bound(0.05, 100), 1e-18);
+  EXPECT_GT(false_detection_upper_bound(0.05, 100), 1e-25);  // axis floor
+}
+
+// Figure 7: completeness robust against loss; greater N = smaller measure
+// but steeper sensitivity to p (the paper's Section 5.2 observation).
+TEST(Figures, PaperStatementsAboutFig7) {
+  EXPECT_LT(incompleteness_upper_bound(0.05, 100), 1e-15);
+  EXPECT_LT(incompleteness_upper_bound(0.5, 100),
+            incompleteness_upper_bound(0.5, 50));
+  const double ratio_n100 = incompleteness_upper_bound(0.5, 100) /
+                            incompleteness_upper_bound(0.05, 100);
+  const double ratio_n50 = incompleteness_upper_bound(0.5, 50) /
+                           incompleteness_upper_bound(0.05, 50);
+  EXPECT_GT(ratio_n100, ratio_n50);  // steeper sensitivity at larger N
+}
+
+}  // namespace
+}  // namespace cfds::analysis

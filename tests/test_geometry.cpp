@@ -1,0 +1,112 @@
+// Unit tests for src/common/geometry: lens areas, triple intersections,
+// quadrature.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+
+namespace cfds {
+namespace {
+
+TEST(Geometry, DistanceAndRange) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_TRUE(within_range({0, 0}, {3, 4}, 5.0));   // closed ball
+  EXPECT_FALSE(within_range({0, 0}, {3, 4}, 4.99));
+}
+
+TEST(Geometry, DiskContains) {
+  const Disk d{{1.0, 1.0}, 2.0};
+  EXPECT_TRUE(d.contains({1.0, 1.0}));
+  EXPECT_TRUE(d.contains({3.0, 1.0}));  // boundary
+  EXPECT_FALSE(d.contains({3.5, 1.0}));
+  EXPECT_DOUBLE_EQ(d.area(), 4.0 * M_PI);
+}
+
+TEST(Geometry, LensDegenerateCases) {
+  const Disk a{{0, 0}, 1.0};
+  EXPECT_DOUBLE_EQ(lens_area(a, Disk{{3, 0}, 1.0}), 0.0);      // disjoint
+  EXPECT_DOUBLE_EQ(lens_area(a, Disk{{2, 0}, 1.0}), 0.0);      // tangent
+  EXPECT_DOUBLE_EQ(lens_area(a, Disk{{0, 0}, 5.0}), M_PI);     // nested
+  EXPECT_NEAR(lens_area(a, a), M_PI, 1e-12);                   // identical
+}
+
+TEST(Geometry, LensAtEqualRadiiDistanceR) {
+  // The paper's An: 2*pi*R^2/3 - sqrt(3)/2 * R^2.
+  const double r = 100.0;
+  const double expected = 2.0 * M_PI * r * r / 3.0 -
+                          std::sqrt(3.0) / 2.0 * r * r;
+  EXPECT_NEAR(worst_case_overlap_area(r), expected, 1e-6);
+  EXPECT_NEAR(worst_case_overlap_fraction(),
+              worst_case_overlap_area(r) / (M_PI * r * r), 1e-12);
+}
+
+TEST(Geometry, LensIsSymmetric) {
+  const Disk a{{0, 0}, 2.0};
+  const Disk b{{1.5, 0.7}, 1.2};
+  EXPECT_NEAR(lens_area(a, b), lens_area(b, a), 1e-12);
+}
+
+TEST(Geometry, LensMatchesMonteCarlo) {
+  const Disk a{{0, 0}, 2.0};
+  const Disk b{{1.0, 0.5}, 1.5};
+  Rng rng(11);
+  int inside = 0;
+  const int trials = 400000;
+  for (int i = 0; i < trials; ++i) {
+    // Sample in a's bounding box.
+    const Vec2 pt{rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)};
+    if (a.contains(pt) && b.contains(pt)) ++inside;
+  }
+  const double mc = 16.0 * double(inside) / double(trials);
+  EXPECT_NEAR(lens_area(a, b), mc, 0.05);
+}
+
+TEST(Geometry, TripleIntersectionReducesToLens) {
+  // Third disk engulfing the other two: triple == pairwise lens.
+  const Disk a{{0, 0}, 1.0};
+  const Disk b{{1.0, 0}, 1.0};
+  const Disk huge{{0.5, 0}, 50.0};
+  EXPECT_NEAR(triple_intersection_area(a, b, huge), lens_area(a, b), 1e-5);
+}
+
+TEST(Geometry, TripleIntersectionEmptyWhenDisjoint) {
+  const Disk a{{0, 0}, 1.0};
+  const Disk b{{10, 0}, 1.0};
+  const Disk c{{5, 5}, 1.0};
+  EXPECT_NEAR(triple_intersection_area(a, b, c), 0.0, 1e-9);
+}
+
+TEST(Geometry, TripleIntersectionMatchesMonteCarlo) {
+  const Disk a{{0, 0}, 2.0};
+  const Disk b{{1.5, 0.0}, 2.0};
+  const Disk c{{0.7, 1.2}, 1.5};
+  Rng rng(13);
+  int inside = 0;
+  const int trials = 400000;
+  for (int i = 0; i < trials; ++i) {
+    const Vec2 pt{rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)};
+    if (a.contains(pt) && b.contains(pt) && c.contains(pt)) ++inside;
+  }
+  const double mc = 16.0 * double(inside) / double(trials);
+  EXPECT_NEAR(triple_intersection_area(a, b, c), mc, 0.05);
+}
+
+TEST(Geometry, QuadratureExactOnPolynomials) {
+  EXPECT_NEAR(integrate([](double x) { return x * x; }, 0.0, 3.0), 9.0, 1e-9);
+  EXPECT_NEAR(integrate([](double x) { return std::sin(x); }, 0.0, M_PI), 2.0,
+              1e-9);
+  EXPECT_DOUBLE_EQ(integrate([](double) { return 1.0; }, 2.0, 2.0), 0.0);
+}
+
+TEST(Geometry, QuadratureHandlesSharpFeatures) {
+  // Semi-circle area via sqrt integrand (infinite derivative at endpoints).
+  const double val =
+      integrate([](double x) { return std::sqrt(1.0 - x * x); }, -1.0, 1.0);
+  EXPECT_NEAR(val, M_PI / 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace cfds

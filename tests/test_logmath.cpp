@@ -1,0 +1,102 @@
+// Unit tests for src/common/logmath: log-space combinatorics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logmath.h"
+
+namespace cfds {
+namespace {
+
+TEST(LogMath, FactorialSmallValues) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogMath, BinomialCoefficients) {
+  EXPECT_NEAR(log_binomial_coefficient(10, 0), 0.0, 1e-10);
+  EXPECT_NEAR(log_binomial_coefficient(10, 10), 0.0, 1e-10);
+  EXPECT_NEAR(log_binomial_coefficient(10, 3), std::log(120.0), 1e-9);
+  EXPECT_NEAR(log_binomial_coefficient(52, 5), std::log(2598960.0), 1e-8);
+}
+
+TEST(LogMath, PascalIdentityHolds) {
+  for (int n = 2; n <= 60; n += 7) {
+    for (int k = 1; k < n; ++k) {
+      const double lhs = log_binomial_coefficient(n, k);
+      const double rhs = log_sum_exp(log_binomial_coefficient(n - 1, k - 1),
+                                     log_binomial_coefficient(n - 1, k));
+      ASSERT_NEAR(lhs, rhs, 1e-9) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(LogMath, SafeLogHandlesZero) {
+  EXPECT_TRUE(std::isinf(safe_log(0.0)));
+  EXPECT_LT(safe_log(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(safe_log(-1.0)));
+  EXPECT_NEAR(safe_log(std::exp(1.0)), 1.0, 1e-12);
+}
+
+TEST(LogMath, LogSumExpPairs) {
+  EXPECT_NEAR(log_sum_exp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(log_sum_exp(ninf, std::log(3.0)), std::log(3.0), 1e-12);
+  EXPECT_TRUE(std::isinf(log_sum_exp(ninf, ninf)));
+}
+
+TEST(LogMath, LogSumExpExtremeMagnitudes) {
+  // exp(-1000) + exp(-1001) evaluated without underflow.
+  const double result = log_sum_exp(-1000.0, -1001.0);
+  EXPECT_NEAR(result, -1000.0 + std::log1p(std::exp(-1.0)), 1e-12);
+}
+
+TEST(LogMath, LogSumExpSpan) {
+  const std::vector<double> terms{std::log(1.0), std::log(2.0), std::log(3.0)};
+  EXPECT_NEAR(log_sum_exp(terms), std::log(6.0), 1e-12);
+  EXPECT_TRUE(std::isinf(log_sum_exp(std::span<const double>{})));
+}
+
+TEST(LogMath, BinomialPmfSumsToOne) {
+  for (double p : {0.05, 0.3, 0.7}) {
+    std::vector<double> terms;
+    for (int k = 0; k <= 40; ++k) terms.push_back(log_binomial_pmf(40, k, p));
+    EXPECT_NEAR(log_sum_exp(terms), 0.0, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(LogMath, BinomialPmfEndpoints) {
+  EXPECT_NEAR(log_binomial_pmf(10, 0, 0.0), 0.0, 1e-12);   // certain
+  EXPECT_NEAR(log_binomial_pmf(10, 10, 1.0), 0.0, 1e-12);  // certain
+  EXPECT_TRUE(std::isinf(log_binomial_pmf(10, 11, 0.5)));  // impossible
+  EXPECT_TRUE(std::isinf(log_binomial_pmf(10, -1, 0.5)));
+}
+
+TEST(LogMath, Log1mExpAccuracy) {
+  // log(1 - exp(x)) across both branches of Maechler's algorithm. For
+  // moderate x the naive evaluation is an accurate reference ...
+  for (double x : {-0.1, -0.5, -1.0, -10.0, -100.0}) {
+    const double expected = std::log1p(-std::exp(x));
+    EXPECT_NEAR(log1m_exp(x), expected, 1e-10) << "x=" << x;
+  }
+  // ... while for tiny |x| the naive form loses precision — the whole point
+  // of the algorithm — so compare against the series 1 - exp(x) ~ -x.
+  EXPECT_NEAR(log1m_exp(-1e-10), std::log(1e-10), 1e-9);
+  EXPECT_NEAR(log1m_exp(-1e-14), std::log(1e-14), 1e-9);
+  EXPECT_TRUE(std::isinf(log1m_exp(0.0)));
+}
+
+TEST(LogMath, CiShrinksWithTrials) {
+  const double wide = binomial_ci99_halfwidth(50, 100);
+  const double narrow = binomial_ci99_halfwidth(5000, 10000);
+  EXPECT_LT(narrow, wide);
+  EXPECT_GT(wide, 0.0);
+}
+
+}  // namespace
+}  // namespace cfds

@@ -1,0 +1,107 @@
+// Tests for the metrics layer and the failure log.
+
+#include <gtest/gtest.h>
+
+#include "fds/failure_log.h"
+#include "sim/scenario.h"
+
+namespace cfds {
+namespace {
+
+TEST(FailureLog, RecordIsMonotoneAndKeepsEarliest) {
+  FailureLog log;
+  EXPECT_TRUE(log.record(NodeId{5}, {SimTime::seconds(1), 1, NodeId{0}}));
+  EXPECT_FALSE(log.record(NodeId{5}, {SimTime::seconds(9), 9, NodeId{2}}));
+  ASSERT_NE(log.entry(NodeId{5}), nullptr);
+  EXPECT_EQ(log.entry(NodeId{5})->learned_at, SimTime::seconds(1));
+  EXPECT_EQ(log.entry(NodeId{5})->reported_by, NodeId{0});
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(FailureLog, KnownFailedIsSorted) {
+  FailureLog log;
+  log.record(NodeId{9}, {});
+  log.record(NodeId{2}, {});
+  log.record(NodeId{5}, {});
+  EXPECT_EQ(log.known_failed(),
+            (std::vector<NodeId>{NodeId{2}, NodeId{5}, NodeId{9}}));
+  EXPECT_TRUE(log.knows(NodeId{2}));
+  EXPECT_FALSE(log.knows(NodeId{3}));
+  EXPECT_EQ(log.entry(NodeId{3}), nullptr);
+}
+
+TEST(Metrics, DetectionEventsCarryGroundTruth) {
+  ScenarioConfig config;
+  config.width = 500.0;
+  config.height = 350.0;
+  config.node_count = 250;
+  config.loss_p = 0.0;
+  config.seed = 3;
+  Scenario scenario(config);
+  scenario.setup();
+  scenario.run_epochs(1);
+
+  NodeId victim = NodeId::invalid();
+  for (MembershipView* view : scenario.views()) {
+    if (view->role() == Role::kOrdinaryMember) {
+      victim = view->self();
+      break;
+    }
+  }
+  scenario.network().crash(victim);
+  scenario.run_epochs(2);
+
+  ASSERT_FALSE(scenario.metrics().detections().empty());
+  const auto first = scenario.metrics().first_detection(victim);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->suspect, victim);
+  EXPECT_FALSE(first->suspect_was_alive);
+  EXPECT_EQ(scenario.metrics().true_detections(), 1u);
+  EXPECT_EQ(scenario.metrics().false_detections(), 0u);
+
+  // Detection latency: within one heartbeat interval of the crash.
+  EXPECT_LE(first->when - config.heartbeat_interval,
+            scenario.network().simulator().now());
+}
+
+TEST(Metrics, CoverageCountsOnlyEligibleObservers) {
+  ScenarioConfig config;
+  config.width = 400.0;
+  config.height = 300.0;
+  config.node_count = 150;
+  config.loss_p = 0.0;
+  config.seed = 3;
+  Scenario scenario(config);
+  scenario.setup();
+  // Nobody crashed yet: coverage of an unknown failure is 0.
+  EXPECT_EQ(knowledge_coverage(scenario.fds(), scenario.network(), NodeId{0}),
+            0.0);
+}
+
+TEST(Metrics, TrafficTotalsAggregate) {
+  ScenarioConfig config;
+  config.width = 400.0;
+  config.height = 300.0;
+  config.node_count = 100;
+  config.loss_p = 0.0;
+  config.seed = 3;
+  Scenario scenario(config);
+  scenario.setup();
+  const auto before = traffic_totals(scenario.network());
+  scenario.run_epochs(1);
+  const auto after = traffic_totals(scenario.network());
+  // At least one heartbeat, one digest and one update per affiliated node.
+  EXPECT_GT(after.frames, before.frames + 2 * 100);
+  EXPECT_GT(after.bytes, before.bytes);
+}
+
+TEST(Metrics, ClearResetsEvents) {
+  MetricsCollector collector;
+  EXPECT_TRUE(collector.detections().empty());
+  collector.clear();
+  EXPECT_TRUE(collector.detections().empty());
+  EXPECT_EQ(collector.true_detections(), 0u);
+}
+
+}  // namespace
+}  // namespace cfds

@@ -1,0 +1,171 @@
+// Tests for random-waypoint mobility and the FDS's re-affiliation behaviour
+// under host migration (the extension Section 2.1 argues the framework
+// accommodates).
+
+#include <gtest/gtest.h>
+
+#include "net/mobility.h"
+#include "net/topology.h"
+#include "sim/scenario.h"
+
+namespace cfds {
+namespace {
+
+TEST(Mobility, NodesStayInBoundsAndAccumulateDistance) {
+  NetworkConfig net_config;
+  net_config.seed = 3;
+  Network network(net_config, std::make_unique<PerfectLinks>());
+  Rng placement(3);
+  network.add_nodes(uniform_rect(40, 200.0, 150.0, placement));
+
+  WaypointConfig config;
+  config.width = 200.0;
+  config.height = 150.0;
+  config.min_speed_mps = 2.0;
+  config.max_speed_mps = 4.0;
+  config.pause = SimTime::zero();
+  RandomWaypointMobility mobility(network, config, Rng(9));
+  mobility.run(SimTime::zero(), SimTime::seconds(60));
+  network.simulator().run_to_completion();
+
+  for (const Node* node : network.nodes()) {
+    EXPECT_GE(node->position().x, 0.0);
+    EXPECT_LE(node->position().x, 200.0);
+    EXPECT_GE(node->position().y, 0.0);
+    EXPECT_LE(node->position().y, 150.0);
+  }
+  // 40 nodes * ~3 m/s * 60 s ~ 7200 m (pauses only at waypoint arrivals).
+  EXPECT_GT(mobility.total_distance(), 3000.0);
+  EXPECT_LT(mobility.total_distance(), 15000.0);
+}
+
+TEST(Mobility, CrashedNodesFreeze) {
+  NetworkConfig net_config;
+  net_config.seed = 4;
+  Network network(net_config, std::make_unique<PerfectLinks>());
+  network.add_node({50.0, 50.0});
+
+  WaypointConfig config;
+  config.width = 200.0;
+  config.height = 150.0;
+  RandomWaypointMobility mobility(network, config, Rng(11));
+  network.crash(NodeId{0});
+  mobility.run(SimTime::zero(), SimTime::seconds(30));
+  network.simulator().run_to_completion();
+  EXPECT_EQ(network.node(NodeId{0}).position(), (Vec2{50.0, 50.0}));
+  EXPECT_DOUBLE_EQ(mobility.total_distance(), 0.0);
+}
+
+TEST(Mobility, PauseDelaysDeparture) {
+  NetworkConfig net_config;
+  net_config.seed = 5;
+  Network network(net_config, std::make_unique<PerfectLinks>());
+  network.add_node({10.0, 10.0});
+  WaypointConfig config;
+  config.width = 20.0;
+  config.height = 20.0;  // waypoints arrive quickly in a tiny field
+  config.min_speed_mps = 10.0;
+  config.max_speed_mps = 10.0;
+  config.pause = SimTime::seconds(1000);  // effectively parks after 1st leg
+  RandomWaypointMobility slow(network, config, Rng(13));
+  slow.run(SimTime::zero(), SimTime::seconds(20));
+  network.simulator().run_to_completion();
+  // Total distance bounded by the first leg (< field diagonal).
+  EXPECT_LT(slow.total_distance(), 30.0);
+}
+
+TEST(Mobility, DriftingMemberReaffiliatesViaSubscription) {
+  // A member walks away from its cluster into another's territory: after
+  // reaffiliate_after_missed quiet epochs it unmarks and the neighbouring
+  // CH admits it (F5) — no formation rerun needed.
+  ScenarioConfig config;
+  config.width = 600.0;
+  config.height = 200.0;
+  config.node_count = 180;
+  config.loss_p = 0.0;
+  config.seed = 17;
+  Scenario scenario(config);
+  scenario.setup();
+  scenario.run_epochs(1);
+
+  // Find a member and a clusterhead far from it.
+  NodeId wanderer = NodeId::invalid();
+  for (MembershipView* view : scenario.views()) {
+    if (view->role() == Role::kOrdinaryMember) {
+      wanderer = view->self();
+      break;
+    }
+  }
+  ASSERT_TRUE(wanderer.is_valid());
+  const ClusterId old_cluster =
+      scenario.views()[wanderer.value()]->cluster()->id;
+  NodeId far_ch = NodeId::invalid();
+  for (MembershipView* view : scenario.views()) {
+    if (view->is_clusterhead() &&
+        distance(scenario.network().node(view->self()).position(),
+                 scenario.network().node(wanderer).position()) > 300.0) {
+      far_ch = view->self();
+    }
+  }
+  ASSERT_TRUE(far_ch.is_valid());
+
+  // Teleport the wanderer next to the far CH (an extreme migration step).
+  scenario.network().node(wanderer).radio().set_position(
+      scenario.network().node(far_ch).position() + Vec2{5.0, 5.0});
+
+  scenario.run_epochs(6);  // misses 3 updates, unmarks, re-subscribes
+
+  const MembershipView& view = *scenario.views()[wanderer.value()];
+  ASSERT_TRUE(view.affiliated());
+  EXPECT_NE(view.cluster()->id, old_cluster);
+  EXPECT_TRUE(scenario.network().node(wanderer).marked());
+  // The new CH expects it now.
+  bool expected_by_new_ch = false;
+  for (MembershipView* v : scenario.views()) {
+    if (v->is_clusterhead() && v->cluster()->id == view.cluster()->id) {
+      expected_by_new_ch = v->cluster()->is_member(wanderer);
+    }
+  }
+  EXPECT_TRUE(expected_by_new_ch);
+}
+
+TEST(Mobility, SlowMotionKeepsServiceFunctional) {
+  // Pedestrian-speed drift across 12 executions: affiliation stays high and
+  // a genuine crash is still detected and spread.
+  ScenarioConfig config;
+  config.width = 550.0;
+  config.height = 400.0;
+  config.node_count = 300;
+  config.loss_p = 0.05;
+  config.seed = 23;
+  Scenario scenario(config);
+  scenario.setup();
+
+  WaypointConfig wp;
+  wp.width = 550.0;
+  wp.height = 400.0;
+  wp.min_speed_mps = 0.5;
+  wp.max_speed_mps = 1.5;
+  RandomWaypointMobility mobility(scenario.network(), wp, Rng(29));
+  mobility.run(SimTime::zero(), SimTime::seconds(2 * 14));
+
+  scenario.run_epochs(6);
+  NodeId victim = NodeId::invalid();
+  for (MembershipView* view : scenario.views()) {
+    if (view->role() == Role::kOrdinaryMember &&
+        scenario.network().node(view->self()).alive()) {
+      victim = view->self();
+      break;
+    }
+  }
+  scenario.network().crash(victim);
+  scenario.run_epochs(6);
+
+  ASSERT_TRUE(scenario.metrics().first_detection(victim).has_value());
+  EXPECT_GT(scenario.affiliation_rate(), 0.9);
+  EXPECT_GT(knowledge_coverage(scenario.fds(), scenario.network(), victim),
+            0.8);
+}
+
+}  // namespace
+}  // namespace cfds

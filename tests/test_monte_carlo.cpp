@@ -1,0 +1,149 @@
+// Monte-Carlo cross-validation of the analytic measures (Section 5):
+// the semantic estimators and the full protocol stack must reproduce the
+// closed forms wherever the probabilities are large enough to sample.
+
+#include <gtest/gtest.h>
+
+#include "analysis/figures.h"
+#include "sim/fast_mc.h"
+#include "sim/single_cluster.h"
+
+namespace cfds {
+namespace {
+
+class FastMcGrid : public ::testing::TestWithParam<std::tuple<double, int>> {
+ protected:
+  [[nodiscard]] double p() const { return std::get<0>(GetParam()); }
+  [[nodiscard]] int n() const { return std::get<1>(GetParam()); }
+  [[nodiscard]] FastMcConfig config() const {
+    FastMcConfig c;
+    c.p = p();
+    c.n = n();
+    return c;
+  }
+};
+
+TEST_P(FastMcGrid, Fig5SemanticMcMatchesAnalytic) {
+  Rng rng(101);
+  const auto estimate = mc_false_detection(config(), 400000, rng);
+  EXPECT_TRUE(estimate.consistent_with(
+      analysis::false_detection_upper_bound(p(), n())))
+      << estimate.estimate() << " vs "
+      << analysis::false_detection_upper_bound(p(), n());
+}
+
+TEST_P(FastMcGrid, Fig7SemanticMcMatchesAnalytic) {
+  Rng rng(103);
+  const auto estimate = mc_incompleteness(config(), 400000, rng);
+  EXPECT_TRUE(estimate.consistent_with(
+      analysis::incompleteness_upper_bound(p(), n())))
+      << estimate.estimate() << " vs "
+      << analysis::incompleteness_upper_bound(p(), n());
+}
+
+INSTANTIATE_TEST_SUITE_P(HighLossRegion, FastMcGrid,
+                         ::testing::Combine(::testing::Values(0.3, 0.4, 0.5),
+                                            ::testing::Values(20, 50)));
+
+TEST(FastMc, Fig6SemanticMcMatchesAnalyticAtSampleablePoint) {
+  // Figure 6 drops below sampling reach except at small N / large p.
+  Rng rng(107);
+  FastMcConfig config;
+  config.p = 0.5;
+  config.n = 12;
+  const auto estimate = mc_false_detection_on_ch(config, 2000000, rng);
+  EXPECT_TRUE(estimate.consistent_with(
+      analysis::false_detection_on_ch(0.5, 12)))
+      << estimate.estimate();
+}
+
+TEST(FastMc, AblationOrderingHolds) {
+  // Removing redundancy can only hurt: heartbeat-only >= no-spatial >= full.
+  Rng rng(109);
+  FastMcConfig full;
+  full.p = 0.4;
+  full.n = 30;
+  FastMcConfig no_spatial = full;
+  no_spatial.rule_mode = RuleMode::kNoSpatial;
+  FastMcConfig hb_only = full;
+  hb_only.rule_mode = RuleMode::kHeartbeatOnly;
+
+  const double p_full = mc_false_detection(full, 300000, rng).estimate();
+  const double p_ns = mc_false_detection(no_spatial, 300000, rng).estimate();
+  const double p_hb = mc_false_detection(hb_only, 300000, rng).estimate();
+  EXPECT_LT(p_full, p_ns);
+  EXPECT_LT(p_ns, p_hb);
+  // And the ablated modes match their own closed forms: p^2 and p.
+  EXPECT_NEAR(p_ns, 0.4 * 0.4, 0.005);
+  EXPECT_NEAR(p_hb, 0.4, 0.01);
+}
+
+TEST(FastMc, PeerForwardingAblation) {
+  Rng rng(111);
+  FastMcConfig with;
+  with.p = 0.4;
+  with.n = 30;
+  FastMcConfig without = with;
+  without.peer_forwarding = false;
+  const double p_with = mc_incompleteness(with, 300000, rng).estimate();
+  const double p_without = mc_incompleteness(without, 300000, rng).estimate();
+  EXPECT_LT(p_with, p_without);
+  EXPECT_NEAR(p_without, 0.4, 0.01);  // degenerates to the raw loss rate
+}
+
+// Full protocol stack: one event-driven FDS execution per trial.
+TEST(FullStackMc, Fig5ProtocolMatchesAnalytic) {
+  SingleClusterConfig config;
+  config.n = 20;
+  config.p = 0.5;
+  config.seed = 51;
+  config.num_deputies = 0;
+  SingleClusterExperiment experiment(config);
+  const auto estimate = experiment.run_false_detection(12000);
+  EXPECT_TRUE(estimate.consistent_with(
+      analysis::false_detection_upper_bound(0.5, 20)))
+      << estimate.estimate();
+}
+
+TEST(FullStackMc, Fig6ProtocolMatchesAnalytic) {
+  SingleClusterConfig config;
+  config.n = 12;
+  config.p = 0.5;
+  config.seed = 53;
+  config.pin_edge_node = false;
+  config.pin_deputy_center = true;
+  SingleClusterExperiment experiment(config);
+  const auto estimate = experiment.run_false_detection_on_ch(20000);
+  EXPECT_TRUE(estimate.consistent_with(
+      analysis::false_detection_on_ch(0.5, 12)))
+      << estimate.estimate();
+}
+
+TEST(FullStackMc, Fig7ProtocolRespectsUpperBound) {
+  // The implementation's progressive peer forwarding cascades (a requester
+  // rescued early can rescue others), so the measured incompleteness sits
+  // slightly BELOW the paper's closed-form upper bound — never above it.
+  SingleClusterConfig config;
+  config.n = 20;
+  config.p = 0.5;
+  config.seed = 57;
+  config.num_deputies = 0;
+  SingleClusterExperiment experiment(config);
+  const auto estimate = experiment.run_incompleteness(12000);
+  const double bound = analysis::incompleteness_upper_bound(0.5, 20);
+  EXPECT_LE(estimate.estimate(), bound + estimate.ci99());
+  EXPECT_GE(estimate.estimate(), 0.8 * bound - estimate.ci99());
+}
+
+TEST(FullStackMc, NoLossMeansNoFalseDetectionAndNoIncompleteness) {
+  SingleClusterConfig config;
+  config.n = 30;
+  config.p = 0.0;
+  config.seed = 59;
+  SingleClusterExperiment experiment(config);
+  EXPECT_EQ(experiment.run_false_detection(200).successes(), 0);
+  EXPECT_EQ(experiment.run_incompleteness(200).successes(), 0);
+}
+
+}  // namespace
+}  // namespace cfds

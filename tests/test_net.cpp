@@ -1,0 +1,174 @@
+// Unit tests for src/net: node runtime, topologies, graphs, network.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/statistics.h"
+#include "net/graph.h"
+#include "net/network.h"
+#include "net/topology.h"
+
+namespace cfds {
+namespace {
+
+NetworkConfig small_config() {
+  NetworkConfig config;
+  config.seed = 3;
+  return config;
+}
+
+TEST(Node, EnergyAccountingFollowsTraffic) {
+  Network net(small_config(), std::make_unique<PerfectLinks>());
+  Node& a = net.add_node({0, 0});
+  Node& b = net.add_node({10, 0});
+  (void)b;
+  const double before = a.remaining_energy_uj();
+  struct P final : Payload {
+    [[nodiscard]] std::string_view kind() const override { return "p"; }
+    [[nodiscard]] std::size_t size_bytes() const override { return 100; }
+  };
+  a.radio().send(std::make_shared<P>());
+  net.simulator().run_to_completion();
+  const EnergyModel& model = net.config().energy;
+  EXPECT_NEAR(before - a.remaining_energy_uj(),
+              model.tx_base_uj + 100 * model.tx_per_byte_uj, 1e-9);
+}
+
+TEST(Node, CrashIsFailStop) {
+  Network net(small_config(), std::make_unique<PerfectLinks>());
+  Node& a = net.add_node({0, 0});
+  int frames = 0;
+  a.add_frame_handler([&](const Reception&) { ++frames; });
+  EXPECT_TRUE(a.alive());
+  a.crash();
+  EXPECT_FALSE(a.alive());
+  EXPECT_FALSE(a.radio().powered());
+  EXPECT_EQ(frames, 0);
+}
+
+TEST(Node, HandlersRunInRegistrationOrder) {
+  Network net(small_config(), std::make_unique<PerfectLinks>());
+  Node& a = net.add_node({0, 0});
+  Node& b = net.add_node({10, 0});
+  std::vector<int> order;
+  b.add_frame_handler([&](const Reception&) { order.push_back(1); });
+  b.add_frame_handler([&](const Reception&) { order.push_back(2); });
+  struct P final : Payload {
+    [[nodiscard]] std::string_view kind() const override { return "p"; }
+    [[nodiscard]] std::size_t size_bytes() const override { return 1; }
+  };
+  a.radio().send(std::make_shared<P>());
+  net.simulator().run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Network, SequentialNidAssignment) {
+  Network net(small_config(), std::make_unique<PerfectLinks>());
+  net.add_nodes({{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_EQ(net.node_count(), 3u);
+  EXPECT_TRUE(net.has_node(NodeId{0}));
+  EXPECT_TRUE(net.has_node(NodeId{2}));
+  EXPECT_FALSE(net.has_node(NodeId{3}));
+  EXPECT_EQ(net.node(NodeId{1}).position(), (Vec2{1, 1}));
+}
+
+TEST(Network, ScheduledCrashFiresAtTime) {
+  Network net(small_config(), std::make_unique<PerfectLinks>());
+  net.add_node({0, 0});
+  net.schedule_crash(NodeId{0}, SimTime::seconds(5));
+  net.simulator().run_until(SimTime::seconds(4));
+  EXPECT_TRUE(net.node(NodeId{0}).alive());
+  net.simulator().run_until(SimTime::seconds(6));
+  EXPECT_FALSE(net.node(NodeId{0}).alive());
+  EXPECT_EQ(net.alive_count(), 0u);
+}
+
+TEST(Topology, UniformDiskStaysInDisk) {
+  Rng rng(1);
+  const Vec2 center{50, 50};
+  for (Vec2 p : uniform_disk(500, center, 30.0, rng)) {
+    EXPECT_LE(distance(p, center), 30.0 + 1e-9);
+  }
+}
+
+TEST(Topology, UniformDiskIsAreaUniform) {
+  // Inner disk of half radius should hold ~25% of the points.
+  Rng rng(2);
+  const auto points = uniform_disk(40000, {0, 0}, 100.0, rng);
+  int inner = 0;
+  for (Vec2 p : points) {
+    if (p.norm() <= 50.0) ++inner;
+  }
+  EXPECT_NEAR(double(inner) / double(points.size()), 0.25, 0.01);
+}
+
+TEST(Topology, RectAndGridBounds) {
+  Rng rng(3);
+  for (Vec2 p : uniform_rect(200, 40.0, 20.0, rng)) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 40.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 20.0);
+  }
+  const auto grid = jittered_grid(3, 4, 10.0, 0.0, rng);
+  EXPECT_EQ(grid.size(), 12u);
+  EXPECT_EQ(grid[5], (Vec2{10.0, 10.0}));  // row 1, col 1
+}
+
+TEST(Topology, PoissonFieldMeanCount) {
+  Rng rng(4);
+  RunningStats counts;
+  for (int i = 0; i < 200; ++i) {
+    counts.add(double(poisson_field(0.01, 100.0, 50.0, rng).size()));
+  }
+  EXPECT_NEAR(counts.mean(), 50.0, 2.5);  // lambda = 0.01 * 5000
+}
+
+TEST(Topology, AnalysisClusterShape) {
+  Rng rng(5);
+  const auto pts = analysis_cluster(50, {10, 20}, 100.0, rng);
+  EXPECT_EQ(pts.size(), 50u);
+  EXPECT_EQ(pts.front(), (Vec2{10, 20}));  // the CH at the centre
+  const auto worst = analysis_cluster_worst_case(50, {0, 0}, 100.0, rng);
+  EXPECT_NEAR(worst.back().norm(), 100.0, 1e-9);  // pinned to circumference
+}
+
+TEST(UnitDiskGraph, AdjacencyAndDegrees) {
+  const std::vector<Vec2> pts{{0, 0}, {5, 0}, {11, 0}};
+  const UnitDiskGraph g(pts, 6.0);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+}
+
+TEST(UnitDiskGraph, HopDistances) {
+  const std::vector<Vec2> pts{{0, 0}, {5, 0}, {10, 0}, {15, 0}, {100, 0}};
+  const UnitDiskGraph g(pts, 6.0);
+  const auto dist = g.hop_distances(0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[4], std::numeric_limits<std::size_t>::max());
+}
+
+TEST(UnitDiskGraph, ComponentsAndConnectivity) {
+  const std::vector<Vec2> pts{{0, 0}, {5, 0}, {100, 0}, {105, 0}};
+  const UnitDiskGraph g(pts, 6.0);
+  const auto comp = g.components();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(UnitDiskGraph, IsolatedNodes) {
+  const std::vector<Vec2> pts{{0, 0}, {5, 0}, {1000, 1000}};
+  const UnitDiskGraph g(pts, 6.0);
+  const auto isolated = g.isolated_nodes();
+  ASSERT_EQ(isolated.size(), 1u);
+  EXPECT_EQ(isolated[0], 2u);
+}
+
+}  // namespace
+}  // namespace cfds

@@ -1,0 +1,174 @@
+// Property-based sweeps over loss probabilities and seeds: the invariants
+// DESIGN.md section 6 calls out, checked on the full stack.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "sim/scenario.h"
+
+namespace cfds {
+namespace {
+
+class LossSeedSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {
+ protected:
+  [[nodiscard]] double loss() const { return std::get<0>(GetParam()); }
+  [[nodiscard]] std::uint64_t seed() const { return std::get<1>(GetParam()); }
+
+  [[nodiscard]] ScenarioConfig config() const {
+    ScenarioConfig c;
+    c.width = 500.0;
+    c.height = 350.0;
+    c.node_count = 220;
+    c.loss_p = loss();
+    c.seed = seed();
+    return c;
+  }
+};
+
+// Soundness: a crashed member generates no frames under fail-stop, so no
+// evidence of life can exist — its CH must flag it in the very next
+// execution REGARDLESS of the loss probability.
+TEST_P(LossSeedSweep, CrashedMemberAlwaysDetectedNextEpoch) {
+  Scenario scenario(config());
+  scenario.setup();
+  scenario.run_epochs(1);
+
+  NodeId victim = NodeId::invalid();
+  for (MembershipView* view : scenario.views()) {
+    if (view->role() == Role::kOrdinaryMember) {
+      victim = view->self();
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.is_valid());
+  scenario.network().crash(victim);
+  scenario.run_epochs(1);
+
+  const auto first = scenario.metrics().first_detection(victim);
+  ASSERT_TRUE(first.has_value()) << "p=" << loss() << " seed=" << seed();
+  EXPECT_FALSE(first->suspect_was_alive);
+}
+
+// Failure logs are monotone: knowledge only grows.
+TEST_P(LossSeedSweep, FailureKnowledgeIsMonotone) {
+  Scenario scenario(config());
+  scenario.setup();
+  scenario.run_epochs(1);
+  std::vector<std::size_t> before;
+  for (FdsAgent* agent : scenario.fds().agents()) {
+    before.push_back(agent->log().size());
+  }
+  NodeId victim = NodeId::invalid();
+  for (MembershipView* view : scenario.views()) {
+    if (view->role() == Role::kOrdinaryMember) victim = view->self();
+  }
+  scenario.network().crash(victim);
+  scenario.run_epochs(3);
+  std::size_t i = 0;
+  for (FdsAgent* agent : scenario.fds().agents()) {
+    EXPECT_GE(agent->log().size(), before[i++]);
+  }
+}
+
+// Views never expect a *crashed* node the owner knows to be failed. (A
+// falsely detected node that is still alive legitimately reappears: it
+// re-subscribes unmarked and the CH re-admits it, feature F5.)
+TEST_P(LossSeedSweep, ViewsNeverExpectKnownFailedNodes) {
+  Scenario scenario(config());
+  scenario.setup();
+  scenario.run_epochs(1);
+  std::vector<NodeId> victims;
+  for (MembershipView* view : scenario.views()) {
+    if (view->role() == Role::kOrdinaryMember) {
+      victims.push_back(view->self());
+      if (victims.size() == 3) break;
+    }
+  }
+  for (NodeId v : victims) scenario.network().crash(v);
+  scenario.run_epochs(3);
+
+  for (FdsAgent* agent : scenario.fds().agents()) {
+    if (!agent->view().affiliated()) continue;
+    for (NodeId failed : agent->log().known_failed()) {
+      if (scenario.network().node(failed).alive()) continue;  // re-admitted
+      EXPECT_FALSE(agent->view().cluster()->is_member(failed))
+          << "agent " << agent->id() << " still expects " << failed;
+    }
+  }
+}
+
+// Radio energy is strictly consumed, never regained.
+TEST_P(LossSeedSweep, EnergyIsMonotonicallyConsumed) {
+  Scenario scenario(config());
+  scenario.setup();
+  scenario.run_epochs(1);
+  std::vector<double> before;
+  for (const Node* node : scenario.network().nodes()) {
+    before.push_back(node->remaining_energy_uj());
+  }
+  scenario.run_epochs(2);
+  std::size_t i = 0;
+  for (const Node* node : scenario.network().nodes()) {
+    EXPECT_LE(node->remaining_energy_uj(), before[i++]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LossSeedSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.3, 0.5),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{42},
+                                         std::uint64_t{1337})));
+
+// Bit-level reproducibility: the same configuration replays identically.
+TEST(Determinism, IdenticalSeedsProduceIdenticalTraces) {
+  auto run_once = [] {
+    ScenarioConfig config;
+    config.width = 500.0;
+    config.height = 350.0;
+    config.node_count = 200;
+    config.loss_p = 0.25;
+    config.seed = 77;
+    Scenario scenario(config);
+    scenario.setup();
+    scenario.run_epochs(1);
+    NodeId victim = NodeId::invalid();
+    for (MembershipView* view : scenario.views()) {
+      if (view->role() == Role::kOrdinaryMember) {
+        victim = view->self();
+        break;
+      }
+    }
+    scenario.network().crash(victim);
+    scenario.run_epochs(3);
+    std::ostringstream trace;
+    for (const DetectionEvent& e : scenario.metrics().detections()) {
+      trace << e.decider << ':' << e.suspect << ':' << e.epoch << ':'
+            << e.when << ';';
+    }
+    trace << '|' << traffic_totals(scenario.network()).frames;
+    return trace.str();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  auto frames_for = [](std::uint64_t seed) {
+    ScenarioConfig config;
+    config.width = 500.0;
+    config.height = 350.0;
+    config.node_count = 200;
+    config.loss_p = 0.25;
+    config.seed = seed;
+    Scenario scenario(config);
+    scenario.setup();
+    scenario.run_epochs(2);
+    return traffic_totals(scenario.network()).frames;
+  };
+  EXPECT_NE(frames_for(1), frames_for(2));
+}
+
+}  // namespace
+}  // namespace cfds

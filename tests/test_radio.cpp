@@ -1,0 +1,225 @@
+// Unit tests for the wireless substrate: loss models, promiscuous channel.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "event/simulator.h"
+#include "radio/channel.h"
+#include "radio/loss_model.h"
+
+namespace cfds {
+namespace {
+
+struct TestPayload final : Payload {
+  int value = 0;
+  [[nodiscard]] std::string_view kind() const override { return "test"; }
+  [[nodiscard]] std::size_t size_bytes() const override { return 4; }
+};
+
+PayloadPtr make_payload(int value) {
+  auto p = std::make_shared<TestPayload>();
+  p->value = value;
+  return p;
+}
+
+class ChannelFixture : public ::testing::Test {
+ protected:
+  ChannelFixture()
+      : loss_(), channel_(sim_, loss_, ChannelConfig{}, Rng(1)) {}
+
+  Radio& add_radio(std::uint32_t id, Vec2 pos) {
+    radios_.push_back(std::make_unique<Radio>(NodeId{id}, pos));
+    channel_.attach(*radios_.back());
+    return *radios_.back();
+  }
+
+  Simulator sim_;
+  PerfectLinks loss_;
+  Channel channel_;
+  std::vector<std::unique_ptr<Radio>> radios_;
+};
+
+TEST_F(ChannelFixture, DeliversWithinRange) {
+  Radio& a = add_radio(0, {0, 0});
+  Radio& b = add_radio(1, {50, 0});
+  int received = 0;
+  b.set_receive_handler([&](const Reception& r) {
+    EXPECT_EQ(r.sender, NodeId{0});
+    EXPECT_EQ(payload_cast<TestPayload>(r.payload)->value, 42);
+    ++received;
+  });
+  a.send(make_payload(42));
+  sim_.run_to_completion();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(ChannelFixture, DoesNotDeliverBeyondRange) {
+  Radio& a = add_radio(0, {0, 0});
+  Radio& b = add_radio(1, {150, 0});  // default range is 100
+  int received = 0;
+  b.set_receive_handler([&](const Reception&) { ++received; });
+  a.send(make_payload(1));
+  sim_.run_to_completion();
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(ChannelFixture, PromiscuousDeliveryToAllNeighbors) {
+  Radio& a = add_radio(0, {0, 0});
+  int receptions = 0;
+  std::vector<Radio*> listeners;
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    Radio& r = add_radio(i, {double(i) * 10.0, 0});
+    r.set_receive_handler([&](const Reception& rec) {
+      // Addressed to node 3, but everyone in range hears it.
+      EXPECT_EQ(rec.intended, NodeId{3});
+      ++receptions;
+    });
+  }
+  a.send(make_payload(7), NodeId{3});
+  sim_.run_to_completion();
+  EXPECT_EQ(receptions, 5);
+}
+
+TEST_F(ChannelFixture, SenderDoesNotHearItself) {
+  Radio& a = add_radio(0, {0, 0});
+  int self_receptions = 0;
+  a.set_receive_handler([&](const Reception&) { ++self_receptions; });
+  a.send(make_payload(1));
+  sim_.run_to_completion();
+  EXPECT_EQ(self_receptions, 0);
+}
+
+TEST_F(ChannelFixture, PoweredOffRadioNeitherSendsNorReceives) {
+  Radio& a = add_radio(0, {0, 0});
+  Radio& b = add_radio(1, {10, 0});
+  int received = 0;
+  b.set_receive_handler([&](const Reception&) { ++received; });
+
+  b.set_powered(false);
+  a.send(make_payload(1));
+  sim_.run_to_completion();
+  EXPECT_EQ(received, 0);
+
+  b.set_powered(true);
+  a.set_powered(false);
+  a.send(make_payload(2));  // silently dropped
+  sim_.run_to_completion();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(a.counters().frames_sent, 1u);  // only the powered send counted
+}
+
+TEST_F(ChannelFixture, CrashBetweenEmissionAndArrivalDropsFrame) {
+  Radio& a = add_radio(0, {0, 0});
+  Radio& b = add_radio(1, {10, 0});
+  int received = 0;
+  b.set_receive_handler([&](const Reception&) { ++received; });
+  a.send(make_payload(1));
+  b.set_powered(false);  // crashes while the frame is in flight
+  sim_.run_to_completion();
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(ChannelFixture, DeliveryWithinOneHopBound) {
+  Radio& a = add_radio(0, {0, 0});
+  Radio& b = add_radio(1, {10, 0});
+  SimTime arrival = SimTime::zero();
+  b.set_receive_handler([&](const Reception& r) {
+    arrival = sim_.now();
+    EXPECT_EQ(r.sent_at, SimTime::zero());
+  });
+  a.send(make_payload(1));
+  sim_.run_to_completion();
+  EXPECT_GT(arrival, SimTime::zero());
+  EXPECT_LT(arrival, channel_.config().t_hop);
+}
+
+TEST_F(ChannelFixture, CountersTrackTraffic) {
+  Radio& a = add_radio(0, {0, 0});
+  Radio& b = add_radio(1, {10, 0});
+  b.set_receive_handler([](const Reception&) {});
+  a.send(make_payload(1));
+  a.send(make_payload(2));
+  sim_.run_to_completion();
+  EXPECT_EQ(a.counters().frames_sent, 2u);
+  EXPECT_EQ(a.counters().bytes_sent, 8u);
+  EXPECT_EQ(b.counters().frames_received, 2u);
+  EXPECT_EQ(channel_.stats().transmissions, 2u);
+  EXPECT_EQ(channel_.stats().deliveries, 2u);
+}
+
+TEST_F(ChannelFixture, NeighborsOfUsesRange) {
+  add_radio(0, {0, 0});
+  add_radio(1, {50, 0});
+  add_radio(2, {99, 0});
+  add_radio(3, {101, 0});
+  const auto neighbors = channel_.neighbors_of(NodeId{0});
+  EXPECT_EQ(neighbors.size(), 2u);
+}
+
+TEST(LossModels, BernoulliMatchesProbability) {
+  BernoulliLoss loss(0.3);
+  Rng rng(5);
+  int lost = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (loss.lost(NodeId{0}, {0, 0}, NodeId{1}, {1, 1}, rng)) ++lost;
+  }
+  EXPECT_NEAR(double(lost) / trials, 0.3, 0.01);
+}
+
+TEST(LossModels, BernoulliExtremes) {
+  Rng rng(5);
+  BernoulliLoss never(0.0);
+  BernoulliLoss always(1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(never.lost(NodeId{0}, {}, NodeId{1}, {}, rng));
+    EXPECT_TRUE(always.lost(NodeId{0}, {}, NodeId{1}, {}, rng));
+  }
+}
+
+TEST(LossModels, GilbertElliottMatchesStationaryRate) {
+  GilbertElliottLoss::Params params;
+  GilbertElliottLoss loss(params);
+  Rng rng(7);
+  int lost = 0;
+  const int trials = 400000;
+  for (int i = 0; i < trials; ++i) {
+    if (loss.lost(NodeId{0}, {}, NodeId{1}, {}, rng)) ++lost;
+  }
+  EXPECT_NEAR(double(lost) / trials, loss.stationary_loss(), 0.01);
+}
+
+TEST(LossModels, GilbertElliottIsBursty) {
+  // Consecutive losses on one link should exceed the iid expectation.
+  GilbertElliottLoss::Params params;
+  params.p_good = 0.01;
+  params.p_bad = 0.9;
+  GilbertElliottLoss loss(params);
+  Rng rng(9);
+  int pairs = 0, both = 0;
+  bool prev = false;
+  for (int i = 0; i < 200000; ++i) {
+    const bool cur = loss.lost(NodeId{0}, {}, NodeId{1}, {}, rng);
+    if (i > 0) {
+      ++pairs;
+      if (prev && cur) ++both;
+    }
+    prev = cur;
+  }
+  const double stationary = loss.stationary_loss();
+  EXPECT_GT(double(both) / pairs, stationary * stationary * 1.5);
+}
+
+TEST(LossModels, DistanceLossGrowsWithDistance) {
+  DistanceLoss loss(0.05, 0.6, 100.0);
+  EXPECT_NEAR(loss.probability_at(0.0), 0.05, 1e-12);
+  EXPECT_NEAR(loss.probability_at(100.0), 0.6, 1e-12);
+  EXPECT_LT(loss.probability_at(30.0), loss.probability_at(90.0));
+  EXPECT_NEAR(loss.probability_at(500.0), 0.6, 1e-12);  // clamped
+}
+
+}  // namespace
+}  // namespace cfds

@@ -1,0 +1,162 @@
+// Tests for backbone routing and sink-directed aggregation dissemination.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aggregation/service.h"
+#include "cluster/directory.h"
+#include "intercluster/routing.h"
+#include "net/topology.h"
+#include "radio/tracer.h"
+#include "sim/metrics.h"
+
+namespace cfds {
+namespace {
+
+/// Hand-built three-cluster line directory: 0 - 1 - 2 (by cluster index).
+ClusterDirectory line_directory(std::vector<Vec2>& positions) {
+  // CHs at x = 0, 160, 320; one member + one gateway each side.
+  positions = {{0, 0},    {160, 0},  {320, 0},  {20, 20},
+               {80, 0},   {240, 0},  {150, 20}, {310, 20}};
+  return ClusterDirectory::build(positions, 100.0);
+}
+
+TEST(BackboneRouting, NextHopsPointTowardTheSink) {
+  std::vector<Vec2> positions;
+  const auto directory = line_directory(positions);
+  ASSERT_EQ(directory.clusters().size(), 3u);
+  const ClusterId left = directory.clusters()[0].id;
+  const ClusterId middle = directory.clusters()[1].id;
+  const ClusterId right = directory.clusters()[2].id;
+
+  const auto routing = BackboneRouting::toward(directory, right);
+  EXPECT_EQ(routing.sink(), right);
+  EXPECT_EQ(routing.next_hop(left), std::optional<ClusterId>(middle));
+  EXPECT_EQ(routing.next_hop(middle), std::optional<ClusterId>(right));
+  EXPECT_EQ(routing.next_hop(right), std::nullopt);
+  EXPECT_EQ(routing.hops_from(left), 2u);
+  EXPECT_EQ(routing.hops_from(middle), 1u);
+  EXPECT_EQ(routing.hops_from(right), 0u);
+  EXPECT_TRUE(routing.reachable(left));
+}
+
+TEST(BackboneRouting, UnreachableClustersHaveNoRoute) {
+  // Two islands: clusters {0} and {far}.
+  std::vector<Vec2> positions{{0, 0}, {20, 0}, {5000, 0}, {5020, 0}};
+  const auto directory = ClusterDirectory::build(positions, 100.0);
+  ASSERT_EQ(directory.clusters().size(), 2u);
+  const ClusterId a = directory.clusters()[0].id;
+  const ClusterId b = directory.clusters()[1].id;
+  const auto routing = BackboneRouting::toward(directory, a);
+  EXPECT_FALSE(routing.reachable(b));
+  EXPECT_EQ(routing.next_hop(b), std::nullopt);
+  EXPECT_EQ(routing.hops_from(b), std::numeric_limits<std::size_t>::max());
+}
+
+struct SinkFixture {
+  explicit SinkFixture(bool directed) {
+    NetworkConfig net_config;
+    net_config.seed = 59;
+    network = std::make_unique<Network>(net_config,
+                                        std::make_unique<PerfectLinks>());
+    Rng placement(59);
+    positions = uniform_rect(220, 500.0, 350.0, placement);
+    network->add_nodes(positions);
+    directory = ClusterDirectory::build(positions, 100.0);
+    for (std::uint32_t i = 0; i < 220; ++i) {
+      views.push_back(std::make_unique<MembershipView>(NodeId{i}));
+      ptrs.push_back(views.back().get());
+    }
+    directory.install(*network, ptrs);
+
+    FdsConfig fds_config;
+    fds_config.heartbeat_interval = SimTime::seconds(2);
+    fds_config.external_heartbeats = true;
+    fds = std::make_unique<FdsService>(*network, ptrs, fds_config);
+    aggregation = std::make_unique<AggregationService>(
+        *network, *fds, ptrs,
+        [](NodeId node, std::uint64_t) { return double(node.value()); });
+    sink = directory.clusters().front().id;
+    routing = BackboneRouting::toward(directory, sink);
+    if (directed) aggregation->set_routing(&routing);
+  }
+
+  std::unique_ptr<Network> network;
+  std::vector<Vec2> positions;
+  ClusterDirectory directory;
+  std::vector<std::unique_ptr<MembershipView>> views;
+  std::vector<MembershipView*> ptrs;
+  std::unique_ptr<FdsService> fds;
+  std::unique_ptr<AggregationService> aggregation;
+  ClusterId sink;
+  BackboneRouting routing;
+};
+
+TEST(SinkRouting, SinkReceivesEveryReachableClusterAggregate) {
+  SinkFixture fixture(/*directed=*/true);
+  fixture.aggregation->run_epochs(1, SimTime::zero());
+
+  std::size_t reachable = 0;
+  for (const ClusterView& cluster : fixture.directory.clusters()) {
+    if (fixture.routing.reachable(cluster.id)) ++reachable;
+  }
+  AggregationAgent& sink_ch = fixture.aggregation->agent_for(
+      NodeId{fixture.sink.value()});
+  EXPECT_EQ(sink_ch.aggregates_for(0).size(), reachable);
+
+  // The sink's global view covers all affiliated nodes of reachable
+  // clusters.
+  std::size_t expected = 0;
+  for (const ClusterView& cluster : fixture.directory.clusters()) {
+    if (fixture.routing.reachable(cluster.id)) {
+      expected += cluster.population();
+    }
+  }
+  EXPECT_EQ(sink_ch.global_view(0).count, expected);
+}
+
+TEST(SinkRouting, DirectedModeUsesFewerAggregateFrames) {
+  SinkFixture flood(/*directed=*/false);
+  SinkFixture directed(/*directed=*/true);
+
+  FrameTracer flood_tracer;
+  flood_tracer.attach(flood.network->channel());
+  flood.aggregation->run_epochs(1, SimTime::zero());
+
+  FrameTracer directed_tracer;
+  directed_tracer.attach(directed.network->channel());
+  directed.aggregation->run_epochs(1, SimTime::zero());
+
+  EXPECT_LT(directed_tracer.frames_of("agg"),
+            flood_tracer.frames_of("agg"));
+  // Flooding informs every CH; routing informs the path to the sink only.
+  EXPECT_GT(flood_tracer.frames_of("agg"), 0u);
+}
+
+TEST(SinkRouting, DirectedModeInformsNonSinksStrictlyLess) {
+  // Directed dissemination targets the sink; other CHs learn only their own
+  // aggregate plus whatever transit frames they happen to overhear
+  // (promiscuous receiving is inherent), so at least some CH must know
+  // strictly less than the sink does — unlike flooding, where every CH
+  // converges to the full set.
+  SinkFixture fixture(/*directed=*/true);
+  fixture.aggregation->run_epochs(1, SimTime::zero());
+  const std::size_t at_sink =
+      fixture.aggregation->agent_for(NodeId{fixture.sink.value()})
+          .aggregates_for(0)
+          .size();
+  std::size_t strictly_less = 0;
+  for (const ClusterView& cluster : fixture.directory.clusters()) {
+    if (cluster.id == fixture.sink) continue;
+    AggregationAgent& agent =
+        fixture.aggregation->agent_for(cluster.clusterhead);
+    const std::size_t known = agent.aggregates_for(0).size();
+    EXPECT_GE(known, 1u);  // every CH holds its own aggregate
+    if (known < at_sink) ++strictly_less;
+  }
+  EXPECT_GT(strictly_less, 0u);
+}
+
+}  // namespace
+}  // namespace cfds

@@ -1,0 +1,131 @@
+// Unit tests for the discrete-event kernel.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "event/simulator.h"
+
+namespace cfds {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::millis(30), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::millis(10), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::millis(20), [&] { order.push_back(2); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::millis(30));
+}
+
+TEST(Simulator, SimultaneousEventsKeepSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime::millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run_to_completion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime fired = SimTime::zero();
+  sim.schedule_at(SimTime::millis(10), [&] {
+    sim.schedule_after(SimTime::millis(5), [&] { fired = sim.now(); });
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(fired, SimTime::millis(15));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineInclusive) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(SimTime::millis(10), [&] { ++count; });
+  sim.schedule_at(SimTime::millis(20), [&] { ++count; });
+  sim.schedule_at(SimTime::millis(30), [&] { ++count; });
+  sim.run_until(SimTime::millis(20));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), SimTime::millis(20));
+  sim.run_until(SimTime::millis(100));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), SimTime::millis(100));  // clock advances to deadline
+}
+
+TEST(Simulator, CancelledEventsDoNotFire) {
+  Simulator sim;
+  bool fired = false;
+  TimerHandle handle =
+      sim.schedule_at(SimTime::millis(10), [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.run_to_completion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  TimerHandle handle = sim.schedule_at(SimTime::millis(1), [] {});
+  sim.run_to_completion();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // no-op after firing
+  handle.cancel();
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  TimerHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // must not crash
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 50) sim.schedule_after(SimTime::millis(1), chain);
+  };
+  sim.schedule_at(SimTime::zero(), chain);
+  sim.run_to_completion();
+  EXPECT_EQ(depth, 50);
+  EXPECT_EQ(sim.now(), SimTime::millis(49));
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(SimTime::millis(1), [&] { ++count; });
+  sim.schedule_at(SimTime::millis(2), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(SimTime::millis(i), [] {});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulator, CancelledEventsAreNotCounted) {
+  Simulator sim;
+  auto h = sim.schedule_at(SimTime::millis(1), [] {});
+  sim.schedule_at(SimTime::millis(2), [] {});
+  h.cancel();
+  sim.run_to_completion();
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+}  // namespace
+}  // namespace cfds

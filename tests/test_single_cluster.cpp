@@ -1,0 +1,83 @@
+// Tests for the full-stack single-cluster experiment driver itself.
+
+#include <gtest/gtest.h>
+
+#include "analysis/figures.h"
+#include "sim/single_cluster.h"
+
+namespace cfds {
+namespace {
+
+SingleClusterConfig base(double p) {
+  SingleClusterConfig config;
+  config.n = 16;
+  config.p = p;
+  config.seed = 97;
+  config.num_deputies = 0;
+  return config;
+}
+
+TEST(SingleCluster, FalseDetectionGrowsWithLoss) {
+  SingleClusterExperiment low(base(0.3));
+  SingleClusterExperiment high(base(0.6));
+  const double p_low = low.run_false_detection(4000).estimate();
+  const double p_high = high.run_false_detection(4000).estimate();
+  EXPECT_LT(p_low, p_high);
+}
+
+TEST(SingleCluster, PinnedEdgeNodeIsTheWorstCase) {
+  // The circumference position maximizes false detection (that is why the
+  // paper's measure is an upper bound): unpinned (uniform) placement must
+  // measure lower.
+  SingleClusterConfig pinned = base(0.5);
+  SingleClusterConfig uniform = base(0.5);
+  uniform.pin_edge_node = false;
+  SingleClusterExperiment pinned_exp(pinned);
+  SingleClusterExperiment uniform_exp(uniform);
+  const auto pinned_est = pinned_exp.run_false_detection(12000);
+  const auto uniform_est = uniform_exp.run_false_detection(12000);
+  EXPECT_GT(pinned_est.estimate(),
+            uniform_est.estimate() - uniform_est.ci99());
+}
+
+TEST(SingleCluster, TrialsAreIndependentAcrossReuse) {
+  // Reusing one experiment for successive batches must keep estimating the
+  // same quantity (state is reinstalled between trials).
+  SingleClusterExperiment experiment(base(0.5));
+  const auto first = experiment.run_false_detection(6000);
+  const auto second = experiment.run_false_detection(6000);
+  EXPECT_NEAR(first.estimate(), second.estimate(),
+              first.ci99() + second.ci99());
+}
+
+TEST(SingleCluster, NoDeputiesMeansNoTakeovers) {
+  SingleClusterExperiment experiment(base(0.6));
+  const auto takeovers = experiment.run_false_detection_on_ch(2000);
+  EXPECT_EQ(takeovers.successes(), 0);  // nobody is authorized to decide
+}
+
+TEST(SingleCluster, CentralDeputySeesLowerFalseTakeoverRate) {
+  // Figure 6's geometry assumption: a central DCH overhears every digest,
+  // an edge DCH only a subset — the central one must false-detect less.
+  SingleClusterConfig central = base(0.6);
+  central.num_deputies = 1;
+  central.pin_deputy_center = true;
+  central.pin_edge_node = false;
+  SingleClusterConfig off_center = central;
+  off_center.pin_deputy_center = false;
+  SingleClusterExperiment central_exp(central);
+  SingleClusterExperiment off_exp(off_center);
+  const auto central_est = central_exp.run_false_detection_on_ch(20000);
+  const auto off_est = off_exp.run_false_detection_on_ch(20000);
+  EXPECT_LE(central_est.estimate(), off_est.estimate() + off_est.ci99());
+}
+
+TEST(SingleCluster, IncompletenessBoundedByAnalytic) {
+  SingleClusterExperiment experiment(base(0.5));
+  const auto estimate = experiment.run_incompleteness(8000);
+  const double bound = analysis::incompleteness_upper_bound(0.5, 16);
+  EXPECT_LE(estimate.estimate(), bound + estimate.ci99());
+}
+
+}  // namespace
+}  // namespace cfds

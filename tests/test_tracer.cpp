@@ -1,0 +1,106 @@
+// Frame-mix conservation tests: the tracer lets us assert exactly what one
+// FDS execution puts on the air.
+
+#include <gtest/gtest.h>
+
+#include "radio/tracer.h"
+#include "sim/scenario.h"
+
+namespace cfds {
+namespace {
+
+TEST(Tracer, QuietEpochFrameMixIsExact) {
+  ScenarioConfig config;
+  config.width = 450.0;
+  config.height = 300.0;
+  config.node_count = 150;
+  config.loss_p = 0.0;
+  config.seed = 37;
+  Scenario scenario(config);
+  scenario.setup();
+
+  FrameTracer tracer;
+  tracer.attach(scenario.network().channel());
+  scenario.run_epochs(1);
+
+  std::size_t affiliated = 0;
+  for (MembershipView* view : scenario.views()) {
+    if (view->affiliated()) ++affiliated;
+  }
+  std::size_t clusterheads = scenario.cluster_count();
+
+  // Every alive node heartbeats; every affiliated node sends one digest;
+  // every CH broadcasts one update. Nothing else at p = 0 with no failures.
+  EXPECT_EQ(tracer.frames_of("heartbeat"), config.node_count);
+  EXPECT_EQ(tracer.frames_of("digest"), affiliated);
+  EXPECT_EQ(tracer.frames_of("update"), clusterheads);
+  EXPECT_EQ(tracer.frames_of("upd-req"), 0u);
+  EXPECT_EQ(tracer.frames_of("report"), 0u);
+  EXPECT_EQ(tracer.total_frames(),
+            config.node_count + affiliated + clusterheads);
+}
+
+TEST(Tracer, CrashEpochAddsReportTraffic) {
+  ScenarioConfig config;
+  config.width = 450.0;
+  config.height = 300.0;
+  config.node_count = 150;
+  config.loss_p = 0.0;
+  config.seed = 37;
+  Scenario scenario(config);
+  scenario.setup();
+  scenario.run_epochs(1);
+
+  NodeId victim = NodeId::invalid();
+  for (MembershipView* view : scenario.views()) {
+    if (view->role() == Role::kOrdinaryMember) {
+      victim = view->self();
+      break;
+    }
+  }
+  scenario.network().crash(victim);
+
+  FrameTracer tracer;
+  tracer.attach(scenario.network().channel());
+  scenario.run_epochs(1);
+
+  EXPECT_GT(tracer.frames_of("report"), 0u);  // backbone forwarding happened
+  // Relay updates: at least one per cluster other than the victim's.
+  EXPECT_GE(tracer.frames_of("update"), scenario.cluster_count());
+}
+
+TEST(Tracer, LogKeepsMostRecentFrames) {
+  ScenarioConfig config;
+  config.width = 300.0;
+  config.height = 200.0;
+  config.node_count = 60;
+  config.loss_p = 0.0;
+  config.seed = 41;
+  Scenario scenario(config);
+  scenario.setup();
+
+  FrameTracer tracer;
+  tracer.attach(scenario.network().channel(), /*log_depth=*/16);
+  scenario.run_epochs(1);
+
+  EXPECT_EQ(tracer.log().size(), 16u);
+  // The newest entries are the final update broadcasts of the epoch.
+  EXPECT_GT(tracer.total_frames(), 16u);
+  SimTime previous = SimTime::zero();
+  for (const FrameTracer::LoggedFrame& frame : tracer.log()) {
+    EXPECT_GE(frame.when, previous);
+    previous = frame.when;
+    EXPECT_FALSE(frame.kind.empty());
+  }
+}
+
+TEST(Tracer, ResetClearsEverything) {
+  FrameTracer tracer;
+  tracer.reset();
+  EXPECT_EQ(tracer.total_frames(), 0u);
+  EXPECT_TRUE(tracer.by_kind().empty());
+  EXPECT_EQ(tracer.frames_of("anything"), 0u);
+}
+
+}  // namespace
+}  // namespace cfds

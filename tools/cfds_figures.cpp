@@ -1,0 +1,68 @@
+// cfds_figures — dumps the analytic series behind the paper's Figures 5, 6,
+// and 7 (plus the reconstructed DCH-reachability study) as CSV, for
+// plotting against the original figures.
+//
+//   cfds_figures            # all series to stdout
+//   cfds_figures fig5       # one figure: fig5 | fig6 | fig7 | dch
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/dch_reachability.h"
+#include "analysis/figures.h"
+
+namespace {
+
+using namespace cfds;
+
+void dump_figure(const char* name, double (*measure)(double, int)) {
+  std::printf("figure,p,n,value\n");
+  for (int n : {50, 75, 100}) {
+    for (int i = 0; i < analysis::sweep_points(); ++i) {
+      const double p = analysis::sweep_p(i);
+      std::printf("%s,%.2f,%d,%.10e\n", name, p, n, measure(p, n));
+    }
+  }
+}
+
+void dump_dch() {
+  std::printf("study,p,d_over_r,n,p_out,p_reach_given_out,p_reach\n");
+  for (double p : {0.1, 0.3}) {
+    for (double frac : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+      for (int n : {20, 50, 75, 100}) {
+        Rng rng(std::uint64_t(frac * 1000) ^ std::uint64_t(n) ^
+                std::uint64_t(p * 100));
+        const auto result =
+            analysis::dch_reachability(100.0, 100.0 * frac, n, p, 400, rng);
+        std::printf("dch,%.2f,%.2f,%d,%.6f,%.6f,%.6f\n", p, frac, n,
+                    result.p_out_of_range, result.p_reachable_given_out,
+                    result.p_reachable());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "all";
+  if (which == "fig5" || which == "all") {
+    dump_figure("fig5", &analysis::false_detection_upper_bound);
+  }
+  if (which == "fig6" || which == "all") {
+    dump_figure("fig6", &analysis::false_detection_on_ch);
+  }
+  if (which == "fig7" || which == "all") {
+    dump_figure("fig7", &analysis::incompleteness_upper_bound);
+  }
+  if (which == "dch" || which == "all") {
+    dump_dch();
+  }
+  if (which != "all" && which != "fig5" && which != "fig6" &&
+      which != "fig7" && which != "dch") {
+    std::fprintf(stderr, "usage: %s [all|fig5|fig6|fig7|dch]\n", argv[0]);
+    return 2;
+  }
+  return 0;
+}
