@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_peer_forwarding.dir/bench_ablation_peer_forwarding.cpp.o"
+  "CMakeFiles/bench_ablation_peer_forwarding.dir/bench_ablation_peer_forwarding.cpp.o.d"
+  "bench_ablation_peer_forwarding"
+  "bench_ablation_peer_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_peer_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

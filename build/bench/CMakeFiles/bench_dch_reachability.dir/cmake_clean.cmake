@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dch_reachability.dir/bench_dch_reachability.cpp.o"
+  "CMakeFiles/bench_dch_reachability.dir/bench_dch_reachability.cpp.o.d"
+  "bench_dch_reachability"
+  "bench_dch_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dch_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

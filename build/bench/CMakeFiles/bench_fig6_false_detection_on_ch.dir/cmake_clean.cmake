@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_false_detection_on_ch.dir/bench_fig6_false_detection_on_ch.cpp.o"
+  "CMakeFiles/bench_fig6_false_detection_on_ch.dir/bench_fig6_false_detection_on_ch.cpp.o.d"
+  "bench_fig6_false_detection_on_ch"
+  "bench_fig6_false_detection_on_ch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_false_detection_on_ch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

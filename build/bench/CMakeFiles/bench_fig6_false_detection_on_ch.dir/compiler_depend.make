@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6_false_detection_on_ch.
+# This may be replaced when dependencies are built.

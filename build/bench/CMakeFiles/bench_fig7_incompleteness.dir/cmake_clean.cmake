@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_incompleteness.dir/bench_fig7_incompleteness.cpp.o"
+  "CMakeFiles/bench_fig7_incompleteness.dir/bench_fig7_incompleteness.cpp.o.d"
+  "bench_fig7_incompleteness"
+  "bench_fig7_incompleteness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_incompleteness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

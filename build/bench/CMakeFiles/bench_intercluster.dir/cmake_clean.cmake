@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intercluster.dir/bench_intercluster.cpp.o"
+  "CMakeFiles/bench_intercluster.dir/bench_intercluster.cpp.o.d"
+  "bench_intercluster"
+  "bench_intercluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intercluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sleep_management.dir/bench_sleep_management.cpp.o"
+  "CMakeFiles/bench_sleep_management.dir/bench_sleep_management.cpp.o.d"
+  "bench_sleep_management"
+  "bench_sleep_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sleep_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

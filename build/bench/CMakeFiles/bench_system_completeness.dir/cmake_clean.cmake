@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_system_completeness.dir/bench_system_completeness.cpp.o"
+  "CMakeFiles/bench_system_completeness.dir/bench_system_completeness.cpp.o.d"
+  "bench_system_completeness"
+  "bench_system_completeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_system_completeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_aggregation.dir/field_aggregation.cpp.o"
+  "CMakeFiles/field_aggregation.dir/field_aggregation.cpp.o.d"
+  "field_aggregation"
+  "field_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uav_swarm.dir/uav_swarm.cpp.o"
+  "CMakeFiles/uav_swarm.dir/uav_swarm.cpp.o.d"
+  "uav_swarm"
+  "uav_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uav_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("event")
+subdirs("power")
+subdirs("radio")
+subdirs("net")
+subdirs("cluster")
+subdirs("fds")
+subdirs("intercluster")
+subdirs("aggregation")
+subdirs("analysis")
+subdirs("baseline")
+subdirs("sim")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfds_aggregation.dir/service.cpp.o"
+  "CMakeFiles/cfds_aggregation.dir/service.cpp.o.d"
+  "libcfds_aggregation.a"
+  "libcfds_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfds_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

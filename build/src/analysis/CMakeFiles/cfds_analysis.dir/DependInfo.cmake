@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/backbone.cpp" "src/analysis/CMakeFiles/cfds_analysis.dir/backbone.cpp.o" "gcc" "src/analysis/CMakeFiles/cfds_analysis.dir/backbone.cpp.o.d"
+  "/root/repo/src/analysis/dch_reachability.cpp" "src/analysis/CMakeFiles/cfds_analysis.dir/dch_reachability.cpp.o" "gcc" "src/analysis/CMakeFiles/cfds_analysis.dir/dch_reachability.cpp.o.d"
+  "/root/repo/src/analysis/figures.cpp" "src/analysis/CMakeFiles/cfds_analysis.dir/figures.cpp.o" "gcc" "src/analysis/CMakeFiles/cfds_analysis.dir/figures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cfds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

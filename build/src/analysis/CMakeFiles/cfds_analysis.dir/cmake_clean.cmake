@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfds_analysis.dir/backbone.cpp.o"
+  "CMakeFiles/cfds_analysis.dir/backbone.cpp.o.d"
+  "CMakeFiles/cfds_analysis.dir/dch_reachability.cpp.o"
+  "CMakeFiles/cfds_analysis.dir/dch_reachability.cpp.o.d"
+  "CMakeFiles/cfds_analysis.dir/figures.cpp.o"
+  "CMakeFiles/cfds_analysis.dir/figures.cpp.o.d"
+  "libcfds_analysis.a"
+  "libcfds_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfds_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/flooding.cpp" "src/baseline/CMakeFiles/cfds_baseline.dir/flooding.cpp.o" "gcc" "src/baseline/CMakeFiles/cfds_baseline.dir/flooding.cpp.o.d"
+  "/root/repo/src/baseline/gossip_fd.cpp" "src/baseline/CMakeFiles/cfds_baseline.dir/gossip_fd.cpp.o" "gcc" "src/baseline/CMakeFiles/cfds_baseline.dir/gossip_fd.cpp.o.d"
+  "/root/repo/src/baseline/swim.cpp" "src/baseline/CMakeFiles/cfds_baseline.dir/swim.cpp.o" "gcc" "src/baseline/CMakeFiles/cfds_baseline.dir/swim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fds/CMakeFiles/cfds_fds.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cfds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/cfds_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cfds_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/cfds_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cfds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfds_baseline.dir/flooding.cpp.o"
+  "CMakeFiles/cfds_baseline.dir/flooding.cpp.o.d"
+  "CMakeFiles/cfds_baseline.dir/gossip_fd.cpp.o"
+  "CMakeFiles/cfds_baseline.dir/gossip_fd.cpp.o.d"
+  "CMakeFiles/cfds_baseline.dir/swim.cpp.o"
+  "CMakeFiles/cfds_baseline.dir/swim.cpp.o.d"
+  "libcfds_baseline.a"
+  "libcfds_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfds_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

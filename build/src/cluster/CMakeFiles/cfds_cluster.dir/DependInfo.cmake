@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/directory.cpp" "src/cluster/CMakeFiles/cfds_cluster.dir/directory.cpp.o" "gcc" "src/cluster/CMakeFiles/cfds_cluster.dir/directory.cpp.o.d"
+  "/root/repo/src/cluster/formation.cpp" "src/cluster/CMakeFiles/cfds_cluster.dir/formation.cpp.o" "gcc" "src/cluster/CMakeFiles/cfds_cluster.dir/formation.cpp.o.d"
+  "/root/repo/src/cluster/membership.cpp" "src/cluster/CMakeFiles/cfds_cluster.dir/membership.cpp.o" "gcc" "src/cluster/CMakeFiles/cfds_cluster.dir/membership.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cfds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cfds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/cfds_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/cfds_event.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

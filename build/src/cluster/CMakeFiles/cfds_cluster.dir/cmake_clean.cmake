@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfds_cluster.dir/directory.cpp.o"
+  "CMakeFiles/cfds_cluster.dir/directory.cpp.o.d"
+  "CMakeFiles/cfds_cluster.dir/formation.cpp.o"
+  "CMakeFiles/cfds_cluster.dir/formation.cpp.o.d"
+  "CMakeFiles/cfds_cluster.dir/membership.cpp.o"
+  "CMakeFiles/cfds_cluster.dir/membership.cpp.o.d"
+  "libcfds_cluster.a"
+  "libcfds_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfds_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfds_common.dir/geometry.cpp.o"
+  "CMakeFiles/cfds_common.dir/geometry.cpp.o.d"
+  "CMakeFiles/cfds_common.dir/logmath.cpp.o"
+  "CMakeFiles/cfds_common.dir/logmath.cpp.o.d"
+  "CMakeFiles/cfds_common.dir/statistics.cpp.o"
+  "CMakeFiles/cfds_common.dir/statistics.cpp.o.d"
+  "libcfds_common.a"
+  "libcfds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

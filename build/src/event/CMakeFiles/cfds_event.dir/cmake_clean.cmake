@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfds_event.dir/simulator.cpp.o"
+  "CMakeFiles/cfds_event.dir/simulator.cpp.o.d"
+  "libcfds_event.a"
+  "libcfds_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfds_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfds_fds.dir/agent.cpp.o"
+  "CMakeFiles/cfds_fds.dir/agent.cpp.o.d"
+  "CMakeFiles/cfds_fds.dir/detector.cpp.o"
+  "CMakeFiles/cfds_fds.dir/detector.cpp.o.d"
+  "libcfds_fds.a"
+  "libcfds_fds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfds_fds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cfds_fds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfds_intercluster.dir/forwarder.cpp.o"
+  "CMakeFiles/cfds_intercluster.dir/forwarder.cpp.o.d"
+  "CMakeFiles/cfds_intercluster.dir/routing.cpp.o"
+  "CMakeFiles/cfds_intercluster.dir/routing.cpp.o.d"
+  "libcfds_intercluster.a"
+  "libcfds_intercluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfds_intercluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

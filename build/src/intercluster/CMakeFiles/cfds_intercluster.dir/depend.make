@@ -1,0 +1,2 @@
+# Empty dependencies file for cfds_intercluster.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfds_net.dir/graph.cpp.o"
+  "CMakeFiles/cfds_net.dir/graph.cpp.o.d"
+  "CMakeFiles/cfds_net.dir/mobility.cpp.o"
+  "CMakeFiles/cfds_net.dir/mobility.cpp.o.d"
+  "CMakeFiles/cfds_net.dir/network.cpp.o"
+  "CMakeFiles/cfds_net.dir/network.cpp.o.d"
+  "CMakeFiles/cfds_net.dir/node.cpp.o"
+  "CMakeFiles/cfds_net.dir/node.cpp.o.d"
+  "CMakeFiles/cfds_net.dir/topology.cpp.o"
+  "CMakeFiles/cfds_net.dir/topology.cpp.o.d"
+  "libcfds_net.a"
+  "libcfds_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfds_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

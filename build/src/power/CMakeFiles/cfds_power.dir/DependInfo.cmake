@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/duty_cycle.cpp" "src/power/CMakeFiles/cfds_power.dir/duty_cycle.cpp.o" "gcc" "src/power/CMakeFiles/cfds_power.dir/duty_cycle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fds/CMakeFiles/cfds_fds.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cfds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cfds_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/cfds_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/cfds_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cfds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

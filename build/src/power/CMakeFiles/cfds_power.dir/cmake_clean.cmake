@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfds_power.dir/duty_cycle.cpp.o"
+  "CMakeFiles/cfds_power.dir/duty_cycle.cpp.o.d"
+  "libcfds_power.a"
+  "libcfds_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfds_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfds_radio.dir/channel.cpp.o"
+  "CMakeFiles/cfds_radio.dir/channel.cpp.o.d"
+  "CMakeFiles/cfds_radio.dir/loss_model.cpp.o"
+  "CMakeFiles/cfds_radio.dir/loss_model.cpp.o.d"
+  "libcfds_radio.a"
+  "libcfds_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfds_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcfds_radio.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfds_sim.dir/fast_mc.cpp.o"
+  "CMakeFiles/cfds_sim.dir/fast_mc.cpp.o.d"
+  "CMakeFiles/cfds_sim.dir/metrics.cpp.o"
+  "CMakeFiles/cfds_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/cfds_sim.dir/scenario.cpp.o"
+  "CMakeFiles/cfds_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/cfds_sim.dir/single_cluster.cpp.o"
+  "CMakeFiles/cfds_sim.dir/single_cluster.cpp.o.d"
+  "libcfds_sim.a"
+  "libcfds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

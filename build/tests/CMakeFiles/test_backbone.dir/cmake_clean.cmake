@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backbone.dir/test_backbone.cpp.o"
+  "CMakeFiles/test_backbone.dir/test_backbone.cpp.o.d"
+  "test_backbone"
+  "test_backbone.pdb"
+  "test_backbone[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

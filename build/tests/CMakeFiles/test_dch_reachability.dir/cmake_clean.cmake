@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dch_reachability.dir/test_dch_reachability.cpp.o"
+  "CMakeFiles/test_dch_reachability.dir/test_dch_reachability.cpp.o.d"
+  "test_dch_reachability"
+  "test_dch_reachability.pdb"
+  "test_dch_reachability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dch_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

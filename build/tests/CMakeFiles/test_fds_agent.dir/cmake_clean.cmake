@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fds_agent.dir/test_fds_agent.cpp.o"
+  "CMakeFiles/test_fds_agent.dir/test_fds_agent.cpp.o.d"
+  "test_fds_agent"
+  "test_fds_agent.pdb"
+  "test_fds_agent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fds_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_formation.dir/test_formation.cpp.o"
+  "CMakeFiles/test_formation.dir/test_formation.cpp.o.d"
+  "test_formation"
+  "test_formation.pdb"
+  "test_formation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_single_cluster.cpp" "tests/CMakeFiles/test_single_cluster.dir/test_single_cluster.cpp.o" "gcc" "tests/CMakeFiles/test_single_cluster.dir/test_single_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cfds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cfds_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/aggregation/CMakeFiles/cfds_aggregation.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cfds_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cfds_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/intercluster/CMakeFiles/cfds_intercluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/fds/CMakeFiles/cfds_fds.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cfds_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cfds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/cfds_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/cfds_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cfds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

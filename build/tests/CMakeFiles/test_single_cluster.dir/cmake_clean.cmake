@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_single_cluster.dir/test_single_cluster.cpp.o"
+  "CMakeFiles/test_single_cluster.dir/test_single_cluster.cpp.o.d"
+  "test_single_cluster"
+  "test_single_cluster.pdb"
+  "test_single_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_single_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swim.dir/test_swim.cpp.o"
+  "CMakeFiles/test_swim.dir/test_swim.cpp.o.d"
+  "test_swim"
+  "test_swim.pdb"
+  "test_swim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

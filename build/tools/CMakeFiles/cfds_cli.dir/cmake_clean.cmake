@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfds_cli.dir/cfds_cli.cpp.o"
+  "CMakeFiles/cfds_cli.dir/cfds_cli.cpp.o.d"
+  "cfds_cli"
+  "cfds_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfds_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfds_figures.dir/cfds_figures.cpp.o"
+  "CMakeFiles/cfds_figures.dir/cfds_figures.cpp.o.d"
+  "cfds_figures"
+  "cfds_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfds_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

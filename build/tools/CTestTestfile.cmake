@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_cfds_cli "/root/repo/build/tools/cfds_cli" "--nodes" "150" "--epochs" "3" "--crash-rate" "1" "--trace")
+set_tests_properties(tool_cfds_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_cfds_figures "/root/repo/build/tools/cfds_figures" "fig5")
+set_tests_properties(tool_cfds_figures PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
