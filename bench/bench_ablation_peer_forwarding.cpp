@@ -76,6 +76,7 @@ BENCHMARK(BM_PeerForwardingTrialCost)->Arg(0)->Arg(1);
 }  // namespace
 
 int main(int argc, char** argv) {
+  cfds::bench::parse_common_args(argc, argv);
   print_ablation();
   std::printf("\n-- timings --\n");
   benchmark::Initialize(&argc, argv);

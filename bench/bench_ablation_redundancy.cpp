@@ -76,6 +76,7 @@ BENCHMARK(BM_RuleModeTrialCost)->Arg(0)->Arg(1)->Arg(2);
 }  // namespace
 
 int main(int argc, char** argv) {
+  cfds::bench::parse_common_args(argc, argv);
   print_ablation();
   std::printf("\n-- timings --\n");
   benchmark::Initialize(&argc, argv);

@@ -134,6 +134,7 @@ BENCHMARK(BM_AggregationEpoch)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  cfds::bench::parse_common_args(argc, argv);
   print_energy_table();
   print_fidelity_table();
   std::printf("\n-- timings --\n");

@@ -228,6 +228,7 @@ BENCHMARK(BM_GossipRound400)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  cfds::bench::parse_common_args(argc, argv);
   print_comparison();
   std::printf("\n-- timings --\n");
   benchmark::Initialize(&argc, argv);

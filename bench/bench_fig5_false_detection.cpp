@@ -7,11 +7,16 @@
 //   semantic MC— protocol-rule Monte-Carlo over sampled geometry/losses
 // plus a full protocol-stack spot check (event queue, real frames) at the
 // points where the probability is large enough to sample in reasonable time.
+//
+// Both Monte-Carlo sweeps run on the parallel experiment runner: the whole
+// (N, p) grid is sharded across --threads workers with counter-based
+// per-shard seeding, so estimates are identical at any thread count.
 
 #include <benchmark/benchmark.h>
 
 #include "analysis/figures.h"
 #include "bench/bench_util.h"
+#include "runner/executor.h"
 #include "sim/fast_mc.h"
 #include "sim/single_cluster.h"
 
@@ -20,24 +25,41 @@ namespace {
 using namespace cfds;
 
 constexpr long kSemanticTrials = 400000;
+const std::vector<int> kPopulations = {50, 75, 100};
 
-void print_figure() {
+std::vector<double> sweep_ps() {
+  std::vector<double> ps;
+  for (int i = 0; i < analysis::sweep_points(); ++i) {
+    ps.push_back(analysis::sweep_p(i));
+  }
+  return ps;
+}
+
+void print_figure(runner::ResultSink* sink) {
+  const long trials = bench::options().trials_or(kSemanticTrials);
   bench::banner("Figure 5", "P^(False detection) vs p  (N = 50, 75, 100)");
-  for (int n : {50, 75, 100}) {
-    std::printf("\n-- N = %d  (semantic MC: %ld trials/point) --\n", n,
-                kSemanticTrials);
+
+  auto spec = runner::ExperimentSpec::for_kind(
+      runner::EstimatorKind::kMcFalseDetection);
+  spec.name = "fig5_false_detection";
+  spec.grid = runner::make_grid(kPopulations, sweep_ps());
+  spec.trials = trials;
+  spec.seed = bench::options().seed_or(0xF15);
+  const auto results = runner::run_experiment(spec, bench::pool(), sink);
+
+  for (std::size_t ni = 0; ni < kPopulations.size(); ++ni) {
+    const int n = kPopulations[ni];
+    std::printf("\n-- N = %d  (semantic MC: %ld trials/point) --\n", n, trials);
     bench::table_header({"analytic", "paper-sum", "semantic MC"});
-    Rng rng(0xF15 + std::uint64_t(n));
     for (int i = 0; i < analysis::sweep_points(); ++i) {
       const double p = analysis::sweep_p(i);
       const double closed = analysis::false_detection_upper_bound(p, n);
       const double sum = analysis::false_detection_upper_bound_sum(p, n);
-      FastMcConfig config;
-      config.n = n;
-      config.p = p;
-      const auto mc = mc_false_detection(config, kSemanticTrials, rng);
+      const auto& mc =
+          results[ni * std::size_t(analysis::sweep_points()) + std::size_t(i)]
+              .estimator;
       // Only print the MC estimate when the expected event count is >= ~10.
-      const bool sampleable = closed * double(kSemanticTrials) >= 10.0;
+      const bool sampleable = closed * double(trials) >= 10.0;
       bench::table_row(
           p, std::vector<std::string>{
                  bench::sci_cell(closed), bench::sci_cell(sum),
@@ -49,17 +71,18 @@ void print_figure() {
   std::printf(
       "\n-- full protocol stack spot checks (event-driven, real frames) --\n");
   std::printf("%-18s  %14s  %20s\n", "point", "analytic", "protocol MC");
-  for (const auto& [n, p, trials] :
+  for (const auto& [n, p, trials_at_point] :
        {std::tuple<int, double, int>{20, 0.5, 12000},
         std::tuple<int, double, int>{20, 0.4, 12000},
         std::tuple<int, double, int>{50, 0.5, 6000}}) {
-    SingleClusterConfig config;
-    config.n = n;
-    config.p = p;
-    config.seed = 0xF5;
-    config.num_deputies = 0;
-    SingleClusterExperiment experiment(config);
-    const auto estimate = experiment.run_false_detection(trials);
+    auto stack = runner::ExperimentSpec::for_kind(
+        runner::EstimatorKind::kStackFalseDetection);
+    stack.name = "fig5_stack_spot_check";
+    stack.grid = {runner::GridPoint{n, p}};
+    stack.trials = trials_at_point;
+    stack.seed = bench::options().seed_or(0xF5);
+    const auto estimate =
+        runner::run_experiment(stack, bench::pool(), sink).front().estimator;
     std::printf("N=%-3d p=%.2f       %14.4e  %20s\n", n, p,
                 analysis::false_detection_upper_bound(p, n),
                 bench::mc_cell(estimate.estimate(), estimate.ci99()).c_str());
@@ -113,7 +136,9 @@ BENCHMARK(BM_Fig5FullStackExecution)->Arg(50)->Arg(100);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  cfds::bench::parse_common_args(argc, argv);
+  const auto sink = cfds::bench::make_sink();
+  print_figure(sink.get());
   std::printf("\n-- timings --\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

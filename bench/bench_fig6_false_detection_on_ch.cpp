@@ -9,8 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "analysis/figures.h"
 #include "bench/bench_util.h"
+#include "runner/executor.h"
 #include "sim/fast_mc.h"
 #include "sim/single_cluster.h"
 
@@ -20,25 +23,43 @@ using namespace cfds;
 
 constexpr long kSemanticTrials = 40000000;  // trials are ~2 draws on average
 
-void print_figure() {
+void print_figure(runner::ResultSink* sink) {
+  const long trials = bench::options().trials_or(kSemanticTrials);
   bench::banner("Figure 6",
                 "P(False detection on CH) vs p  (N = 50, 75, 100)");
+
+  // The measure plunges below any sampling reach over most of the sweep, so
+  // the runner's grid holds only the points where the expected event count
+  // clears ~10; everything else prints as "<sampling floor".
+  auto spec = runner::ExperimentSpec::for_kind(
+      runner::EstimatorKind::kMcFalseDetectionOnCh);
+  spec.name = "fig6_false_detection_on_ch";
+  spec.trials = trials;
+  spec.seed = bench::options().seed_or(0xF16);
+  for (int n : {50, 75, 100}) {
+    for (int i = 0; i < analysis::sweep_points(); ++i) {
+      const double p = analysis::sweep_p(i);
+      if (analysis::false_detection_on_ch(p, n) * double(trials) >= 10.0) {
+        spec.grid.push_back(runner::GridPoint{n, p});
+      }
+    }
+  }
+  const auto results = runner::run_experiment(spec, bench::pool(), sink);
+  std::map<std::pair<int, double>, const ProportionEstimator*> sampled;
+  for (const auto& result : results) {
+    sampled[{result.point.n, result.point.p}] = &result.estimator;
+  }
+
   for (int n : {50, 75, 100}) {
     std::printf("\n-- N = %d --\n", n);
     bench::table_header({"analytic", "paper-sum", "semantic MC"});
-    Rng rng(0xF16 + std::uint64_t(n));
     for (int i = 0; i < analysis::sweep_points(); ++i) {
       const double p = analysis::sweep_p(i);
       const double closed = analysis::false_detection_on_ch(p, n);
       const double sum = analysis::false_detection_on_ch_sum(p, n);
       std::string mc_text = "<sampling floor";
-      if (closed * double(kSemanticTrials) >= 10.0) {
-        FastMcConfig config;
-        config.n = n;
-        config.p = p;
-        const auto mc =
-            mc_false_detection_on_ch(config, kSemanticTrials, rng);
-        mc_text = bench::mc_cell(mc.estimate(), mc.ci99());
+      if (const auto it = sampled.find({n, p}); it != sampled.end()) {
+        mc_text = bench::mc_cell(it->second->estimate(), it->second->ci99());
       }
       bench::table_row(p, std::vector<std::string>{bench::sci_cell(closed),
                                                    bench::sci_cell(sum),
@@ -68,14 +89,14 @@ void print_figure() {
 
   std::printf(
       "\n-- full protocol stack spot check (event-driven, real frames) --\n");
-  SingleClusterConfig config;
-  config.n = 12;
-  config.p = 0.5;
-  config.seed = 0xF6;
-  config.pin_edge_node = false;
-  config.pin_deputy_center = true;
-  SingleClusterExperiment experiment(config);
-  const auto estimate = experiment.run_false_detection_on_ch(40000);
+  auto stack = runner::ExperimentSpec::for_kind(
+      runner::EstimatorKind::kStackFalseDetectionOnCh);
+  stack.name = "fig6_stack_spot_check";
+  stack.grid = {runner::GridPoint{12, 0.5}};
+  stack.trials = 40000;
+  stack.seed = bench::options().seed_or(0xF6);
+  const auto estimate =
+      runner::run_experiment(stack, bench::pool(), sink).front().estimator;
   std::printf("N=12 p=0.50        %14.4e  %20s\n",
               analysis::false_detection_on_ch(0.5, 12),
               bench::mc_cell(estimate.estimate(), estimate.ci99()).c_str());
@@ -119,7 +140,9 @@ BENCHMARK(BM_Fig6DeputyCheckExecution)->Arg(50);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  cfds::bench::parse_common_args(argc, argv);
+  const auto sink = cfds::bench::make_sink();
+  print_figure(sink.get());
   std::printf("\n-- timings --\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -11,6 +11,7 @@
 
 #include "analysis/figures.h"
 #include "bench/bench_util.h"
+#include "runner/executor.h"
 #include "sim/fast_mc.h"
 #include "sim/single_cluster.h"
 
@@ -19,23 +20,40 @@ namespace {
 using namespace cfds;
 
 constexpr long kSemanticTrials = 400000;
+const std::vector<int> kPopulations = {50, 75, 100};
 
-void print_figure() {
+std::vector<double> sweep_ps() {
+  std::vector<double> ps;
+  for (int i = 0; i < analysis::sweep_points(); ++i) {
+    ps.push_back(analysis::sweep_p(i));
+  }
+  return ps;
+}
+
+void print_figure(runner::ResultSink* sink) {
+  const long trials = bench::options().trials_or(kSemanticTrials);
   bench::banner("Figure 7", "P^(Incompleteness) vs p  (N = 50, 75, 100)");
-  for (int n : {50, 75, 100}) {
-    std::printf("\n-- N = %d  (semantic MC: %ld trials/point) --\n", n,
-                kSemanticTrials);
+
+  auto spec = runner::ExperimentSpec::for_kind(
+      runner::EstimatorKind::kMcIncompleteness);
+  spec.name = "fig7_incompleteness";
+  spec.grid = runner::make_grid(kPopulations, sweep_ps());
+  spec.trials = trials;
+  spec.seed = bench::options().seed_or(0xF17);
+  const auto results = runner::run_experiment(spec, bench::pool(), sink);
+
+  for (std::size_t ni = 0; ni < kPopulations.size(); ++ni) {
+    const int n = kPopulations[ni];
+    std::printf("\n-- N = %d  (semantic MC: %ld trials/point) --\n", n, trials);
     bench::table_header({"analytic", "paper-sum", "semantic MC"});
-    Rng rng(0xF17 + std::uint64_t(n));
     for (int i = 0; i < analysis::sweep_points(); ++i) {
       const double p = analysis::sweep_p(i);
       const double closed = analysis::incompleteness_upper_bound(p, n);
       const double sum = analysis::incompleteness_upper_bound_sum(p, n);
-      FastMcConfig config;
-      config.n = n;
-      config.p = p;
-      const auto mc = mc_incompleteness(config, kSemanticTrials, rng);
-      const bool sampleable = closed * double(kSemanticTrials) >= 10.0;
+      const auto& mc =
+          results[ni * std::size_t(analysis::sweep_points()) + std::size_t(i)]
+              .estimator;
+      const bool sampleable = closed * double(trials) >= 10.0;
       bench::table_row(
           p, std::vector<std::string>{
                  bench::sci_cell(closed), bench::sci_cell(sum),
@@ -56,17 +74,18 @@ void print_figure() {
   std::printf(
       "\n-- full protocol stack spot checks (event-driven, real frames) --\n");
   std::printf("%-18s  %14s  %20s\n", "point", "analytic bound", "protocol MC");
-  for (const auto& [n, p, trials] :
+  for (const auto& [n, p, trials_at_point] :
        {std::tuple<int, double, int>{20, 0.5, 12000},
         std::tuple<int, double, int>{20, 0.4, 12000},
         std::tuple<int, double, int>{50, 0.5, 6000}}) {
-    SingleClusterConfig config;
-    config.n = n;
-    config.p = p;
-    config.seed = 0xF7;
-    config.num_deputies = 0;
-    SingleClusterExperiment experiment(config);
-    const auto estimate = experiment.run_incompleteness(trials);
+    auto stack = runner::ExperimentSpec::for_kind(
+        runner::EstimatorKind::kStackIncompleteness);
+    stack.name = "fig7_stack_spot_check";
+    stack.grid = {runner::GridPoint{n, p}};
+    stack.trials = trials_at_point;
+    stack.seed = bench::options().seed_or(0xF7);
+    const auto estimate =
+        runner::run_experiment(stack, bench::pool(), sink).front().estimator;
     std::printf("N=%-3d p=%.2f       %14.4e  %20s\n", n, p,
                 analysis::incompleteness_upper_bound(p, n),
                 bench::mc_cell(estimate.estimate(), estimate.ci99()).c_str());
@@ -109,7 +128,9 @@ BENCHMARK(BM_Fig7FullStackExecution)->Arg(50)->Arg(100);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure();
+  cfds::bench::parse_common_args(argc, argv);
+  const auto sink = cfds::bench::make_sink();
+  print_figure(sink.get());
   std::printf("\n-- timings --\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

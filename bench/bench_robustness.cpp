@@ -172,6 +172,7 @@ BENCHMARK(BM_SkewedEpoch)->Arg(0)->Arg(50)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  cfds::bench::parse_common_args(argc, argv);
   print_loss_model_study();
   print_skew_study();
   std::printf("\n-- timings --\n");

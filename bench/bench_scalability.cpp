@@ -31,7 +31,21 @@ void print_study() {
   bench::banner("Scalability", "per-node cost and dissemination vs size");
   std::printf("\n%-8s %10s %12s %16s %14s %16s\n", "nodes", "clusters",
               "FDS frames", "frames/node", "flood frames", "backbone fwd");
-  for (std::size_t n : {125, 250, 500, 1000, 2000}) {
+
+  // Each population size is an independent simulation, so the study fans
+  // out across the runner's thread pool; rows are collected per index and
+  // printed in size order afterwards.
+  const std::vector<std::size_t> sizes = {125, 250, 500, 1000, 2000};
+  const auto seed = bench::options().seed_or(19);
+  struct Row {
+    std::size_t clusters = 0;
+    double fds_frames = 0.0;
+    std::uint64_t flood_frames = 0;
+    std::uint64_t backbone_forwards = 0;
+  };
+  std::vector<Row> rows(sizes.size());
+  bench::pool().parallel_for(sizes.size(), [&](std::size_t index) {
+    const std::size_t n = sizes[index];
     double width = 0.0, height = 0.0;
     field_for(n, width, height);
 
@@ -40,7 +54,7 @@ void print_study() {
     config.height = height;
     config.node_count = n;
     config.loss_p = 0.1;
-    config.seed = 19;
+    config.seed = seed;
     Scenario scenario(config);
     scenario.setup();
 
@@ -67,18 +81,25 @@ void print_study() {
 
     // Flat flooding of one report on an identical field.
     NetworkConfig flood_config;
-    flood_config.seed = 19;
+    flood_config.seed = seed;
     Network flood_net(flood_config, std::make_unique<BernoulliLoss>(0.1));
-    Rng placement(19);
+    Rng placement(seed);
     flood_net.add_nodes(uniform_rect(n, width, height, placement));
     FloodService flood(flood_net);
     flood.agent_for(NodeId{0}).originate({NodeId{1}});
     flood_net.simulator().run_to_completion();
 
-    std::printf("%-8zu %10zu %12.0f %16.1f %14llu %16llu\n", n,
-                scenario.cluster_count(), fds_frames, fds_frames / double(n),
-                (unsigned long long)(flood.total_rebroadcasts() + 1),
-                (unsigned long long)backbone_forwards);
+    rows[index] = Row{scenario.cluster_count(), fds_frames,
+                      flood.total_rebroadcasts() + 1, backbone_forwards};
+  });
+
+  for (std::size_t index = 0; index < sizes.size(); ++index) {
+    const Row& row = rows[index];
+    std::printf("%-8zu %10zu %12.0f %16.1f %14llu %16llu\n", sizes[index],
+                row.clusters, row.fds_frames,
+                row.fds_frames / double(sizes[index]),
+                (unsigned long long)row.flood_frames,
+                (unsigned long long)row.backbone_forwards);
   }
   std::printf(
       "\nReading: frames/node/epoch stays ~flat with population (two-tier"
@@ -130,6 +151,7 @@ BENCHMARK(BM_CentralizedFormationAtScale)
 }  // namespace
 
 int main(int argc, char** argv) {
+  cfds::bench::parse_common_args(argc, argv);
   print_study();
   std::printf("\n-- timings --\n");
   benchmark::Initialize(&argc, argv);

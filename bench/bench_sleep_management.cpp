@@ -95,6 +95,7 @@ BENCHMARK(BM_SleepWindow)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  cfds::bench::parse_common_args(argc, argv);
   print_study();
   std::printf("\n-- timings --\n");
   benchmark::Initialize(&argc, argv);

@@ -154,6 +154,7 @@ BENCHMARK(BM_BackboneReliability);
 }  // namespace
 
 int main(int argc, char** argv) {
+  cfds::bench::parse_common_args(argc, argv);
   print_study();
   std::printf("\n-- timings --\n");
   benchmark::Initialize(&argc, argv);

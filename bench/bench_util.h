@@ -5,14 +5,60 @@
 // cross-checks where the probabilities are sampleable), then runs its
 // google-benchmark timings. Output is aligned plain text so the series can
 // be diffed against EXPERIMENTS.md or piped into a plotting script.
+//
+// All benches accept the uniform runner flags — --trials, --threads, --seed,
+// --out, --no-wall-time — parsed by runner/cli_args before google-benchmark
+// sees argv. The sweeps ported onto the parallel runner honor all of them;
+// the remaining benches accept them so the invocation syntax is uniform
+// across binaries (docs/RUNNER.md documents which benches use which).
 
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "runner/cli_args.h"
+#include "runner/result_sink.h"
+#include "runner/thread_pool.h"
+
 namespace cfds::bench {
+
+/// Options parsed from the uniform flags (zero/empty = bench defaults).
+inline runner::RunnerOptions& options() {
+  static runner::RunnerOptions instance;
+  return instance;
+}
+
+/// Parses and strips the uniform flags from argv. Call first in main, before
+/// benchmark::Initialize, which consumes (and validates) the rest.
+inline void parse_common_args(int& argc, char** argv) {
+  runner::FlagSet flags;
+  runner::add_runner_flags(flags, options());
+  flags.parse_or_exit(argc, argv);
+}
+
+/// The bench's shared thread pool, sized by --threads (0 = hardware).
+/// Constructed on first use so parse_common_args has already run.
+inline runner::ThreadPool& pool() {
+  static runner::ThreadPool instance(unsigned(options().threads));
+  return instance;
+}
+
+/// JSONL sink for --out, or null when no --out was given.
+inline std::unique_ptr<runner::JsonlResultSink> make_sink() {
+  if (options().out.empty()) return nullptr;
+  auto sink = std::make_unique<runner::JsonlResultSink>(
+      options().out, !options().no_wall_time);
+  if (!sink->ok()) {
+    std::fprintf(stderr, "cannot open --out %s\n", options().out.c_str());
+    std::exit(2);
+  }
+  return sink;
+}
 
 /// Prints a banner for one reproduced artifact.
 inline void banner(const char* figure, const char* what) {

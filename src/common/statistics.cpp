@@ -30,9 +30,35 @@ double RunningStats::sem() const {
   return n_ > 0 ? stddev() / std::sqrt(double(n_)) : 0.0;
 }
 
+ProportionInterval wilson_ci99(std::int64_t successes, std::int64_t trials) {
+  if (trials <= 0) return {0.0, 1.0};
+  constexpr double z = 2.5758293035489004;  // Phi^-1(0.995)
+  const double n = double(trials);
+  const double phat = double(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (phat + z2 / (2.0 * n)) / denom;
+  const double halfwidth =
+      (z / denom) * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+  return {std::max(0.0, centre - halfwidth), std::min(1.0, centre + halfwidth)};
+}
+
 void ProportionEstimator::add(bool success) {
   ++trials_;
   if (success) ++successes_;
+}
+
+void ProportionEstimator::merge(const ProportionEstimator& other) {
+  trials_ += other.trials_;
+  successes_ += other.successes_;
+}
+
+ProportionEstimator ProportionEstimator::from_counts(std::int64_t successes,
+                                                     std::int64_t trials) {
+  ProportionEstimator estimator;
+  estimator.successes_ = successes;
+  estimator.trials_ = trials;
+  return estimator;
 }
 
 double ProportionEstimator::estimate() const {
@@ -41,6 +67,10 @@ double ProportionEstimator::estimate() const {
 
 double ProportionEstimator::ci99() const {
   return binomial_ci99_halfwidth(successes_, trials_);
+}
+
+ProportionInterval ProportionEstimator::wilson99() const {
+  return wilson_ci99(successes_, trials_);
 }
 
 bool ProportionEstimator::consistent_with(double value) const {

@@ -32,17 +32,40 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+/// Closed interval for a binomial proportion.
+struct ProportionInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Wilson score interval at 99% confidence. Unlike the normal approximation
+/// it stays inside [0, 1] and behaves sensibly at zero successes, which
+/// matters for the runner's JSONL records on un-sampleable grid points.
+[[nodiscard]] ProportionInterval wilson_ci99(std::int64_t successes,
+                                             std::int64_t trials);
+
 /// Counter for Bernoulli outcomes with confidence-interval support.
 class ProportionEstimator {
  public:
   /// Records one trial.
   void add(bool success);
 
+  /// Folds another estimator's counts into this one. Count addition
+  /// commutes, so merging per-shard estimators in any order yields the same
+  /// totals — the property the parallel runner's determinism rests on.
+  void merge(const ProportionEstimator& other);
+
+  /// Estimator pre-loaded with counts (deserialization and tests).
+  [[nodiscard]] static ProportionEstimator from_counts(std::int64_t successes,
+                                                       std::int64_t trials);
+
   [[nodiscard]] std::int64_t trials() const { return trials_; }
   [[nodiscard]] std::int64_t successes() const { return successes_; }
   [[nodiscard]] double estimate() const;
   /// Half-width of the 99% normal-approximation CI.
   [[nodiscard]] double ci99() const;
+  /// Wilson score interval at 99% confidence.
+  [[nodiscard]] ProportionInterval wilson99() const;
   /// True if `value` lies within the 99% CI of the estimate.
   [[nodiscard]] bool consistent_with(double value) const;
 

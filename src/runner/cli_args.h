@@ -1,0 +1,93 @@
+// Minimal shared command-line parsing for the experiment tooling.
+//
+// FlagSet is a registry of typed "--name value" (and presence-only) flags.
+// parse() consumes the flags it knows from argv — compacting the array in
+// place — and leaves everything else untouched, so it composes with other
+// parsers: the benches run it first and hand the remainder to
+// benchmark::Initialize, while cfds_cli registers every flag it has and
+// treats leftovers as an error.
+//
+// RunnerOptions bundles the four flags every experiment entry point shares
+// (--threads, --trials, --seed, --out) plus --no-wall-time for
+// bit-reproducible JSONL.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cfds::runner {
+
+class FlagSet {
+ public:
+  /// Presence flag: "--name" sets *target to true.
+  void add_flag(const std::string& name, bool* target, const std::string& help);
+
+  /// Valued flags: "--name V" parses V into *target. Parse failure (bad
+  /// number, missing value) fails the whole parse() call.
+  void add_value(const std::string& name, long* target, const std::string& help);
+  void add_value(const std::string& name, long long* target,
+                 const std::string& help);
+  void add_value(const std::string& name, int* target, const std::string& help);
+  void add_value(const std::string& name, std::uint64_t* target,
+                 const std::string& help);
+  void add_value(const std::string& name, double* target,
+                 const std::string& help);
+  void add_value(const std::string& name, std::string* target,
+                 const std::string& help);
+
+  /// Consumes recognized flags from argv (argv[0] is never touched) and
+  /// shifts the survivors down; argc is updated. Returns false and fills
+  /// *error on a malformed or missing value. Unrecognized arguments are not
+  /// an error — they stay in argv for the next parser.
+  [[nodiscard]] bool parse(int& argc, char** argv, std::string* error);
+
+  /// parse() that prints the error plus usage() to stderr and exits(2).
+  void parse_or_exit(int& argc, char** argv);
+
+  /// One "  --name  help" line per registered flag.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    bool takes_value;
+    std::function<bool(const char*)> apply;
+    std::string help;
+  };
+
+  void add(std::string name, bool takes_value,
+           std::function<bool(const char*)> apply, std::string help);
+
+  std::vector<Flag> flags_;
+};
+
+/// The uniform experiment flags. `trials` and `threads` keep 0 as "caller
+/// decides" (benches fall back to their historical per-figure budgets;
+/// threads 0 means one per hardware thread). `seed` keeps -1 as "caller
+/// decides" so entry points can preserve their historical default seeds.
+struct RunnerOptions {
+  int threads = 0;
+  long trials = 0;
+  std::int64_t seed = -1;
+  std::string out;  ///< JSONL path; empty = no sink, "-" = stdout
+  bool no_wall_time = false;
+
+  [[nodiscard]] std::uint64_t seed_or(std::uint64_t fallback) const {
+    return seed >= 0 ? std::uint64_t(seed) : fallback;
+  }
+  [[nodiscard]] long trials_or(long fallback) const {
+    return trials > 0 ? trials : fallback;
+  }
+};
+
+/// Registers --threads/--trials/--seed/--out/--no-wall-time on the set.
+void add_runner_flags(FlagSet& flags, RunnerOptions& options);
+
+/// Splits "50,75,100" into integers. Returns false on any malformed item.
+[[nodiscard]] bool parse_int_list(const std::string& text,
+                                  std::vector<int>* values);
+
+}  // namespace cfds::runner

@@ -1,0 +1,59 @@
+// Shard scheduling for declarative experiments.
+//
+// run_experiment splits each grid point's trial budget into fixed-size
+// shards, executes the shards on a thread pool, merges the per-shard
+// ProportionEstimators (common/statistics) in shard order, and emits one
+// record per point — in grid order — to an optional ResultSink.
+//
+// Determinism contract: each shard seeds its own Rng from
+// shard_seed(spec.seed, point_index, shard_index), a pure splitmix64-derived
+// counter scheme, and the shard decomposition depends only on
+// (spec.trials, spec.shard_trials). Neither the thread count nor the
+// scheduling order can therefore affect any estimate; a --threads 8 run is
+// bit-identical to --threads 1.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statistics.h"
+#include "runner/experiment.h"
+#include "runner/result_sink.h"
+#include "runner/thread_pool.h"
+
+namespace cfds::runner {
+
+/// Counter-based per-shard seed: a splitmix64 chain over (seed, point,
+/// shard). Pure function — no shared RNG state crosses shard boundaries.
+[[nodiscard]] std::uint64_t shard_seed(std::uint64_t seed, std::uint64_t point,
+                                       std::uint64_t shard);
+
+/// The shard size used when spec.shard_trials == 0: small for the
+/// event-driven full-stack kinds (each trial runs a whole FDS execution),
+/// large for the cheap semantic Monte-Carlo kinds.
+[[nodiscard]] long default_shard_trials(EstimatorKind kind);
+
+struct PointResult {
+  GridPoint point;
+  ProportionEstimator estimator;
+  long shards = 0;
+  /// Elapsed milliseconds from experiment start until this point's shards
+  /// were all merged (monotonic across points, not a per-point cost).
+  double wall_ms = 0.0;
+};
+
+/// Runs one shard synchronously. Exposed for tests and for callers that
+/// want to embed a shard in their own scheduling.
+[[nodiscard]] ProportionEstimator run_shard(const ExperimentSpec& spec,
+                                            const GridPoint& point,
+                                            long trials, std::uint64_t seed);
+
+/// Executes the full spec on the pool. Results come back in grid order and
+/// are written to `sink` (when non-null) in that same order once all shards
+/// finish. An empty grid or non-positive trial budget yields no points.
+std::vector<PointResult> run_experiment(const ExperimentSpec& spec,
+                                        ThreadPool& pool,
+                                        ResultSink* sink = nullptr);
+
+}  // namespace cfds::runner

@@ -1,0 +1,55 @@
+#include "runner/result_sink.h"
+
+namespace cfds::runner {
+
+std::string to_jsonl(const PointRecord& record, bool include_wall_time) {
+  char buffer[640];
+  int written = std::snprintf(
+      buffer, sizeof buffer,
+      "{\"experiment\":\"%s\",\"kind\":\"%s\",\"n\":%d,\"p\":%.17g,"
+      "\"range\":%.17g,\"trials\":%lld,\"successes\":%lld,\"mean\":%.17g,"
+      "\"ci99\":%.17g,\"wilson_lo\":%.17g,\"wilson_hi\":%.17g,"
+      "\"seed\":%llu,\"shards\":%ld",
+      record.experiment.c_str(), estimator_kind_name(record.kind),
+      record.point.n, record.point.p, record.point.range,
+      (long long)record.trials, (long long)record.successes, record.mean,
+      record.ci99, record.wilson.lo, record.wilson.hi,
+      (unsigned long long)record.seed, record.shards);
+  std::string line(buffer, written > 0 ? std::size_t(written) : 0);
+  if (include_wall_time) {
+    std::snprintf(buffer, sizeof buffer, ",\"wall_ms\":%.3f", record.wall_ms);
+    line += buffer;
+  }
+  line += "}";
+  return line;
+}
+
+JsonlResultSink::JsonlResultSink(const std::string& path,
+                                 bool include_wall_time)
+    : include_wall_time_(include_wall_time) {
+  if (path == "-") {
+    file_ = stdout;
+  } else {
+    file_ = std::fopen(path.c_str(), "w");
+    owns_file_ = true;
+  }
+}
+
+JsonlResultSink::~JsonlResultSink() {
+  if (file_ == nullptr) return;
+  if (owns_file_) {
+    std::fclose(file_);
+  } else {
+    std::fflush(file_);
+  }
+}
+
+void JsonlResultSink::write(const PointRecord& record) {
+  if (file_ == nullptr) return;
+  const std::string line = to_jsonl(record, include_wall_time_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fputs(line.c_str(), file_);
+  std::fputc('\n', file_);
+}
+
+}  // namespace cfds::runner

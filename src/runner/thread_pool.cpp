@@ -1,0 +1,67 @@
+#include "runner/thread_pool.h"
+
+#include <utility>
+
+namespace cfds::runner {
+
+unsigned ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = hardware_threads();
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  std::vector<std::future<void>> done;
+  done.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    done.push_back(submit([&body, i] { body(i); }));
+  }
+  // Wait first (noexcept), then harvest: `body` and captured state must not
+  // go out of scope while any worker still runs an iteration.
+  for (std::future<void>& f : done) f.wait();
+  for (std::future<void>& f : done) f.get();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace cfds::runner

@@ -135,6 +135,51 @@ TEST(ProportionEstimator, ZeroSuccessesStillBracketsSmallTruth) {
   EXPECT_FALSE(est.consistent_with(0.1));
 }
 
+TEST(ProportionEstimator, MergeMatchesSequentialCounting) {
+  ProportionEstimator whole, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const bool hit = i % 3 == 0;
+    whole.add(hit);
+    (i < 200 ? left : right).add(hit);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.trials(), whole.trials());
+  EXPECT_EQ(left.successes(), whole.successes());
+  EXPECT_DOUBLE_EQ(left.estimate(), whole.estimate());
+}
+
+TEST(ProportionEstimator, FromCountsRoundTrips) {
+  const auto est = ProportionEstimator::from_counts(25, 100);
+  EXPECT_EQ(est.successes(), 25);
+  EXPECT_EQ(est.trials(), 100);
+  EXPECT_DOUBLE_EQ(est.estimate(), 0.25);
+}
+
+TEST(WilsonInterval, BracketsTheEstimateAndStaysInUnitRange) {
+  const auto mid = wilson_ci99(250, 1000);
+  EXPECT_LT(mid.lo, 0.25);
+  EXPECT_GT(mid.hi, 0.25);
+  // Near the edges the Wilson interval stays in [0, 1] and keeps nonzero
+  // width, unlike the normal approximation.
+  const auto zero = wilson_ci99(0, 1000);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  EXPECT_LT(zero.hi, 0.02);
+  const auto all = wilson_ci99(1000, 1000);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  // No observations: the interval is vacuous, not NaN.
+  const auto none = wilson_ci99(0, 0);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+  EXPECT_DOUBLE_EQ(none.hi, 1.0);
+}
+
+TEST(WilsonInterval, TightensWithSampleSize) {
+  const auto small = wilson_ci99(5, 20);
+  const auto large = wilson_ci99(5000, 20000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
 TEST(Histogram, QuantilesOfUniformFill) {
   Histogram hist(0.0, 100.0, 100);
   for (int i = 0; i < 100; ++i) hist.add(double(i) + 0.5);

@@ -1,0 +1,347 @@
+// Parallel experiment runner: determinism across thread counts, thread-pool
+// shutdown semantics, shard scheduling edge cases, CLI parsing, and the
+// JSONL record format.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <initializer_list>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/statistics.h"
+#include "runner/cli_args.h"
+#include "runner/executor.h"
+#include "runner/experiment.h"
+#include "runner/result_sink.h"
+#include "runner/thread_pool.h"
+
+namespace cfds::runner {
+namespace {
+
+// --- ThreadPool -------------------------------------------------------
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> done;
+  for (int i = 0; i < 64; ++i) {
+    done.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& f : done) f.get();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ShutdownUnderLoadDrainsEveryQueuedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      (void)pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ++count;
+      });
+    }
+    // Destructor fires while most of the queue is still pending.
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCountReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareThreads) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::hardware_threads());
+  EXPECT_GE(pool.size(), 1u);
+}
+
+// --- Seeding ----------------------------------------------------------
+
+TEST(ShardSeed, DistinctAcrossPointsAndShards) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t point = 0; point < 16; ++point) {
+    for (std::uint64_t shard = 0; shard < 16; ++shard) {
+      seeds.insert(shard_seed(42, point, shard));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 256u);  // no collisions on a small grid
+  EXPECT_NE(shard_seed(1, 0, 0), shard_seed(2, 0, 0));  // seed matters
+}
+
+// --- Executor determinism --------------------------------------------
+
+ExperimentSpec small_mc_spec() {
+  auto spec = ExperimentSpec::for_kind(EstimatorKind::kMcFalseDetection);
+  spec.name = "determinism_probe";
+  spec.grid = {GridPoint{20, 0.4}, GridPoint{30, 0.3}, GridPoint{25, 0.5}};
+  spec.trials = 30000;
+  spec.shard_trials = 4096;  // deliberately not a divisor of trials
+  spec.seed = 99;
+  return spec;
+}
+
+TEST(Executor, IdenticalResultsFor1And2And8Threads) {
+  const auto spec = small_mc_spec();
+  std::vector<std::vector<PointResult>> runs;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    runs.push_back(run_experiment(spec, pool));
+  }
+  for (const auto& run : runs) {
+    ASSERT_EQ(run.size(), spec.grid.size());
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      EXPECT_EQ(run[i].estimator.trials(), runs[0][i].estimator.trials());
+      EXPECT_EQ(run[i].estimator.successes(),
+                runs[0][i].estimator.successes());
+    }
+  }
+}
+
+TEST(Executor, JsonlIsByteIdenticalAcrossThreadCounts) {
+  const auto spec = small_mc_spec();
+  std::vector<std::vector<std::string>> lines;
+  for (unsigned threads : {1u, 8u}) {
+    ThreadPool pool(threads);
+    CollectingSink sink;
+    run_experiment(spec, pool, &sink);
+    std::vector<std::string> run_lines;
+    for (const auto& record : sink.records()) {
+      run_lines.push_back(to_jsonl(record, /*include_wall_time=*/false));
+    }
+    lines.push_back(std::move(run_lines));
+  }
+  ASSERT_EQ(lines[0].size(), spec.grid.size());
+  EXPECT_EQ(lines[0], lines[1]);
+}
+
+TEST(Executor, FullStackKindIsDeterministicAcrossThreadCounts) {
+  auto spec = ExperimentSpec::for_kind(EstimatorKind::kStackFalseDetection);
+  spec.grid = {GridPoint{12, 0.5}};
+  spec.trials = 300;
+  spec.shard_trials = 64;
+  spec.seed = 7;
+  std::vector<std::int64_t> successes;
+  for (unsigned threads : {1u, 3u}) {
+    ThreadPool pool(threads);
+    const auto results = run_experiment(spec, pool);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].estimator.trials(), spec.trials);
+    successes.push_back(results[0].estimator.successes());
+  }
+  EXPECT_EQ(successes[0], successes[1]);
+}
+
+TEST(Executor, EmptyGridYieldsNoPointsAndNoHang) {
+  auto spec = small_mc_spec();
+  spec.grid.clear();
+  ThreadPool pool(2);
+  CollectingSink sink;
+  EXPECT_TRUE(run_experiment(spec, pool, &sink).empty());
+  EXPECT_TRUE(sink.records().empty());
+}
+
+TEST(Executor, NonPositiveTrialsYieldNoPoints) {
+  auto spec = small_mc_spec();
+  spec.trials = 0;
+  ThreadPool pool(2);
+  EXPECT_TRUE(run_experiment(spec, pool).empty());
+}
+
+TEST(Executor, ShardDecompositionCoversExactlyTheTrialBudget) {
+  auto spec = small_mc_spec();
+  spec.trials = 10001;  // prime-ish: forces a short tail shard
+  spec.shard_trials = 1000;
+  ThreadPool pool(4);
+  const auto results = run_experiment(spec, pool);
+  for (const auto& result : results) {
+    EXPECT_EQ(result.estimator.trials(), spec.trials);
+    EXPECT_EQ(result.shards, 11);
+  }
+}
+
+TEST(Executor, MatchesDirectSerialEstimatorOnSingleShard) {
+  // One shard spanning the whole budget reduces to the serial estimator
+  // with Rng(shard_seed(...)) — the parallel path adds nothing else.
+  auto spec = small_mc_spec();
+  spec.grid = {GridPoint{20, 0.4}};
+  spec.trials = 5000;
+  spec.shard_trials = 5000;
+  ThreadPool pool(2);
+  const auto results = run_experiment(spec, pool);
+  const auto direct =
+      run_shard(spec, spec.grid[0], spec.trials, shard_seed(spec.seed, 0, 0));
+  EXPECT_EQ(results[0].estimator.successes(), direct.successes());
+  EXPECT_EQ(results[0].estimator.trials(), direct.trials());
+}
+
+// --- Result records ---------------------------------------------------
+
+TEST(ResultSink, RecordsCarryMergedCountsAndWilsonInterval) {
+  const auto spec = small_mc_spec();
+  ThreadPool pool(2);
+  CollectingSink sink;
+  run_experiment(spec, pool, &sink);
+  ASSERT_EQ(sink.records().size(), spec.grid.size());
+  for (const auto& record : sink.records()) {
+    EXPECT_EQ(record.trials, spec.trials);
+    EXPECT_DOUBLE_EQ(record.mean,
+                     double(record.successes) / double(record.trials));
+    EXPECT_LE(record.wilson.lo, record.mean);
+    EXPECT_GE(record.wilson.hi, record.mean);
+    EXPECT_GE(record.wilson.lo, 0.0);
+    EXPECT_LE(record.wilson.hi, 1.0);
+    EXPECT_EQ(record.seed, spec.seed);
+  }
+}
+
+TEST(ResultSink, JsonlLineHasTheDocumentedFields) {
+  PointRecord record;
+  record.experiment = "probe";
+  record.kind = EstimatorKind::kMcIncompleteness;
+  record.point = GridPoint{50, 0.25, 100.0};
+  record.trials = 1000;
+  record.successes = 250;
+  record.mean = 0.25;
+  record.ci99 = 0.035;
+  record.wilson = wilson_ci99(250, 1000);
+  record.seed = 17;
+  record.shards = 2;
+  record.wall_ms = 12.5;
+
+  const std::string with_time = to_jsonl(record, true);
+  EXPECT_NE(with_time.find("\"experiment\":\"probe\""), std::string::npos);
+  EXPECT_NE(with_time.find("\"kind\":\"mc_incompleteness\""),
+            std::string::npos);
+  EXPECT_NE(with_time.find("\"n\":50"), std::string::npos);
+  EXPECT_NE(with_time.find("\"p\":0.25"), std::string::npos);
+  EXPECT_NE(with_time.find("\"trials\":1000"), std::string::npos);
+  EXPECT_NE(with_time.find("\"successes\":250"), std::string::npos);
+  EXPECT_NE(with_time.find("\"wilson_lo\":"), std::string::npos);
+  EXPECT_NE(with_time.find("\"wall_ms\":12.500"), std::string::npos);
+  EXPECT_EQ(with_time.back(), '}');
+
+  const std::string without_time = to_jsonl(record, false);
+  EXPECT_EQ(without_time.find("wall_ms"), std::string::npos);
+}
+
+// --- Spec helpers -----------------------------------------------------
+
+TEST(ExperimentSpec, GridCrossProductIsRowMajor) {
+  const auto grid = make_grid({50, 75}, {0.1, 0.2, 0.3});
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_EQ(grid[0].n, 50);
+  EXPECT_DOUBLE_EQ(grid[0].p, 0.1);
+  EXPECT_EQ(grid[2].n, 50);
+  EXPECT_DOUBLE_EQ(grid[2].p, 0.3);
+  EXPECT_EQ(grid[3].n, 75);
+  EXPECT_DOUBLE_EQ(grid[3].p, 0.1);
+}
+
+TEST(ExperimentSpec, FigureFactoriesSetTheAnalysisConditioning) {
+  const auto fig7 = ExperimentSpec::for_kind(EstimatorKind::kStackIncompleteness);
+  EXPECT_TRUE(fig7.pin_edge_node);
+  EXPECT_EQ(fig7.num_deputies, 0u);
+  const auto fig6 =
+      ExperimentSpec::for_kind(EstimatorKind::kStackFalseDetectionOnCh);
+  EXPECT_TRUE(fig6.pin_deputy_center);
+  EXPECT_FALSE(fig6.pin_edge_node);
+  EXPECT_EQ(fig6.num_deputies, 1u);
+}
+
+TEST(ExperimentSpec, ParsesCliKindSpellings) {
+  EstimatorKind kind;
+  EXPECT_TRUE(parse_estimator_kind("fig5", &kind));
+  EXPECT_EQ(kind, EstimatorKind::kMcFalseDetection);
+  EXPECT_TRUE(parse_estimator_kind("fig7-stack", &kind));
+  EXPECT_EQ(kind, EstimatorKind::kStackIncompleteness);
+  EXPECT_FALSE(parse_estimator_kind("fig8", &kind));
+}
+
+// --- FlagSet ----------------------------------------------------------
+
+std::vector<char*> make_argv(std::initializer_list<const char*> args) {
+  std::vector<char*> argv;
+  for (const char* arg : args) argv.push_back(const_cast<char*>(arg));
+  argv.push_back(nullptr);
+  return argv;
+}
+
+TEST(FlagSet, ConsumesKnownFlagsAndLeavesTheRest) {
+  RunnerOptions options;
+  FlagSet flags;
+  add_runner_flags(flags, options);
+  auto argv = make_argv({"prog", "--threads", "4", "--other", "x", "--trials",
+                         "5000", "--out", "r.jsonl"});
+  int argc = int(argv.size()) - 1;
+  std::string error;
+  ASSERT_TRUE(flags.parse(argc, argv.data(), &error)) << error;
+  EXPECT_EQ(options.threads, 4);
+  EXPECT_EQ(options.trials, 5000);
+  EXPECT_EQ(options.out, "r.jsonl");
+  ASSERT_EQ(argc, 3);  // prog --other x
+  EXPECT_STREQ(argv[1], "--other");
+  EXPECT_STREQ(argv[2], "x");
+}
+
+TEST(FlagSet, RejectsMalformedAndMissingValues) {
+  RunnerOptions options;
+  FlagSet flags;
+  add_runner_flags(flags, options);
+  {
+    auto argv = make_argv({"prog", "--threads", "lots"});
+    int argc = int(argv.size()) - 1;
+    std::string error;
+    EXPECT_FALSE(flags.parse(argc, argv.data(), &error));
+    EXPECT_NE(error.find("--threads"), std::string::npos);
+  }
+  {
+    auto argv = make_argv({"prog", "--seed"});
+    int argc = int(argv.size()) - 1;
+    std::string error;
+    EXPECT_FALSE(flags.parse(argc, argv.data(), &error));
+  }
+}
+
+TEST(FlagSet, SeedAndTrialsSentinelsFallBackToCallerDefaults) {
+  RunnerOptions options;
+  EXPECT_EQ(options.seed_or(0xF15), 0xF15u);
+  EXPECT_EQ(options.trials_or(400000), 400000);
+  options.seed = 0;  // explicit zero is a real seed, not "unset"
+  options.trials = 7;
+  EXPECT_EQ(options.seed_or(0xF15), 0u);
+  EXPECT_EQ(options.trials_or(400000), 7);
+}
+
+TEST(FlagSet, ParsesIntLists) {
+  std::vector<int> values;
+  EXPECT_TRUE(parse_int_list("50,75,100", &values));
+  EXPECT_EQ(values, (std::vector<int>{50, 75, 100}));
+  EXPECT_TRUE(parse_int_list("20", &values));
+  EXPECT_EQ(values, (std::vector<int>{20}));
+  EXPECT_FALSE(parse_int_list("50,,75", &values));
+  EXPECT_FALSE(parse_int_list("", &values));
+  EXPECT_FALSE(parse_int_list("50,abc", &values));
+}
+
+}  // namespace
+}  // namespace cfds::runner

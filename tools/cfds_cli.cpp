@@ -1,17 +1,26 @@
 // cfds_cli — command-line driver for the cluster-based FDS simulator.
 //
-// Runs a full deployment (placement, clustering, FDS, inter-cluster
-// forwarding) with a Poisson crash process and prints per-epoch health
-// telemetry, optionally as CSV for plotting.
+// Two modes:
+//
+// Scenario mode (default) runs a full deployment (placement, clustering,
+// FDS, inter-cluster forwarding) with a Poisson crash process and prints
+// per-epoch health telemetry, optionally as CSV for plotting.
 //
 //   cfds_cli [--nodes N] [--width W] [--height H] [--range R]
 //            [--loss P] [--epochs K] [--seed S] [--interval-ms MS]
 //            [--crash-rate LAMBDA] [--distributed-formation]
 //            [--mobility SPEED_MPS] [--csv] [--trace]
 //
+// Monte-Carlo mode (--mc) sweeps one of the paper's per-cluster measures
+// over the (N, p) grid on the parallel experiment runner and emits JSONL:
+//
+//   cfds_cli --mc fig5|fig6|fig7[-stack] [--cluster-n 50,75,100]
+//            [--trials T] [--threads W] [--seed S] [--out F] [--no-wall-time]
+//
 // Examples:
 //   cfds_cli --nodes 500 --loss 0.2 --epochs 20 --crash-rate 1.5
 //   cfds_cli --nodes 300 --mobility 2.0 --epochs 30 --csv > run.csv
+//   cfds_cli --mc fig5 --trials 400000 --threads 8 --out fig5.jsonl
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,8 +28,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/figures.h"
 #include "net/mobility.h"
 #include "radio/tracer.h"
+#include "runner/cli_args.h"
+#include "runner/executor.h"
 #include "sim/scenario.h"
 
 namespace {
@@ -34,69 +46,100 @@ struct CliOptions {
   double mobility_mps = 0.0;
   bool csv = false;
   bool trace = false;
+
+  // Monte-Carlo mode.
+  std::string mc_figure;             // empty = scenario mode
+  std::string cluster_ns = "50,75,100";
+  runner::RunnerOptions runner;
 };
 
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [options]\n"
-      "  --nodes N                deployment size            (default 400)\n"
-      "  --width W --height H     field size in metres       (700 x 450)\n"
-      "  --range R                transmission range         (100)\n"
-      "  --loss P                 frame-loss probability     (0.1)\n"
-      "  --epochs K               FDS executions to run      (20)\n"
-      "  --interval-ms MS         heartbeat interval phi     (2000)\n"
-      "  --seed S                 RNG seed                   (1)\n"
-      "  --crash-rate L           expected crashes/epoch     (1.0)\n"
-      "  --distributed-formation  run the real formation protocol\n"
-      "  --mobility V             random-waypoint speed, m/s (0 = static)\n"
-      "  --csv                    machine-readable output\n"
-      "  --trace                  print the frame-kind mix at the end\n",
-      argv0);
-  std::exit(2);
+void register_flags(runner::FlagSet& flags, CliOptions& options,
+                    std::int64_t& interval_ms, std::int64_t& nodes) {
+  flags.add_value("--nodes", &nodes, "deployment size (default 400)");
+  flags.add_value("--width", &options.scenario.width, "field width, metres");
+  flags.add_value("--height", &options.scenario.height, "field height, metres");
+  flags.add_value("--range", &options.scenario.range, "transmission range");
+  flags.add_value("--loss", &options.scenario.loss_p,
+                  "frame-loss probability");
+  flags.add_value("--epochs", &options.epochs, "FDS executions to run");
+  flags.add_value("--interval-ms", &interval_ms, "heartbeat interval phi, ms");
+  flags.add_value("--crash-rate", &options.crash_rate,
+                  "expected crashes/epoch");
+  flags.add_flag("--distributed-formation",
+                 &options.scenario.distributed_formation,
+                 "run the real formation protocol");
+  flags.add_value("--mobility", &options.mobility_mps,
+                  "random-waypoint speed, m/s (0 = static)");
+  flags.add_flag("--csv", &options.csv, "machine-readable output");
+  flags.add_flag("--trace", &options.trace, "print the frame-kind mix");
+  flags.add_value("--mc", &options.mc_figure,
+                  "Monte-Carlo sweep: fig5|fig6|fig7[-stack]");
+  flags.add_value("--cluster-n", &options.cluster_ns,
+                  "cluster populations for --mc (comma list)");
+  runner::add_runner_flags(flags, options.runner);
 }
 
 CliOptions parse(int argc, char** argv) {
   CliOptions options;
   options.scenario.node_count = 400;
-  auto need_value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) usage(argv[0]);
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--nodes") {
-      options.scenario.node_count = std::strtoull(need_value(i), nullptr, 10);
-    } else if (arg == "--width") {
-      options.scenario.width = std::strtod(need_value(i), nullptr);
-    } else if (arg == "--height") {
-      options.scenario.height = std::strtod(need_value(i), nullptr);
-    } else if (arg == "--range") {
-      options.scenario.range = std::strtod(need_value(i), nullptr);
-    } else if (arg == "--loss") {
-      options.scenario.loss_p = std::strtod(need_value(i), nullptr);
-    } else if (arg == "--epochs") {
-      options.epochs = std::strtoull(need_value(i), nullptr, 10);
-    } else if (arg == "--interval-ms") {
-      options.scenario.heartbeat_interval =
-          SimTime::millis(std::strtoll(need_value(i), nullptr, 10));
-    } else if (arg == "--seed") {
-      options.scenario.seed = std::strtoull(need_value(i), nullptr, 10);
-    } else if (arg == "--crash-rate") {
-      options.crash_rate = std::strtod(need_value(i), nullptr);
-    } else if (arg == "--distributed-formation") {
-      options.scenario.distributed_formation = true;
-    } else if (arg == "--mobility") {
-      options.mobility_mps = std::strtod(need_value(i), nullptr);
-    } else if (arg == "--csv") {
-      options.csv = true;
-    } else if (arg == "--trace") {
-      options.trace = true;
-    } else {
-      usage(argv[0]);
-    }
+  std::int64_t interval_ms = -1;
+  std::int64_t nodes = -1;
+  runner::FlagSet flags;
+  register_flags(flags, options, interval_ms, nodes);
+
+  std::string error;
+  const bool ok = flags.parse(argc, argv, &error);
+  if (!ok || argc > 1) {
+    if (!ok) std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+    else std::fprintf(stderr, "%s: unknown argument %s\n", argv[0], argv[1]);
+    std::fprintf(stderr, "usage: %s [options]\n%s", argv[0],
+                 flags.usage().c_str());
+    std::exit(2);
   }
+  if (nodes >= 0) options.scenario.node_count = std::size_t(nodes);
+  if (interval_ms >= 0) {
+    options.scenario.heartbeat_interval = SimTime::millis(interval_ms);
+  }
+  options.scenario.seed = options.runner.seed_or(options.scenario.seed);
   return options;
+}
+
+/// --mc: sweep the requested measure over (cluster-n × the paper's p sweep)
+/// on the thread pool and emit one JSONL record per grid point.
+int run_monte_carlo(const CliOptions& options) {
+  runner::EstimatorKind kind;
+  if (!runner::parse_estimator_kind(options.mc_figure, &kind)) {
+    std::fprintf(stderr, "unknown --mc figure %s (want fig5|fig6|fig7, "
+                 "optionally with -stack)\n", options.mc_figure.c_str());
+    return 2;
+  }
+  std::vector<int> populations;
+  if (!runner::parse_int_list(options.cluster_ns, &populations)) {
+    std::fprintf(stderr, "bad --cluster-n list %s\n",
+                 options.cluster_ns.c_str());
+    return 2;
+  }
+
+  auto spec = runner::ExperimentSpec::for_kind(kind);
+  std::vector<double> ps;
+  for (int i = 0; i < analysis::sweep_points(); ++i) {
+    ps.push_back(analysis::sweep_p(i));
+  }
+  spec.grid = runner::make_grid(populations, ps, options.scenario.range);
+  spec.trials = options.runner.trials_or(
+      runner::is_full_stack(kind) ? 2000 : 100000);
+  spec.seed = options.runner.seed_or(1);
+
+  const std::string out =
+      options.runner.out.empty() ? std::string("-") : options.runner.out;
+  runner::JsonlResultSink sink(out, !options.runner.no_wall_time);
+  if (!sink.ok()) {
+    std::fprintf(stderr, "cannot open --out %s\n", out.c_str());
+    return 2;
+  }
+  runner::ThreadPool pool(unsigned(options.runner.threads));
+  runner::run_experiment(spec, pool, &sink);
+  return 0;
 }
 
 /// Poisson sample by inversion (rates here are small).
@@ -117,6 +160,7 @@ std::uint64_t poisson(double lambda, Rng& rng) {
 
 int main(int argc, char** argv) {
   CliOptions options = parse(argc, argv);
+  if (!options.mc_figure.empty()) return run_monte_carlo(options);
 
   Scenario scenario(options.scenario);
   FrameTracer tracer;
