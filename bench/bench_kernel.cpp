@@ -1,0 +1,277 @@
+// Microbenchmarks for the simulator's three hot layers (see docs/PERF.md):
+//
+//   * event kernel   — schedule→fire throughput of the SBO-callable +
+//                      slab/freelist kernel, with and without cancellation;
+//   * spatial layer  — grid-built UnitDiskGraph construction vs the O(n^2)
+//                      all-pairs reference build;
+//   * message layer  — payload_cast tag-dispatch throughput;
+//   * end to end     — FDS epoch events/sec at 500 and 2000 nodes.
+//
+// The deterministic study section measures each metric directly and, with
+// --out, appends BenchRecord JSONL lines so runs can be compared against the
+// committed trajectory in BENCH_kernel.json. `--trials K` with K < 100
+// selects a smoke-sized run (the perf_smoke ctest target) that exercises all
+// paths in seconds without producing comparable numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "aggregation/messages.h"
+#include "bench/bench_util.h"
+#include "event/simulator.h"
+#include "fds/messages.h"
+#include "net/graph.h"
+#include "net/topology.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using namespace cfds;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Field dimensions for n nodes at ~constant density (bench_scalability's
+/// 500 <-> 700 x 450 regime), so end-to-end numbers are comparable.
+void field_for(std::size_t n, double& width, double& height) {
+  const double scale = std::sqrt(double(n) / 500.0);
+  width = 700.0 * scale;
+  height = 450.0 * scale;
+}
+
+std::vector<PayloadPtr> dispatch_frames() {
+  std::vector<PayloadPtr> frames;
+  for (int i = 0; i < 64; ++i) {
+    if (i % 3 == 0) {
+      auto hb = std::make_shared<HeartbeatPayload>();
+      hb->sender = NodeId{std::uint32_t(i)};
+      frames.push_back(hb);
+    } else if (i % 3 == 1) {
+      auto digest = std::make_shared<DigestPayload>();
+      digest->sender = NodeId{std::uint32_t(i)};
+      frames.push_back(digest);
+    } else {
+      auto update = std::make_shared<HealthUpdatePayload>();
+      update->sender = NodeId{std::uint32_t(i)};
+      frames.push_back(update);
+    }
+  }
+  return frames;
+}
+
+void emit(runner::JsonlResultSink* sink, const char* bench, const char* metric,
+          int n, double value) {
+  if (sink != nullptr) {
+    runner::BenchRecord record;
+    record.bench = bench;
+    record.metric = metric;
+    record.n = n;
+    record.value = value;
+    sink->write(record);
+  }
+}
+
+void print_study(runner::JsonlResultSink* sink, bool smoke) {
+  bench::banner("Kernel", "hot-path throughput (see BENCH_kernel.json)");
+  std::printf("\n%-24s %8s %16s\n", "metric", "n", "value");
+
+  // Graph construction: grid build vs the all-pairs reference.
+  const std::vector<std::size_t> graph_sizes =
+      smoke ? std::vector<std::size_t>{200}
+            : std::vector<std::size_t>{500, 2000};
+  const auto seed = bench::options().seed_or(19);
+  for (std::size_t n : graph_sizes) {
+    double width = 0.0, height = 0.0;
+    field_for(n, width, height);
+    Rng rng(seed);
+    const auto points = uniform_rect(n, width, height, rng);
+    {  // warm-up
+      UnitDiskGraph warm(points, 100.0);
+      benchmark::DoNotOptimize(warm.size());
+    }
+    const int reps = smoke ? 1 : (n <= 500 ? 40 : 8);
+    auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+      UnitDiskGraph graph(points, 100.0);
+      benchmark::DoNotOptimize(graph.degree(0));
+    }
+    const double grid_ms = ms_since(t0) / reps;
+    t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+      auto graph = UnitDiskGraph::brute_force(points, 100.0);
+      benchmark::DoNotOptimize(graph.degree(0));
+    }
+    const double brute_ms = ms_since(t0) / reps;
+    std::printf("%-24s %8zu %16.4f\n", "graph_build_ms", n, grid_ms);
+    std::printf("%-24s %8zu %16.4f\n", "graph_build_brute_ms", n, brute_ms);
+    emit(sink, "graph_build", "ms", int(n), grid_ms);
+    emit(sink, "graph_build_brute", "ms", int(n), brute_ms);
+  }
+
+  // Schedule→fire throughput (steady-state: one pending event at a time).
+  {
+    Simulator sim;
+    const int warm = smoke ? 1000 : 100000;
+    for (int i = 0; i < warm; ++i) sim.schedule_at(SimTime::micros(i), [] {});
+    sim.run_to_completion();
+    const int ops = smoke ? 10000 : 2000000;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < ops; ++i) {
+      sim.schedule_at(sim.now() + SimTime::micros(1), [] {});
+      sim.step();
+    }
+    const double rate = ops / ms_since(t0) * 1000.0;
+    std::printf("%-24s %8s %16.0f\n", "sched_fire_ops_per_sec", "-", rate);
+    emit(sink, "sched_fire", "ops_per_sec", 0, rate);
+  }
+
+  // Schedule→cancel→fire (the forwarder's arm-then-stand-down pattern).
+  {
+    Simulator sim;
+    const int ops = smoke ? 10000 : 1000000;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < ops; ++i) {
+      auto cancelled = sim.schedule_at(sim.now() + SimTime::micros(2), [] {});
+      sim.schedule_at(sim.now() + SimTime::micros(1), [] {});
+      cancelled.cancel();
+      sim.run_until(sim.now() + SimTime::micros(2));
+    }
+    const double rate = ops / ms_since(t0) * 1000.0;
+    std::printf("%-24s %8s %16.0f\n", "sched_cancel_ops_per_sec", "-", rate);
+    emit(sink, "sched_cancel", "ops_per_sec", 0, rate);
+  }
+
+  // Payload tag dispatch over a heartbeat/digest/update mix.
+  {
+    const auto frames = dispatch_frames();
+    const long iters = smoke ? 10000 : 2000000;
+    long hits = 0;
+    const auto t0 = Clock::now();
+    for (long i = 0; i < iters; ++i) {
+      const auto& p = frames[std::size_t(i) & 63];
+      if (payload_cast<HeartbeatPayload>(p) != nullptr) ++hits;
+      else if (payload_cast<DigestPayload>(p) != nullptr) ++hits;
+      else if (payload_cast_shared<HealthUpdatePayload>(p)) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+    const double rate = double(iters) / ms_since(t0) * 1000.0;
+    std::printf("%-24s %8s %16.0f\n", "payload_dispatch_ops_per_sec", "-",
+                rate);
+    emit(sink, "payload_dispatch", "ops_per_sec", 0, rate);
+  }
+
+  // End-to-end FDS epochs: every layer at once.
+  const std::vector<std::size_t> e2e_sizes =
+      smoke ? std::vector<std::size_t>{200}
+            : std::vector<std::size_t>{500, 2000};
+  for (std::size_t n : e2e_sizes) {
+    double width = 0.0, height = 0.0;
+    field_for(n, width, height);
+    ScenarioConfig config;
+    config.width = width;
+    config.height = height;
+    config.node_count = n;
+    config.loss_p = 0.1;
+    config.seed = seed;
+    Scenario scenario(config);
+    scenario.setup();
+    scenario.run_epochs(1);  // warm-up
+    const std::uint64_t before =
+        scenario.network().simulator().events_executed();
+    const std::uint64_t epochs = smoke ? 1 : (n <= 500 ? 6 : 3);
+    const auto t0 = Clock::now();
+    scenario.run_epochs(epochs);
+    const double ms = ms_since(t0);
+    const std::uint64_t events =
+        scenario.network().simulator().events_executed() - before;
+    const double rate = double(events) / ms * 1000.0;
+    std::printf("%-24s %8zu %16.0f\n", "events_per_sec", n, rate);
+    emit(sink, "events_per_sec", "events_per_sec", int(n), rate);
+  }
+}
+
+// --- google-benchmark timings -------------------------------------------
+
+void BM_ScheduleFire(benchmark::State& state) {
+  Simulator sim;
+  for (auto _ : state) {
+    sim.schedule_at(sim.now() + SimTime::micros(1), [] {});
+    sim.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScheduleFire);
+
+void BM_ScheduleCancelFire(benchmark::State& state) {
+  Simulator sim;
+  for (auto _ : state) {
+    auto cancelled = sim.schedule_at(sim.now() + SimTime::micros(2), [] {});
+    sim.schedule_at(sim.now() + SimTime::micros(1), [] {});
+    cancelled.cancel();
+    sim.run_until(sim.now() + SimTime::micros(2));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScheduleCancelFire);
+
+void BM_GraphBuildGrid(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  double width = 0.0, height = 0.0;
+  field_for(n, width, height);
+  Rng rng(19);
+  const auto points = uniform_rect(n, width, height, rng);
+  for (auto _ : state) {
+    UnitDiskGraph graph(points, 100.0);
+    benchmark::DoNotOptimize(graph.degree(0));
+  }
+}
+BENCHMARK(BM_GraphBuildGrid)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_GraphBuildBrute(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  double width = 0.0, height = 0.0;
+  field_for(n, width, height);
+  Rng rng(19);
+  const auto points = uniform_rect(n, width, height, rng);
+  for (auto _ : state) {
+    auto graph = UnitDiskGraph::brute_force(points, 100.0);
+    benchmark::DoNotOptimize(graph.degree(0));
+  }
+}
+BENCHMARK(BM_GraphBuildBrute)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_PayloadDispatch(benchmark::State& state) {
+  const auto frames = dispatch_frames();
+  std::size_t i = 0;
+  long hits = 0;
+  for (auto _ : state) {
+    const auto& p = frames[i++ & 63];
+    if (payload_cast<HeartbeatPayload>(p) != nullptr) ++hits;
+    else if (payload_cast<DigestPayload>(p) != nullptr) ++hits;
+    else if (payload_cast_shared<HealthUpdatePayload>(p)) ++hits;
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PayloadDispatch);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cfds::bench::parse_common_args(argc, argv);
+  const auto& opts = cfds::bench::options();
+  const bool smoke = opts.trials > 0 && opts.trials < 100;
+  const auto sink = cfds::bench::make_sink();
+  print_study(sink.get(), smoke);
+  std::printf("\n-- timings --\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
 
 #include "baseline/flooding.h"
@@ -27,10 +28,11 @@ void field_for(std::size_t n, double& width, double& height) {
   height = 450.0 * scale;
 }
 
-void print_study() {
+void print_study(runner::JsonlResultSink* sink) {
   bench::banner("Scalability", "per-node cost and dissemination vs size");
-  std::printf("\n%-8s %10s %12s %16s %14s %16s\n", "nodes", "clusters",
-              "FDS frames", "frames/node", "flood frames", "backbone fwd");
+  std::printf("\n%-8s %10s %12s %16s %14s %16s %14s\n", "nodes", "clusters",
+              "FDS frames", "frames/node", "flood frames", "backbone fwd",
+              "events/sec");
 
   // Each population size is an independent simulation, so the study fans
   // out across the runner's thread pool; rows are collected per index and
@@ -42,6 +44,7 @@ void print_study() {
     double fds_frames = 0.0;
     std::uint64_t flood_frames = 0;
     std::uint64_t backbone_forwards = 0;
+    double events_per_sec = 0.0;
   };
   std::vector<Row> rows(sizes.size());
   bench::pool().parallel_for(sizes.size(), [&](std::size_t index) {
@@ -59,7 +62,15 @@ void print_study() {
     scenario.setup();
 
     const auto before = traffic_totals(scenario.network());
+    const std::uint64_t events_before =
+        scenario.network().simulator().events_executed();
+    const auto t0 = std::chrono::steady_clock::now();
     scenario.run_epochs(1);
+    const double epoch_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+    const std::uint64_t epoch_events =
+        scenario.network().simulator().events_executed() - events_before;
     const auto after_epoch = traffic_totals(scenario.network());
     const double fds_frames = double(after_epoch.frames - before.frames);
 
@@ -90,16 +101,26 @@ void print_study() {
     flood_net.simulator().run_to_completion();
 
     rows[index] = Row{scenario.cluster_count(), fds_frames,
-                      flood.total_rebroadcasts() + 1, backbone_forwards};
+                      flood.total_rebroadcasts() + 1, backbone_forwards,
+                      double(epoch_events) / epoch_ms * 1000.0};
   });
 
   for (std::size_t index = 0; index < sizes.size(); ++index) {
     const Row& row = rows[index];
-    std::printf("%-8zu %10zu %12.0f %16.1f %14llu %16llu\n", sizes[index],
-                row.clusters, row.fds_frames,
+    std::printf("%-8zu %10zu %12.0f %16.1f %14llu %16llu %14.0f\n",
+                sizes[index], row.clusters, row.fds_frames,
                 row.fds_frames / double(sizes[index]),
                 (unsigned long long)row.flood_frames,
-                (unsigned long long)row.backbone_forwards);
+                (unsigned long long)row.backbone_forwards,
+                row.events_per_sec);
+    if (sink != nullptr) {
+      runner::BenchRecord record;
+      record.bench = "scalability_epoch";
+      record.metric = "events_per_sec";
+      record.n = int(sizes[index]);
+      record.value = row.events_per_sec;
+      sink->write(record);
+    }
   }
   std::printf(
       "\nReading: frames/node/epoch stays ~flat with population (two-tier"
@@ -152,7 +173,8 @@ BENCHMARK(BM_CentralizedFormationAtScale)
 
 int main(int argc, char** argv) {
   cfds::bench::parse_common_args(argc, argv);
-  print_study();
+  const auto sink = cfds::bench::make_sink();
+  print_study(sink.get());
   std::printf("\n-- timings --\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -12,6 +12,10 @@ namespace cfds {
 /// the FDS accepts it as heartbeat evidence unchanged — one frame serves
 /// both services (the "message sharing" energy benefit of Section 6).
 struct MeasurementPayload final : HeartbeatPayload {
+  static constexpr PayloadKind kTag = PayloadKind::kMeasurement;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  MeasurementPayload() : HeartbeatPayload(kTag) {}
+
   double reading = 0.0;
 
   [[nodiscard]] std::string_view kind() const override { return "measure"; }
@@ -22,6 +26,10 @@ struct MeasurementPayload final : HeartbeatPayload {
 /// modes: flooded across the backbone (every CH learns every aggregate), or
 /// — when `directed` — routed hop by hop toward a sink cluster.
 struct ClusterAggregatePayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kClusterAggregate;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  ClusterAggregatePayload() : Payload(kTag) {}
+
   ClusterId cluster;
   NodeId sender;
   std::uint64_t epoch = 0;

@@ -83,8 +83,7 @@ void AggregationAgent::on_frame(const Reception& reception) {
   }
 
   if (auto aggregate =
-          std::dynamic_pointer_cast<const ClusterAggregatePayload>(
-              reception.payload)) {
+          payload_cast_shared<ClusterAggregatePayload>(reception.payload)) {
     handle_cluster_aggregate(aggregate);
     return;
   }

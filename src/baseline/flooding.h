@@ -20,6 +20,10 @@
 namespace cfds {
 
 struct FloodPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kFlood;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  FloodPayload() : Payload(kTag) {}
+
   ReportId id;
   NodeId origin;
   NodeId forwarder;

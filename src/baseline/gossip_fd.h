@@ -34,6 +34,10 @@ struct GossipConfig {
 
 /// The gossiped table: (nid, heartbeat counter) pairs.
 struct GossipPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kGossip;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  GossipPayload() : Payload(kTag) {}
+
   NodeId sender;
   std::vector<std::pair<NodeId, std::uint64_t>> entries;
 

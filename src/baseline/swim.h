@@ -51,6 +51,10 @@ struct SwimConfig {
 };
 
 struct SwimPingPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kSwimPing;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  SwimPingPayload() : Payload(kTag) {}
+
   NodeId origin;
   NodeId target;
   std::uint64_t sequence = 0;
@@ -65,6 +69,10 @@ struct SwimPingPayload final : Payload {
 };
 
 struct SwimAckPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kSwimAck;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  SwimAckPayload() : Payload(kTag) {}
+
   NodeId origin;  ///< the acking node
   NodeId target;  ///< who the ack is for (the pinger or the requester)
   std::uint64_t sequence = 0;
@@ -77,6 +85,10 @@ struct SwimAckPayload final : Payload {
 };
 
 struct SwimPingReqPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kSwimPingReq;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  SwimPingReqPayload() : Payload(kTag) {}
+
   NodeId origin;  ///< the suspicious node
   NodeId helper;  ///< neighbour asked to probe
   NodeId target;  ///< the silent node

@@ -144,7 +144,7 @@ void FormationAgent::send_gateway_assignment_if_clusterhead() {
   // candidate's home is this cluster (it reaches foreign CHs), or if it
   // reaches *us* from a foreign home (overheard, symmetric links) — both
   // sides rank the same pool, so the two CHs agree when no frames are lost.
-  std::map<ClusterId, std::pair<NodeId, std::vector<NodeId>>> per_neighbor;
+  FlatMap<ClusterId, std::pair<NodeId, std::vector<NodeId>>> per_neighbor;
   for (const auto& [sender, candidacy] : candidacies_heard_) {
     if (candidacy.home_cluster == mine) {
       for (const auto& [cluster, ch] : candidacy.reachable) {
@@ -268,7 +268,7 @@ std::vector<FormationAgent*> FormationProtocol::agents() {
 }
 
 void FormationProtocol::adopt_new_nodes() {
-  const auto nodes = network_.nodes();
+  const auto& nodes = network_.nodes();
   for (std::size_t i = agents_.size(); i < nodes.size(); ++i) {
     agents_.push_back(std::make_unique<FormationAgent>(*nodes[i], config_));
   }
@@ -311,7 +311,7 @@ SimTime FormationProtocol::run(std::size_t iterations, SimTime start) {
 }
 
 std::size_t FormationProtocol::cluster_count() const {
-  std::set<ClusterId> seen;
+  FlatSet<ClusterId> seen;
   for (const auto& agent : agents_) {
     if (agent->view().affiliated()) seen.insert(agent->view().cluster()->id);
   }

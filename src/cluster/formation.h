@@ -35,13 +35,12 @@
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "cluster/membership.h"
 #include "cluster/messages.h"
+#include "common/flat.h"
 #include "common/sim_time.h"
 #include "net/network.h"
 
@@ -84,17 +83,18 @@ class FormationAgent {
   FormationConfig config_;
   MembershipView view_;
 
-  // Per-iteration evidence.
-  std::set<NodeId> unmarked_probes_heard_;
+  // Per-iteration evidence (flat containers: cleared each iteration with the
+  // buffers retained, so steady-state iterations allocate nothing).
+  FlatSet<NodeId> unmarked_probes_heard_;
   std::size_t probes_heard_ = 0;  // one-hop degree estimate (marked + unmarked)
-  std::set<NodeId> claims_heard_;
+  FlatSet<NodeId> claims_heard_;
   bool claiming_ = false;
   std::vector<JoinPayload> joins_received_;
 
   // Cross-iteration evidence.
-  std::map<ClusterId, NodeId> foreign_clusterheads_;  // heard announcements
-  std::map<NodeId, GatewayCandidacyPayload> candidacies_heard_;  // latest each
-  std::map<NodeId, std::size_t> member_degrees_;  // CH only: joiner degrees
+  FlatMap<ClusterId, NodeId> foreign_clusterheads_;  // heard announcements
+  FlatMap<NodeId, GatewayCandidacyPayload> candidacies_heard_;  // latest each
+  FlatMap<NodeId, std::size_t> member_degrees_;  // CH only: joiner degrees
   std::size_t last_candidacy_size_ = 0;
 };
 

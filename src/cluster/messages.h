@@ -18,6 +18,10 @@ namespace cfds {
 /// round merges with fds.R-1 (feature F5): the FDS heartbeat carries the same
 /// NID + mark bit.
 struct ProbePayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kProbe;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  ProbePayload() : Payload(kTag) {}
+
   NodeId sender;
   bool marked = false;
 
@@ -28,6 +32,10 @@ struct ProbePayload final : Payload {
 /// Clusterhead self-election claim (round 2): the sender believes it has the
 /// lowest NID in its unmarked one-hop neighbourhood.
 struct ChClaimPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kChClaim;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  ChClaimPayload() : Payload(kTag) {}
+
   NodeId claimant;
 
   [[nodiscard]] std::string_view kind() const override { return "ch-claim"; }
@@ -38,6 +46,10 @@ struct ChClaimPayload final : Payload {
 /// sender's observed one-hop degree, the input to deputy ranking (feature
 /// F2 favours well-connected deputies).
 struct JoinPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kJoin;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  JoinPayload() : Payload(kTag) {}
+
   NodeId sender;
   NodeId clusterhead;
   std::size_t observed_degree = 0;
@@ -49,6 +61,10 @@ struct JoinPayload final : Payload {
 /// Cluster organization announcement (round 4): the CH names its members and
 /// ranked deputies. Receipt of this frame is what "marks" a node (footnote 2).
 struct AnnouncePayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kAnnounce;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  AnnouncePayload() : Payload(kTag) {}
+
   ClusterId cluster;
   NodeId clusterhead;
   std::vector<NodeId> members;
@@ -64,6 +80,10 @@ struct AnnouncePayload final : Payload {
 /// clusterheads it can hear directly (the "one-hop neighbour of the CHs of
 /// two different clusters" qualification, Section 3).
 struct GatewayCandidacyPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kGatewayCandidacy;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  GatewayCandidacyPayload() : Payload(kTag) {}
+
   NodeId sender;
   ClusterId home_cluster;
   /// Foreign clusters whose CH the sender hears, with that CH's NID.
@@ -78,6 +98,10 @@ struct GatewayCandidacyPayload final : Payload {
 /// Gateway assignment (round 6): the CH publishes the per-neighbour-cluster
 /// GW/BGW ranking. Members merge these links into their views.
 struct GatewayAssignmentPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kGatewayAssignment;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  GatewayAssignmentPayload() : Payload(kTag) {}
+
   ClusterId cluster;
   std::vector<GatewayLink> links;
 

@@ -1,5 +1,6 @@
 #include "event/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/expect.h"
@@ -7,35 +8,66 @@
 namespace cfds {
 
 void TimerHandle::cancel() {
-  if (state_) state_->cancelled = true;
+  if (sim_ != nullptr && sim_->slot_live(slot_, generation_)) {
+    sim_->slots_[slot_].cancelled = true;
+  }
 }
 
 bool TimerHandle::pending() const {
-  return state_ && !state_->cancelled && !state_->fired;
+  return sim_ != nullptr && sim_->slot_live(slot_, generation_) &&
+         !sim_->slots_[slot_].cancelled;
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoSlot;
+    slots_[slot].cancelled = false;
+    return slot;
+  }
+  CFDS_EXPECT(slots_.size() < kNoSlot, "timer slab exhausted");
+  slots_.push_back(Slot{});
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  // Bumping the generation invalidates every handle minted for this cycle.
+  ++slots_[slot].generation;
+  slots_[slot].cancelled = false;
+  slots_[slot].next_free = free_head_;
+  free_head_ = slot;
 }
 
 TimerHandle Simulator::schedule_at(SimTime when, Action action) {
   CFDS_EXPECT(when >= now_, "cannot schedule events in the past");
-  auto state = std::make_shared<TimerHandle::State>();
-  queue_.push(Entry{when, next_sequence_++, std::move(action), state});
-  return TimerHandle{std::move(state)};
+  const std::uint32_t slot = acquire_slot();
+  const std::uint32_t generation = slots_[slot].generation;
+  heap_.push_back(Entry{when, next_sequence_++, slot, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return TimerHandle{this, slot, generation};
 }
 
 TimerHandle Simulator::schedule_after(SimTime delay, Action action) {
   return schedule_at(now_ + delay, std::move(action));
 }
 
+void Simulator::reserve(std::size_t pending_capacity) {
+  heap_.reserve(pending_capacity);
+  slots_.reserve(pending_capacity);
+}
+
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    // priority_queue::top returns const&; entries must be moved out via a
-    // const_cast-free copy of the cheap fields and a move of the action.
-    Entry entry{queue_.top().when, queue_.top().sequence,
-                std::move(const_cast<Entry&>(queue_.top()).action),
-                queue_.top().state};
-    queue_.pop();
-    if (entry.state->cancelled) continue;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    const bool cancelled = slots_[entry.slot].cancelled;
+    // Release before invoking so pending() is already false inside the
+    // event's own action (matching the fired-flag order of the old kernel).
+    release_slot(entry.slot);
+    if (cancelled) continue;
     now_ = entry.when;
-    entry.state->fired = true;
     ++executed_;
     entry.action();
     return true;
@@ -44,8 +76,8 @@ bool Simulator::step() {
 }
 
 void Simulator::run_until(SimTime deadline) {
-  while (!queue_.empty()) {
-    if (queue_.top().when > deadline) break;
+  while (!heap_.empty()) {
+    if (heap_.front().when > deadline) break;
     step();
   }
   if (now_ < deadline) now_ = deadline;

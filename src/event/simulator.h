@@ -8,21 +8,135 @@
 // Timers are cancellable via TimerHandle; the inter-cluster forwarding logic
 // (implicit acknowledgements, ranked BGW standby) relies on cancelling
 // retransmission timers when an acknowledgement is overheard.
+//
+// The schedule -> fire path is allocation-free in the common case:
+//
+//   * EventFn is a small-buffer-optimised callable. Captures up to
+//     kInlineCapacity bytes (48 — enough for a full radio Reception plus a
+//     receiver pointer) are stored inline in the queue entry; only larger or
+//     throwing-move captures fall back to one heap allocation.
+//   * Timer state lives in a slab of generation-counted slots recycled
+//     through a freelist, replacing the shared_ptr control block per event.
+//     A TimerHandle is {slot, generation}; once the event fires or its
+//     cancelled entry is popped, the slot's generation is bumped and any
+//     outstanding handle becomes inert.
+//   * The pending queue is a binary heap over a plain vector (std::push_heap/
+//     std::pop_heap with the same (time, seq) comparator the kernel always
+//     used), so steady-state push/pop never allocates once the vector has
+//     grown to the simulation's high-water mark.
+//
+// Handles do not keep the simulator alive: cancel()/pending() must not be
+// called after the Simulator is destroyed (protocol agents never outlive
+// their network's simulator).
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/sim_time.h"
 
 namespace cfds {
 
+class Simulator;
+
+/// Move-only callable with inline storage for small captures; the event
+/// queue's replacement for std::function<void()>.
+class EventFn {
+ public:
+  /// Inline capture budget. Sized for the radio delivery closure (a Radio*
+  /// plus a Reception by value) with room to spare for protocol timers.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EventFn>>>
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor): drop-in for
+                     // std::function at every schedule_* call site
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(fn));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs into `to` from `from` and destroys the source.
+    void (*relocate)(void* from, void* to);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* from, void* to) {
+        Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+        ::new (to) Fn(std::move(*src));
+        src->~Fn();
+      },
+      [](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* s) { (**reinterpret_cast<Fn**>(s))(); },
+      [](void* from, void* to) {
+        *reinterpret_cast<Fn**>(to) = *reinterpret_cast<Fn**>(from);
+      },
+      [](void* s) { delete *reinterpret_cast<Fn**>(s); },
+  };
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
 /// Handle to a scheduled event; allows cancellation. Default-constructed
-/// handles are inert. Handles are cheap to copy (shared control block).
+/// handles are inert. Handles are cheap to copy (slot index + generation).
 class TimerHandle {
  public:
   TimerHandle() = default;
@@ -35,18 +149,18 @@ class TimerHandle {
 
  private:
   friend class Simulator;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit TimerHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
-  std::shared_ptr<State> state_;
+  TimerHandle(Simulator* sim, std::uint32_t slot, std::uint32_t generation)
+      : sim_(sim), slot_(slot), generation_(generation) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 /// The event loop. Owns the pending-event queue and the simulated clock.
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = EventFn;
 
   /// Current simulated time.
   [[nodiscard]] SimTime now() const { return now_; }
@@ -57,6 +171,11 @@ class Simulator {
 
   /// Schedules `action` to run `delay` after the current time.
   TimerHandle schedule_after(SimTime delay, Action action);
+
+  /// Pre-sizes the event heap and timer slab so a simulation with at most
+  /// `pending_capacity` simultaneously pending events never allocates on the
+  /// schedule path. Optional — both structures also grow on demand.
+  void reserve(std::size_t pending_capacity);
 
   /// Runs events until the queue empties or the clock passes `deadline`.
   /// Events at exactly `deadline` are executed.
@@ -74,15 +193,21 @@ class Simulator {
 
   /// Number of events currently pending (cancelled events may still be
   /// counted until they are popped).
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
 
  private:
+  friend class TimerHandle;
+
   struct Entry {
     SimTime when;
     std::uint64_t sequence;
-    Action action;
-    std::shared_ptr<TimerHandle::State> state;
+    std::uint32_t slot;
+    EventFn action;
   };
+  /// Heap comparator: the std:: heap algorithms keep the *largest* element
+  /// (per the comparator) at the front, so "later fires are smaller" puts the
+  /// earliest (time, seq) on top — identical ordering to the original
+  /// priority_queue kernel.
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) return a.when > b.when;
@@ -90,10 +215,28 @@ class Simulator {
     }
   };
 
+  /// Timer-slab slot. `generation` advances each time the slot is released,
+  /// invalidating any TimerHandle minted for an earlier cycle.
+  struct Slot {
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoSlot;
+    bool cancelled = false;
+  };
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  [[nodiscard]] std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  [[nodiscard]] bool slot_live(std::uint32_t slot,
+                               std::uint32_t generation) const {
+    return slot < slots_.size() && slots_[slot].generation == generation;
+  }
+
   SimTime now_ = SimTime::zero();
   std::uint64_t next_sequence_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
 };
 
 }  // namespace cfds

@@ -348,8 +348,8 @@ void FdsAgent::handle_update(
     // Proactive post-takeover coverage (Figure 2(a)): forward to members we
     // heard in R-1 that the new CH did not hear.
     if (update->takeover && config_.proactive_takeover_forwarding) {
-      const std::set<NodeId> covered(update->sender_heard.begin(),
-                                     update->sender_heard.end());
+      FlatSet<NodeId> covered;
+      covered.assign(update->sender_heard.begin(), update->sender_heard.end());
       for (NodeId heard : evidence_.heartbeats) {
         if (heard == update->sender || covered.contains(heard)) continue;
         if (!view_.cluster()->is_member(heard)) continue;
@@ -418,8 +418,8 @@ void FdsAgent::on_frame(const Reception& reception) {
     // members don't need them, so skip the bookkeeping there.
     if (view_.affiliated() && digest->cluster == view_.cluster()->id &&
         (view_.is_clusterhead() || view_.is_deputy())) {
-      evidence_.digests[digest->sender] =
-          std::set<NodeId>(digest->heard.begin(), digest->heard.end());
+      evidence_.digests[digest->sender].assign(digest->heard.begin(),
+                                               digest->heard.end());
       // Relayed sleep notices: grant (or extend) exemptions for sleepers
       // whose own notice we missed.
       if (config_.honor_sleep_notices) {
@@ -434,8 +434,7 @@ void FdsAgent::on_frame(const Reception& reception) {
     return;
   }
 
-  if (auto update = std::dynamic_pointer_cast<const HealthUpdatePayload>(
-          reception.payload)) {
+  if (auto update = payload_cast_shared<HealthUpdatePayload>(reception.payload)) {
     handle_update(update);
     return;
   }

@@ -23,11 +23,10 @@
 #pragma once
 
 #include <memory>
-#include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/membership.h"
+#include "common/flat.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
@@ -163,23 +162,24 @@ class FdsAgent {
 
   /// Announced sleep windows: node -> executions it may still sit out
   /// (consumed by this node's own detection decisions).
-  std::unordered_map<NodeId, std::uint32_t> sleep_exemptions_;
+  FlatMap<NodeId, std::uint32_t> sleep_exemptions_;
   /// Voluntary departures heard this epoch (consumed by the CH's update).
-  std::set<NodeId> leaves_heard_;
+  FlatSet<NodeId> leaves_heard_;
   /// Notices overheard this execution, for relaying in our digest.
-  std::unordered_map<NodeId, std::uint32_t> notices_heard_;
+  FlatMap<NodeId, std::uint32_t> notices_heard_;
   /// Consecutive executions whose scheduled update never arrived.
   std::uint32_t missed_updates_ = 0;
   /// Voluntarily departed (announce_leave) and not yet rejoined.
   bool left_ = false;
 
-  // Per-epoch evidence and peer-forwarding state.
+  // Per-epoch evidence and peer-forwarding state. Flat containers: cleared
+  // (buffer retained) every epoch, so steady-state rounds do not allocate.
   RoundEvidence evidence_;
-  std::set<NodeId> unmarked_heard_;
+  FlatSet<NodeId> unmarked_heard_;
   bool got_scheduled_update_ = false;
   std::shared_ptr<const HealthUpdatePayload> scheduled_update_;
-  std::set<NodeId> acked_requesters_;
-  std::unordered_map<NodeId, TimerHandle> pending_forwards_;
+  FlatSet<NodeId> acked_requesters_;
+  FlatMap<NodeId, TimerHandle> pending_forwards_;
   bool sent_ack_ = false;
 };
 

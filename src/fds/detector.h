@@ -14,20 +14,21 @@
 
 #pragma once
 
-#include <map>
-#include <set>
 #include <vector>
 
+#include "common/flat.h"
 #include "common/ids.h"
 
 namespace cfds {
 
 /// Evidence a deciding node (CH or DCH) accumulates over one FDS execution.
+/// Flat containers: filled and cleared once per execution, so the buffers are
+/// reused round after round instead of re-allocating tree nodes.
 struct RoundEvidence {
   /// Heartbeat senders heard during fds.R-1.
-  std::set<NodeId> heartbeats;
+  FlatSet<NodeId> heartbeats;
   /// Digests received during fds.R-2: sender -> NIDs it reported hearing.
-  std::map<NodeId, std::set<NodeId>> digests;
+  FlatMap<NodeId, FlatSet<NodeId>> digests;
   /// Whether the CH's R-3 health-status update was received (DCH rule only).
   bool ch_update_heard = false;
 

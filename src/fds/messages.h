@@ -5,7 +5,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <set>
 #include <vector>
 
 #include "common/ids.h"
@@ -21,11 +20,21 @@ namespace cfds {
 /// between failure detection and data aggregation, Section 6) and the FDS
 /// evidence collection needs no special case.
 struct HeartbeatPayload : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kHeartbeat;
+  /// A measurement frame IS a heartbeat, so the tag check admits both.
+  static constexpr bool matches(PayloadKind k) {
+    return k == kTag || k == PayloadKind::kMeasurement;
+  }
+  HeartbeatPayload() : Payload(kTag) {}
+
   NodeId sender;
   bool marked = true;
 
   [[nodiscard]] std::string_view kind() const override { return "heartbeat"; }
   [[nodiscard]] std::size_t size_bytes() const override { return 6; }
+
+ protected:
+  explicit HeartbeatPayload(PayloadKind tag) : Payload(tag) {}
 };
 
 /// Voluntary departure notice. The paper intends the FDS "to support group
@@ -34,6 +43,10 @@ struct HeartbeatPayload : Payload {
 /// itself so its disappearance is bookkept as a departure, not reported as
 /// a failure.
 struct LeaveNoticePayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kLeaveNotice;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  LeaveNoticePayload() : Payload(kTag) {}
+
   NodeId sender;
 
   [[nodiscard]] std::string_view kind() const override { return "leave"; }
@@ -45,6 +58,10 @@ struct LeaveNoticePayload final : Payload {
 /// it will sit out, so the CH and DCH exempt it from the detection rule
 /// instead of falsely reporting it failed.
 struct SleepNoticePayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kSleepNotice;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  SleepNoticePayload() : Payload(kTag) {}
+
   NodeId sender;
   /// Executions the node will miss, starting with the next one.
   std::uint32_t epochs = 1;
@@ -56,6 +73,10 @@ struct SleepNoticePayload final : Payload {
 /// fds.R-2: digest — the cluster members whose heartbeats the sender heard
 /// or overheard during R-1 (inherent message redundancy made explicit).
 struct DigestPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kDigest;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  DigestPayload() : Payload(kTag) {}
+
   NodeId sender;
   ClusterId cluster;
   std::vector<NodeId> heard;
@@ -75,6 +96,10 @@ struct DigestPayload final : Payload {
 /// inter-cluster relay a CH emits when it learns failures from a report —
 /// the emission doubles as the implicit acknowledgement of Section 4.3.
 struct HealthUpdatePayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kHealthUpdate;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  HealthUpdatePayload() : Payload(kTag) {}
+
   ClusterId cluster;
   NodeId sender;
   std::uint64_t epoch = 0;
@@ -122,6 +147,10 @@ struct HealthUpdatePayload final : Payload {
 /// End of fds.R-3: a member that received no health-status update asks its
 /// in-cluster neighbours to forward it (intra-cluster peer forwarding).
 struct UpdateRequestPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kUpdateRequest;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  UpdateRequestPayload() : Payload(kTag) {}
+
   NodeId sender;
   ClusterId cluster;
   std::uint64_t epoch = 0;
@@ -132,6 +161,10 @@ struct UpdateRequestPayload final : Payload {
 
 /// A peer forwarding the health-status update to a specific requester.
 struct UpdateForwardPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kUpdateForward;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  UpdateForwardPayload() : Payload(kTag) {}
+
   NodeId forwarder;
   NodeId target;
   std::shared_ptr<const HealthUpdatePayload> update;
@@ -146,6 +179,10 @@ struct UpdateForwardPayload final : Payload {
 /// overhearing peers stand down ("the other neighbors will quit upon
 /// overhearing an acknowledgment", Section 4.2).
 struct UpdateAckPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kUpdateAck;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  UpdateAckPayload() : Payload(kTag) {}
+
   NodeId sender;
   std::uint64_t epoch = 0;
 

@@ -207,8 +207,7 @@ void ForwarderAgent::on_report(const FailureReportPayload& report) {
 
 void ForwarderAgent::on_frame(const Reception& reception) {
   if (!node_.alive()) return;
-  if (auto update = std::dynamic_pointer_cast<const HealthUpdatePayload>(
-          reception.payload)) {
+  if (auto update = payload_cast_shared<HealthUpdatePayload>(reception.payload)) {
     on_update_overheard(update);
     return;
   }

@@ -15,6 +15,10 @@ namespace cfds {
 /// emitted only when there IS news, and aggregate older news for clusters
 /// that missed earlier reports).
 struct FailureReportPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kFailureReport;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  FailureReportPayload() : Payload(kTag) {}
+
   /// Id of the health-status update being forwarded; the implicit
   /// acknowledgement is any emission by the destination CH whose `acks`
   /// list contains this id.
@@ -37,6 +41,10 @@ struct FailureReportPayload final : Payload {
 /// Explicit acknowledgement — only used by the `kExplicit` ablation mode,
 /// the costly scheme the paper's implicit acknowledgements replace.
 struct ExplicitAckPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kExplicitAck;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  ExplicitAckPayload() : Payload(kTag) {}
+
   ReportId report;
   NodeId sender;
   NodeId to;

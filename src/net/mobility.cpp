@@ -24,7 +24,7 @@ void RandomWaypointMobility::retarget(std::size_t i, Vec2 from) {
 }
 
 void RandomWaypointMobility::tick() {
-  const auto nodes = network_.nodes();
+  const auto& nodes = network_.nodes();
   // Lazily extend trajectories for replenished nodes.
   while (trajectories_.size() < nodes.size()) {
     trajectories_.push_back({});

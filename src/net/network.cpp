@@ -19,6 +19,8 @@ Node& Network::add_node(Vec2 position) {
   channel_.attach(node->radio());
   index_.emplace(id, nodes_.size());
   nodes_.push_back(std::move(node));
+  node_ptrs_.push_back(nodes_.back().get());
+  const_node_ptrs_.push_back(nodes_.back().get());
   return *nodes_.back();
 }
 
@@ -39,20 +41,6 @@ const Node& Network::node(NodeId id) const {
 }
 
 bool Network::has_node(NodeId id) const { return index_.contains(id); }
-
-std::vector<Node*> Network::nodes() {
-  std::vector<Node*> out;
-  out.reserve(nodes_.size());
-  for (auto& n : nodes_) out.push_back(n.get());
-  return out;
-}
-
-std::vector<const Node*> Network::nodes() const {
-  std::vector<const Node*> out;
-  out.reserve(nodes_.size());
-  for (const auto& n : nodes_) out.push_back(n.get());
-  return out;
-}
 
 std::size_t Network::alive_count() const {
   std::size_t alive = 0;

@@ -51,8 +51,13 @@ class Network {
   [[nodiscard]] const Node& node(NodeId id) const;
   [[nodiscard]] bool has_node(NodeId id) const;
 
-  [[nodiscard]] std::vector<Node*> nodes();
-  [[nodiscard]] std::vector<const Node*> nodes() const;
+  /// All nodes in NID order. Returns a reference to a cache maintained by
+  /// add_node — callers in per-round loops pay nothing per call. The
+  /// reference is invalidated by add_node.
+  [[nodiscard]] const std::vector<Node*>& nodes() { return node_ptrs_; }
+  [[nodiscard]] const std::vector<const Node*>& nodes() const {
+    return const_node_ptrs_;
+  }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] std::size_t alive_count() const;
 
@@ -77,6 +82,9 @@ class Network {
   Rng rng_;
   Channel channel_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Pointer caches backing nodes(); appended in lockstep by add_node.
+  std::vector<Node*> node_ptrs_;
+  std::vector<const Node*> const_node_ptrs_;
   std::unordered_map<NodeId, std::size_t> index_;
   std::uint32_t next_nid_ = 0;
 };

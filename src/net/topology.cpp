@@ -45,16 +45,21 @@ std::vector<Vec2> poisson_field(double intensity, double w, double h,
                                 Rng& rng) {
   CFDS_EXPECT(intensity >= 0.0, "intensity must be non-negative");
   // Sample the count from Poisson(intensity * area) by inversion.
+  constexpr std::size_t kMaxCount = 10'000'000;
   const double lambda = intensity * w * h;
   std::size_t count = 0;
   double acc = std::exp(-lambda);
   double cdf = acc;
   const double u = rng.uniform();
-  while (u > cdf && count < 10'000'000) {
+  while (u > cdf && count < kMaxCount) {
     ++count;
     acc *= lambda / double(count);
     cdf += acc;
   }
+  // Refusing loudly beats silently truncating the draw: a count this large
+  // means the intensity is far outside anything the simulator can run.
+  CFDS_EXPECT(count < kMaxCount,
+              "poisson_field: sampled count hit the 10M safety cap");
   return uniform_rect(count, w, h, rng);
 }
 

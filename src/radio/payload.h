@@ -6,19 +6,63 @@
 // immutable and shared between all receivers of a broadcast — the channel
 // never copies them, mirroring the fact that a radio transmission is a single
 // emission heard by many.
+//
+// Dispatch is tag-based: every concrete payload carries a PayloadKind set at
+// construction, and payload_cast is a tag compare + static_cast rather than a
+// dynamic_cast. Receivers run a payload_cast chain per frame, so this check
+// sits on the per-frame hot path of every protocol layer.
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string_view>
 
 namespace cfds {
 
+/// Closed enumeration of every frame type in the simulator. A new payload
+/// struct must add its tag here and pass it to the Payload base constructor.
+enum class PayloadKind : std::uint8_t {
+  // fds
+  kHeartbeat,
+  kLeaveNotice,
+  kSleepNotice,
+  kDigest,
+  kHealthUpdate,
+  kUpdateRequest,
+  kUpdateForward,
+  kUpdateAck,
+  // cluster formation
+  kProbe,
+  kChClaim,
+  kJoin,
+  kAnnounce,
+  kGatewayCandidacy,
+  kGatewayAssignment,
+  // aggregation (kMeasurement is heartbeat-compatible; see matches()).
+  kMeasurement,
+  kClusterAggregate,
+  // inter-cluster forwarding
+  kFailureReport,
+  kExplicitAck,
+  // baselines
+  kFlood,
+  kGossip,
+  kSwimPing,
+  kSwimAck,
+  kSwimPingReq,
+  // reserved for test-local payload types
+  kTest,
+};
+
 /// Base class for everything carried over the simulated radio.
 class Payload {
  public:
   virtual ~Payload() = default;
+
+  /// Frame-type tag for dispatch; fixed at construction.
+  [[nodiscard]] PayloadKind tag() const { return tag_; }
 
   /// Human-readable frame type for traces ("heartbeat", "digest", ...).
   [[nodiscard]] virtual std::string_view kind() const = 0;
@@ -26,14 +70,34 @@ class Payload {
   /// Nominal over-the-air size in bytes; feeds the energy model. The paper's
   /// frames are tiny (a heartbeat is an NID plus a one-bit mark indicator).
   [[nodiscard]] virtual std::size_t size_bytes() const = 0;
+
+ protected:
+  explicit Payload(PayloadKind tag) : tag_(tag) {}
+
+ private:
+  PayloadKind tag_;  // non-const so payload values stay copy-assignable
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;
 
 /// Downcast helper; returns nullptr when the payload is of a different type.
+/// Each payload type T declares `kTag` and (when other kinds are layout-
+/// compatible subtypes, like measurement-as-heartbeat) a `matches(kind)`
+/// predicate; the cast is a tag check plus static_cast — no RTTI.
 template <typename T>
 [[nodiscard]] const T* payload_cast(const PayloadPtr& p) {
-  return dynamic_cast<const T*>(p.get());
+  if (p != nullptr && T::matches(p->tag())) return static_cast<const T*>(p.get());
+  return nullptr;
+}
+
+/// As payload_cast, but preserves shared ownership (for receivers that stash
+/// the payload beyond the handler, e.g. peer-forwarded health updates).
+template <typename T>
+[[nodiscard]] std::shared_ptr<const T> payload_cast_shared(const PayloadPtr& p) {
+  if (p != nullptr && T::matches(p->tag())) {
+    return std::static_pointer_cast<const T>(p);
+  }
+  return nullptr;
 }
 
 }  // namespace cfds

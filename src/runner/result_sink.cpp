@@ -24,6 +24,17 @@ std::string to_jsonl(const PointRecord& record, bool include_wall_time) {
   return line;
 }
 
+std::string to_jsonl(const BenchRecord& record) {
+  char buffer[384];
+  const int written = std::snprintf(
+      buffer, sizeof buffer,
+      "{\"bench\":\"%s\",\"metric\":\"%s\",\"n\":%d,\"value\":%.6g,"
+      "\"label\":\"%s\"}",
+      record.bench.c_str(), record.metric.c_str(), record.n, record.value,
+      record.label.c_str());
+  return std::string(buffer, written > 0 ? std::size_t(written) : 0);
+}
+
 JsonlResultSink::JsonlResultSink(const std::string& path,
                                  bool include_wall_time)
     : include_wall_time_(include_wall_time) {
@@ -47,6 +58,14 @@ JsonlResultSink::~JsonlResultSink() {
 void JsonlResultSink::write(const PointRecord& record) {
   if (file_ == nullptr) return;
   const std::string line = to_jsonl(record, include_wall_time_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fputs(line.c_str(), file_);
+  std::fputc('\n', file_);
+}
+
+void JsonlResultSink::write(const BenchRecord& record) {
+  if (file_ == nullptr) return;
+  const std::string line = to_jsonl(record);
   std::lock_guard<std::mutex> lock(mutex_);
   std::fputs(line.c_str(), file_);
   std::fputc('\n', file_);

@@ -44,6 +44,23 @@ struct PointRecord {
 [[nodiscard]] std::string to_jsonl(const PointRecord& record,
                                    bool include_wall_time);
 
+/// One microbenchmark measurement (bench_kernel, bench_scalability):
+///
+///   {"bench":"graph_build","metric":"ms","n":2000,"value":3.1,
+///    "label":"current"}
+///
+/// `label` distinguishes committed baselines ("pre_pr", "post_pr") from
+/// fresh runs ("current") in BENCH_kernel.json-style trajectory files.
+struct BenchRecord {
+  std::string bench;
+  std::string metric;
+  int n = 0;  ///< problem size; 0 when the metric has none
+  double value = 0.0;
+  std::string label = "current";
+};
+
+[[nodiscard]] std::string to_jsonl(const BenchRecord& record);
+
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
@@ -66,6 +83,8 @@ class JsonlResultSink : public ResultSink {
   [[nodiscard]] bool ok() const { return file_ != nullptr; }
 
   void write(const PointRecord& record) override;
+  /// Appends one benchmark measurement line (perf trajectories).
+  void write(const BenchRecord& record);
 
  private:
   std::mutex mutex_;

@@ -1,8 +1,7 @@
 #include "sim/scenario.h"
 
-#include <set>
-
 #include "common/expect.h"
+#include "common/flat.h"
 #include "net/topology.h"
 
 namespace cfds {
@@ -102,7 +101,7 @@ std::vector<NodeId> Scenario::replenish(std::size_t count) {
 }
 
 std::size_t Scenario::cluster_count() const {
-  std::set<ClusterId> seen;
+  FlatSet<ClusterId> seen;
   for (const MembershipView* view :
        const_cast<Scenario*>(this)->views()) {
     if (view->affiliated()) seen.insert(view->cluster()->id);

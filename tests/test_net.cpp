@@ -25,6 +25,7 @@ TEST(Node, EnergyAccountingFollowsTraffic) {
   (void)b;
   const double before = a.remaining_energy_uj();
   struct P final : Payload {
+    P() : Payload(PayloadKind::kTest) {}
     [[nodiscard]] std::string_view kind() const override { return "p"; }
     [[nodiscard]] std::size_t size_bytes() const override { return 100; }
   };
@@ -55,6 +56,7 @@ TEST(Node, HandlersRunInRegistrationOrder) {
   b.add_frame_handler([&](const Reception&) { order.push_back(1); });
   b.add_frame_handler([&](const Reception&) { order.push_back(2); });
   struct P final : Payload {
+    P() : Payload(PayloadKind::kTest) {}
     [[nodiscard]] std::string_view kind() const override { return "p"; }
     [[nodiscard]] std::size_t size_bytes() const override { return 1; }
   };
@@ -168,6 +170,69 @@ TEST(UnitDiskGraph, IsolatedNodes) {
   const auto isolated = g.isolated_nodes();
   ASSERT_EQ(isolated.size(), 1u);
   EXPECT_EQ(isolated[0], 2u);
+}
+
+// --- Grid build vs all-pairs oracle -----------------------------------
+
+/// Asserts the grid-built graph has exactly the oracle's adjacency,
+/// neighbour-by-neighbour (both emit sorted lists, so spans must match).
+void expect_same_adjacency(const std::vector<Vec2>& pts, double range) {
+  const UnitDiskGraph grid(pts, range);
+  const UnitDiskGraph brute = UnitDiskGraph::brute_force(pts, range);
+  ASSERT_EQ(grid.size(), brute.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto g = grid.neighbors(i);
+    const auto b = brute.neighbors(i);
+    ASSERT_EQ(g.size(), b.size()) << "node " << i;
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      EXPECT_EQ(g[k], b[k]) << "node " << i << " neighbor " << k;
+    }
+  }
+}
+
+TEST(UnitDiskGraph, GridMatchesBruteForceOnUniformFields) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    expect_same_adjacency(uniform_rect(300, 700.0, 450.0, rng), 100.0);
+  }
+}
+
+TEST(UnitDiskGraph, GridMatchesBruteForceOnClusteredFields) {
+  // Dense blobs far apart: many nodes share a grid cell, most cells empty.
+  Rng rng(11);
+  std::vector<Vec2> pts;
+  for (const Vec2 center : {Vec2{0, 0}, Vec2{500, 20}, Vec2{250, 900}}) {
+    const auto blob = uniform_disk(80, center, 40.0, rng);
+    pts.insert(pts.end(), blob.begin(), blob.end());
+  }
+  expect_same_adjacency(pts, 100.0);
+}
+
+TEST(UnitDiskGraph, GridMatchesBruteForceOnDegenerateFields) {
+  // All nodes co-located: complete graph, one grid cell.
+  expect_same_adjacency(std::vector<Vec2>(50, Vec2{3.0, 4.0}), 10.0);
+  // Nodes exactly on cell boundaries and exactly at distance == range.
+  const std::vector<Vec2> boundary{{0, 0},   {100, 0},  {200, 0},
+                                   {0, 100}, {100, 100}, {-100, 0}};
+  expect_same_adjacency(boundary, 100.0);
+  // Collinear line with spacing just under the range.
+  std::vector<Vec2> line;
+  for (int i = 0; i < 40; ++i) line.push_back({double(i) * 99.5, 0.0});
+  expect_same_adjacency(line, 100.0);
+}
+
+TEST(UnitDiskGraph, GridMatchesBruteForceOnTinyFields) {
+  expect_same_adjacency({}, 100.0);            // empty
+  expect_same_adjacency({{5.0, 5.0}}, 100.0);  // singleton
+  Rng rng(23);
+  expect_same_adjacency(uniform_rect(2, 50.0, 50.0, rng), 100.0);
+}
+
+TEST(UnitDiskGraph, NonPositiveRangeYieldsNoEdges) {
+  Rng rng(5);
+  const auto pts = uniform_rect(20, 100.0, 100.0, rng);
+  const UnitDiskGraph g(pts, 0.0);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_EQ(g.degree(i), 0u);
 }
 
 }  // namespace

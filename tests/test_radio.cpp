@@ -14,6 +14,10 @@ namespace cfds {
 namespace {
 
 struct TestPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kTest;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  TestPayload() : Payload(kTag) {}
+
   int value = 0;
   [[nodiscard]] std::string_view kind() const override { return "test"; }
   [[nodiscard]] std::size_t size_bytes() const override { return 4; }

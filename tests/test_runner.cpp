@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/figures.h"
 #include "common/statistics.h"
 #include "runner/cli_args.h"
 #include "runner/executor.h"
@@ -149,6 +150,65 @@ TEST(Executor, FullStackKindIsDeterministicAcrossThreadCounts) {
     successes.push_back(results[0].estimator.successes());
   }
   EXPECT_EQ(successes[0], successes[1]);
+}
+
+// Golden JSONL for the CLI invocation
+//
+//   cfds_cli --mc fig5 --cluster-n 20,30 --trials 4000 --threads 2 --seed 7
+//            --no-wall-time
+//
+// captured before the kernel/graph/dispatch optimisation pass. The simulator
+// hot paths may be reworked freely, but these bytes pin the observable
+// contract: identical schedule ordering, identical RNG draw sequence,
+// identical serialization — at any thread count.
+const char* const kFig5GoldenJsonl[] = {
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":20,"p":0.050000000000000003,"range":100,"trials":4000,"successes":0,"mean":0,"ci99":0.00125,"wilson_lo":1.0842021724855044e-19,"wilson_hi":0.0016559773406480947,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":20,"p":0.10000000000000001,"range":100,"trials":4000,"successes":0,"mean":0,"ci99":0.00125,"wilson_lo":1.0842021724855044e-19,"wilson_hi":0.0016559773406480947,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":20,"p":0.15000000000000002,"range":100,"trials":4000,"successes":0,"mean":0,"ci99":0.00125,"wilson_lo":1.0842021724855044e-19,"wilson_hi":0.0016559773406480947,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":20,"p":0.20000000000000001,"range":100,"trials":4000,"successes":1,"mean":0.00025000000000000001,"ci99":0.00125,"wilson_lo":2.9352046526831717e-05,"wilson_hi":0.0021257973054509393,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":20,"p":0.25,"range":100,"trials":4000,"successes":3,"mean":0.00075000000000000002,"ci99":0.00125,"wilson_lo":0.00018946099099491961,"wilson_hi":0.0029640323836422032,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":20,"p":0.30000000000000004,"range":100,"trials":4000,"successes":9,"mean":0.0022499999999999998,"ci99":0.0019296754448739236,"wilson_lo":0.00097736628492629384,"wilson_hi":0.0051711591576888843,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":20,"p":0.35000000000000003,"range":100,"trials":4000,"successes":21,"mean":0.0052500000000000003,"ci99":0.0029431931822978211,"wilson_lo":0.0030165121054541396,"wilson_hi":0.0091220774731171524,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":20,"p":0.40000000000000002,"range":100,"trials":4000,"successes":55,"mean":0.01375,"ci99":0.0047427147013192113,"wilson_lo":0.0097484547036317155,"wilson_hi":0.019361983260148558,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":20,"p":0.45000000000000001,"range":100,"trials":4000,"successes":67,"mean":0.016750000000000001,"ci99":0.0052266272261941903,"wilson_lo":0.012266936081400465,"wilson_hi":0.022833566018335919,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":20,"p":0.5,"range":100,"trials":4000,"successes":186,"mean":0.0465,"ci99":0.0085756879242995729,"wilson_lo":0.0386494574357698,"wilson_hi":0.055852514012198033,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":30,"p":0.050000000000000003,"range":100,"trials":4000,"successes":0,"mean":0,"ci99":0.00125,"wilson_lo":1.0842021724855044e-19,"wilson_hi":0.0016559773406480947,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":30,"p":0.10000000000000001,"range":100,"trials":4000,"successes":0,"mean":0,"ci99":0.00125,"wilson_lo":1.0842021724855044e-19,"wilson_hi":0.0016559773406480947,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":30,"p":0.15000000000000002,"range":100,"trials":4000,"successes":0,"mean":0,"ci99":0.00125,"wilson_lo":1.0842021724855044e-19,"wilson_hi":0.0016559773406480947,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":30,"p":0.20000000000000001,"range":100,"trials":4000,"successes":0,"mean":0,"ci99":0.00125,"wilson_lo":1.0842021724855044e-19,"wilson_hi":0.0016559773406480947,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":30,"p":0.25,"range":100,"trials":4000,"successes":0,"mean":0,"ci99":0.00125,"wilson_lo":1.0842021724855044e-19,"wilson_hi":0.0016559773406480947,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":30,"p":0.30000000000000004,"range":100,"trials":4000,"successes":2,"mean":0.00050000000000000001,"ci99":0.00125,"wilson_lo":9.7620332879947867e-05,"wilson_hi":0.0025567010304274988,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":30,"p":0.35000000000000003,"range":100,"trials":4000,"successes":0,"mean":0,"ci99":0.00125,"wilson_lo":1.0842021724855044e-19,"wilson_hi":0.0016559773406480947,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":30,"p":0.40000000000000002,"range":100,"trials":4000,"successes":11,"mean":0.0027499999999999998,"ci99":0.0021328018687924049,"wilson_lo":0.001288821172960922,"wilson_hi":0.0058580482923136085,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":30,"p":0.45000000000000001,"range":100,"trials":4000,"successes":16,"mean":0.0040000000000000001,"ci99":0.0025706432380709697,"wilson_lo":0.0021246901799837513,"wilson_hi":0.0075180393419391591,"seed":7,"shards":1})",
+    R"({"experiment":"mc_false_detection","kind":"mc_false_detection","n":30,"p":0.5,"range":100,"trials":4000,"successes":60,"mean":0.014999999999999999,"ci99":0.0049504637871365144,"wilson_lo":0.010791950197486591,"wilson_hi":0.020814347822942059,"seed":7,"shards":1})",
+};
+
+TEST(Executor, Fig5JsonlMatchesPrePrGoldenAtAnyThreadCount) {
+  // Reconstructs the CLI's --mc fig5 spec in-process (same grid, trials,
+  // seed) and compares serialized records byte-for-byte with the golden.
+  auto spec = ExperimentSpec::for_kind(EstimatorKind::kMcFalseDetection);
+  std::vector<double> ps;
+  for (int i = 0; i < analysis::sweep_points(); ++i) {
+    ps.push_back(analysis::sweep_p(i));
+  }
+  spec.grid = make_grid({20, 30}, ps, 100.0);
+  spec.trials = 4000;
+  spec.seed = 7;
+
+  constexpr std::size_t kGoldenLines =
+      sizeof kFig5GoldenJsonl / sizeof kFig5GoldenJsonl[0];
+  for (unsigned threads : {1u, 8u}) {
+    ThreadPool pool(threads);
+    CollectingSink sink;
+    run_experiment(spec, pool, &sink);
+    ASSERT_EQ(sink.records().size(), kGoldenLines) << threads << " threads";
+    for (std::size_t i = 0; i < kGoldenLines; ++i) {
+      EXPECT_EQ(to_jsonl(sink.records()[i], /*include_wall_time=*/false),
+                kFig5GoldenJsonl[i])
+          << "line " << i << " with " << threads << " threads";
+    }
+  }
 }
 
 TEST(Executor, EmptyGridYieldsNoPointsAndNoHang) {

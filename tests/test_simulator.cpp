@@ -2,12 +2,46 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <functional>
+#include <new>
 #include <vector>
 
 #include "event/simulator.h"
 
+// Global allocation counter for the zero-allocation tests below. This binary
+// overrides ::operator new/delete; the counter only ticks between
+// begin_counting/end_counting so the rest of the suite is unaffected.
+namespace {
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+
 namespace cfds {
 namespace {
+
+std::size_t count_allocations(const std::function<void()>& body) {
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  body();
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_allocations.load(std::memory_order_relaxed);
+}
 
 TEST(Simulator, StartsAtZero) {
   Simulator sim;
@@ -125,6 +159,109 @@ TEST(Simulator, CancelledEventsAreNotCounted) {
   h.cancel();
   sim.run_to_completion();
   EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+// --- Slot reuse and handle generations --------------------------------
+
+TEST(Simulator, StaleHandleCannotCancelARecycledSlot) {
+  Simulator sim;
+  TimerHandle stale = sim.schedule_at(SimTime::millis(1), [] {});
+  sim.run_to_completion();  // frees the slot
+  bool fired = false;
+  // The freelist hands the same slot to the next event; the stale handle's
+  // generation no longer matches, so cancel() must be a no-op.
+  sim.schedule_at(SimTime::millis(2), [&] { fired = true; });
+  stale.cancel();
+  EXPECT_FALSE(stale.pending());
+  sim.run_to_completion();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, HandleIsNotPendingWhileItsEventRuns) {
+  Simulator sim;
+  TimerHandle handle;
+  bool pending_inside = true;
+  handle = sim.schedule_at(SimTime::millis(1),
+                           [&] { pending_inside = handle.pending(); });
+  sim.run_to_completion();
+  EXPECT_FALSE(pending_inside);
+}
+
+TEST(Simulator, ManyCancellationsRecycleSlotsWithoutGrowth) {
+  Simulator sim;
+  for (int round = 0; round < 1000; ++round) {
+    auto h = sim.schedule_at(sim.now() + SimTime::millis(2), [] {});
+    sim.schedule_at(sim.now() + SimTime::millis(1), [] {});
+    h.cancel();
+    sim.run_until(sim.now() + SimTime::millis(2));
+  }
+  EXPECT_EQ(sim.events_executed(), 1000u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// --- Allocation-free hot path -----------------------------------------
+
+TEST(Simulator, ScheduleFireIsAllocationFreeForSmallCaptures) {
+  Simulator sim;
+  sim.reserve(64);
+  long sink = 0;
+  // Warm up: let the slab and heap vectors reach steady state.
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at(sim.now() + SimTime::micros(1), [&sink] { ++sink; });
+    sim.step();
+  }
+  // 40 bytes of captures — inside EventFn's 48-byte inline buffer.
+  std::array<char, 32> blob{};
+  const std::size_t allocations = count_allocations([&] {
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(sim.now() + SimTime::micros(1),
+                      [&sink, blob] { sink += blob[0]; });
+      sim.step();
+    }
+  });
+  EXPECT_EQ(allocations, 0u);
+  EXPECT_EQ(sink, 100);
+}
+
+TEST(Simulator, CancellationPathIsAllocationFreeToo) {
+  Simulator sim;
+  sim.reserve(64);
+  for (int i = 0; i < 100; ++i) {
+    auto h = sim.schedule_at(sim.now() + SimTime::micros(2), [] {});
+    sim.schedule_at(sim.now() + SimTime::micros(1), [] {});
+    h.cancel();
+    sim.run_until(sim.now() + SimTime::micros(2));
+  }
+  const std::size_t allocations = count_allocations([&] {
+    for (int i = 0; i < 1000; ++i) {
+      auto h = sim.schedule_at(sim.now() + SimTime::micros(2), [] {});
+      sim.schedule_at(sim.now() + SimTime::micros(1), [] {});
+      h.cancel();
+      sim.run_until(sim.now() + SimTime::micros(2));
+    }
+  });
+  EXPECT_EQ(allocations, 0u);
+}
+
+TEST(Simulator, OversizedCapturesFallBackToTheHeapAndStillRun) {
+  Simulator sim;
+  std::array<char, 64> blob{};  // > kInlineCapacity: must heap-allocate
+  blob[0] = 1;
+  long sum = 0;
+  const std::size_t allocations = count_allocations([&] {
+    sim.schedule_at(SimTime::micros(1), [&sum, blob] { sum += blob[0]; });
+  });
+  EXPECT_GE(allocations, 1u);
+  sim.run_to_completion();
+  EXPECT_EQ(sum, 1);
+}
+
+TEST(EventFn, MoveTransfersTheCallable) {
+  int fired = 0;
+  EventFn fn([&fired] { ++fired; });
+  EventFn moved(std::move(fn));
+  moved();
+  EXPECT_EQ(fired, 1);
 }
 
 }  // namespace

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Perf + determinism gate for the simulator hot paths (see docs/PERF.md).
+#
+# Builds a Release tree and a ThreadSanitizer tree, runs the smoke-sized
+# bench_kernel study under both (catching crashes, CFDS_EXPECT aborts, and
+# data races on the schedule/cancel/fire paths), then checks that the fig5
+# Monte-Carlo JSONL is byte-identical across thread counts.
+#
+# Usage: tools/check_perf.sh [build-dir-prefix]
+#   Build trees land in <prefix>-release/ and <prefix>-tsan/
+#   (default prefix: build-perf).
+
+set -eu
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-perf}"
+
+build() {
+  dir="$1"
+  shift
+  echo "== configure + build $dir"
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$(nproc)" --target bench_kernel cfds_cli >/dev/null
+}
+
+build "$prefix-release" -DCMAKE_BUILD_TYPE=Release
+build "$prefix-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCFDS_SANITIZE=thread
+
+echo "== smoke bench (Release)"
+"./$prefix-release/bench/bench_kernel" --trials 10 \
+    --benchmark_filter=SKIPALL >/dev/null
+echo "== smoke bench (ThreadSanitizer)"
+"./$prefix-tsan/bench/bench_kernel" --trials 10 \
+    --benchmark_filter=SKIPALL >/dev/null
+
+echo "== determinism: fig5 JSONL at --threads 1 vs --threads 8"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+for threads in 1 8; do
+  "./$prefix-release/tools/cfds_cli" --mc fig5 --cluster-n 20,30 \
+      --trials 4000 --threads "$threads" --seed 7 --no-wall-time \
+      --out "$tmp/fig5.t$threads.jsonl"
+done
+if ! cmp -s "$tmp/fig5.t1.jsonl" "$tmp/fig5.t8.jsonl"; then
+  echo "FAIL: fig5 JSONL differs between thread counts" >&2
+  diff "$tmp/fig5.t1.jsonl" "$tmp/fig5.t8.jsonl" >&2 || true
+  exit 1
+fi
+
+echo "OK: smoke benches passed, fig5 JSONL byte-identical across threads"
