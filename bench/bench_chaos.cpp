@@ -1,0 +1,164 @@
+// Chaos campaign: seeded fault-injection trials with an invariant oracle.
+//
+// Each trial generates a random FaultPlan from its seed, drives a ~10-cluster
+// deployment through warmup / fault / quiescence phases (fault/chaos.h), and
+// checks the eventual-consistency invariants I1-I5 (fault/oracle.h). The
+// campaign fans trials across the thread pool but emits results in trial
+// order, so the JSONL stream is byte-identical for any --threads value.
+//
+// Modes (on top of the uniform runner flags):
+//
+//   default            campaign of --trials trials from --seed upward; exits
+//                      nonzero if any trial violates an invariant
+//   --replay-seed S    one trial; prints its generated plan then the verdict
+//   --fault-plan F     one trial replaying the plan file F against the
+//                      deployment derived from --seed (docs/FAULTS.md)
+//   --dump-plans DIR   campaign also writes every trial's plan to DIR
+//
+// Failing trials always get their plan written to plan_<seed>.fail.jsonl
+// (under --dump-plans DIR if given, else the working directory) so a
+// violation found in CI replays locally byte for byte.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "fault/chaos.h"
+#include "fault/fault_plan.h"
+
+namespace {
+
+using namespace cfds;
+
+FILE* open_lines_out(const std::string& path) {
+  if (path.empty() || path == "-") return stdout;
+  FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open --out %s\n", path.c_str());
+    std::exit(2);
+  }
+  return file;
+}
+
+void write_plan_file(const std::string& dir, const fault::FaultPlan& plan,
+                     std::uint64_t seed, bool failing) {
+  char name[128];
+  std::snprintf(name, sizeof name, "plan_%llu%s.jsonl",
+                (unsigned long long)seed, failing ? ".fail" : "");
+  const std::string path = (dir.empty() ? std::string(".") : dir) + "/" + name;
+  FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write plan to %s\n", path.c_str());
+    return;
+  }
+  const std::string text = plan.to_jsonl();
+  std::fwrite(text.data(), 1, text.size(), file);
+  std::fclose(file);
+}
+
+int report_single(const fault::ChaosResult& result) {
+  std::printf("%s\n", result.summary_json().c_str());
+  for (const std::string& v : result.violations) {
+    std::fprintf(stderr, "VIOLATION %s\n", v.c_str());
+  }
+  return result.passed() ? 0 : 1;
+}
+
+/// One trial, generated plan printed first so the run is reproducible.
+int run_replay_seed(std::uint64_t seed) {
+  const fault::ChaosConfig config;
+  const fault::ChaosResult result = fault::run_chaos_trial(config, seed);
+  std::printf("%s\n", result.plan.to_jsonl().c_str());
+  return report_single(result);
+}
+
+/// One trial replaying an explicit plan file.
+int run_plan_file(const std::string& path, std::uint64_t seed) {
+  std::string error;
+  const auto plan = fault::FaultPlan::load(path, &error);
+  if (!plan) {
+    std::fprintf(stderr, "bad --fault-plan %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  const fault::ChaosConfig config;
+  return report_single(fault::replay_chaos_trial(config, seed, *plan));
+}
+
+int run_campaign(long trials, std::uint64_t base_seed,
+                 const std::string& dump_dir, bool dump_all) {
+  bench::banner("Chaos campaign",
+                "seeded fault injection + invariant oracle");
+  const fault::ChaosConfig config;
+  const std::size_t count = std::size_t(trials);
+  std::vector<fault::ChaosResult> results(count);
+  bench::pool().parallel_for(count, [&](std::size_t i) {
+    results[i] = fault::run_chaos_trial(config, base_seed + i);
+  });
+
+  FILE* out = open_lines_out(bench::options().out);
+  long failed = 0;
+  for (const fault::ChaosResult& result : results) {
+    std::fprintf(out, "%s\n", result.summary_json().c_str());
+    if (!result.passed()) {
+      ++failed;
+      for (const std::string& v : result.violations) {
+        std::fprintf(stderr, "seed %llu VIOLATION %s\n",
+                     (unsigned long long)result.seed, v.c_str());
+      }
+    }
+    if (dump_all || !result.passed()) {
+      write_plan_file(dump_dir, result.plan, result.seed, !result.passed());
+    }
+  }
+  if (out != stdout) std::fclose(out);
+
+  std::printf("\n%ld trials from seed %llu: %ld passed, %ld violated\n",
+              trials, (unsigned long long)base_seed, trials - failed, failed);
+  return failed == 0 ? 0 : 1;
+}
+
+void BM_ChaosTrial(benchmark::State& state) {
+  const fault::ChaosConfig config;
+  std::uint64_t seed = 0xC4A05;
+  for (auto _ : state) {
+    const fault::ChaosResult result =
+        fault::run_chaos_trial(config, seed++);
+    benchmark::DoNotOptimize(result.alive);
+  }
+}
+BENCHMARK(BM_ChaosTrial)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dump_plans;
+  long long replay_seed = -1;
+  runner::FlagSet extra;
+  extra.add_value("--dump-plans", &dump_plans,
+                  "directory for per-trial FaultPlan JSONL files");
+  extra.add_value("--replay-seed", &replay_seed,
+                  "run exactly one trial with this seed and print its plan");
+  extra.parse_or_exit(argc, argv);
+  cfds::bench::parse_common_args(argc, argv);
+  const auto& opts = cfds::bench::options();
+
+  if (!opts.fault_plan.empty()) {
+    return run_plan_file(opts.fault_plan, opts.seed_or(1));
+  }
+  if (replay_seed >= 0) {
+    return run_replay_seed(std::uint64_t(replay_seed));
+  }
+
+  const int status = run_campaign(opts.trials_or(500), opts.seed_or(1),
+                                  dump_plans, !dump_plans.empty());
+  if (status != 0) return status;
+
+  std::printf("\n-- timings --\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

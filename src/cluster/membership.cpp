@@ -51,6 +51,15 @@ void MembershipView::update_link_neighbor(ClusterId neighbor, NodeId new_ch) {
   }
 }
 
+void MembershipView::sync_members(const std::vector<NodeId>& members) {
+  if (!cluster_) return;
+  ClusterView& c = *cluster_;
+  c.members = members;
+  std::erase_if(c.deputies, [&](NodeId d) {
+    return std::find(members.begin(), members.end(), d) == members.end();
+  });
+}
+
 void MembershipView::admit_members(const std::vector<NodeId>& admitted) {
   if (!cluster_) return;
   ClusterView& c = *cluster_;

@@ -89,6 +89,11 @@ class MembershipView {
   /// membership subscriptions).
   void admit_members(const std::vector<NodeId>& admitted);
 
+  /// Replaces the member list with the clusterhead's authoritative snapshot
+  /// (crash-recovery reconciliation); deputies no longer in the list are
+  /// dropped. No-op if not affiliated.
+  void sync_members(const std::vector<NodeId>& members);
+
   /// Records that the neighbouring cluster `neighbor` is now headed by
   /// `new_ch` (a gateway overheard its takeover update); future reports on
   /// that link are addressed to the new CH.

@@ -61,6 +61,14 @@ class FlatSet {
     return std::binary_search(items_.begin(), items_.end(), value);
   }
 
+  /// Removes `value`; returns true if it was present.
+  bool erase(const T& value) {
+    const auto it = std::lower_bound(items_.begin(), items_.end(), value);
+    if (it == items_.end() || *it != value) return false;
+    items_.erase(it);
+    return true;
+  }
+
   /// Drops all elements but keeps the allocated buffer for the next round.
   void clear() { items_.clear(); }
 

@@ -1,0 +1,68 @@
+#include "fault/chaos.h"
+
+#include <cstdio>
+
+#include "fault/injector.h"
+#include "fault/oracle.h"
+#include "sim/scenario.h"
+
+namespace cfds::fault {
+
+std::string ChaosResult::summary_json() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "{\"seed\":%llu,\"events\":%zu,\"violations\":%zu,"
+                "\"alive\":%zu,\"clusters\":%zu,\"affiliation\":%.6f}",
+                (unsigned long long)seed, plan.events.size(),
+                violations.size(), alive, clusters, affiliation);
+  return buffer;
+}
+
+ChaosResult run_chaos_trial(const ChaosConfig& config, std::uint64_t seed) {
+  return replay_chaos_trial(config, seed,
+                            FaultPlan::random(seed, config.profile()));
+}
+
+ChaosResult replay_chaos_trial(const ChaosConfig& config, std::uint64_t seed,
+                               const FaultPlan& plan) {
+  ScenarioConfig sc;
+  sc.width = config.width;
+  sc.height = config.height;
+  sc.node_count = config.node_count;
+  sc.range = config.range;
+  sc.heartbeat_interval = config.epoch_interval;
+  sc.seed = seed;
+  sc.fds.recovery_enabled = true;
+  SwitchableLoss* switchable = nullptr;
+  sc.loss_factory = [&switchable, p = config.loss_p] {
+    auto loss =
+        std::make_unique<SwitchableLoss>(std::make_unique<BernoulliLoss>(p));
+    switchable = loss.get();
+    return std::unique_ptr<LossModel>(std::move(loss));
+  };
+
+  Scenario scenario(sc);
+  scenario.setup();
+  scenario.run_epochs(config.warmup_epochs);
+
+  FaultInjector injector(scenario);
+  injector.install(plan);
+  scenario.run_epochs(config.fault_epochs);
+
+  // Quiescence: no channel fault survives the horizon and the background
+  // loss is switched off, so the oracle judges steady state, not luck.
+  injector.clear_channel_faults();
+  switchable->set_perfect(true);
+  scenario.run_epochs(config.quiesce_epochs);
+
+  ChaosResult result;
+  result.seed = seed;
+  result.plan = plan;
+  result.violations = ChaosOracle::check(scenario);
+  result.alive = scenario.network().alive_count();
+  result.clusters = scenario.cluster_count();
+  result.affiliation = scenario.affiliation_rate();
+  return result;
+}
+
+}  // namespace cfds::fault

@@ -1,0 +1,105 @@
+// Chaos trials: randomized fault campaigns with an invariant oracle.
+//
+// One trial = one deployment driven through three phases:
+//
+//   warmup      fault-free executions so every node settles into its role
+//   faults      a seeded FaultPlan runs against the deployment (crashes,
+//               recoveries, freezes, link partitions, jamming, clock drift)
+//   quiescence  every fault window is closed and the channel is switched to
+//               perfect links; the protocol gets several executions to
+//               reconverge
+//
+// After quiescence the ChaosOracle checks the eventual-consistency
+// invariants (oracle.h). Everything is derived from the trial seed, so a
+// failing (seed, plan) pair replays byte for byte: log the plan, reload it,
+// re-run, debug.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "radio/loss_model.h"
+
+namespace cfds::fault {
+
+/// Wraps a loss model with an off switch. The chaos harness flips a trial's
+/// channel to perfect links for the quiescence phase — injected faults must
+/// be the only persistent disturbance when the oracle runs, and background
+/// loss would otherwise keep (legitimately) delaying reconvergence forever.
+class SwitchableLoss final : public LossModel {
+ public:
+  explicit SwitchableLoss(std::unique_ptr<LossModel> inner)
+      : inner_(std::move(inner)) {}
+
+  void set_perfect(bool perfect) { perfect_ = perfect; }
+
+  [[nodiscard]] bool lost(NodeId sender, Vec2 from, NodeId receiver, Vec2 to,
+                          Rng& rng) override {
+    return !perfect_ && inner_->lost(sender, from, receiver, to, rng);
+  }
+
+ private:
+  std::unique_ptr<LossModel> inner_;
+  bool perfect_ = false;
+};
+
+/// Trial shape. The defaults give a ~10-cluster deployment dense enough for
+/// deputies and gateways everywhere, small enough for sub-second trials.
+struct ChaosConfig {
+  std::uint32_t node_count = 48;
+  double width = 520.0;
+  double height = 380.0;
+  double range = 100.0;
+  double loss_p = 0.08;  ///< background loss during warmup + fault phases
+  SimTime epoch_interval = SimTime::seconds(2);  ///< phi
+  std::uint64_t warmup_epochs = 2;
+  std::uint64_t fault_epochs = 6;
+  std::uint64_t quiesce_epochs = 10;
+
+  /// Event mix handed to FaultPlan::random (node_count/width/height/range/
+  /// epoch_interval/fault_epochs are filled in from the fields above).
+  ChaosProfile mix;
+
+  [[nodiscard]] ChaosProfile profile() const {
+    ChaosProfile p = mix;
+    p.node_count = node_count;
+    p.width = width;
+    p.height = height;
+    p.range = range;
+    p.epoch_interval = epoch_interval;
+    p.fault_epochs = fault_epochs;
+    return p;
+  }
+};
+
+struct ChaosResult {
+  std::uint64_t seed = 0;
+  FaultPlan plan;
+  std::vector<std::string> violations;
+  std::size_t alive = 0;
+  std::size_t clusters = 0;
+  double affiliation = 0.0;
+
+  [[nodiscard]] bool passed() const { return violations.empty(); }
+
+  /// One JSON object (no trailing newline) summarizing the trial.
+  [[nodiscard]] std::string summary_json() const;
+};
+
+/// Generates the seeded random plan for this (config, seed) and runs it.
+[[nodiscard]] ChaosResult run_chaos_trial(const ChaosConfig& config,
+                                          std::uint64_t seed);
+
+/// Runs an explicit plan (e.g. reloaded from a campaign's JSONL log) against
+/// the deployment derived from (config, seed). run_chaos_trial(config, s) and
+/// replay_chaos_trial(config, s, FaultPlan::random(s, config.profile()))
+/// produce identical results.
+[[nodiscard]] ChaosResult replay_chaos_trial(const ChaosConfig& config,
+                                             std::uint64_t seed,
+                                             const FaultPlan& plan);
+
+}  // namespace cfds::fault

@@ -1,0 +1,122 @@
+// Declarative fault schedules.
+//
+// A FaultPlan is a seeded, serializable list of typed fault events applied
+// to a running deployment through the injection hooks in Channel, Network/
+// Node, and FdsService — never through ad-hoc test code. Because the plan is
+// data, any chaos-campaign failure is replayable: the campaign logs the plan
+// (JSONL) next to the violation, and re-running the same seed + plan
+// reproduces the execution byte for byte.
+//
+// Taxonomy (docs/FAULTS.md):
+//   crash        fail-stop: the node goes dark (Section 2.1's model)
+//   recover      crash-recovery: the node restarts with volatile state lost
+//                and a bumped incarnation; it must re-run affiliation
+//   freeze       omission fault: the node's frames vanish in the air and it
+//                hears nothing for a window, then resumes with STALE state
+//                (the node itself never notices)
+//   link_down    the link {a, b} drops every frame for a window (partition
+//                faults are sets of link_down events)
+//   jam          loss probability forced to 1 for any frame whose sender or
+//                receiver lies inside a disk, for a window
+//   clock_drift  a node's round clock drifts further ahead each epoch over
+//                [start_epoch, end_epoch), then resyncs
+//
+// Event times are offsets from the fault phase's start (the injector anchors
+// them to an absolute simulation time); drift is expressed in epochs
+// relative to the fault phase's first epoch.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace cfds::fault {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,
+  kRecover,
+  kFreeze,
+  kLinkDown,
+  kJam,
+  kClockDrift,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One scheduled fault. A plain tagged record: only the fields relevant to
+/// `kind` are meaningful (see the serializer for the per-kind schema).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  /// Offset from the fault phase start (crash/recover/freeze/link_down/jam).
+  std::int64_t at_us = 0;
+  /// Window length for freeze/link_down/jam.
+  std::int64_t duration_us = 0;
+  /// Target node (crash/recover/freeze/clock_drift); link endpoint `a`.
+  std::uint32_t node = 0;
+  /// Link endpoint `b` (link_down only).
+  std::uint32_t peer = 0;
+  /// Jam disk (jam only).
+  double x = 0.0;
+  double y = 0.0;
+  double radius = 0.0;
+  /// Drift window in epochs relative to the fault phase's first epoch, and
+  /// the per-epoch skew increment (clock_drift only).
+  std::uint64_t start_epoch = 0;
+  std::uint64_t end_epoch = 0;
+  std::int64_t per_epoch_us = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Knobs for FaultPlan::random: sized from the deployment under test.
+struct ChaosProfile {
+  std::uint32_t node_count = 0;  ///< targets drawn from [0, node_count)
+  double width = 0.0;            ///< jam placement bounds
+  double height = 0.0;
+  double range = 100.0;          ///< jam radii scale with the radio range
+  SimTime epoch_interval = SimTime::seconds(2);  ///< phi
+  /// Fault horizon: every window closes and every ramp resyncs before this
+  /// many epochs, so the quiescence phase that follows is genuinely
+  /// fault-free and the oracle's eventual-consistency invariants apply.
+  std::uint64_t fault_epochs = 6;
+
+  // Event mix (counts per plan).
+  int crashes = 3;          ///< each has ~60% chance of a later recover
+  int freezes = 2;
+  int link_downs = 2;
+  int jams = 1;
+  int clock_drifts = 1;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;  ///< the seed random() was called with (0 = n/a)
+  std::vector<FaultEvent> events;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+
+  /// Serializes as JSONL: a header line, then one line per event.
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// Parses to_jsonl() output (also accepts plans without a header).
+  /// Returns nullopt with *error set on malformed input.
+  [[nodiscard]] static std::optional<FaultPlan> parse_jsonl(
+      const std::string& text, std::string* error = nullptr);
+
+  /// Loads a plan from a JSONL file.
+  [[nodiscard]] static std::optional<FaultPlan> load(const std::string& path,
+                                                     std::string* error = nullptr);
+
+  /// Generates a seeded random plan mixing every fault kind per the profile.
+  /// Deterministic: same seed + profile => identical plan. Windows never
+  /// extend past the profile's fault horizon, and per-node freeze windows
+  /// never overlap (each target node is frozen at most once).
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed,
+                                        const ChaosProfile& profile);
+};
+
+}  // namespace cfds::fault

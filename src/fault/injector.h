@@ -1,0 +1,62 @@
+// Applies a FaultPlan to a running Scenario.
+//
+// The injector translates declarative fault events into calls on the
+// simulator-level injection hooks: Network::schedule_crash/schedule_recover
+// for node lifecycle, Channel::set_muted / set_link_blocked /
+// add_jam_region for channel faults, and FdsService::set_skew_provider for
+// clock drift. It schedules everything up front (install), anchored at the
+// scenario's next epoch boundary, so a plan replays identically whenever the
+// scenario it is applied to is identical.
+//
+// The injector must outlive the simulation run: scheduled events and the
+// skew provider capture it.
+
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "sim/scenario.h"
+
+namespace cfds::fault {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Scenario& scenario);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every event of `plan`, anchored at the scenario's next epoch
+  /// start (event at_us = 0 fires exactly when the next execution begins).
+  /// May be called once per injector.
+  void install(const FaultPlan& plan);
+
+  /// Defensively clears any channel fault still active (mutes, blocked
+  /// links, jam regions). Well-formed plans close their own windows; this
+  /// protects campaigns replaying handcrafted plans whose windows run past
+  /// the fault horizon, so the quiescence phase is genuinely fault-free.
+  void clear_channel_faults();
+
+  /// Anchor epoch index: plan drift epochs are relative to this.
+  [[nodiscard]] std::uint64_t base_epoch() const { return base_epoch_; }
+
+ private:
+  void freeze(std::uint32_t node, bool on);
+  void block_link(std::uint32_t a, std::uint32_t b, bool on);
+
+  Scenario& scenario_;
+  SimTime anchor_;
+  std::uint64_t base_epoch_;
+  bool installed_ = false;
+
+  // Overlap-safe bookkeeping: a node stays muted (a link stays blocked)
+  // until every window covering it has closed.
+  std::unordered_map<std::uint32_t, int> freeze_depth_;
+  std::unordered_map<std::uint64_t, int> link_depth_;
+  std::vector<int> active_jams_;
+  std::vector<FaultEvent> drifts_;
+};
+
+}  // namespace cfds::fault

@@ -28,6 +28,38 @@ FdsAgent::FdsAgent(Node& node, MembershipView& view, Simulator& sim,
       hooks_(hooks) {
   node_.add_frame_handler(
       [this](const Reception& reception) { on_frame(reception); });
+  node_.add_lifecycle_handler([this](bool alive) { on_lifecycle(alive); });
+}
+
+void FdsAgent::on_lifecycle(bool alive) {
+  if (!alive) {
+    // Crash: a dead node must never fire a round callback. The deputy
+    // evaluation and any armed peer forwards are cancelled outright (their
+    // alive-guards would stop them too, but a cancelled timer costs nothing
+    // and cannot race a same-epoch recovery).
+    deputy_timer_.cancel();
+    for (auto& [target, timer] : pending_forwards_) timer.cancel();
+    pending_forwards_.clear();
+    return;
+  }
+  // Recovery: volatile protocol state did not survive the crash. The node
+  // restarts unaffiliated and unmarked, so its next heartbeat is a fresh
+  // membership subscription (F5) and the lowest-NID affiliation rules of
+  // Section 3 re-run naturally through the admission path.
+  view_.clear();
+  node_.set_marked(false);
+  log_.clear();
+  missed_updates_ = 0;
+  left_ = false;
+  evidence_.clear();
+  unmarked_heard_.clear();
+  leaves_heard_.clear();
+  notices_heard_.clear();
+  sleep_exemptions_.clear();
+  got_scheduled_update_ = false;
+  scheduled_update_.reset();
+  acked_requesters_.clear();
+  sent_ack_ = false;
 }
 
 double FdsAgent::energy_fraction() const {
@@ -65,6 +97,7 @@ void FdsAgent::begin_epoch(std::uint64_t epoch) {
   acked_requesters_.clear();
   for (auto& [target, timer] : pending_forwards_) timer.cancel();
   pending_forwards_.clear();
+  deputy_timer_.cancel();
   sent_ack_ = false;
 }
 
@@ -74,6 +107,7 @@ void FdsAgent::round1_heartbeat() {
   auto heartbeat = std::make_shared<HeartbeatPayload>();
   heartbeat->sender = node_.id();
   heartbeat->marked = node_.marked();
+  heartbeat->incarnation = node_.incarnation();
   node_.radio().send(std::move(heartbeat));
 }
 
@@ -161,18 +195,34 @@ void FdsAgent::round3_update() {
     log_.record(f, {sim_.now(), epoch_, node_.id()});
   }
   view_.remove_members(failed);
-  update->all_failed = log_.known_failed();
 
   if (config_.admit_unmarked) {
     for (NodeId newcomer : unmarked_heard_) {
-      if (!view_.cluster()->is_member(newcomer)) {
+      // Under crash-recovery, an unmarked heartbeat from a *current* member
+      // is a node that lost its view (recovered or reaffiliating): it keeps
+      // its membership slot but needs the snapshot to reinstall it.
+      if (config_.recovery_enabled || !view_.cluster()->is_member(newcomer)) {
         update->admitted.push_back(newcomer);
       }
     }
     if (!update->admitted.empty()) {
+      if (config_.recovery_enabled) {
+        // Admission refutes stale failure records: a node subscribing with
+        // a live heartbeat is alive, whatever the log said.
+        for (NodeId n : update->admitted) log_.erase(n);
+      }
       view_.admit_members(update->admitted);
       update->members_snapshot = view_.cluster()->members;
     }
+  }
+  // Cumulative knowledge is published after admissions, so a re-admitted
+  // node is never simultaneously listed failed in the same update.
+  update->all_failed = log_.known_failed();
+  if (config_.recovery_enabled) {
+    // Under crash-recovery the scheduled update always carries the full
+    // roster: members reconcile against it, so a lost admission or removal
+    // update heals at the next execution instead of diverging forever.
+    update->members_snapshot = view_.cluster()->members;
   }
 
   if (!failed.empty()) {
@@ -202,12 +252,14 @@ void FdsAgent::deputy_check() {
     evaluate_ch_failure();
   } else {
     const std::uint64_t epoch_at_arming = epoch_;
-    sim_.schedule_after(std::int64_t(rank) * t_hop_,
-                        [this, epoch_at_arming] {
-                          if (epoch_ == epoch_at_arming) {
-                            evaluate_ch_failure();
-                          }
-                        });
+    // Stored (not discarded) so that crash() can cancel it: a node that dies
+    // with its evaluation armed must not fire a takeover from the grave.
+    deputy_timer_ = sim_.schedule_after(std::int64_t(rank) * t_hop_,
+                                        [this, epoch_at_arming] {
+                                          if (epoch_ == epoch_at_arming) {
+                                            evaluate_ch_failure();
+                                          }
+                                        });
   }
 }
 
@@ -234,6 +286,9 @@ void FdsAgent::evaluate_ch_failure() {
   update->sender_heard.assign(evidence_.heartbeats.begin(),
                               evidence_.heartbeats.end());
   update->report = fresh_report_id();
+  if (config_.recovery_enabled) {
+    update->members_snapshot = view_.cluster()->members;
+  }
 
   if (hooks_.on_detection) {
     hooks_.on_detection(node_.id(), epoch_, update->newly_failed,
@@ -286,13 +341,22 @@ void FdsAgent::broadcast_update(std::shared_ptr<HealthUpdatePayload> update) {
   node_.radio().send(frozen);
 }
 
-void FdsAgent::apply_failures(const HealthUpdatePayload& update) {
+bool FdsAgent::apply_failures(const HealthUpdatePayload& update) {
+  bool step_down = false;
   std::vector<NodeId> to_remove;
   auto learn = [&](NodeId f, bool fresh_news) {
     if (f == node_.id()) {
       // We were falsely detected. Re-subscribe by reverting to the unmarked
       // state: our next heartbeat acts as a membership subscription (F5).
-      if (fresh_news) node_.set_marked(false);
+      if (fresh_news) {
+        node_.set_marked(false);
+      } else if (config_.recovery_enabled && node_.marked()) {
+        // Stale failure news about ourselves while we think we are a marked
+        // participant: the cluster reorganized while we were silent (a
+        // freeze, or a takeover update we missed). Our view is stale — the
+        // caller drops it so the next heartbeat re-runs affiliation.
+        step_down = true;
+      }
       return;
     }
     if (log_.record(f, {sim_.now(), update.epoch, update.sender})) {
@@ -302,6 +366,7 @@ void FdsAgent::apply_failures(const HealthUpdatePayload& update) {
   for (NodeId f : update.newly_failed) learn(f, true);
   for (NodeId f : update.all_failed) learn(f, false);
   view_.remove_members(to_remove);
+  return step_down;
 }
 
 void FdsAgent::handle_update(
@@ -324,22 +389,127 @@ void FdsAgent::handle_update(
   }
   if (update->cluster != view_.cluster()->id) return;  // foreign cluster
 
+  if (config_.recovery_enabled && view_.is_clusterhead() &&
+      update->sender != node_.id()) {
+    // Every direct health update is authored by a node acting as this
+    // cluster's head, so hearing one means a rival head is in radio contact
+    // (two deputies that took over on opposite sides of a healed partition,
+    // or a thawed head meeting its replacement). Section 3's election rule
+    // arbitrates: the lowest NID keeps the cluster; the loser steps down,
+    // drops its log, and re-subscribes via F5 — its former members follow
+    // once their scheduled updates go missing.
+    if (update->sender.value() < node_.id().value()) {
+      view_.clear();
+      node_.set_marked(false);
+      log_.clear();
+      missed_updates_ = 0;
+      got_scheduled_update_ = false;
+      scheduled_update_.reset();
+      if (hooks_.on_update_applied) {
+        hooks_.on_update_applied(node_.id(), *update);
+      }
+    }
+    return;
+  }
+
   const bool scheduled =
       update->epoch == epoch_ &&
       (update->sender == view_.cluster()->clusterhead || update->takeover);
 
-  apply_failures(*update);
+  if (config_.recovery_enabled && !scheduled) {
+    // A same-cluster update from a head we do not follow — the other side of
+    // a cluster split into disconnected components, each with its own acting
+    // CH. Its failure news is not authoritative for this side (it believes
+    // our whole side failed); applying it would make our log flip-flop
+    // between the two heads' views every execution. Process it only if it
+    // concerns us directly: an admission (that is how we join a side) or
+    // failure news about ourselves (that is how a stale head steps down).
+    const bool about_me =
+        std::find(update->admitted.begin(), update->admitted.end(),
+                  node_.id()) != update->admitted.end() ||
+        std::find(update->newly_failed.begin(), update->newly_failed.end(),
+                  node_.id()) != update->newly_failed.end() ||
+        std::find(update->all_failed.begin(), update->all_failed.end(),
+                  node_.id()) != update->all_failed.end();
+    if (!about_me) return;
+  }
+
+  if (apply_failures(*update)) {
+    // Stale-self step-down (crash-recovery): the cluster believes we failed
+    // and has moved on. Drop the stale view and revert to unmarked; the
+    // next heartbeat re-subscribes us through the F5 admission path.
+    view_.clear();
+    node_.set_marked(false);
+    missed_updates_ = 0;
+    got_scheduled_update_ = false;
+    scheduled_update_.reset();
+    if (hooks_.on_update_applied) {
+      hooks_.on_update_applied(node_.id(), *update);
+    }
+    return;
+  }
   if (!update->departed.empty()) view_.remove_members(update->departed);
   if (update->takeover) view_.apply_takeover(update->sender);
   if (!update->admitted.empty()) {
     const bool admitted_me =
         std::find(update->admitted.begin(), update->admitted.end(),
                   node_.id()) != update->admitted.end();
-    if (admitted_me) node_.set_marked(true);
+    if (admitted_me) {
+      if (config_.recovery_enabled && view_.is_clusterhead()) {
+        // Another node admitted us as a plain member: our clusterhead role
+        // predates a takeover we slept through (a thawed CH whose deputy
+        // replaced it). Accept the demotion and install the author's view —
+        // the cluster must not end up with two acting heads.
+        ClusterView fresh;
+        fresh.id = update->cluster;
+        fresh.clusterhead = update->sender;
+        fresh.members = update->members_snapshot;
+        view_.set_cluster(std::move(fresh));
+        log_.clear();
+      }
+      node_.set_marked(true);
+    }
+    if (config_.recovery_enabled) {
+      // The CH erased these entries when it re-admitted the nodes; mirror
+      // that here so the stale-snapshot guard below cannot re-remove a
+      // freshly resurrected member.
+      for (NodeId n : update->admitted) log_.erase(n);
+    }
     view_.admit_members(update->admitted);
     // A snapshot from a CH with a staler failure log than ours could have
     // re-introduced members we already know to be gone.
     view_.remove_members(log_.known_failed());
+  }
+
+  if (config_.recovery_enabled && scheduled && view_.affiliated() &&
+      !view_.is_clusterhead()) {
+    // The acting CH's cumulative failure list is authoritative for this
+    // cluster: any entry of ours it no longer carries was refuted by a
+    // re-admission whose update we missed.
+    for (NodeId f : log_.known_failed()) {
+      if (std::find(update->all_failed.begin(), update->all_failed.end(),
+                    f) == update->all_failed.end()) {
+        log_.erase(f);
+      }
+    }
+    if (!update->members_snapshot.empty()) {
+      const auto& roster = update->members_snapshot;
+      if (std::find(roster.begin(), roster.end(), node_.id()) ==
+          roster.end()) {
+        // The acting CH does not count us as a member — we were removed
+        // (or replaced by a takeover) while unreachable. Re-subscribe.
+        view_.clear();
+        node_.set_marked(false);
+        missed_updates_ = 0;
+        got_scheduled_update_ = false;
+        scheduled_update_.reset();
+        if (hooks_.on_update_applied) {
+          hooks_.on_update_applied(node_.id(), *update);
+        }
+        return;
+      }
+      view_.sync_members(roster);
+    }
   }
 
   if (scheduled && !got_scheduled_update_) {
@@ -453,9 +623,15 @@ void FdsAgent::on_frame(const Reception& reception) {
     if (forward->target != node_.id()) return;
     handle_update(forward->update);
     if (forward->update->epoch == epoch_) {
-      got_scheduled_update_ = true;
-      if (!scheduled_update_) scheduled_update_ = forward->update;
-      if (!sent_ack_) {
+      if (!config_.recovery_enabled) {
+        // Under crash-recovery semantics handle_update just decided whether
+        // this counts as our cluster's scheduled update; a forwarded update
+        // from a CH we no longer follow must not mask a missing one, or the
+        // re-affiliation counter would never fire.
+        got_scheduled_update_ = true;
+        if (!scheduled_update_) scheduled_update_ = forward->update;
+      }
+      if (got_scheduled_update_ && !sent_ack_) {
         sent_ack_ = true;
         auto ack = std::make_shared<UpdateAckPayload>();
         ack->sender = node_.id();
@@ -518,7 +694,7 @@ FdsAgent& FdsService::adopt_node(Node& node, MembershipView& view) {
 void FdsService::schedule_epoch(std::uint64_t epoch, SimTime t) {
   Simulator& sim = network_.simulator();
   const SimTime t_hop = network_.channel().config().t_hop;
-  if (config_.max_clock_skew == SimTime::zero()) {
+  if (config_.max_clock_skew == SimTime::zero() && !skew_provider_) {
     // Common case: one event per round drives every agent, in NID order.
     auto all = [this](void (FdsAgent::*action)()) {
       return [this, action] {
@@ -537,12 +713,20 @@ void FdsService::schedule_epoch(std::uint64_t epoch, SimTime t) {
   }
   // Skewed clocks: each agent runs its rounds shifted by its own fixed
   // offset in [0, max_clock_skew] — derived from its NID so the offset is
-  // stable across epochs, like a real mis-set clock.
+  // stable across epochs, like a real mis-set clock. A skew provider (the
+  // fault injector's ClockDriftRamp) adds a per-epoch offset on top.
   for (auto& agent : agents_) {
-    std::uint64_t sm = agent->id().value() ^ 0x5CE4;
-    const double frac = double(splitmix64(sm) >> 11) * 0x1.0p-53;
-    const SimTime skew = SimTime::micros(
-        std::int64_t(frac * double(config_.max_clock_skew.as_micros())));
+    SimTime skew = SimTime::zero();
+    if (config_.max_clock_skew != SimTime::zero()) {
+      std::uint64_t sm = agent->id().value() ^ 0x5CE4;
+      const double frac = double(splitmix64(sm) >> 11) * 0x1.0p-53;
+      skew = SimTime::micros(
+          std::int64_t(frac * double(config_.max_clock_skew.as_micros())));
+    }
+    if (skew_provider_) {
+      const SimTime extra = skew_provider_(agent->id(), epoch);
+      if (extra.as_micros() > 0) skew = skew + extra;
+    }
     FdsAgent* a = agent.get();
     sim.schedule_at(t + skew, [a, epoch] { a->begin_epoch(epoch); });
     sim.schedule_at(t + skew, [a] { a->round1_heartbeat(); });

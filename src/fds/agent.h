@@ -141,9 +141,13 @@ class FdsAgent {
 
  private:
   void on_frame(const Reception& reception);
+  void on_lifecycle(bool alive);
   void evaluate_ch_failure();
   void handle_update(const std::shared_ptr<const HealthUpdatePayload>& update);
-  void apply_failures(const HealthUpdatePayload& update);
+  /// Returns true if this node must step down: the update carried stale
+  /// failure news about the node itself while it believed it was a marked
+  /// cluster participant (crash-recovery reconciliation).
+  [[nodiscard]] bool apply_failures(const HealthUpdatePayload& update);
   void schedule_peer_forward(NodeId target);
   void broadcast_update(std::shared_ptr<HealthUpdatePayload> update);
   [[nodiscard]] ReportId fresh_report_id();
@@ -180,6 +184,9 @@ class FdsAgent {
   std::shared_ptr<const HealthUpdatePayload> scheduled_update_;
   FlatSet<NodeId> acked_requesters_;
   FlatMap<NodeId, TimerHandle> pending_forwards_;
+  /// Armed by deputy_check for rank > 0 deputies; stored so a crash can
+  /// cancel it — a dead node must never fire a round callback.
+  TimerHandle deputy_timer_;
   bool sent_ack_ = false;
 };
 
@@ -209,10 +216,20 @@ class FdsService {
   /// simulator past the last one. Returns the end time.
   SimTime run_epochs(std::uint64_t count, SimTime start);
 
+  /// Per-node additional clock skew, queried once per (node, epoch) when
+  /// scheduling that node's rounds. Used by the fault injector's
+  /// ClockDriftRamp; nullptr (the default) keeps the batched fast path, so
+  /// fault-free runs schedule exactly as before.
+  using SkewProvider = std::function<SimTime(NodeId, std::uint64_t epoch)>;
+  void set_skew_provider(SkewProvider provider) {
+    skew_provider_ = std::move(provider);
+  }
+
  private:
   Network& network_;
   FdsConfig config_;
   FdsHooks hooks_;
+  SkewProvider skew_provider_;
   std::vector<std::unique_ptr<FdsAgent>> agents_;
 };
 

@@ -57,6 +57,22 @@ struct FdsConfig {
   /// paper's assumption that "the clock rate on each host is close to
   /// accurate"; raising it stress-tests that assumption.
   SimTime max_clock_skew = SimTime::zero();
+
+  /// Crash-recovery extension (beyond the paper's fail-stop model, default
+  /// off so the baseline reproduces the paper exactly). When enabled:
+  ///  - a node admitted via F5 subscription has its failure-log entry erased
+  ///    everywhere the admission update lands (re-admission refutes the
+  ///    stale record — a resurrected node must not stay reported failed);
+  ///  - a marked node that hears stale failure news about itself (it appears
+  ///    in `all_failed` without being in `newly_failed`) concludes the
+  ///    cluster moved on while it was silent — it drops its stale view and
+  ///    reverts to unmarked so its next heartbeat re-subscribes it (the
+  ///    thawed-after-freeze / zombie-CH step-down rule);
+  ///  - a CH re-admits current members whose heartbeat arrives unmarked
+  ///    (nodes that lost their view to a crash keep their membership slot
+  ///    but need the snapshot to reinstall it).
+  /// See docs/FAULTS.md.
+  bool recovery_enabled = false;
 };
 
 }  // namespace cfds

@@ -2,8 +2,11 @@
 //
 // The completeness property is about this log: "every node failure will be
 // reported to every operational node" means every operational node's log
-// eventually contains the failed NID. Entries are monotone — once a node is
-// recorded failed it never leaves (fail-stop model).
+// eventually contains the failed NID. Under the paper's fail-stop model
+// entries are monotone — once a node is recorded failed it never leaves.
+// The crash-recovery extension (FdsConfig::recovery_enabled) relaxes this:
+// re-admission of a resurrected node erases its entry, and a recovered
+// node's log is cleared outright (volatile state is lost in the crash).
 
 #pragma once
 
@@ -33,6 +36,13 @@ class FailureLog {
   [[nodiscard]] bool knows(NodeId failed) const {
     return entries_.contains(failed);
   }
+
+  /// Erases the record for `failed` (crash-recovery: the node was re-admitted
+  /// alive, refuting the entry). Returns true if an entry was removed.
+  bool erase(NodeId failed) { return entries_.erase(failed) > 0; }
+
+  /// Drops every record (a recovering node restarts with an empty log).
+  void clear() { entries_.clear(); }
 
   [[nodiscard]] const Entry* entry(NodeId failed) const {
     const auto it = entries_.find(failed);

@@ -29,6 +29,11 @@ struct HeartbeatPayload : Payload {
 
   NodeId sender;
   bool marked = true;
+  /// Times the sender has recovered from a crash (crash-recovery extension;
+  /// always 0 under the paper's fail-stop model). Wire format packs this
+  /// small counter into the flags byte, so size_bytes is unchanged — the
+  /// energy accounting of fault-free runs is identical to the baseline.
+  std::uint32_t incarnation = 0;
 
   [[nodiscard]] std::string_view kind() const override { return "heartbeat"; }
   [[nodiscard]] std::size_t size_bytes() const override { return 6; }

@@ -56,4 +56,10 @@ void Network::schedule_crash(NodeId id, SimTime when) {
   sim_.schedule_at(when, [this, id] { crash(id); });
 }
 
+void Network::recover(NodeId id) { node(id).recover(); }
+
+void Network::schedule_recover(NodeId id, SimTime when) {
+  sim_.schedule_at(when, [this, id] { recover(id); });
+}
+
 }  // namespace cfds

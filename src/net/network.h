@@ -61,11 +61,17 @@ class Network {
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] std::size_t alive_count() const;
 
-  /// Immediately crashes the node (fail-stop).
+  /// Immediately crashes the node (fail-stop until recover()).
   void crash(NodeId id);
 
   /// Schedules a crash at an absolute simulated time.
   void schedule_crash(NodeId id, SimTime when);
+
+  /// Immediately restarts a crashed node (see Node::recover).
+  void recover(NodeId id);
+
+  /// Schedules a recovery at an absolute simulated time.
+  void schedule_recover(NodeId id, SimTime when);
 
   [[nodiscard]] Simulator& simulator() { return sim_; }
   [[nodiscard]] Channel& channel() { return channel_; }

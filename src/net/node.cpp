@@ -17,9 +17,23 @@ void Node::add_frame_handler(FrameHandler handler) {
   handlers_.push_back(std::move(handler));
 }
 
+void Node::add_lifecycle_handler(LifecycleHandler handler) {
+  lifecycle_handlers_.push_back(std::move(handler));
+}
+
 void Node::crash() {
+  if (!alive_) return;
   alive_ = false;
   radio_.set_powered(false);
+  for (const auto& handler : lifecycle_handlers_) handler(false);
+}
+
+void Node::recover() {
+  if (alive_) return;
+  alive_ = true;
+  ++incarnation_;
+  radio_.set_powered(true);
+  for (const auto& handler : lifecycle_handlers_) handler(true);
 }
 
 double Node::remaining_energy_uj() const {

@@ -2,9 +2,16 @@
 //
 // A node hosts a radio plus any number of protocol layers (cluster formation,
 // the FDS, inter-cluster forwarding, baselines). The node fans incoming
-// frames out to every registered layer, tracks fail-stop crash state, and
-// accounts radio energy — peer-forwarding waiting periods (Section 4.2,
-// "Energy Considerations") are a function of remaining energy.
+// frames out to every registered layer, tracks crash state, and accounts
+// radio energy — peer-forwarding waiting periods (Section 4.2, "Energy
+// Considerations") are a function of remaining energy.
+//
+// Beyond the paper's fail-stop model the node supports crash-RECOVERY: a
+// crashed node may be brought back with recover(), which bumps its
+// incarnation number (the SWIM-style counter that lets the rest of the
+// network distinguish "this node resurrected" from "a stale failure record")
+// and notifies every registered lifecycle handler so protocol layers can
+// cancel timers on crash and reset volatile state on recovery.
 
 #pragma once
 
@@ -54,9 +61,28 @@ class Node {
   /// registration order for every frame the radio hears.
   void add_frame_handler(FrameHandler handler);
 
-  /// Fail-stop crash: the node permanently stops sending and receiving.
+  /// Invoked with `true` on recover() and `false` on crash(), in
+  /// registration order. Protocol layers use the crash edge to cancel
+  /// pending timers (a dead node must never fire a round callback) and the
+  /// recovery edge to discard stale volatile state.
+  using LifecycleHandler = std::function<void(bool alive)>;
+  void add_lifecycle_handler(LifecycleHandler handler);
+
+  /// Crash: the node stops sending and receiving. Fail-stop unless a later
+  /// recover() call resurrects it. Idempotent.
   void crash();
+
+  /// Crash-recovery: restarts a crashed node with volatile state lost. The
+  /// incarnation counter is bumped so the node's future heartbeats prove it
+  /// outlived any recorded failure. No-op on a live node.
+  void recover();
+
   [[nodiscard]] bool alive() const { return alive_; }
+
+  /// Number of times this node has recovered from a crash. Carried in
+  /// heartbeats; a heartbeat with an incarnation newer than a failure-log
+  /// entry refutes that entry.
+  [[nodiscard]] std::uint32_t incarnation() const { return incarnation_; }
 
   /// Remaining radio energy in microjoules (never negative).
   [[nodiscard]] double remaining_energy_uj() const;
@@ -75,7 +101,9 @@ class Node {
   double initial_energy_uj_;
   bool alive_ = true;
   bool marked_ = false;
+  std::uint32_t incarnation_ = 0;
   std::vector<FrameHandler> handlers_;
+  std::vector<LifecycleHandler> lifecycle_handlers_;
 };
 
 }  // namespace cfds

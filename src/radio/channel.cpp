@@ -109,13 +109,72 @@ std::vector<NodeId> Channel::neighbors_of(NodeId self) const {
   return out;
 }
 
+void Channel::set_muted(NodeId id, bool muted) {
+  if (muted) {
+    muted_.insert(id);
+  } else {
+    muted_.erase(id);
+  }
+}
+
+void Channel::set_link_blocked(NodeId a, NodeId b, bool blocked) {
+  if (blocked) {
+    blocked_links_.insert(link_key(a, b));
+  } else {
+    blocked_links_.erase(link_key(a, b));
+  }
+}
+
+int Channel::add_jam_region(Disk area) {
+  const int token = next_jam_token_++;
+  jam_regions_.emplace_back(token, area);
+  return token;
+}
+
+void Channel::remove_jam_region(int token) {
+  jam_regions_.erase(
+      std::remove_if(jam_regions_.begin(), jam_regions_.end(),
+                     [token](const auto& jr) { return jr.first == token; }),
+      jam_regions_.end());
+}
+
+bool Channel::is_jammed(Vec2 p) const {
+  for (const auto& [token, disk] : jam_regions_) {
+    if (disk.contains(p)) return true;
+  }
+  return false;
+}
+
+std::uint64_t Channel::link_key(NodeId a, NodeId b) {
+  const std::uint64_t lo = std::min(a.value(), b.value());
+  const std::uint64_t hi = std::max(a.value(), b.value());
+  return (hi << 32) | lo;
+}
+
 void Channel::transmit(Radio& sender, PayloadPtr payload, NodeId intended) {
   stats_.transmissions++;
   if (tap_) tap_(sender.id(), intended, *payload, sim_.now());
+  // A muted (frozen) sender still pays tx energy and advances its protocol
+  // state — the frame just never reaches the air (omission fault).
+  if (!muted_.empty() && muted_.contains(sender.id())) return;
   const Vec2 from = sender.position();
+  const bool sender_jammed = !jam_regions_.empty() && is_jammed(from);
   const SimTime sent_at = sim_.now();
   for_each_in_range(from, &sender, [&](Radio* receiver) {
     if (!receiver->powered()) return;
+    // Deterministic fault drops happen before the loss/delay RNG draws: a
+    // frame that cannot arrive must not consume channel randomness.
+    if (!muted_.empty() && muted_.contains(receiver->id())) return;
+    if (!blocked_links_.empty() &&
+        blocked_links_.contains(link_key(sender.id(), receiver->id()))) {
+      stats_.losses++;
+      return;
+    }
+    if (sender_jammed ||
+        (!jam_regions_.empty() && is_jammed(receiver->position()))) {
+      stats_.losses++;  // jam region: loss probability forced to 1
+      return;
+    }
     if (loss_.lost(sender.id(), from, receiver->id(), receiver->position(),
                    rng_)) {
       stats_.losses++;

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat.h"
 #include "common/geometry.h"
 #include "common/ids.h"
 #include "common/rng.h"
@@ -133,6 +134,26 @@ class Channel {
   /// regardless of power state. Used by topology diagnostics.
   [[nodiscard]] std::vector<NodeId> neighbors_of(NodeId self) const;
 
+  // --- Fault-injection hooks (src/fault/). All state defaults to empty and
+  // each costs one empty()-branch on the transmit path when unused, so the
+  // channel's RNG draw sequence is untouched by a fault-free run. -----------
+
+  /// A muted radio's frames vanish in the air and it hears nothing, but the
+  /// node itself keeps running (and paying tx energy) — an omission fault,
+  /// distinct from a crash (Freeze in the fault taxonomy).
+  void set_muted(NodeId id, bool muted);
+  [[nodiscard]] bool is_muted(NodeId id) const { return muted_.contains(id); }
+
+  /// Blocks/unblocks the (symmetric) link between two nodes; blocked frames
+  /// count as losses (LinkDown / partition faults).
+  void set_link_blocked(NodeId a, NodeId b, bool blocked);
+
+  /// Forces loss probability to 1 for any frame whose sender or receiver
+  /// lies inside `area` (regional jamming). Returns a token for removal.
+  int add_jam_region(Disk area);
+  void remove_jam_region(int token);
+  [[nodiscard]] bool is_jammed(Vec2 p) const;
+
  private:
   friend class Radio;
 
@@ -150,6 +171,9 @@ class Channel {
   template <typename Fn>
   void for_each_in_range(Vec2 center, const Radio* exclude, Fn&& fn) const;
 
+  /// Order-independent key for the undirected link {a, b}.
+  [[nodiscard]] static std::uint64_t link_key(NodeId a, NodeId b);
+
   Simulator& sim_;
   LossModel& loss_;
   ChannelConfig config_;
@@ -158,6 +182,11 @@ class Channel {
   std::unordered_map<std::int64_t, std::vector<Radio*>> grid_;
   ChannelStats stats_;
   Tap tap_;
+  // Fault-injection state (empty in fault-free runs; see the hooks above).
+  FlatSet<NodeId> muted_;
+  FlatSet<std::uint64_t> blocked_links_;
+  std::vector<std::pair<int, Disk>> jam_regions_;
+  int next_jam_token_ = 0;
 };
 
 }  // namespace cfds

@@ -152,6 +152,8 @@ void add_runner_flags(FlagSet& flags, RunnerOptions& options) {
                   "JSONL results path (\"-\" = stdout)");
   flags.add_flag("--no-wall-time", &options.no_wall_time,
                  "omit wall_ms from JSONL (bit-reproducible output)");
+  flags.add_value("--fault-plan", &options.fault_plan,
+                  "FaultPlan JSONL to inject/replay (docs/FAULTS.md)");
 }
 
 bool parse_int_list(const std::string& text, std::vector<int>* values) {

@@ -74,6 +74,7 @@ struct RunnerOptions {
   std::int64_t seed = -1;
   std::string out;  ///< JSONL path; empty = no sink, "-" = stdout
   bool no_wall_time = false;
+  std::string fault_plan;  ///< FaultPlan JSONL to replay (empty = none)
 
   [[nodiscard]] std::uint64_t seed_or(std::uint64_t fallback) const {
     return seed >= 0 ? std::uint64_t(seed) : fallback;

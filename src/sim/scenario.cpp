@@ -12,7 +12,9 @@ Scenario::Scenario(ScenarioConfig config) : config_(config) {
   net_config.channel.t_hop = config_.t_hop;
   net_config.seed = config_.seed;
   network_ = std::make_unique<Network>(
-      net_config, std::make_unique<BernoulliLoss>(config_.loss_p));
+      net_config, config_.loss_factory
+                      ? config_.loss_factory()
+                      : std::make_unique<BernoulliLoss>(config_.loss_p));
 }
 
 Scenario::~Scenario() = default;
@@ -78,6 +80,10 @@ SimTime Scenario::run_epochs(std::uint64_t count) {
 
 void Scenario::schedule_crash(NodeId id, SimTime when) {
   network_->schedule_crash(id, when);
+}
+
+void Scenario::schedule_recover(NodeId id, SimTime when) {
+  network_->schedule_recover(id, when);
 }
 
 std::vector<NodeId> Scenario::replenish(std::size_t count) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -28,6 +29,9 @@ struct ScenarioConfig {
   std::size_t node_count = 300;
   double range = 100.0;            ///< transmission range R
   double loss_p = 0.1;             ///< Bernoulli message-loss probability
+  /// When set, overrides loss_p with a custom loss model (e.g. the chaos
+  /// harness's SwitchableLoss, or a Gilbert-Elliott burst model).
+  std::function<std::unique_ptr<LossModel>()> loss_factory;
   SimTime t_hop = SimTime::millis(100);
   SimTime heartbeat_interval = SimTime::seconds(2);  ///< phi
   std::uint64_t seed = 1;
@@ -57,6 +61,14 @@ class Scenario {
 
   /// Schedules a fail-stop crash at an absolute simulated time.
   void schedule_crash(NodeId id, SimTime when);
+
+  /// Schedules a crash-recovery at an absolute simulated time (the node
+  /// restarts unaffiliated/unmarked and re-subscribes via F5).
+  void schedule_recover(NodeId id, SimTime when);
+
+  /// Start time of the next FDS execution to be scheduled. The fault
+  /// injector anchors its relative event times here.
+  [[nodiscard]] SimTime next_epoch_time() const { return next_epoch_time_; }
 
   /// Deploys `count` replenishment nodes at uniform positions (the paper's
   /// Section 2.1: resources are added when the population drops). The

@@ -1,0 +1,323 @@
+// Tests for the fault-injection engine: FaultPlan serialization, the
+// injector's crash/recover/freeze semantics, crash-recovery rejoin, DCH
+// takeover arbitration when the old CH comes back, and the chaos oracle.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/chaos.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "fault/oracle.h"
+#include "sim/scenario.h"
+
+namespace cfds::fault {
+namespace {
+
+ChaosProfile test_profile() {
+  ChaosProfile profile;
+  profile.node_count = 40;
+  profile.width = 400.0;
+  profile.height = 300.0;
+  profile.range = 100.0;
+  return profile;
+}
+
+/// Small fault-free deployment with crash-recovery semantics on. Loss is
+/// zero so every protocol step is deterministic and convergence is fast.
+ScenarioConfig small_config(std::uint64_t seed) {
+  ScenarioConfig config;
+  config.width = 400.0;
+  config.height = 300.0;
+  config.node_count = 40;
+  config.loss_p = 0.0;
+  config.seed = seed;
+  config.fds.recovery_enabled = true;
+  return config;
+}
+
+/// Any affiliated plain member (not CH, not deputy).
+NodeId find_plain_member(Scenario& scenario) {
+  for (MembershipView* view : scenario.views()) {
+    if (view->affiliated() && !view->is_clusterhead() && !view->is_deputy() &&
+        scenario.network().node(view->self()).alive()) {
+      return view->self();
+    }
+  }
+  ADD_FAILURE() << "no plain member found";
+  return NodeId::invalid();
+}
+
+/// A clusterhead that has at least one deputy.
+MembershipView* find_ch_with_deputy(Scenario& scenario) {
+  for (MembershipView* view : scenario.views()) {
+    if (view->is_clusterhead() && !view->cluster()->deputies.empty()) {
+      return view;
+    }
+  }
+  ADD_FAILURE() << "no clusterhead with a deputy found";
+  return nullptr;
+}
+
+/// Alive nodes currently acting as clusterhead of cluster `cid`.
+std::vector<NodeId> acting_chs(Scenario& scenario, std::uint32_t cid) {
+  std::vector<NodeId> heads;
+  for (MembershipView* view : scenario.views()) {
+    if (scenario.network().node(view->self()).alive() &&
+        view->is_clusterhead() && view->cluster()->id.value() == cid) {
+      heads.push_back(view->self());
+    }
+  }
+  return heads;
+}
+
+TEST(FaultPlanTest, RandomIsDeterministic) {
+  const ChaosProfile profile = test_profile();
+  const FaultPlan a = FaultPlan::random(42, profile);
+  const FaultPlan b = FaultPlan::random(42, profile);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.events.empty());
+  EXPECT_NE(a, FaultPlan::random(43, profile));
+}
+
+TEST(FaultPlanTest, JsonlRoundTrip) {
+  const FaultPlan plan = FaultPlan::random(7, test_profile());
+  std::string error;
+  const auto parsed = FaultPlan::parse_jsonl(plan.to_jsonl(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, plan);
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(FaultPlan::parse_jsonl("{\"fault\":\"warp_core\"}", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(FaultPlan::parse_jsonl("{\"fault\":\"crash\"}", &error));
+}
+
+TEST(FaultPlanTest, RandomRespectsMixAndHorizon) {
+  const ChaosProfile profile = test_profile();
+  const FaultPlan plan = FaultPlan::random(11, profile);
+  const std::int64_t horizon_us =
+      std::int64_t(profile.fault_epochs) *
+      profile.epoch_interval.as_micros();
+  int crashes = 0, freezes = 0, links = 0, jams = 0, drifts = 0;
+  for (const FaultEvent& e : plan.events) {
+    EXPECT_GE(e.at_us, 0);
+    EXPECT_LE(e.at_us + e.duration_us, horizon_us);
+    switch (e.kind) {
+      case FaultKind::kCrash: ++crashes; break;
+      case FaultKind::kRecover: break;
+      case FaultKind::kFreeze: ++freezes; break;
+      case FaultKind::kLinkDown: ++links; break;
+      case FaultKind::kJam: ++jams; break;
+      case FaultKind::kClockDrift:
+        ++drifts;
+        EXPECT_LE(e.end_epoch, profile.fault_epochs);
+        break;
+    }
+  }
+  EXPECT_EQ(crashes, profile.crashes);
+  EXPECT_EQ(freezes, profile.freezes);
+  EXPECT_EQ(links, profile.link_downs);
+  EXPECT_EQ(jams, profile.jams);
+  EXPECT_EQ(drifts, profile.clock_drifts);
+}
+
+TEST(SwitchableLossTest, TogglesBetweenInnerAndPerfect) {
+  SwitchableLoss loss(std::make_unique<BernoulliLoss>(1.0));
+  Rng rng(1);
+  EXPECT_TRUE(loss.lost(NodeId{0}, {}, NodeId{1}, {}, rng));
+  loss.set_perfect(true);
+  EXPECT_FALSE(loss.lost(NodeId{0}, {}, NodeId{1}, {}, rng));
+  loss.set_perfect(false);
+  EXPECT_TRUE(loss.lost(NodeId{0}, {}, NodeId{1}, {}, rng));
+}
+
+TEST(FaultInjectorTest, CrashedNodeRecoversAndRejoins) {
+  Scenario scenario(small_config(3));
+  scenario.setup();
+  scenario.run_epochs(2);
+  const NodeId victim = find_plain_member(scenario);
+  const SimTime phi = scenario.config().heartbeat_interval;
+
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrash;
+  crash.at_us = SimTime::millis(100).as_micros();
+  crash.node = victim.value();
+  FaultEvent recover;
+  recover.kind = FaultKind::kRecover;
+  recover.at_us = 2 * phi.as_micros() + SimTime::millis(500).as_micros();
+  recover.node = victim.value();
+  plan.events = {crash, recover};
+
+  FaultInjector injector(scenario);
+  injector.install(plan);
+
+  scenario.run_epochs(2);
+  EXPECT_FALSE(scenario.network().node(victim).alive());
+  EXPECT_TRUE(scenario.metrics().first_detection(victim).has_value());
+
+  scenario.run_epochs(1);
+  EXPECT_TRUE(scenario.network().node(victim).alive());
+  EXPECT_EQ(scenario.network().node(victim).incarnation(), 1u);
+
+  scenario.run_epochs(6);
+  const MembershipView& view = *scenario.views()[victim.value()];
+  EXPECT_TRUE(view.affiliated());
+  EXPECT_TRUE(scenario.network().node(victim).marked());
+  EXPECT_TRUE(ChaosOracle::check(scenario).empty());
+}
+
+TEST(FaultInjectorTest, FrozenNodeThawsWithStaleStateAndReconciles) {
+  Scenario scenario(small_config(5));
+  scenario.setup();
+  scenario.run_epochs(2);
+  const NodeId victim = find_plain_member(scenario);
+  const SimTime phi = scenario.config().heartbeat_interval;
+
+  FaultPlan plan;
+  FaultEvent freeze;
+  freeze.kind = FaultKind::kFreeze;
+  freeze.at_us = SimTime::millis(100).as_micros();
+  freeze.duration_us = 3 * phi.as_micros();
+  freeze.node = victim.value();
+  plan.events = {freeze};
+
+  FaultInjector injector(scenario);
+  injector.install(plan);
+
+  // During the omission window the cluster declares the silent node failed;
+  // the node itself never notices it was gone.
+  scenario.run_epochs(3);
+  EXPECT_TRUE(scenario.network().node(victim).alive());
+  EXPECT_TRUE(scenario.metrics().first_detection(victim).has_value());
+
+  // After the thaw it detects its own staleness and re-runs affiliation;
+  // the failure-log entries about it are reconciled away.
+  injector.clear_channel_faults();
+  scenario.run_epochs(8);
+  EXPECT_TRUE(scenario.views()[victim.value()]->affiliated());
+  EXPECT_TRUE(ChaosOracle::check(scenario).empty());
+}
+
+// Regression: a node crashing mid-round used to leave its deputy-check and
+// forward timers pending; they fired on the dead node and resurrected its
+// protocol activity. Timers are generation-guarded now.
+TEST(FaultInjectorTest, CrashMidRoundCancelsPendingTimers) {
+  Scenario scenario(small_config(9));
+  scenario.setup();
+  scenario.run_epochs(2);
+  MembershipView* ch_view = find_ch_with_deputy(scenario);
+  ASSERT_NE(ch_view, nullptr);
+  const NodeId deputy = ch_view->cluster()->deputies.front();
+
+  // Crash the primary deputy 1.5 rounds into the execution: its heartbeat is
+  // out, digests are in flight, and the T+3Thop deputy check is pending.
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrash;
+  crash.at_us = SimTime::millis(150).as_micros();
+  crash.node = deputy.value();
+  plan.events = {crash};
+
+  FaultInjector injector(scenario);
+  injector.install(plan);
+  scenario.run_epochs(1);
+  EXPECT_FALSE(scenario.network().node(deputy).alive());
+  const auto sent_at_death =
+      scenario.network().node(deputy).radio().counters().frames_sent;
+
+  scenario.run_epochs(4);
+  // A dead node's pending timers must not fire: not one more frame.
+  EXPECT_EQ(scenario.network().node(deputy).radio().counters().frames_sent,
+            sent_at_death);
+  EXPECT_TRUE(scenario.metrics().first_detection(deputy).has_value());
+  scenario.run_epochs(4);
+  EXPECT_TRUE(ChaosOracle::check(scenario).empty());
+}
+
+// Section 4.2 arbitration: the CH crashes, the highest-ranked deputy takes
+// over, then the old CH recovers. The old CH must come back as a plain
+// member; exactly one acting CH, stable for 10 further rounds.
+TEST(ChRecoveryTest, DeputyKeepsClusterWhenOldChRejoins) {
+  Scenario scenario(small_config(13));
+  scenario.setup();
+  scenario.run_epochs(2);
+  MembershipView* ch_view = find_ch_with_deputy(scenario);
+  ASSERT_NE(ch_view, nullptr);
+  const NodeId old_ch = ch_view->self();
+  const NodeId deputy = ch_view->cluster()->deputies.front();
+  const std::uint32_t cid = ch_view->cluster()->id.value();
+
+  scenario.network().crash(old_ch);
+  scenario.run_epochs(3);
+  ASSERT_EQ(acting_chs(scenario, cid), std::vector<NodeId>{deputy});
+
+  scenario.network().recover(old_ch);
+  scenario.run_epochs(5);
+  const MembershipView& rejoined = *scenario.views()[old_ch.value()];
+  EXPECT_TRUE(rejoined.affiliated());
+  EXPECT_FALSE(rejoined.is_clusterhead());
+  EXPECT_EQ(rejoined.cluster()->clusterhead, deputy);
+
+  // No oscillation: the arbitration outcome must hold round after round.
+  for (int round = 0; round < 10; ++round) {
+    scenario.run_epochs(1);
+    EXPECT_EQ(acting_chs(scenario, cid), std::vector<NodeId>{deputy})
+        << "round " << round;
+    EXPECT_FALSE(scenario.views()[old_ch.value()]->is_clusterhead())
+        << "round " << round;
+  }
+  EXPECT_TRUE(ChaosOracle::check(scenario).empty());
+}
+
+TEST(ChaosTrialTest, SameSeedIsByteIdentical) {
+  const ChaosConfig config;
+  const ChaosResult a = run_chaos_trial(config, 17);
+  const ChaosResult b = run_chaos_trial(config, 17);
+  EXPECT_EQ(a.summary_json(), b.summary_json());
+  EXPECT_EQ(a.plan, b.plan);
+}
+
+TEST(ChaosTrialTest, ReplayFromPlanMatchesGeneratedRun) {
+  const ChaosConfig config;
+  const ChaosResult direct = run_chaos_trial(config, 63);
+  std::string error;
+  const auto plan = FaultPlan::parse_jsonl(direct.plan.to_jsonl(), &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  const ChaosResult replayed = replay_chaos_trial(config, 63, *plan);
+  EXPECT_EQ(replayed.summary_json(), direct.summary_json());
+}
+
+TEST(ChaosCampaignTest, TwentySeedsPassTheOracle) {
+  const ChaosConfig config;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ChaosResult result = run_chaos_trial(config, seed);
+    EXPECT_TRUE(result.passed())
+        << "seed " << seed << ": " << result.violations.front();
+  }
+}
+
+TEST(ChaosOracleTest, FlagsDeadMemberThenClearsAfterConvergence) {
+  Scenario scenario(small_config(21));
+  scenario.setup();
+  scenario.run_epochs(2);
+  const NodeId victim = find_plain_member(scenario);
+  scenario.network().crash(victim);
+
+  // Immediately after the crash the views still carry the dead node (I5).
+  const auto before = ChaosOracle::check(scenario);
+  EXPECT_FALSE(before.empty());
+
+  // One detection cycle later the protocol has purged it everywhere.
+  scenario.run_epochs(4);
+  EXPECT_TRUE(ChaosOracle::check(scenario).empty());
+}
+
+}  // namespace
+}  // namespace cfds::fault

@@ -184,6 +184,57 @@ TEST(LossModels, BernoulliExtremes) {
   }
 }
 
+TEST(LossModels, GilbertElliottStationaryLossFormula) {
+  // stationary = f * p_bad + (1-f) * p_good with f = p_gb / (p_gb + p_bg).
+  GilbertElliottLoss::Params params;
+  params.p_good = 0.02;
+  params.p_bad = 0.7;
+  params.p_gb = 0.1;
+  params.p_bg = 0.4;
+  const double f = params.p_gb / (params.p_gb + params.p_bg);
+  EXPECT_NEAR(GilbertElliottLoss(params).stationary_loss(),
+              f * params.p_bad + (1.0 - f) * params.p_good, 1e-12);
+
+  // A chain that almost never enters Bad approaches Bernoulli(p_good).
+  params.p_gb = 1e-9;
+  EXPECT_NEAR(GilbertElliottLoss(params).stationary_loss(), params.p_good,
+              1e-6);
+}
+
+TEST(LossModels, GilbertElliottBurstLengthExceedsMatchedBernoulli) {
+  GilbertElliottLoss::Params params;
+  params.p_good = 0.01;
+  params.p_bad = 0.9;
+  params.p_gb = 0.05;
+  params.p_bg = 0.3;
+  GilbertElliottLoss loss(params);
+  Rng rng(13);
+
+  // One long seeded sample on a single link: empirical rate and the mean
+  // length of consecutive-loss runs.
+  const int trials = 400000;
+  int lost = 0, bursts = 0, run = 0;
+  double burst_total = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    if (loss.lost(NodeId{0}, {}, NodeId{1}, {}, rng)) {
+      ++lost;
+      ++run;
+    } else if (run > 0) {
+      ++bursts;
+      burst_total += run;
+      run = 0;
+    }
+  }
+  const double rate = double(lost) / trials;
+  EXPECT_NEAR(rate, loss.stationary_loss(), 0.01);
+
+  // An iid Bernoulli channel with the same rate has mean burst 1/(1-p);
+  // the whole point of Gilbert-Elliott is to be burstier than that.
+  const double mean_burst = burst_total / bursts;
+  const double bernoulli_burst = 1.0 / (1.0 - rate);
+  EXPECT_GT(mean_burst, 2.0 * bernoulli_burst);
+}
+
 TEST(LossModels, GilbertElliottMatchesStationaryRate) {
   GilbertElliottLoss::Params params;
   GilbertElliottLoss loss(params);

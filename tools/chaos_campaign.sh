@@ -1,0 +1,30 @@
+#!/bin/sh
+# Full-size chaos campaign (see docs/FAULTS.md).
+#
+# Runs bench_chaos for TRIALS seeded fault-injection trials and writes one
+# JSONL summary line per trial. Any invariant violation makes bench_chaos
+# exit nonzero after writing the offending plan to plan_<seed>.fail.jsonl
+# next to the output — replay it with
+#
+#   bench_chaos --fault-plan plan_<seed>.fail.jsonl --seed <seed>
+#
+# Usage: tools/chaos_campaign.sh [build-dir] [trials] [base-seed] [out.jsonl]
+#   defaults: build 500 1 chaos_campaign.jsonl
+
+set -eu
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+trials="${2:-500}"
+seed="${3:-1}"
+out="${4:-chaos_campaign.jsonl}"
+
+if [ ! -x "$build/bench/bench_chaos" ]; then
+  echo "building bench_chaos in $build"
+  cmake -B "$build" -S . >/dev/null
+  cmake --build "$build" -j "$(nproc)" --target bench_chaos >/dev/null
+fi
+
+"./$build/bench/bench_chaos" --trials "$trials" --seed "$seed" \
+    --out "$out" --benchmark_filter=SKIPALL
+echo "campaign summaries in $out"

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Chaos + determinism gate for the fault-injection engine (docs/FAULTS.md).
+#
+# Runs a campaign of seeded fault-injection trials — any invariant violation
+# fails — then checks the two reproducibility contracts:
+#
+#   1. the campaign JSONL is byte-identical across thread counts
+#   2. a trial replayed from its dumped FaultPlan file produces the same
+#      summary as the trial that generated the plan
+#
+# Usage: tools/check_chaos.sh [build-dir] [trials]
+#   defaults: build 100
+
+set -eu
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+trials="${2:-100}"
+
+if [ ! -x "$build/bench/bench_chaos" ]; then
+  echo "== configure + build $build"
+  cmake -B "$build" -S . >/dev/null
+  cmake --build "$build" -j "$(nproc)" --target bench_chaos >/dev/null
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== campaign: $trials trials, oracle must stay silent"
+"./$build/bench/bench_chaos" --trials "$trials" --seed 1 --threads 1 \
+    --out "$tmp/campaign.t1.jsonl" --benchmark_filter=SKIPALL >/dev/null
+
+echo "== determinism: campaign JSONL at --threads 1 vs --threads 8"
+"./$build/bench/bench_chaos" --trials "$trials" --seed 1 --threads 8 \
+    --out "$tmp/campaign.t8.jsonl" --benchmark_filter=SKIPALL >/dev/null
+if ! cmp -s "$tmp/campaign.t1.jsonl" "$tmp/campaign.t8.jsonl"; then
+  echo "FAIL: campaign JSONL differs between thread counts" >&2
+  diff "$tmp/campaign.t1.jsonl" "$tmp/campaign.t8.jsonl" >&2 || true
+  exit 1
+fi
+
+echo "== determinism: replay a dumped plan byte for byte"
+"./$build/bench/bench_chaos" --trials 1 --seed 63 --dump-plans "$tmp" \
+    --out "$tmp/direct.jsonl" --benchmark_filter=SKIPALL >/dev/null
+"./$build/bench/bench_chaos" --fault-plan "$tmp/plan_63.jsonl" --seed 63 \
+    > "$tmp/replayed.jsonl"
+if ! cmp -s "$tmp/direct.jsonl" "$tmp/replayed.jsonl"; then
+  echo "FAIL: replayed plan produced a different summary" >&2
+  diff "$tmp/direct.jsonl" "$tmp/replayed.jsonl" >&2 || true
+  exit 1
+fi
+
+echo "OK: $trials trials clean, JSONL thread-independent, replay identical"
