@@ -179,7 +179,7 @@ void print_comparison() {
     std::printf("%-8.2f %-10s %12.2f %10.3f %14.1f %10llu\n", p, "SWIM",
                 swim.detection_latency_s, swim.coverage,
                 swim.bytes_per_node_per_interval,
-                (unsigned long long)swim.false_declarations);
+                static_cast<unsigned long long>(swim.false_declarations));
   }
   std::printf(
       "\nReading: the cluster FDS detects in ~one heartbeat interval with"

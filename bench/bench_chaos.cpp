@@ -47,7 +47,7 @@ void write_plan_file(const std::string& dir, const fault::FaultPlan& plan,
                      std::uint64_t seed, bool failing) {
   char name[128];
   std::snprintf(name, sizeof name, "plan_%llu%s.jsonl",
-                (unsigned long long)seed, failing ? ".fail" : "");
+                static_cast<unsigned long long>(seed), failing ? ".fail" : "");
   const std::string path = (dir.empty() ? std::string(".") : dir) + "/" + name;
   FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
@@ -107,7 +107,7 @@ int run_campaign(long trials, std::uint64_t base_seed,
       ++failed;
       for (const std::string& v : result.violations) {
         std::fprintf(stderr, "seed %llu VIOLATION %s\n",
-                     (unsigned long long)result.seed, v.c_str());
+                     static_cast<unsigned long long>(result.seed), v.c_str());
       }
     }
     if (dump_all || !result.passed()) {
@@ -117,7 +117,7 @@ int run_campaign(long trials, std::uint64_t base_seed,
   if (out != stdout) std::fclose(out);
 
   std::printf("\n%ld trials from seed %llu: %ld passed, %ld violated\n",
-              trials, (unsigned long long)base_seed, trials - failed, failed);
+              trials, static_cast<unsigned long long>(base_seed), trials - failed, failed);
   return failed == 0 ? 0 : 1;
 }
 

@@ -143,7 +143,7 @@ void print_skew_study() {
     }
     scenario.network().crash(victim);
     scenario.run_epochs(3);
-    std::printf("%-14lld %16zu %14s\n", (long long)skew_ms,
+    std::printf("%-14lld %16zu %14s\n", static_cast<long long>(skew_ms),
                 scenario.metrics().false_detections(),
                 scenario.metrics().first_detection(victim) ? "yes" : "NO");
   }

@@ -110,8 +110,8 @@ void print_study(runner::JsonlResultSink* sink) {
     std::printf("%-8zu %10zu %12.0f %16.1f %14llu %16llu %14.0f\n",
                 sizes[index], row.clusters, row.fds_frames,
                 row.fds_frames / double(sizes[index]),
-                (unsigned long long)row.flood_frames,
-                (unsigned long long)row.backbone_forwards,
+                static_cast<unsigned long long>(row.flood_frames),
+                static_cast<unsigned long long>(row.backbone_forwards),
                 row.events_per_sec);
     if (sink != nullptr) {
       runner::BenchRecord record;

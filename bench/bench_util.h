@@ -28,7 +28,7 @@
 namespace cfds::bench {
 
 /// Options parsed from the uniform flags (zero/empty = bench defaults).
-inline runner::RunnerOptions& options() {
+[[nodiscard]] inline runner::RunnerOptions& options() {
   static runner::RunnerOptions instance;
   return instance;
 }
@@ -43,13 +43,13 @@ inline void parse_common_args(int& argc, char** argv) {
 
 /// The bench's shared thread pool, sized by --threads (0 = hardware).
 /// Constructed on first use so parse_common_args has already run.
-inline runner::ThreadPool& pool() {
+[[nodiscard]] inline runner::ThreadPool& pool() {
   static runner::ThreadPool instance(unsigned(options().threads));
   return instance;
 }
 
 /// JSONL sink for --out, or null when no --out was given.
-inline std::unique_ptr<runner::JsonlResultSink> make_sink() {
+[[nodiscard]] inline std::unique_ptr<runner::JsonlResultSink> make_sink() {
   if (options().out.empty()) return nullptr;
   auto sink = std::make_unique<runner::JsonlResultSink>(
       options().out, !options().no_wall_time);
@@ -89,20 +89,20 @@ inline void table_row(double p, const std::vector<std::string>& cells) {
 }
 
 /// Formats a Monte-Carlo estimate with its 99% half-width.
-inline std::string mc_cell(double estimate, double ci) {
+[[nodiscard]] inline std::string mc_cell(double estimate, double ci) {
   char buffer[64];
   std::snprintf(buffer, sizeof buffer, "%.2e±%.0e", estimate, ci);
   return buffer;
 }
 
 /// Formats a plain value in scientific notation.
-inline std::string sci_cell(double value) {
+[[nodiscard]] inline std::string sci_cell(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof buffer, "%.4e", value);
   return buffer;
 }
 
-inline std::string fixed_cell(double value, int precision = 4) {
+[[nodiscard]] inline std::string fixed_cell(double value, int precision = 4) {
   char buffer[64];
   std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
   return buffer;

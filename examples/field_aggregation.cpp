@@ -97,7 +97,7 @@ int main() {
     }
     const bool alarm = best.max > 30.0;
     std::printf("%-6llu %8llu %8.2f %8.2f %8s %8zu\n",
-                (unsigned long long)epoch, (unsigned long long)best.count,
+                static_cast<unsigned long long>(epoch), static_cast<unsigned long long>(best.count),
                 best.average(), best.max, alarm ? "HEAT" : "-",
                 metrics.false_detections());
   }
@@ -109,7 +109,7 @@ int main() {
               detection ? "was detected by the shared frames" : "NOT detected");
   const auto totals = traffic_totals(network);
   std::printf("total traffic: %llu frames, %llu bytes over 10 epochs\n",
-              (unsigned long long)totals.frames,
-              (unsigned long long)totals.bytes);
+              static_cast<unsigned long long>(totals.frames),
+              static_cast<unsigned long long>(totals.bytes));
   return 0;
 }

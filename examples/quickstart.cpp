@@ -58,7 +58,7 @@ int main() {
   if (detection) {
     std::printf("detected by node %u in epoch %llu, %.1fs after the crash\n",
                 detection->decider.value(),
-                (unsigned long long)detection->epoch,
+                static_cast<unsigned long long>(detection->epoch),
                 (detection->when - crash_time).as_seconds());
   } else {
     std::printf("NOT detected (unexpected)\n");
@@ -71,8 +71,8 @@ int main() {
 
   const auto traffic = traffic_totals(scenario.network());
   std::printf("\ntotal radio traffic: %llu frames, %llu bytes (%.1f B/node/epoch)\n",
-              (unsigned long long)traffic.frames,
-              (unsigned long long)traffic.bytes,
+              static_cast<unsigned long long>(traffic.frames),
+              static_cast<unsigned long long>(traffic.bytes),
               double(traffic.bytes) / double(config.node_count) / 4.0);
   return 0;
 }

@@ -55,7 +55,7 @@ int main() {
                                std::uint64_t epoch) {
     std::printf("  [epoch %llu] UAV-%u: leader UAV-%u silent on all three"
                 " evidence channels -> assuming command\n",
-                (unsigned long long)epoch, who.value(), old_ch.value());
+                static_cast<unsigned long long>(epoch), who.value(), old_ch.value());
   }));
   chain_hook(scenario.fds().hooks().on_detection,
              std::function([&](NodeId decider, std::uint64_t epoch,
@@ -63,7 +63,7 @@ int main() {
                                bool by_deputy) {
         for (NodeId f : failed) {
           std::printf("  [epoch %llu] %s UAV-%u reports UAV-%u down\n",
-                      (unsigned long long)epoch,
+                      static_cast<unsigned long long>(epoch),
                       by_deputy ? "deputy" : "leader", decider.value(),
                       f.value());
         }

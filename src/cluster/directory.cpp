@@ -1,6 +1,7 @@
 #include "cluster/directory.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <map>
 
 #include "common/expect.h"
@@ -45,7 +46,8 @@ ClusterDirectory ClusterDirectory::build(const std::vector<Vec2>& positions,
     });
     cluster.deputies.assign(
         ranked.begin(),
-        ranked.begin() + std::min(config.num_deputies, ranked.size()));
+        ranked.begin() + static_cast<std::ptrdiff_t>(std::min(
+                             config.num_deputies, ranked.size())));
   }
 
   // Gateways: for each ordered cluster pair, candidates are the nodes within

@@ -1,6 +1,7 @@
 #include "cluster/formation.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <utility>
 
 #include "common/expect.h"
@@ -106,8 +107,8 @@ void FormationAgent::send_announcement_if_clusterhead() {
   });
   updated.deputies.assign(
       ranked.begin(),
-      ranked.begin() +
-          std::min<std::size_t>(config_.num_deputies, ranked.size()));
+      ranked.begin() + static_cast<std::ptrdiff_t>(std::min<std::size_t>(
+                           config_.num_deputies, ranked.size())));
   view_.set_cluster(updated);
 
   auto announce = std::make_shared<AnnouncePayload>();

@@ -186,7 +186,10 @@ class Simulator {
   void run_to_completion(std::uint64_t max_events = 500'000'000);
 
   /// Executes at most one event; returns false if the queue was empty.
-  bool step();
+  /// Discarding the result can hide a scheduling bug (a loop that believes
+  /// it is draining events while the queue is already dry) — callers that
+  /// genuinely don't care must say so with (void).
+  [[nodiscard]] bool step();
 
   /// Number of events executed so far (diagnostics).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }

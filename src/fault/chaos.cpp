@@ -13,7 +13,7 @@ std::string ChaosResult::summary_json() const {
   std::snprintf(buffer, sizeof buffer,
                 "{\"seed\":%llu,\"events\":%zu,\"violations\":%zu,"
                 "\"alive\":%zu,\"clusters\":%zu,\"affiliation\":%.6f}",
-                (unsigned long long)seed, plan.events.size(),
+                static_cast<unsigned long long>(seed), plan.events.size(),
                 violations.size(), alive, clusters, affiliation);
   return buffer;
 }

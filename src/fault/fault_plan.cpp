@@ -34,11 +34,16 @@ namespace {
   return std::nullopt;
 }
 
+// fmt is always a literal at the call sites in this file; the variadic
+// template hides that from -Wformat-nonliteral.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-nonliteral"
 void append(std::string& out, const char* fmt, auto... args) {
   char buffer[256];
   std::snprintf(buffer, sizeof buffer, fmt, args...);
   out += buffer;
 }
+#pragma GCC diagnostic pop
 
 /// Finds `"key":` in `line` and parses the number that follows. Returns
 /// false if the key is absent or the value is not a number.
@@ -92,37 +97,37 @@ bool find_string(const std::string& line, const char* key, std::string* out) {
 std::string FaultPlan::to_jsonl() const {
   std::string out;
   append(out, "{\"fault_plan\":1,\"seed\":%llu,\"events\":%zu}\n",
-         (unsigned long long)seed, events.size());
+         static_cast<unsigned long long>(seed), events.size());
   for (const FaultEvent& e : events) {
     append(out, "{\"fault\":\"%s\"", to_string(e.kind));
     switch (e.kind) {
       case FaultKind::kCrash:
       case FaultKind::kRecover:
         append(out, ",\"node\":%u,\"at_us\":%lld", e.node,
-               (long long)e.at_us);
+               static_cast<long long>(e.at_us));
         break;
       case FaultKind::kFreeze:
         append(out, ",\"node\":%u,\"at_us\":%lld,\"duration_us\":%lld",
-               e.node, (long long)e.at_us, (long long)e.duration_us);
+               e.node, static_cast<long long>(e.at_us), static_cast<long long>(e.duration_us));
         break;
       case FaultKind::kLinkDown:
         append(out,
                ",\"node\":%u,\"peer\":%u,\"at_us\":%lld,\"duration_us\":%lld",
-               e.node, e.peer, (long long)e.at_us, (long long)e.duration_us);
+               e.node, e.peer, static_cast<long long>(e.at_us), static_cast<long long>(e.duration_us));
         break;
       case FaultKind::kJam:
         append(out,
                ",\"x\":%.17g,\"y\":%.17g,\"radius\":%.17g,\"at_us\":%lld,"
                "\"duration_us\":%lld",
-               e.x, e.y, e.radius, (long long)e.at_us,
-               (long long)e.duration_us);
+               e.x, e.y, e.radius, static_cast<long long>(e.at_us),
+               static_cast<long long>(e.duration_us));
         break;
       case FaultKind::kClockDrift:
         append(out,
                ",\"node\":%u,\"start_epoch\":%llu,\"end_epoch\":%llu,"
                "\"per_epoch_us\":%lld",
-               e.node, (unsigned long long)e.start_epoch,
-               (unsigned long long)e.end_epoch, (long long)e.per_epoch_us);
+               e.node, static_cast<unsigned long long>(e.start_epoch),
+               static_cast<unsigned long long>(e.end_epoch), static_cast<long long>(e.per_epoch_us));
         break;
     }
     out += "}\n";

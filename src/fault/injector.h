@@ -13,7 +13,7 @@
 
 #pragma once
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "fault/fault_plan.h"
@@ -52,9 +52,11 @@ class FaultInjector {
   bool installed_ = false;
 
   // Overlap-safe bookkeeping: a node stays muted (a link stays blocked)
-  // until every window covering it has closed.
-  std::unordered_map<std::uint32_t, int> freeze_depth_;
-  std::unordered_map<std::uint64_t, int> link_depth_;
+  // until every window covering it has closed. Ordered maps:
+  // clear_channel_faults() walks them, and the unmute/unblock call order
+  // must be replay-stable.
+  std::map<std::uint32_t, int> freeze_depth_;
+  std::map<std::uint64_t, int> link_depth_;
   std::vector<int> active_jams_;
   std::vector<FaultEvent> drifts_;
 };

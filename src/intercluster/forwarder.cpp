@@ -51,6 +51,11 @@ void ForwarderAgent::arm_ch_watch(
       2 * service_.t_hop(),
       [this, update, dest_cluster, attempts_left] {
         if (!node_.alive()) return;
+        // A recovery election may have cleared the view (or handed the
+        // cluster to a rival head) while this watch was pending; a node
+        // that is no longer the CH must not retransmit on its behalf —
+        // and its former view's links no longer exist to consult.
+        if (!view_.is_clusterhead()) return;
         if (forwards_seen_.contains({update->report, dest_cluster})) return;
         if (attempts_left <= 0) return;
         // Figure 3: no forwarding overheard — assume the first transmission

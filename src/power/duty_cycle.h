@@ -45,7 +45,8 @@ class DutyCycleScheduler {
   /// (if configured) and power down, with wake-ups scheduled after
   /// sleep_epochs further executions of length `interval`. Returns the
   /// sleepers.
-  std::vector<NodeId> begin_window(SimTime now, SimTime interval);
+  [[nodiscard]] std::vector<NodeId> begin_window(SimTime now,
+                                                 SimTime interval);
 
   /// Nodes currently inside a sleep window.
   [[nodiscard]] std::size_t asleep_now() const { return asleep_; }

@@ -73,6 +73,9 @@ std::vector<PointResult> run_experiment(const ExperimentSpec& spec,
       spec.shard_trials > 0 ? spec.shard_trials : default_shard_trials(spec.kind);
   const long shards_per_point = (spec.trials + shard_size - 1) / shard_size;
 
+  // Measures reporting-only wall time, emitted per point and stripped from
+  // the JSONL under --no-wall-time; no simulated behaviour depends on it.
+  // LINT-ALLOW(wall-clock): reporting-only timing
   const auto start = std::chrono::steady_clock::now();
 
   struct PointShards {
@@ -109,9 +112,11 @@ std::vector<PointResult> run_experiment(const ExperimentSpec& spec,
       pending[i].done[s].get();
       result.estimator.merge(pending[i].parts[s]);
     }
-    result.wall_ms = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
+    result.wall_ms =
+        std::chrono::duration<double, std::milli>(
+            // LINT-ALLOW(wall-clock): reporting-only, see above
+            std::chrono::steady_clock::now() - start)
+            .count();
     if (sink != nullptr) {
       PointRecord record;
       record.experiment = spec.name;

@@ -12,9 +12,9 @@ std::string to_jsonl(const PointRecord& record, bool include_wall_time) {
       "\"seed\":%llu,\"shards\":%ld",
       record.experiment.c_str(), estimator_kind_name(record.kind),
       record.point.n, record.point.p, record.point.range,
-      (long long)record.trials, (long long)record.successes, record.mean,
+      static_cast<long long>(record.trials), static_cast<long long>(record.successes), record.mean,
       record.ci99, record.wilson.lo, record.wilson.hi,
-      (unsigned long long)record.seed, record.shards);
+      static_cast<unsigned long long>(record.seed), record.shards);
   std::string line(buffer, written > 0 ? std::size_t(written) : 0);
   if (include_wall_time) {
     std::snprintf(buffer, sizeof buffer, ",\"wall_ms\":%.3f", record.wall_ms);

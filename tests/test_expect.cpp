@@ -34,7 +34,7 @@ TEST(ExpectDeath, UnknownNodeLookupAborts) {
   NetworkConfig config;
   Network network(config, std::make_unique<PerfectLinks>());
   network.add_node({0, 0});
-  EXPECT_DEATH(network.node(NodeId{42}), "unknown node id");
+  EXPECT_DEATH((void)network.node(NodeId{42}), "unknown node id");
 }
 
 TEST(ExpectDeath, TooShortHeartbeatIntervalAborts) {

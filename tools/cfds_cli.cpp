@@ -229,18 +229,18 @@ int main(int argc, char** argv) {
 
     if (!options.csv) {
       std::printf("%-7llu %7zu %8llu %8zu %8zu %10.3f %10llu\n",
-                  (unsigned long long)epoch, scenario.network().alive_count(),
-                  (unsigned long long)crashes,
+                  static_cast<unsigned long long>(epoch), scenario.network().alive_count(),
+                  static_cast<unsigned long long>(crashes),
                   scenario.metrics().true_detections(),
                   scenario.metrics().false_detections(), coverage,
-                  (unsigned long long)epoch_frames);
+                  static_cast<unsigned long long>(epoch_frames));
     } else {
       std::printf("%llu,%zu,%llu,%zu,%zu,%.4f,%llu\n",
-                  (unsigned long long)epoch, scenario.network().alive_count(),
-                  (unsigned long long)crashes,
+                  static_cast<unsigned long long>(epoch), scenario.network().alive_count(),
+                  static_cast<unsigned long long>(crashes),
                   scenario.metrics().true_detections(),
                   scenario.metrics().false_detections(), coverage,
-                  (unsigned long long)epoch_frames);
+                  static_cast<unsigned long long>(epoch_frames));
     }
   }
 
@@ -262,8 +262,8 @@ int main(int argc, char** argv) {
     std::printf("\nframe mix:\n");
     for (const auto& [kind, stats] : tracer.by_kind()) {
       std::printf("  %-12s %10llu frames %12llu bytes\n", kind.c_str(),
-                  (unsigned long long)stats.frames,
-                  (unsigned long long)stats.bytes);
+                  static_cast<unsigned long long>(stats.frames),
+                  static_cast<unsigned long long>(stats.bytes));
     }
   }
   return 0;

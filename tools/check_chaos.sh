@@ -27,11 +27,11 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 echo "== campaign: $trials trials, oracle must stay silent"
-"./$build/bench/bench_chaos" --trials "$trials" --seed 1 --threads 1 \
+"$build/bench/bench_chaos" --trials "$trials" --seed 1 --threads 1 \
     --out "$tmp/campaign.t1.jsonl" --benchmark_filter=SKIPALL >/dev/null
 
 echo "== determinism: campaign JSONL at --threads 1 vs --threads 8"
-"./$build/bench/bench_chaos" --trials "$trials" --seed 1 --threads 8 \
+"$build/bench/bench_chaos" --trials "$trials" --seed 1 --threads 8 \
     --out "$tmp/campaign.t8.jsonl" --benchmark_filter=SKIPALL >/dev/null
 if ! cmp -s "$tmp/campaign.t1.jsonl" "$tmp/campaign.t8.jsonl"; then
   echo "FAIL: campaign JSONL differs between thread counts" >&2
@@ -40,9 +40,9 @@ if ! cmp -s "$tmp/campaign.t1.jsonl" "$tmp/campaign.t8.jsonl"; then
 fi
 
 echo "== determinism: replay a dumped plan byte for byte"
-"./$build/bench/bench_chaos" --trials 1 --seed 63 --dump-plans "$tmp" \
+"$build/bench/bench_chaos" --trials 1 --seed 63 --dump-plans "$tmp" \
     --out "$tmp/direct.jsonl" --benchmark_filter=SKIPALL >/dev/null
-"./$build/bench/bench_chaos" --fault-plan "$tmp/plan_63.jsonl" --seed 63 \
+"$build/bench/bench_chaos" --fault-plan "$tmp/plan_63.jsonl" --seed 63 \
     > "$tmp/replayed.jsonl"
 if ! cmp -s "$tmp/direct.jsonl" "$tmp/replayed.jsonl"; then
   echo "FAIL: replayed plan produced a different summary" >&2

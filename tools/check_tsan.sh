@@ -1,0 +1,53 @@
+#!/bin/sh
+# ThreadSanitizer race gate (see docs/STATIC_ANALYSIS.md).
+#
+# Builds a -DCFDS_SANITIZE=thread tree and runs the code that actually
+# crosses threads — the runner/executor/thread-pool tests, the event-kernel
+# and fault/chaos suites they drive, and a multi-threaded bench_fig5 smoke —
+# then checks that the fig5 JSONL stays byte-identical across thread counts.
+# Any reported race fails the script (halt_on_error).
+#
+# Usage: tools/check_tsan.sh [build-dir] [trials]
+#   (defaults: build-tsan, 4000)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+dir="${1:-build-tsan}"
+trials="${2:-4000}"
+
+echo "== configure + build $dir (ThreadSanitizer)"
+cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCFDS_SANITIZE=thread >/dev/null
+cmake --build "$dir" -j "$(nproc)" \
+    --target test_runner test_simulator test_fault cfds_cli \
+             bench_fig5_false_detection >/dev/null
+
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+
+echo "== runner / executor / thread-pool tests"
+"$dir/tests/test_runner"
+echo "== event-kernel tests"
+"$dir/tests/test_simulator"
+echo "== fault / chaos tests"
+"$dir/tests/test_fault"
+
+echo "== multi-threaded bench_fig5 smoke (--threads 8)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+"$dir/bench/bench_fig5_false_detection" --trials "$trials" --threads 8 \
+    --seed 7 --no-wall-time --out "$tmp/fig5.bench.jsonl" >/dev/null
+
+echo "== determinism under TSan: fig5 JSONL at --threads 1 vs 8"
+for threads in 1 8; do
+  "$dir/tools/cfds_cli" --mc fig5 --cluster-n 20,30 \
+      --trials "$trials" --threads "$threads" --seed 7 --no-wall-time \
+      --out "$tmp/fig5.t$threads.jsonl" >/dev/null
+done
+if ! cmp -s "$tmp/fig5.t1.jsonl" "$tmp/fig5.t8.jsonl"; then
+  echo "FAIL: fig5 JSONL differs between thread counts" >&2
+  diff "$tmp/fig5.t1.jsonl" "$tmp/fig5.t8.jsonl" >&2 || true
+  exit 1
+fi
+
+echo "OK: no races reported, fig5 JSONL byte-identical across threads"

@@ -1,0 +1,108 @@
+// cfds-lint CLI. See lint.h for the rule set and docs/STATIC_ANALYSIS.md
+// for the workflow.
+//
+// Usage:
+//   cfds-lint --root DIR [--root DIR ...]            list violations; exit 1
+//                                                    if any are found
+//   cfds-lint --root DIR --baseline FILE             diff against a baseline;
+//                                                    exit 1 when violations
+//                                                    were added OR fixed
+//                                                    without updating it
+//   cfds-lint --root DIR --baseline FILE --update-baseline
+//                                                    rewrite the baseline to
+//                                                    match the current tree
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --root DIR [--root DIR ...] [--baseline FILE] "
+               "[--update-baseline]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string baseline_path;
+  bool update_baseline = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      roots.emplace_back(argv[++i]);
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (roots.empty()) return usage(argv[0]);
+
+  const std::vector<cfds::lint::Violation> violations =
+      cfds::lint::scan_tree(roots);
+  const cfds::lint::Baseline current = cfds::lint::to_baseline(violations);
+
+  if (baseline_path.empty()) {
+    for (const auto& v : violations) {
+      std::fprintf(stderr, "%s:%d: [%s] %s\n", v.file.c_str(), v.line,
+                   v.rule.c_str(), v.text.c_str());
+    }
+    std::fprintf(stderr, "cfds-lint: %zu violation(s)\n", violations.size());
+    return violations.empty() ? 0 : 1;
+  }
+
+  if (update_baseline) {
+    std::ofstream out(baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "cfds-lint: cannot write %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    out << cfds::lint::serialize_baseline(current);
+    std::fprintf(stderr, "cfds-lint: baseline updated (%zu entries)\n",
+                 violations.size());
+    return 0;
+  }
+
+  bool loaded = false;
+  const cfds::lint::Baseline committed =
+      cfds::lint::load_baseline(baseline_path, &loaded);
+  if (!loaded) {
+    std::fprintf(stderr, "cfds-lint: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+
+  const cfds::lint::BaselineDiff diff =
+      cfds::lint::diff_baseline(current, committed);
+  for (const std::string& key : diff.added) {
+    std::fprintf(stderr, "NEW VIOLATION      %s\n", key.c_str());
+  }
+  for (const std::string& key : diff.fixed) {
+    std::fprintf(stderr, "STALE BASELINE     %s\n", key.c_str());
+  }
+  if (!diff.clean()) {
+    std::fprintf(stderr,
+                 "cfds-lint: %zu new violation(s), %zu stale baseline "
+                 "entr(y/ies).\nFix the new violations (or LINT-ALLOW with a "
+                 "reason), and run with --update-baseline after burning down "
+                 "baseline debt. See docs/STATIC_ANALYSIS.md.\n",
+                 diff.added.size(), diff.fixed.size());
+    return 1;
+  }
+  std::fprintf(stderr, "cfds-lint: clean (%zu baselined violation(s))\n",
+               violations.size());
+  return 0;
+}

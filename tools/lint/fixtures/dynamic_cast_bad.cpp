@@ -1,0 +1,21 @@
+// Fixture: RTTI dispatch on payloads — payload_cast (tag compare +
+// static_cast) is the project idiom; dynamic_cast reintroduces the per-frame
+// RTTI cost the PR 2 hot-path work removed.
+namespace fixture {
+
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+struct Heartbeat : Payload {
+  int nid = 0;
+};
+
+int dispatch(const Payload* p) {
+  if (const auto* hb = dynamic_cast<const Heartbeat*>(p)) {  // BAD: RTTI
+    return hb->nid;
+  }
+  return -1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: tag-dispatched payload downcasts, mirroring src/radio/payload.h.
+#include <cstdint>
+
+namespace fixture {
+
+enum class PayloadKind : std::uint8_t { kHeartbeat, kDigest };
+
+struct Payload {
+  explicit Payload(PayloadKind tag) : tag_(tag) {}
+  PayloadKind tag() const { return tag_; }
+
+ private:
+  PayloadKind tag_;
+};
+
+struct Heartbeat : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kHeartbeat;
+  static bool matches(PayloadKind k) { return k == kTag; }
+  Heartbeat() : Payload(kTag) {}
+  int nid = 0;
+};
+
+template <typename T>
+const T* payload_cast(const Payload* p) {
+  if (p != nullptr && T::matches(p->tag())) return static_cast<const T*>(p);
+  return nullptr;
+}
+
+int dispatch(const Payload* p) {
+  if (const auto* hb = payload_cast<Heartbeat>(p)) return hb->nid;
+  return -1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: naked allocation in a hot-path directory — the event kernel's
+// schedule→fire path is allocation-free by contract (docs/PERF.md).
+#include <cstdlib>
+
+namespace fixture {
+
+struct Event {
+  int id;
+};
+
+Event* schedule(int id) {
+  Event* e = new Event{id};  // BAD: naked new on a hot path
+  return e;
+}
+
+void* scratch(std::size_t n) {
+  void* p = malloc(n);  // BAD: malloc on a hot path
+  free(p);              // BAD: paired with the malloc above
+  return nullptr;
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: hot-path allocation done right — placement new into preallocated
+// storage, smart-pointer factories at setup time.
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace fixture {
+
+struct Event {
+  int id;
+};
+
+struct Slab {
+  alignas(Event) unsigned char storage[64][sizeof(Event)];
+  int used = 0;
+
+  Event* emplace(int id) {
+    return ::new (static_cast<void*>(storage[used++])) Event{id};
+  }
+};
+
+std::unique_ptr<Slab> make_slab() { return std::make_unique<Slab>(); }
+std::shared_ptr<Event> make_event(int id) {
+  return std::make_shared<Event>(Event{id});
+}
+
+}  // namespace fixture

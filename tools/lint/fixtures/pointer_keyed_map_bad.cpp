@@ -1,0 +1,17 @@
+// Fixture: ordered containers keyed on raw pointers — comparison order is
+// allocation order, which differs run to run.
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Node {
+  int id;
+};
+
+struct Registry {
+  std::map<Node*, int> weights;      // BAD: pointer-keyed map
+  std::set<const Node*> quarantine;  // BAD: pointer-keyed set
+};
+
+}  // namespace fixture

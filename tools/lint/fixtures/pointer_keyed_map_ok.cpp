@@ -1,0 +1,21 @@
+// Fixture: ordered containers keyed on stable value identities.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Node {
+  std::uint32_t id;
+};
+
+struct Registry {
+  std::map<std::uint32_t, int> weights;          // value-keyed: replayable
+  std::set<std::uint32_t> quarantine;            // value-keyed: replayable
+  std::map<std::uint32_t, Node*> by_id;          // pointer *values* are fine
+  std::vector<std::unique_ptr<Node>> ownership;  // pointers not used as keys
+};
+
+}  // namespace fixture

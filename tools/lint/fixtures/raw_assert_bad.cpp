@@ -1,0 +1,13 @@
+// Fixture: <cassert> contracts — compiled out under NDEBUG, so Release
+// builds (the benchmarked configuration) silently skip the check.
+#include <cassert>
+
+namespace fixture {
+
+int clamp_epoch(int epoch, int horizon) {
+  assert(epoch >= 0);        // BAD: vanishes under NDEBUG
+  assert(horizon > epoch);   // BAD: vanishes under NDEBUG
+  return epoch % horizon;
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: CFDS_EXPECT contracts fire in every build type; static_assert is
+// compile-time and always welcome.
+#include <cstdio>
+#include <cstdlib>
+
+#define CFDS_EXPECT(expr, msg)                                   \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      std::fprintf(stderr, "CFDS_EXPECT failed: %s\n", msg);     \
+      std::abort();                                              \
+    }                                                            \
+  } while (false)
+
+namespace fixture {
+
+static_assert(sizeof(int) >= 4, "ILP32 or wider assumed");
+
+int clamp_epoch(int epoch, int horizon) {
+  CFDS_EXPECT(epoch >= 0, "epochs count from zero");
+  CFDS_EXPECT(horizon > epoch, "horizon must bound the epoch");
+  return epoch % horizon;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: unseeded / global entropy sources — not replayable, not
+// shardable across runner threads.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int roll() {
+  return std::rand() % 6;  // BAD: global generator
+}
+
+unsigned reseed() {
+  std::random_device rd;  // BAD: nondeterministic entropy
+  srand(rd());            // BAD: global generator seeding
+  return rd();
+}
+
+}  // namespace fixture

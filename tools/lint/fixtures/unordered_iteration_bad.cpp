@@ -1,0 +1,26 @@
+// Fixture: iterating an unordered container — order is
+// implementation-defined, so any output derived from it is unreplayable.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Tracker {
+  std::unordered_map<std::uint32_t, int> depth_;
+  std::unordered_set<std::uint32_t> seen_;
+
+  int total() const {
+    int sum = 0;
+    for (const auto& [node, depth] : depth_) {  // BAD: unordered range-for
+      sum += depth;
+    }
+    return sum;
+  }
+
+  std::uint32_t first() const {
+    return *seen_.begin();  // BAD: unordered .begin()
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: unordered containers used for lookup only, iteration done over
+// an ordered mirror — replay-safe.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Tracker {
+  std::unordered_map<std::uint32_t, int> depth_;
+  std::map<std::uint32_t, int> ordered_;
+  std::vector<std::uint32_t> keys_;
+
+  bool has(std::uint32_t node) const {
+    return depth_.find(node) != depth_.end();  // lookup is fine
+  }
+
+  int total() const {
+    int sum = 0;
+    for (std::uint32_t node : keys_) {  // ordered companion vector
+      sum += depth_.at(node);
+    }
+    for (const auto& [node, depth] : ordered_) {  // std::map is ordered
+      sum += depth;
+    }
+    return sum;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: wall-clock reads inside simulation code — real time leaks into
+// simulated behaviour and replays diverge.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long stamp_epoch() {
+  return static_cast<long>(time(nullptr));  // BAD: wall clock
+}
+
+double elapsed_ms() {
+  const auto t0 = std::chrono::steady_clock::now();  // BAD: wall clock
+  const auto t1 = std::chrono::system_clock::now();  // BAD: wall clock
+  (void)t1;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: simulated time only — SimTime flows from the event kernel, and
+// identifiers like wall_time_budget don't trip the word-boundary matcher.
+#include <cstdint>
+
+namespace fixture {
+
+struct SimTime {
+  std::int64_t us = 0;
+};
+
+struct Epoch {
+  SimTime start;
+  SimTime wall_time_budget;  // "time" inside an identifier is fine
+
+  SimTime deadline(std::int64_t heartbeat_us) const {
+    return SimTime{start.us + heartbeat_us};
+  }
+};
+
+}  // namespace fixture

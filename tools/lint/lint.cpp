@@ -1,0 +1,346 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace cfds::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preparation
+
+/// Replaces comments, string literals, and char literals with spaces while
+/// preserving newlines, so pattern matching never fires inside prose or
+/// payload text. Raw string literals are handled for the common R"( ... )"
+/// and R"delim( ... )delim" forms.
+std::string sanitize(const std::string& src) {
+  std::string out = src;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto blank = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to && k < n; ++k) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = n;
+      blank(i, end);
+      i = end;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      end = (end == std::string::npos) ? n : end + 2;
+      blank(i, end);
+      i = end;
+    } else if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      // Raw string literal: R"delim( ... )delim"
+      std::size_t open = src.find('(', i + 2);
+      if (open == std::string::npos) {
+        ++i;
+        continue;
+      }
+      const std::string delim = src.substr(i + 2, open - (i + 2));
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = src.find(closer, open + 1);
+      end = (end == std::string::npos) ? n : end + closer.size();
+      blank(i, end);
+      i = end;
+    } else if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '"' && src[j] != '\n') {
+        if (src[j] == '\\') ++j;
+        ++j;
+      }
+      blank(i, j + 1);
+      i = (j < n) ? j + 1 : n;
+    } else if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '\'' && src[j] != '\n') {
+        if (src[j] == '\\') ++j;
+        ++j;
+      }
+      // Digit separators (1'000'000) parse as empty/odd char literals; the
+      // blanked span is still literal text, so nothing of interest is lost.
+      blank(i, j + 1);
+      i = (j < n) ? j + 1 : n;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0;
+  std::size_t b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression
+
+/// True when `LINT-ALLOW(<list>)` on this or the previous raw line names the
+/// rule (or `*`). The marker lives in a comment, so raw (unsanitized) lines
+/// are consulted.
+bool allowed(const std::vector<std::string>& raw_lines, std::size_t idx,
+             const std::string& rule) {
+  static const std::regex kAllow(R"(LINT-ALLOW\(([^)]*)\))");
+  for (std::size_t k = (idx == 0) ? 0 : idx - 1; k <= idx; ++k) {
+    std::smatch m;
+    if (!std::regex_search(raw_lines[k], m, kAllow)) continue;
+    std::stringstream list(m[1].str());
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      item = trim(item);
+      if (item == rule || item == "*") return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+
+bool in_hot_path(const std::string& path) {
+  static const char* kHotDirs[] = {"src/event/", "src/net/", "src/radio/",
+                                   "src/fds/", "src/cluster/"};
+  for (const char* dir : kHotDirs) {
+    if (path.find(dir) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Identifiers declared with an unordered container type anywhere in the
+/// file (members, locals, globals). Heuristic by design: declarations and
+/// their uses are matched by name within a single file, which covers the
+/// way the codebase actually writes them.
+std::vector<std::string> unordered_names(const std::string& sanitized) {
+  static const std::regex kDecl(
+      R"(unordered_(?:map|set)\s*<[^;{}()]*>\s+([A-Za-z_]\w*)\s*[;={(])");
+  std::vector<std::string> names;
+  auto begin = std::sregex_iterator(sanitized.begin(), sanitized.end(), kDecl);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    names.push_back((*it)[1].str());
+  }
+  return names;
+}
+
+struct LineRule {
+  const char* rule;
+  std::regex pattern;
+  // Empty means the rule applies everywhere under the scanned roots.
+  bool (*applies)(const std::string& path);
+};
+
+const std::vector<LineRule>& line_rules() {
+  static const std::vector<LineRule> kRules = [] {
+    std::vector<LineRule> rules;
+    rules.push_back(
+        {"wall-clock",
+         std::regex(R"(\btime\s*\(|system_clock|steady_clock|high_resolution_clock|gettimeofday|clock_gettime|\blocaltime\b|\bgmtime\b)"),
+         [](const std::string& path) {
+           return !ends_with(path, "common/sim_time.h");
+         }});
+    rules.push_back(
+        {"raw-random",
+         std::regex(R"(std::rand\b|\bsrand\s*\(|\brand\s*\(|random_device)"),
+         [](const std::string& path) {
+           return !ends_with(path, "common/rng.h");
+         }});
+    rules.push_back({"pointer-keyed-map",
+                     std::regex(R"(std::(?:map|set)\s*<[^<>,]*\*)"),
+                     [](const std::string&) { return true; }});
+    rules.push_back({"dynamic-cast", std::regex(R"(\bdynamic_cast\b)"),
+                     [](const std::string&) { return true; }});
+    rules.push_back(
+        {"naked-new",
+         std::regex(
+             R"(\bnew\s+[A-Za-z_:]|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|\bfree\s*\()"),
+         in_hot_path});
+    rules.push_back({"raw-assert",
+                     std::regex(R"(\bassert\s*\(|[<"]c?assert(?:\.h)?[">])"),
+                     [](const std::string&) { return true; }});
+    return rules;
+  }();
+  return kRules;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scanning
+
+std::vector<Violation> scan_source(const std::string& path,
+                                   const std::string& content,
+                                   const std::string& companion_header) {
+  std::vector<Violation> out;
+  const std::string sanitized = sanitize(content);
+  const std::vector<std::string> raw = split_lines(content);
+  const std::vector<std::string> clean = split_lines(sanitized);
+
+  auto emit = [&](const char* rule, std::size_t idx) {
+    if (allowed(raw, idx, rule)) return;
+    out.push_back({rule, path, static_cast<int>(idx + 1), trim(raw[idx])});
+  };
+
+  for (const LineRule& r : line_rules()) {
+    if (!r.applies(path)) continue;
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+      if (std::regex_search(clean[i], r.pattern)) emit(r.rule, i);
+    }
+  }
+
+  // unordered-iteration needs file-level state: which identifiers in this
+  // file — or in its companion header, for members iterated from the .cpp —
+  // are unordered containers.
+  std::vector<std::string> names = unordered_names(sanitized);
+  if (!companion_header.empty()) {
+    for (std::string& name : unordered_names(sanitize(companion_header))) {
+      names.push_back(std::move(name));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  for (const std::string& name : names) {
+    const std::regex use(R"((?:^|[^\w.])for\s*\([^;)]*:\s*)" + name +
+                         R"(\s*\)|\b)" + name +
+                         R"(\s*\.\s*(?:begin|cbegin|rbegin|crbegin)\s*\()");
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+      if (std::regex_search(clean[i], use)) emit("unordered-iteration", i);
+    }
+  }
+
+  return out;
+}
+
+std::vector<Violation> scan_tree(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<Violation> out;
+  for (const std::string& root : roots) {
+    const fs::path root_path(root);
+    const std::string prefix = root_path.filename().string();
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(root_path)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cpp" || ext == ".hpp" || ext == ".cc") {
+        files.push_back(entry.path());
+      }
+    }
+    // Deterministic scan order regardless of directory enumeration order.
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) {
+      std::ifstream in(file);
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      std::string companion;
+      if (file.extension() == ".cpp" || file.extension() == ".cc") {
+        fs::path header = file;
+        header.replace_extension(".h");
+        if (fs::exists(header)) {
+          std::ifstream hin(header);
+          std::stringstream hbuf;
+          hbuf << hin.rdbuf();
+          companion = hbuf.str();
+        }
+      }
+      const std::string rel =
+          prefix + "/" + fs::relative(file, root_path).generic_string();
+      for (Violation& v : scan_source(rel, buffer.str(), companion)) {
+        out.push_back(std::move(v));
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+
+std::string baseline_key(const Violation& v) {
+  return v.rule + "\t" + v.file + "\t" + v.text;
+}
+
+Baseline to_baseline(const std::vector<Violation>& violations) {
+  Baseline b;
+  for (const Violation& v : violations) ++b[baseline_key(v)];
+  return b;
+}
+
+Baseline load_baseline(const std::string& path, bool* ok) {
+  Baseline b;
+  std::ifstream in(path);
+  if (!in) {
+    *ok = false;
+    return b;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ++b[line];
+  }
+  *ok = true;
+  return b;
+}
+
+std::string serialize_baseline(const Baseline& baseline) {
+  std::string out =
+      "# cfds-lint baseline — known violations, burned down over time.\n"
+      "# Format: rule<TAB>file<TAB>trimmed source line (line numbers are\n"
+      "# deliberately absent so unrelated edits don't churn this file).\n"
+      "# Regenerate with: cfds-lint --root src --baseline <this file>\n"
+      "#   --update-baseline   (see docs/STATIC_ANALYSIS.md)\n";
+  for (const auto& [key, count] : baseline) {
+    for (int i = 0; i < count; ++i) {
+      out += key;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+BaselineDiff diff_baseline(const Baseline& current, const Baseline& committed) {
+  BaselineDiff diff;
+  for (const auto& [key, count] : current) {
+    const auto it = committed.find(key);
+    const int have = (it == committed.end()) ? 0 : it->second;
+    for (int i = have; i < count; ++i) diff.added.push_back(key);
+  }
+  for (const auto& [key, count] : committed) {
+    const auto it = current.find(key);
+    const int have = (it == current.end()) ? 0 : it->second;
+    for (int i = have; i < count; ++i) diff.fixed.push_back(key);
+  }
+  return diff;
+}
+
+}  // namespace cfds::lint

@@ -1,0 +1,92 @@
+// cfds-lint — project-specific determinism and hygiene linter.
+//
+// The simulator's core guarantee is bit-identical output at any thread
+// count (docs/RUNNER.md, docs/PERF.md). That guarantee dies quietly: one
+// range-for over an unordered_map, one wall-clock read, one pointer-keyed
+// std::map, and replays stop matching — usually long after the offending
+// commit. cfds-lint encodes the project rules that protect replayability
+// (plus a few hygiene rules the hot paths rely on) as a scanner that runs
+// in ctest and CI, with a committed baseline so pre-existing debt is
+// explicit instead of invisible.
+//
+// Rules (rule ids are what LINT-ALLOW and the baseline reference):
+//   unordered-iteration  no range-for / .begin() iteration over a variable
+//                        declared std::unordered_map/unordered_set in the
+//                        same file — iteration order is
+//                        implementation-defined and breaks replay.
+//   wall-clock           no time()/system_clock/steady_clock/... outside
+//                        src/common/sim_time.h — simulation time is SimTime.
+//   raw-random           no std::rand/srand/random_device outside
+//                        src/common/rng.h — all entropy flows from seeded
+//                        SplitMix/engine streams.
+//   pointer-keyed-map    no std::map/std::set keyed on raw pointers —
+//                        pointer order is allocation order, not replayable.
+//   dynamic-cast         payload dispatch must use payload_cast (tag
+//                        compare), never RTTI.
+//   naked-new            no naked new/malloc in hot-path dirs (src/event,
+//                        src/net, src/radio, src/fds, src/cluster) — the
+//                        kernel is allocation-free by contract (docs/PERF.md).
+//   raw-assert           use CFDS_EXPECT(expr, msg), not <cassert> assert —
+//                        contracts must fire in every build type.
+//
+// Suppression: a `LINT-ALLOW(rule): reason` comment on the same or the
+// immediately preceding line exempts that line. Use it for permanent,
+// justified exceptions; use the baseline for debt to be burned down.
+// Policy and workflow: docs/STATIC_ANALYSIS.md.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cfds::lint {
+
+struct Violation {
+  std::string rule;  // rule id, e.g. "unordered-iteration"
+  std::string file;  // reported path (repo-relative when scanning a tree)
+  int line = 0;      // 1-based; informational only, not part of baseline keys
+  std::string text;  // trimmed source line
+};
+
+/// Scans one file's contents. `path` is used verbatim for reporting and for
+/// the path-sensitive rules (file exemptions, hot-path dirs).
+/// `companion_header` (the matching .h of a .cpp, when it exists) is
+/// consulted for declarations only — members declared unordered in the
+/// header are tracked when the .cpp iterates them — and is never itself
+/// reported against here (it gets its own scan).
+std::vector<Violation> scan_source(const std::string& path,
+                                   const std::string& content,
+                                   const std::string& companion_header = "");
+
+/// Recursively scans *.h / *.cpp under each root directory. Reported paths
+/// are `<basename-of-root>/<relative-path>` so baselines are stable across
+/// checkouts and build machines.
+std::vector<Violation> scan_tree(const std::vector<std::string>& roots);
+
+/// A baseline is a multiset of violation keys (line numbers excluded, so
+/// unrelated edits that shift lines don't churn it).
+using Baseline = std::map<std::string, int>;
+
+/// Key used for baseline matching: "rule<TAB>file<TAB>text".
+std::string baseline_key(const Violation& v);
+
+Baseline to_baseline(const std::vector<Violation>& violations);
+
+/// Loads a baseline file; '#'-prefixed lines and blank lines are ignored.
+/// Returns false through `ok` when the file cannot be read.
+Baseline load_baseline(const std::string& path, bool* ok);
+
+/// Serializes a baseline deterministically (sorted, one key per line,
+/// repeated keys repeated) with an explanatory header.
+std::string serialize_baseline(const Baseline& baseline);
+
+struct BaselineDiff {
+  std::vector<std::string> added;  // violations in the tree, not the baseline
+  std::vector<std::string> fixed;  // baseline entries no longer in the tree
+  [[nodiscard]] bool clean() const { return added.empty() && fixed.empty(); }
+};
+
+BaselineDiff diff_baseline(const Baseline& current, const Baseline& committed);
+
+}  // namespace cfds::lint

@@ -1,0 +1,244 @@
+// Tests for cfds-lint: one positive (violating) and one negative (clean)
+// fixture per rule under fixtures/, engine unit tests (sanitizer,
+// LINT-ALLOW, baseline round-trip/diff), and the gate that the committed
+// baseline matches the real src/ tree exactly — adding a violation fails,
+// and so does silently fixing a baselined one without updating the file.
+
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using cfds::lint::Baseline;
+using cfds::lint::BaselineDiff;
+using cfds::lint::Violation;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Scans a fixture under a pretend repo path (rules are path-sensitive:
+/// hot-path dirs, per-file exemptions).
+std::vector<Violation> scan_fixture(const std::string& fixture,
+                                    const std::string& pretend_path) {
+  const std::string content =
+      read_file(std::string(CFDS_LINT_FIXTURE_DIR) + "/" + fixture);
+  return cfds::lint::scan_source(pretend_path, content);
+}
+
+std::multiset<std::string> rules_of(const std::vector<Violation>& vs) {
+  std::multiset<std::string> rules;
+  for (const Violation& v : vs) rules.insert(v.rule);
+  return rules;
+}
+
+TEST(LintFixtures, UnorderedIterationBad) {
+  const auto vs = scan_fixture("unordered_iteration_bad.cpp", "src/sim/f.cpp");
+  EXPECT_EQ(rules_of(vs).count("unordered-iteration"), 2u);
+  EXPECT_EQ(vs.size(), 2u);
+}
+
+TEST(LintFixtures, UnorderedIterationOk) {
+  EXPECT_TRUE(scan_fixture("unordered_iteration_ok.cpp", "src/sim/f.cpp")
+                  .empty());
+}
+
+TEST(LintFixtures, WallClockBad) {
+  const auto vs = scan_fixture("wall_clock_bad.cpp", "src/sim/f.cpp");
+  EXPECT_GE(rules_of(vs).count("wall-clock"), 3u);
+}
+
+TEST(LintFixtures, WallClockOk) {
+  EXPECT_TRUE(scan_fixture("wall_clock_ok.cpp", "src/sim/f.cpp").empty());
+}
+
+TEST(LintFixtures, WallClockExemptInSimTimeHeader) {
+  // The one file allowed to touch clocks is the SimTime implementation.
+  EXPECT_TRUE(
+      scan_fixture("wall_clock_bad.cpp", "src/common/sim_time.h").empty());
+}
+
+TEST(LintFixtures, RawRandomBad) {
+  const auto vs = scan_fixture("raw_random_bad.cpp", "src/sim/f.cpp");
+  EXPECT_GE(rules_of(vs).count("raw-random"), 3u);
+}
+
+TEST(LintFixtures, RawRandomOk) {
+  EXPECT_TRUE(scan_fixture("raw_random_ok.cpp", "src/sim/f.cpp").empty());
+}
+
+TEST(LintFixtures, RawRandomExemptInRngHeader) {
+  EXPECT_TRUE(scan_fixture("raw_random_bad.cpp", "src/common/rng.h").empty());
+}
+
+TEST(LintFixtures, PointerKeyedMapBad) {
+  const auto vs = scan_fixture("pointer_keyed_map_bad.cpp", "src/sim/f.cpp");
+  EXPECT_EQ(rules_of(vs).count("pointer-keyed-map"), 2u);
+}
+
+TEST(LintFixtures, PointerKeyedMapOk) {
+  EXPECT_TRUE(
+      scan_fixture("pointer_keyed_map_ok.cpp", "src/sim/f.cpp").empty());
+}
+
+TEST(LintFixtures, DynamicCastBad) {
+  const auto vs = scan_fixture("dynamic_cast_bad.cpp", "src/fds/f.cpp");
+  EXPECT_EQ(rules_of(vs).count("dynamic-cast"), 1u);
+}
+
+TEST(LintFixtures, DynamicCastOk) {
+  EXPECT_TRUE(scan_fixture("dynamic_cast_ok.cpp", "src/fds/f.cpp").empty());
+}
+
+TEST(LintFixtures, NakedNewBad) {
+  const auto vs = scan_fixture("naked_new_bad.cpp", "src/event/f.cpp");
+  EXPECT_EQ(rules_of(vs).count("naked-new"), 3u);
+}
+
+TEST(LintFixtures, NakedNewOk) {
+  EXPECT_TRUE(scan_fixture("naked_new_ok.cpp", "src/event/f.cpp").empty());
+}
+
+TEST(LintFixtures, NakedNewOnlyAppliesToHotPaths) {
+  // The same allocations outside the hot-path dirs are not flagged;
+  // setup-time code (src/sim, src/analysis, ...) may allocate freely.
+  EXPECT_TRUE(scan_fixture("naked_new_bad.cpp", "src/analysis/f.cpp").empty());
+}
+
+TEST(LintFixtures, RawAssertBad) {
+  const auto vs = scan_fixture("raw_assert_bad.cpp", "src/sim/f.cpp");
+  EXPECT_GE(rules_of(vs).count("raw-assert"), 3u);  // include + 2 asserts
+}
+
+TEST(LintFixtures, RawAssertOk) {
+  EXPECT_TRUE(scan_fixture("raw_assert_ok.cpp", "src/sim/f.cpp").empty());
+}
+
+TEST(LintEngine, CommentsAndStringsDoNotTrip) {
+  const std::string source =
+      "// system_clock mentioned in a comment is fine\n"
+      "/* so is time(nullptr) in a block comment */\n"
+      "const char* msg = \"calls std::rand() and dynamic_cast\";\n"
+      "const char* raw = R\"(random_device in a raw string)\";\n";
+  EXPECT_TRUE(cfds::lint::scan_source("src/sim/f.cpp", source).empty());
+}
+
+TEST(LintEngine, LintAllowSuppressesSameLine) {
+  const std::string source =
+      "auto t = std::chrono::steady_clock::now();  "
+      "// LINT-ALLOW(wall-clock): reporting only\n";
+  EXPECT_TRUE(cfds::lint::scan_source("src/sim/f.cpp", source).empty());
+}
+
+TEST(LintEngine, LintAllowSuppressesNextLine) {
+  const std::string source =
+      "// LINT-ALLOW(naked-new): SBO fallback for oversized captures\n"
+      "fn_ = new Fn(std::forward<F>(fn));\n";
+  EXPECT_TRUE(cfds::lint::scan_source("src/event/f.cpp", source).empty());
+}
+
+TEST(LintEngine, LintAllowIsRuleSpecific) {
+  const std::string source =
+      "auto t = std::chrono::steady_clock::now();  "
+      "// LINT-ALLOW(naked-new): wrong rule named\n";
+  const auto vs = cfds::lint::scan_source("src/sim/f.cpp", source);
+  EXPECT_EQ(rules_of(vs).count("wall-clock"), 1u);
+}
+
+TEST(LintEngine, CompanionHeaderDeclarationsAreTracked) {
+  // Members declared unordered in the .h are caught when the .cpp iterates
+  // them (the injector.cpp pattern).
+  const std::string header =
+      "struct Injector {\n"
+      "  std::unordered_map<std::uint32_t, int> freeze_depth_;\n"
+      "};\n";
+  const std::string impl =
+      "void Injector::clear() {\n"
+      "  for (const auto& [node, depth] : freeze_depth_) { (void)node; }\n"
+      "}\n";
+  const auto vs = cfds::lint::scan_source("src/fault/injector.cpp", impl,
+                                          header);
+  EXPECT_EQ(rules_of(vs).count("unordered-iteration"), 1u);
+  // Without the header, the declaration is invisible and nothing fires.
+  EXPECT_TRUE(
+      cfds::lint::scan_source("src/fault/injector.cpp", impl).empty());
+}
+
+TEST(LintEngine, ViolationCarriesLineAndText) {
+  const std::string source = "int x;\nint r = std::rand();\n";
+  const auto vs = cfds::lint::scan_source("src/sim/f.cpp", source);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].line, 2);
+  EXPECT_EQ(vs[0].text, "int r = std::rand();");
+  EXPECT_EQ(vs[0].file, "src/sim/f.cpp");
+}
+
+TEST(LintBaseline, SerializeLoadRoundTrip) {
+  std::vector<Violation> vs = {
+      {"wall-clock", "src/a.cpp", 10, "steady_clock::now();"},
+      {"wall-clock", "src/a.cpp", 20, "steady_clock::now();"},
+      {"naked-new", "src/event/b.cpp", 5, "new Fn(fn);"},
+  };
+  const Baseline original = cfds::lint::to_baseline(vs);
+  const std::string serialized = cfds::lint::serialize_baseline(original);
+
+  const std::string path = ::testing::TempDir() + "lint_baseline_rt.txt";
+  std::ofstream(path) << serialized;
+  bool ok = false;
+  const Baseline loaded = cfds::lint::load_baseline(path, &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(loaded, original);
+}
+
+TEST(LintBaseline, DiffDetectsAddedAndFixed) {
+  Baseline current;
+  current["wall-clock\ta.cpp\tfoo"] = 2;
+  current["naked-new\tb.cpp\tbar"] = 1;
+  Baseline committed;
+  committed["wall-clock\ta.cpp\tfoo"] = 1;
+  committed["raw-assert\tc.cpp\tbaz"] = 1;
+
+  const BaselineDiff diff = cfds::lint::diff_baseline(current, committed);
+  // One extra wall-clock occurrence + the new naked-new entry.
+  ASSERT_EQ(diff.added.size(), 2u);
+  // The raw-assert entry was fixed without a baseline update.
+  ASSERT_EQ(diff.fixed.size(), 1u);
+  EXPECT_FALSE(diff.clean());
+  EXPECT_TRUE(cfds::lint::diff_baseline(current, current).clean());
+}
+
+// The enforcement test: the real src/ tree must match the committed
+// baseline exactly, in both directions.
+TEST(LintBaseline, SrcTreeMatchesCommittedBaseline) {
+  const auto violations = cfds::lint::scan_tree({CFDS_LINT_SRC_DIR});
+  bool ok = false;
+  const Baseline committed = cfds::lint::load_baseline(CFDS_LINT_BASELINE, &ok);
+  ASSERT_TRUE(ok) << "missing baseline " << CFDS_LINT_BASELINE;
+
+  const BaselineDiff diff =
+      cfds::lint::diff_baseline(cfds::lint::to_baseline(violations), committed);
+  for (const std::string& key : diff.added) {
+    ADD_FAILURE() << "new lint violation (fix it or LINT-ALLOW with a "
+                     "reason; see docs/STATIC_ANALYSIS.md): "
+                  << key;
+  }
+  for (const std::string& key : diff.fixed) {
+    ADD_FAILURE() << "stale baseline entry (violation fixed — run "
+                     "cfds-lint --update-baseline to record the burndown): "
+                  << key;
+  }
+}
+
+}  // namespace
