@@ -4,6 +4,9 @@
 //                      slab/freelist kernel, with and without cancellation;
 //   * spatial layer  — grid-built UnitDiskGraph construction vs the O(n^2)
 //                      all-pairs reference build;
+//   * channel layer  — broadcast fan-out batching (one transmit, k batched
+//                      deliveries) and calendar-queue vs binary-heap
+//                      schedule→fire throughput;
 //   * message layer  — payload_cast tag-dispatch throughput;
 //   * end to end     — FDS epoch events/sec at 500 and 2000 nodes.
 //
@@ -27,6 +30,7 @@
 #include "fds/messages.h"
 #include "net/graph.h"
 #include "net/topology.h"
+#include "radio/channel.h"
 #include "sim/scenario.h"
 
 namespace {
@@ -148,6 +152,76 @@ void print_study(runner::JsonlResultSink* sink, bool smoke) {
     emit(sink, "sched_cancel", "ops_per_sec", 0, rate);
   }
 
+  // Broadcast fan-out: one transmit() batched into k deliveries. Exercises
+  // the Transmission slab + batch-scheduling path end to end (loss p = 0 so
+  // every candidate becomes a delivery).
+  {
+    Simulator sim;
+    BernoulliLoss loss(0.0);
+    Rng placement(seed);
+    Channel channel(sim, loss, ChannelConfig{}, Rng(seed + 1));
+    const std::size_t fanout = smoke ? 16 : 256;
+    std::vector<std::unique_ptr<Radio>> radios;
+    for (std::size_t i = 0; i <= fanout; ++i) {
+      // Everyone within a 50 m box: the whole population is in range of the
+      // sender (range 100 m), so every broadcast fans out to `fanout`.
+      radios.push_back(std::make_unique<Radio>(
+          NodeId{std::uint32_t(i)}, Vec2{placement.uniform(0.0, 50.0),
+                                         placement.uniform(0.0, 50.0)}));
+      channel.attach(*radios.back());
+    }
+    auto hb = std::make_shared<HeartbeatPayload>();
+    hb->sender = radios[0]->id();
+    const int warm = smoke ? 10 : 200;
+    for (int i = 0; i < warm; ++i) {
+      radios[0]->send(hb);
+      sim.run_until(sim.now() + ChannelConfig{}.t_hop);
+    }
+    const int sends = smoke ? 100 : 10000;
+    const auto t0 = Clock::now();
+    for (int i = 0; i < sends; ++i) {
+      radios[0]->send(hb);
+      sim.run_until(sim.now() + ChannelConfig{}.t_hop);
+    }
+    const double rate =
+        double(sends) * double(fanout) / ms_since(t0) * 1000.0;
+    std::printf("%-24s %8zu %16.0f\n", "broadcast_fanout_deliveries_per_sec",
+                fanout, rate);
+    emit(sink, "broadcast_fanout", "deliveries_per_sec", int(fanout), rate);
+  }
+
+  // Calendar queue vs binary heap on an identical bounded-delay workload
+  // (standing population of pending timers, schedule→fire steady state).
+  {
+    const auto run_queue = [&](QueueMode mode) {
+      Simulator sim(mode);
+      Rng delays(seed);
+      const int population = 4096;
+      const int ops = smoke ? 10000 : 1000000;
+      for (int i = 0; i < population; ++i) {
+        sim.schedule_after(
+            SimTime::micros(std::int64_t(delays.uniform(0.0, 100000.0))),
+            [] {});
+      }
+      const auto t0 = Clock::now();
+      for (int i = 0; i < ops; ++i) {
+        sim.schedule_after(
+            SimTime::micros(std::int64_t(delays.uniform(0.0, 100000.0))),
+            [] {});
+        (void)sim.step();
+      }
+      return double(ops) / ms_since(t0) * 1000.0;
+    };
+    const double calendar_rate = run_queue(QueueMode::kCalendar);
+    const double heap_rate = run_queue(QueueMode::kHeap);
+    std::printf("%-24s %8s %16.0f\n", "calendar_queue_ops_per_sec", "-",
+                calendar_rate);
+    std::printf("%-24s %8s %16.0f\n", "heap_queue_ops_per_sec", "-",
+                heap_rate);
+    emit(sink, "calendar_vs_heap", "calendar_ops_per_sec", 0, calendar_rate);
+    emit(sink, "calendar_vs_heap", "heap_ops_per_sec", 0, heap_rate);
+  }
+
   // Payload tag dispatch over a heartbeat/digest/update mix.
   {
     const auto frames = dispatch_frames();
@@ -246,6 +320,48 @@ void BM_GraphBuildBrute(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GraphBuildBrute)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_BroadcastFanout(benchmark::State& state) {
+  const auto fanout = std::size_t(state.range(0));
+  Simulator sim;
+  BernoulliLoss loss(0.0);
+  Rng placement(19);
+  Channel channel(sim, loss, ChannelConfig{}, Rng(20));
+  std::vector<std::unique_ptr<Radio>> radios;
+  for (std::size_t i = 0; i <= fanout; ++i) {
+    radios.push_back(std::make_unique<Radio>(
+        NodeId{std::uint32_t(i)},
+        Vec2{placement.uniform(0.0, 50.0), placement.uniform(0.0, 50.0)}));
+    channel.attach(*radios.back());
+  }
+  auto hb = std::make_shared<HeartbeatPayload>();
+  hb->sender = radios[0]->id();
+  for (auto _ : state) {
+    radios[0]->send(hb);
+    sim.run_until(sim.now() + ChannelConfig{}.t_hop);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(fanout));
+}
+BENCHMARK(BM_BroadcastFanout)->Arg(16)->Arg(256);
+
+void BM_QueueScheduleFire(benchmark::State& state) {
+  // Arg 0 = calendar queue, 1 = binary heap; identical bounded-delay
+  // workload against a standing population of pending timers.
+  Simulator sim(state.range(0) == 0 ? QueueMode::kCalendar : QueueMode::kHeap);
+  Rng delays(19);
+  for (int i = 0; i < 4096; ++i) {
+    sim.schedule_after(
+        SimTime::micros(std::int64_t(delays.uniform(0.0, 100000.0))), [] {});
+  }
+  for (auto _ : state) {
+    sim.schedule_after(
+        SimTime::micros(std::int64_t(delays.uniform(0.0, 100000.0))), [] {});
+    (void)sim.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueueScheduleFire)->Arg(0)->Arg(1);
 
 void BM_PayloadDispatch(benchmark::State& state) {
   const auto frames = dispatch_frames();

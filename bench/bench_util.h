@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "event/simulator.h"
 #include "runner/cli_args.h"
 #include "runner/result_sink.h"
 #include "runner/thread_pool.h"
@@ -39,6 +40,11 @@ inline void parse_common_args(int& argc, char** argv) {
   runner::FlagSet flags;
   runner::add_runner_flags(flags, options());
   flags.parse_or_exit(argc, argv);
+  // Applied before any trial thread constructs a Simulator (the pool below
+  // is built lazily, after parsing).
+  if (options().no_calendar) {
+    Simulator::set_default_queue_mode(QueueMode::kHeap);
+  }
 }
 
 /// The bench's shared thread pool, sized by --threads (0 = hardware).

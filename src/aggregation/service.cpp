@@ -8,7 +8,10 @@ AggregationAgent::AggregationAgent(Node& node, MembershipView& view,
                                    AggregationService& service)
     : node_(node), view_(view), service_(service) {
   node_.add_frame_handler(
-      [this](const Reception& reception) { on_frame(reception); });
+      [](void* self, const Reception& reception) {
+        static_cast<AggregationAgent*>(self)->on_frame(reception);
+      },
+      this);
 }
 
 void AggregationAgent::readings_epoch_begin(std::uint64_t epoch) {

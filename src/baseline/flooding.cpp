@@ -6,7 +6,10 @@ namespace cfds {
 
 FloodAgent::FloodAgent(Node& node, Simulator& sim) : node_(node), sim_(sim) {
   node_.add_frame_handler(
-      [this](const Reception& reception) { on_frame(reception); });
+      [](void* self, const Reception& reception) {
+        static_cast<FloodAgent*>(self)->on_frame(reception);
+      },
+      this);
 }
 
 void FloodAgent::originate(const std::vector<NodeId>& failed) {

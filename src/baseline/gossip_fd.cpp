@@ -8,7 +8,10 @@ GossipAgent::GossipAgent(Node& node, Simulator& sim,
                          const GossipConfig& config)
     : node_(node), sim_(sim), config_(config) {
   node_.add_frame_handler(
-      [this](const Reception& reception) { on_frame(reception); });
+      [](void* self, const Reception& reception) {
+        static_cast<GossipAgent*>(self)->on_frame(reception);
+      },
+      this);
 }
 
 void GossipAgent::gossip_round() {

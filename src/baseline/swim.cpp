@@ -9,7 +9,10 @@ namespace cfds {
 SwimAgent::SwimAgent(Node& node, SwimService& service, Rng rng)
     : node_(node), service_(service), rng_(rng) {
   node_.add_frame_handler(
-      [this](const Reception& reception) { on_frame(reception); });
+      [](void* self, const Reception& reception) {
+        static_cast<SwimAgent*>(self)->on_frame(reception);
+      },
+      this);
 }
 
 void SwimAgent::note_alive(NodeId n) {

@@ -11,7 +11,10 @@ namespace cfds {
 FormationAgent::FormationAgent(Node& node, FormationConfig config)
     : node_(node), config_(config), view_(node.id()) {
   node_.add_frame_handler(
-      [this](const Reception& reception) { on_frame(reception); });
+      [](void* self, const Reception& reception) {
+        static_cast<FormationAgent*>(self)->on_frame(reception);
+      },
+      this);
 }
 
 void FormationAgent::begin_iteration() {

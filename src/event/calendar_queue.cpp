@@ -1,0 +1,127 @@
+#include "event/calendar_queue.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace cfds {
+
+void CalendarQueue::ensure_buckets() {
+  if (buckets_.empty()) {
+    buckets_.resize(kNumBuckets);
+    occupied_.resize(kNumBuckets / 64, 0);
+  }
+}
+
+void CalendarQueue::reserve(std::size_t per_bucket) {
+  ensure_buckets();
+  for (Bucket& bucket : buckets_) bucket.entries.reserve(per_bucket);
+}
+
+void CalendarQueue::ensure_sorted(Bucket& bucket) {
+  if (!bucket.sorted) {
+    std::sort(bucket.entries.begin(), bucket.entries.end(), FiresLater{});
+    bucket.sorted = true;
+  }
+}
+
+void CalendarQueue::advance(SimTime now) {
+  // Every live entry fires at or after `now`, so each bucket strictly
+  // before now's bucket is empty and the cursor can jump there directly.
+  const std::int64_t aligned =
+      (now.as_micros() / kBucketWidthUs) * kBucketWidthUs;
+  if (aligned > window_start_.as_micros()) {
+    window_start_ = SimTime::micros(aligned);
+    cursor_ = bucket_index(now);
+  }
+}
+
+std::size_t CalendarQueue::first_occupied() const {
+  // Scan the occupancy bitmap a word at a time, starting at the cursor's
+  // word and wrapping once around the wheel. The horizon invariant keeps
+  // every live entry within one lap of the cursor, so ring order is time
+  // order and the first set bit marks the earliest non-empty bucket.
+  const std::size_t words = occupied_.size();
+  std::size_t word = cursor_ / 64;
+  // Mask off buckets behind the cursor in its own word.
+  std::uint64_t bits = occupied_[word] & (~std::uint64_t{0} << (cursor_ % 64));
+  for (std::size_t scanned = 0; scanned <= words; ++scanned) {
+    if (bits != 0) {
+      return word * 64 + std::size_t(__builtin_ctzll(bits));
+    }
+    word = (word + 1) % words;
+    bits = occupied_[word];
+  }
+  CFDS_EXPECT(false, "calendar queue occupancy bitmap out of sync");
+  __builtin_unreachable();
+}
+
+void CalendarQueue::insert(const EventEntry& entry, SimTime now) {
+  CFDS_EXPECT(entry.when >= now, "calendar insert in the past");
+  CFDS_EXPECT(entry.when - now <= horizon(),
+              "calendar insert beyond the bounded horizon (route far events "
+              "to the overflow heap; see docs/PERF.md)");
+  ensure_buckets();
+  advance(now);
+  const std::size_t idx = bucket_index(entry.when);
+  Bucket& bucket = buckets_[idx];
+  if (bucket.sorted && !bucket.entries.empty()) {
+    // The bucket is mid-drain (sorted latest-first, popped from the back).
+    // A short-delay insert lands near the back: splicing it into place keeps
+    // the bucket sorted for a small tail memmove, where dirtying it would
+    // re-sort the whole bucket on the next pop. Far-from-the-back positions
+    // fall through to the O(1) unsorted push instead — the memmove would
+    // cost more than the one deferred sort it saves.
+    const auto pos = std::upper_bound(bucket.entries.begin(),
+                                      bucket.entries.end(), entry,
+                                      FiresLater{});
+    if (bucket.entries.end() - pos <= 64) {
+      bucket.entries.insert(pos, entry);
+    } else {
+      bucket.entries.push_back(entry);
+      bucket.sorted = false;
+    }
+  } else {
+    bucket.entries.push_back(entry);
+    bucket.sorted = false;
+  }
+  occupied_[idx / 64] |= std::uint64_t{1} << (idx % 64);
+  ++size_;
+  if (min_bucket_ != kNoBucket) {
+    if (ring_distance(idx) < ring_distance(min_bucket_)) min_bucket_ = idx;
+  } else if (size_ == 1) {
+    // A cleared memo on a non-empty wheel says nothing about the other
+    // buckets, so it must stay cleared until the next bitmap scan — but on
+    // an empty wheel this bucket is trivially the earliest.
+    min_bucket_ = idx;
+  }
+}
+
+const EventEntry* CalendarQueue::peek(SimTime now) {
+  if (size_ == 0) return nullptr;
+  advance(now);
+  if (min_bucket_ == kNoBucket) min_bucket_ = first_occupied();
+  Bucket& bucket = buckets_[min_bucket_];
+  ensure_sorted(bucket);
+  return &bucket.entries.back();
+}
+
+EventEntry CalendarQueue::pop_min(SimTime now) {
+  CFDS_EXPECT(size_ > 0, "pop_min on an empty calendar queue");
+  advance(now);
+  if (min_bucket_ == kNoBucket) min_bucket_ = first_occupied();
+  const std::size_t idx = min_bucket_;
+  Bucket& bucket = buckets_[idx];
+  ensure_sorted(bucket);
+  const EventEntry entry = bucket.entries.back();
+  bucket.entries.pop_back();
+  if (bucket.entries.empty()) {
+    occupied_[idx / 64] &= ~(std::uint64_t{1} << (idx % 64));
+    min_bucket_ = kNoBucket;  // the next peek/pop rescans the bitmap
+  }
+  --size_;
+  CFDS_EXPECT(entry.when >= now, "calendar queue fired an event in the past");
+  return entry;
+}
+
+}  // namespace cfds

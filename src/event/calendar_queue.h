@@ -1,0 +1,173 @@
+// Bounded-horizon calendar (bucket) queue for the event kernel.
+//
+// The simulator's workload is dominated by radio deliveries, and every
+// channel delay is bounded by the one-hop bound Thop (protocol timers by a
+// few multiples of the heartbeat interval phi). A calendar queue exploits
+// that bound: events land in fixed-width time buckets, so an insert touches
+// one bucket instead of sifting through a binary heap of every pending
+// event, and a pop touches the earliest non-empty bucket.
+//
+// Ordering contract: pops come out in ascending (time, sequence) order —
+// exactly the order the binary-heap kernel produces — so switching the
+// queue implementation cannot change a single event firing. Buckets
+// accumulate trivially-copyable 24-byte entries unsorted (the callable
+// lives in the simulator's timer slab, not in the queue), so an insert is
+// one push_back with no sifting. A bucket is sorted latest-first exactly
+// once, when it becomes the earliest occupied bucket, and then drained
+// from the back in (time, sequence) order; an insert into an
+// already-drained bucket (a sub-bucket-width delay) splices into place near
+// the back, or marks the bucket for re-sorting when the splice point is too
+// deep. Buckets partition events by time, so draining buckets in
+// time order yields the global (time, sequence) order.
+//
+// Horizon invariant: an entry may only be inserted for a time in
+// [now, now + horizon()]. Inserting beyond the horizon would wrap the wheel
+// and silently corrupt firing order — an entry a full lap ahead shares a
+// bucket with near entries and would fire a lap early — so insert() aborts
+// loudly (CFDS_EXPECT) instead. Callers with unbounded delays (the
+// simulator's far-event overflow heap) must route such events elsewhere;
+// see docs/PERF.md.
+//
+// Cursor invariant: all live entries fire at or after `now` (the kernel
+// pops events in order), so every bucket strictly before now's bucket is
+// empty and the cursor can advance to now for free. The occupancy bitmap
+// (one bit per bucket, scanned a word at a time) makes "find the earliest
+// non-empty bucket" cheap even when the pending events are sparse in time.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace cfds {
+
+/// A pending event as the queues order it: fire time, global scheduling
+/// sequence, and the timer-slab slot that holds the callable and the
+/// cancellation state. Trivially copyable on purpose — heap sifts and
+/// bucket pushes move 24 bytes with no indirect calls.
+struct EventEntry {
+  SimTime when;
+  std::uint64_t sequence;
+  std::uint32_t slot;
+  /// Receiver index for batch-scheduled events (one slot fired k times,
+  /// once per queue entry); unused (0) for ordinary events. Lives in what
+  /// would otherwise be struct padding, so entries stay 24 bytes.
+  std::uint32_t aux = 0;
+};
+
+/// Comparator for max-heap algorithms: "fires later" is "smaller", which
+/// keeps the earliest (time, sequence) on top — the ordering the kernel has
+/// always used.
+struct FiresLater {
+  [[nodiscard]] bool operator()(const EventEntry& a,
+                                const EventEntry& b) const {
+    if (a.when != b.when) return a.when > b.when;
+    return a.sequence > b.sequence;
+  }
+};
+
+/// Bounded-horizon calendar queue over EventEntry. Not a drop-in
+/// std::priority_queue: insert/peek/pop take `now` so the wheel can enforce
+/// the horizon invariant and advance its cursor.
+class CalendarQueue {
+ public:
+  /// Bucket width. 512us keeps per-bucket heaps small (tens of entries at
+  /// simulated-dense loads) while the whole wheel stays a few hundred KB.
+  static constexpr std::int64_t kBucketWidthUs = 512;
+  /// Bucket count (power of two). The wheel must hold horizon() plus the
+  /// bucket `now` sits in plus one guard bucket without wrapping:
+  /// kNumBuckets >= horizon/width + 2.
+  static constexpr std::size_t kNumBuckets = 8192;
+
+  /// Latest relative delay insert() accepts: (kNumBuckets - 2) * width
+  /// (~4.19 simulated seconds). Chosen to cover every channel delay
+  /// (<= Thop, default 100ms) and the FDS round timers (a few Thop) with
+  /// two orders of magnitude to spare.
+  [[nodiscard]] static constexpr SimTime horizon() {
+    return SimTime::micros(std::int64_t(kNumBuckets - 2) * kBucketWidthUs);
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Inserts an entry firing at `entry.when`. Aborts (CFDS_EXPECT) unless
+  /// now <= entry.when <= now + horizon().
+  void insert(const EventEntry& entry, SimTime now);
+
+  /// Builds the wheel eagerly and gives every bucket capacity for
+  /// `per_bucket` entries, so workloads that stay within it never allocate
+  /// on the insert path (first-touch growth is otherwise lazy, amortized).
+  void reserve(std::size_t per_bucket);
+
+  /// Earliest (time, sequence) entry, or nullptr when empty. Advances the
+  /// cursor over buckets that `now` has already passed.
+  [[nodiscard]] const EventEntry* peek(SimTime now);
+
+  /// Removes and returns the earliest (time, sequence) entry. Must not be
+  /// called on an empty queue.
+  EventEntry pop_min(SimTime now);
+
+  /// Free peek: the earliest entry when it is immediately known (the
+  /// min-bucket memo is valid and that bucket is sorted), else nullptr.
+  /// Never scans the bitmap or sorts a bucket — the kernel uses it after a
+  /// pop to prefetch the next event's timer slot while the popped event
+  /// runs.
+  [[nodiscard]] const EventEntry* peek_free() const {
+    if (min_bucket_ == kNoBucket) return nullptr;
+    const Bucket& bucket = buckets_[min_bucket_];
+    if (!bucket.sorted || bucket.entries.empty()) return nullptr;
+    return &bucket.entries.back();
+  }
+
+ private:
+  /// One wheel slot. Entries accumulate unsorted; `sorted` is set when the
+  /// bucket is sorted latest-first (back() is the earliest) on first drain.
+  /// A later insert either splices into place near the back (short-delay
+  /// events, bounded memmove) or clears the flag for a deferred re-sort.
+  struct Bucket {
+    std::vector<EventEntry> entries;
+    bool sorted = false;
+  };
+
+  /// Lazily sizes the wheel (first insert) so heap-mode simulators and
+  /// simulators that never schedule pay nothing.
+  void ensure_buckets();
+  /// Sorts `bucket` latest-first if it is not already sorted.
+  static void ensure_sorted(Bucket& bucket);
+  /// Moves the cursor to now's bucket. Every bucket it skips is provably
+  /// empty (live entries fire at or after now).
+  void advance(SimTime now);
+  /// Index of the first non-empty bucket at or after the cursor, found via
+  /// the occupancy bitmap. Pre: size_ > 0.
+  [[nodiscard]] std::size_t first_occupied() const;
+
+  [[nodiscard]] static std::size_t bucket_index(SimTime when) {
+    return std::size_t((when.as_micros() / kBucketWidthUs) &
+                       std::int64_t(kNumBuckets - 1));
+  }
+
+  static constexpr std::size_t kNoBucket = ~std::size_t{0};
+
+  /// Ring distance from the cursor to `idx` (how far ahead the bucket is,
+  /// modulo the wheel). Within one lap — which the horizon invariant
+  /// guarantees for every live bucket — smaller distance means earlier.
+  [[nodiscard]] std::size_t ring_distance(std::size_t idx) const {
+    return (idx - cursor_) & (kNumBuckets - 1);
+  }
+
+  std::vector<Bucket> buckets_;
+  std::vector<std::uint64_t> occupied_;  // one bit per bucket
+  std::size_t cursor_ = 0;          // bucket index window_start_ maps to
+  SimTime window_start_ = SimTime::zero();  // cursor bucket's start time
+  std::size_t size_ = 0;
+  /// Memo of the earliest occupied bucket, maintained incrementally by
+  /// insert (ring-distance compare) and invalidated when that bucket
+  /// drains, so the kernel's peek→pop pair costs one bitmap scan per
+  /// drained bucket instead of one per call.
+  std::size_t min_bucket_ = kNoBucket;
+};
+
+}  // namespace cfds

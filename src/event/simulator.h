@@ -12,18 +12,26 @@
 // The schedule -> fire path is allocation-free in the common case:
 //
 //   * EventFn is a small-buffer-optimised callable. Captures up to
-//     kInlineCapacity bytes (48 — enough for a full radio Reception plus a
-//     receiver pointer) are stored inline in the queue entry; only larger or
-//     throwing-move captures fall back to one heap allocation.
-//   * Timer state lives in a slab of generation-counted slots recycled
-//     through a freelist, replacing the shared_ptr control block per event.
-//     A TimerHandle is {slot, generation}; once the event fires or its
-//     cancelled entry is popped, the slot's generation is bumped and any
-//     outstanding handle becomes inert.
-//   * The pending queue is a binary heap over a plain vector (std::push_heap/
-//     std::pop_heap with the same (time, seq) comparator the kernel always
-//     used), so steady-state push/pop never allocates once the vector has
-//     grown to the simulation's high-water mark.
+//     kInlineCapacity bytes (48 — enough for a batched-delivery closure
+//     several times over) are stored inline; only larger or throwing-move
+//     captures fall back to one heap allocation.
+//   * The callable and all per-event state live in a slab of
+//     generation-counted slots recycled through a freelist, replacing the
+//     shared_ptr control block per event. A TimerHandle is
+//     {slot, generation}; once the event fires or its cancelled entry is
+//     popped, the slot's generation is bumped and any outstanding handle
+//     becomes inert. Keeping the callable in the slab makes the queues'
+//     entries trivially-copyable 24-byte records ({when, sequence, slot}),
+//     so sifting an entry costs a plain copy, not an indirect move.
+//   * The pending queue is, by default, a bounded-horizon CalendarQueue
+//     (src/event/calendar_queue.h): O(1)-ish bucket inserts and pops for
+//     the near events that dominate the workload (channel deliveries are
+//     bounded by Thop, protocol timers by a few phi). Events scheduled
+//     beyond the calendar's horizon go to a binary-heap overflow; the two
+//     streams merge by (time, sequence), so firing order is bit-identical
+//     to the pure binary heap. QueueMode::kHeap (the runner tools'
+//     --no-calendar flag) keeps the pure heap as an always-available
+//     fallback and as the property-test oracle for the calendar.
 //
 // Handles do not keep the simulator alive: cancel()/pending() must not be
 // called after the Simulator is destroyed (protocol agents never outlive
@@ -33,12 +41,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/sim_time.h"
+#include "event/calendar_queue.h"
 
 namespace cfds {
 
@@ -48,8 +58,8 @@ class Simulator;
 /// queue's replacement for std::function<void()>.
 class EventFn {
  public:
-  /// Inline capture budget. Sized for the radio delivery closure (a Radio*
-  /// plus a Reception by value) with room to spare for protocol timers.
+  /// Inline capture budget. Sized for the protocol timer closures (a
+  /// receiver pointer plus a few words of state) with room to spare.
   static constexpr std::size_t kInlineCapacity = 48;
 
   EventFn() = default;
@@ -93,40 +103,53 @@ class EventFn {
   struct Ops {
     void (*invoke)(void* storage);
     /// Move-constructs into `to` from `from` and destroys the source.
+    /// nullptr means the stored bytes are trivially relocatable and the
+    /// buffer is moved with one memcpy — no indirect call. Every hot-path
+    /// closure (pointer/integer captures) takes this path, as does the
+    /// heap fallback (its stored state is just the owning pointer).
     void (*relocate)(void* from, void* to);
+    /// nullptr means trivially destructible: destruction is a no-op.
     void (*destroy)(void* storage);
   };
 
   template <typename Fn>
   static constexpr Ops inline_ops = {
       [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
-      [](void* from, void* to) {
-        Fn* src = std::launder(reinterpret_cast<Fn*>(from));
-        ::new (to) Fn(std::move(*src));
-        src->~Fn();
-      },
-      [](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+      std::is_trivially_copyable_v<Fn>
+          ? nullptr
+          : +[](void* from, void* to) {
+              Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+              ::new (to) Fn(std::move(*src));
+              src->~Fn();
+            },
+      std::is_trivially_destructible_v<Fn>
+          ? nullptr
+          : +[](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
   };
 
   template <typename Fn>
   static constexpr Ops heap_ops = {
       [](void* s) { (**reinterpret_cast<Fn**>(s))(); },
-      [](void* from, void* to) {
-        *reinterpret_cast<Fn**>(to) = *reinterpret_cast<Fn**>(from);
-      },
+      nullptr,  // relocation moves the owning pointer; memcpy covers it
       [](void* s) { delete *reinterpret_cast<Fn**>(s); },
   };
 
   void move_from(EventFn& other) noexcept {
     ops_ = other.ops_;
     if (ops_ != nullptr) {
-      ops_->relocate(other.storage_, storage_);
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+      } else {
+        // Fixed-size copy: the compiler turns this into a few vector moves,
+        // and copying slack bytes of the buffer is harmless.
+        std::memcpy(storage_, other.storage_, kInlineCapacity);
+      }
       other.ops_ = nullptr;
     }
   }
   void reset() noexcept {
     if (ops_ != nullptr) {
-      ops_->destroy(storage_);
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
       ops_ = nullptr;
     }
   }
@@ -157,10 +180,27 @@ class TimerHandle {
   std::uint32_t generation_ = 0;
 };
 
+/// Which pending-queue implementation a Simulator uses. Both produce
+/// bit-identical firing order; kHeap exists as the calendar's property-test
+/// oracle and as the --no-calendar fallback.
+enum class QueueMode : std::uint8_t { kCalendar, kHeap };
+
 /// The event loop. Owns the pending-event queue and the simulated clock.
 class Simulator {
  public:
   using Action = EventFn;
+
+  /// Uses the process-wide default queue mode (see set_default_queue_mode).
+  Simulator();
+  explicit Simulator(QueueMode mode) : mode_(mode) {}
+
+  /// Sets the queue mode every subsequently-constructed Simulator uses.
+  /// The runner tools call this once, before any trial runs, when
+  /// --no-calendar is given; tests pin modes per instance instead.
+  static void set_default_queue_mode(QueueMode mode);
+  [[nodiscard]] static QueueMode default_queue_mode();
+
+  [[nodiscard]] QueueMode queue_mode() const { return mode_; }
 
   /// Current simulated time.
   [[nodiscard]] SimTime now() const { return now_; }
@@ -172,9 +212,39 @@ class Simulator {
   /// Schedules `action` to run `delay` after the current time.
   TimerHandle schedule_after(SimTime delay, Action action);
 
-  /// Pre-sizes the event heap and timer slab so a simulation with at most
-  /// `pending_capacity` simultaneously pending events never allocates on the
-  /// schedule path. Optional — both structures also grow on demand.
+  // --- Batched fan-out scheduling (the channel's broadcast path) ---------
+  //
+  // A broadcast to k receivers is one shared piece of work fired k times at
+  // k different instants. Scheduling it as k independent events costs k
+  // timer slots and k closures; a batch costs ONE slot holding a raw
+  // (callback, context) pair plus k 24-byte queue entries whose `aux` field
+  // carries the per-firing index. Each firing gets its own (time, sequence)
+  // pair drawn in add order, so batch events interleave with ordinary
+  // events in exactly the order per-event scheduling would produce.
+  //
+  // Batch firings are not cancellable (no TimerHandle is minted); the slot
+  // is released when the last entry fires. `ctx` must outlive the batch.
+
+  /// Per-firing callback: `ctx` from begin_batch, `index` from
+  /// add_batch_event.
+  using BatchFn = void (*)(void* ctx, std::uint32_t index);
+
+  /// Opaque reference to an open batch (one acquired timer slot).
+  struct BatchRef {
+    std::uint32_t slot;
+  };
+
+  /// Opens a batch. At least one add_batch_event call must follow (an
+  /// empty batch would leak its slot until the simulator is destroyed).
+  [[nodiscard]] BatchRef begin_batch(BatchFn fn, void* ctx);
+
+  /// Adds one firing of the batch's callback at now + delay, carrying
+  /// `index`. Draws the next sequence number, exactly like schedule_after.
+  void add_batch_event(BatchRef batch, SimTime delay, std::uint32_t index);
+
+  /// Pre-sizes the overflow heap and timer slab so a simulation with at
+  /// most `pending_capacity` simultaneously pending events never allocates
+  /// on the schedule path. Optional — all structures also grow on demand.
   void reserve(std::size_t pending_capacity);
 
   /// Runs events until the queue empties or the clock passes `deadline`.
@@ -196,34 +266,26 @@ class Simulator {
 
   /// Number of events currently pending (cancelled events may still be
   /// counted until they are popped).
-  [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
+  [[nodiscard]] std::size_t pending_events() const {
+    return heap_.size() + calendar_.size();
+  }
 
  private:
   friend class TimerHandle;
 
-  struct Entry {
-    SimTime when;
-    std::uint64_t sequence;
-    std::uint32_t slot;
-    EventFn action;
-  };
-  /// Heap comparator: the std:: heap algorithms keep the *largest* element
-  /// (per the comparator) at the front, so "later fires are smaller" puts the
-  /// earliest (time, seq) on top — identical ordering to the original
-  /// priority_queue kernel.
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.sequence > b.sequence;
-    }
-  };
-
-  /// Timer-slab slot. `generation` advances each time the slot is released,
-  /// invalidating any TimerHandle minted for an earlier cycle.
+  /// Timer-slab slot: the event's callable plus its cancellation state.
+  /// `generation` advances each time the slot is released, invalidating any
+  /// TimerHandle minted for an earlier cycle. A batch slot (batch_fn set)
+  /// stores its raw callback instead of an EventFn and stays acquired until
+  /// `pending` firings have popped.
   struct Slot {
+    BatchFn batch_fn = nullptr;
+    void* batch_ctx = nullptr;
     std::uint32_t generation = 0;
     std::uint32_t next_free = kNoSlot;
+    std::uint32_t pending = 0;  ///< outstanding batch firings
     bool cancelled = false;
+    EventFn action;
   };
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
 
@@ -234,10 +296,33 @@ class Simulator {
     return slot < slots_.size() && slots_[slot].generation == generation;
   }
 
+  /// Which queue holds the entry peek_next reported.
+  enum class QueueSource : std::uint8_t { kCalendarQueue, kOverflowHeap };
+
+  /// Routes an entry to the calendar (near events, calendar mode) or the
+  /// binary heap (heap mode, or beyond the calendar's horizon).
+  void push_entry(const EventEntry& entry);
+  /// True (filling *entry) when any event is pending; picks the earlier
+  /// (time, sequence) of the calendar's head and the heap's head.
+  [[nodiscard]] bool pop_next(EventEntry* entry);
+  /// Earliest pending (time, sequence), as a peek; false when empty.
+  /// `source` (optional) reports which queue holds it, so run_until can pop
+  /// directly instead of re-peeking.
+  [[nodiscard]] bool peek_next(EventEntry* entry,
+                               QueueSource* source = nullptr);
+  /// Executes one popped entry. False if it was a cancelled ordinary event
+  /// (nothing ran); true after a firing.
+  bool fire(const EventEntry& entry);
+
   SimTime now_ = SimTime::zero();
+  QueueMode mode_;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t executed_ = 0;
-  std::vector<Entry> heap_;
+  /// kHeap mode: the only queue. kCalendar mode: overflow for events
+  /// scheduled beyond the calendar's horizon (whole-experiment schedules,
+  /// fault plans) — few, so the O(log n) sift doesn't matter.
+  std::vector<EventEntry> heap_;
+  CalendarQueue calendar_;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoSlot;
 };

@@ -27,7 +27,10 @@ FdsAgent::FdsAgent(Node& node, MembershipView& view, Simulator& sim,
       config_(config),
       hooks_(hooks) {
   node_.add_frame_handler(
-      [this](const Reception& reception) { on_frame(reception); });
+      [](void* self, const Reception& reception) {
+        static_cast<FdsAgent*>(self)->on_frame(reception);
+      },
+      this);
   node_.add_lifecycle_handler([this](bool alive) { on_lifecycle(alive); });
 }
 

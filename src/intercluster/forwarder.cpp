@@ -25,7 +25,10 @@ ForwarderAgent::ForwarderAgent(Node& node, MembershipView& view, FdsAgent& fds,
                                ForwarderService& service)
     : node_(node), view_(view), fds_(fds), service_(service) {
   node_.add_frame_handler(
-      [this](const Reception& reception) { on_frame(reception); });
+      [](void* self, const Reception& reception) {
+        static_cast<ForwarderAgent*>(self)->on_frame(reception);
+      },
+      this);
 }
 
 bool ForwarderAgent::acked(ReportId report, ClusterId by) const {

@@ -10,11 +10,29 @@ Node::Node(NodeId id, Vec2 position, EnergyModel energy_model,
       energy_model_(energy_model),
       initial_energy_uj_(initial_energy_uj) {
   radio_.set_receive_handler(
-      [this](const Reception& reception) { dispatch(reception); });
+      [](void* self, const Reception& reception) {
+        static_cast<Node*>(self)->dispatch(reception);
+      },
+      this);
 }
 
 void Node::add_frame_handler(FrameHandler handler) {
-  handlers_.push_back(std::move(handler));
+  boxed_frame_handlers_.push_back(
+      std::make_unique<FrameHandler>(std::move(handler)));
+  add_frame_handler(
+      [](void* boxed, const Reception& reception) {
+        (*static_cast<FrameHandler*>(boxed))(reception);
+      },
+      boxed_frame_handlers_.back().get());
+}
+
+void Node::add_frame_handler(RawFrameHandler handler, void* ctx) {
+  if (handler_count_ < kInlineHandlers) {
+    inline_handlers_[handler_count_] = HandlerRef{handler, ctx};
+  } else {
+    overflow_handlers_.push_back(HandlerRef{handler, ctx});
+  }
+  ++handler_count_;
 }
 
 void Node::add_lifecycle_handler(LifecycleHandler handler) {
@@ -43,7 +61,14 @@ double Node::remaining_energy_uj() const {
 
 void Node::dispatch(const Reception& reception) {
   if (!alive_) return;
-  for (const auto& handler : handlers_) handler(reception);
+  const std::uint32_t inline_count =
+      std::min<std::uint32_t>(handler_count_, kInlineHandlers);
+  for (std::uint32_t i = 0; i < inline_count; ++i) {
+    inline_handlers_[i].fn(inline_handlers_[i].ctx, reception);
+  }
+  for (const HandlerRef& handler : overflow_handlers_) {
+    handler.fn(handler.ctx, reception);
+  }
 }
 
 }  // namespace cfds

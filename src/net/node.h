@@ -15,7 +15,11 @@
 
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/geometry.h"
@@ -44,6 +48,10 @@ struct EnergyModel {
 class Node {
  public:
   using FrameHandler = std::function<void(const Reception&)>;
+  /// Allocation-free handler form for the per-delivery hot path: raw
+  /// function pointer plus opaque context (protocol agents register with
+  /// this; the std::function overload boxes into it).
+  using RawFrameHandler = void (*)(void* ctx, const Reception& reception);
 
   Node(NodeId id, Vec2 position, EnergyModel energy_model,
        double initial_energy_uj);
@@ -60,6 +68,9 @@ class Node {
   /// Registers a protocol layer's frame handler. Handlers run in
   /// registration order for every frame the radio hears.
   void add_frame_handler(FrameHandler handler);
+  /// Raw-pointer variant: one predictable indirect call per frame, no
+  /// std::function wrapper on the delivery hot path.
+  void add_frame_handler(RawFrameHandler handler, void* ctx);
 
   /// Invoked with `true` on recover() and `false` on crash(), in
   /// registration order. Protocol layers use the crash edge to cancel
@@ -102,7 +113,25 @@ class Node {
   bool alive_ = true;
   bool marked_ = false;
   std::uint32_t incarnation_ = 0;
-  std::vector<FrameHandler> handlers_;
+  /// One registered frame handler: raw callback plus opaque context.
+  struct HandlerRef {
+    RawFrameHandler fn;
+    void* ctx;
+  };
+  /// Every protocol stack registers a handful of layers, so the handler
+  /// table lives inline in the node — the per-delivery dispatch loop walks
+  /// memory the delivery already touched instead of chasing a separate heap
+  /// buffer. The overflow vector keeps registration unbounded (tests).
+  static constexpr std::size_t kInlineHandlers = 6;
+  /// All frame handlers in registration order: the first kInlineHandlers
+  /// live in inline_handlers_, the rest in overflow_handlers_;
+  /// std::function handlers point into boxed_frame_handlers_.
+  std::array<HandlerRef, kInlineHandlers> inline_handlers_{};
+  std::uint32_t handler_count_ = 0;
+  std::vector<HandlerRef> overflow_handlers_;
+  /// Owns the boxed std::function handlers (stable addresses — handlers_
+  /// keeps raw pointers to the boxes).
+  std::vector<std::unique_ptr<FrameHandler>> boxed_frame_handlers_;
   std::vector<LifecycleHandler> lifecycle_handlers_;
 };
 

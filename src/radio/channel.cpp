@@ -22,15 +22,23 @@ void Radio::set_position(Vec2 p) {
   if (channel_ != nullptr) channel_->reindex(this, old_position, p);
 }
 
-void Radio::deliver(const Reception& reception) {
+void Radio::deliver(const Reception& reception, std::uint64_t payload_bytes) {
   if (!powered_) return;  // crashed between emission and arrival
   counters_.frames_received++;
-  counters_.bytes_received += reception.payload->size_bytes();
-  if (on_receive_) on_receive_(reception);
+  counters_.bytes_received += payload_bytes;
+  if (raw_receive_ != nullptr) {
+    raw_receive_(raw_ctx_, reception);
+  } else if (on_receive_) {
+    on_receive_(reception);
+  }
 }
 
 Channel::Channel(Simulator& sim, LossModel& loss, ChannelConfig config, Rng rng)
-    : sim_(sim), loss_(loss), config_(config), rng_(rng) {
+    : sim_(sim),
+      loss_(loss),
+      bernoulli_loss_(loss.as_bernoulli()),
+      config_(config),
+      rng_(rng) {
   CFDS_EXPECT(config_.range > 0.0, "range must be positive");
   CFDS_EXPECT(config_.min_delay_frac >= 0.0 &&
                   config_.max_delay_frac <= 1.0 &&
@@ -38,73 +46,112 @@ Channel::Channel(Simulator& sim, LossModel& loss, ChannelConfig config, Rng rng)
               "delay fractions must satisfy 0 <= min <= max <= 1");
 }
 
+std::int64_t Channel::cell_coord(double v) const {
+  return std::int64_t(std::floor(v / config_.range));
+}
+
+std::int64_t Channel::pack_cell(std::int64_t cx, std::int64_t cy) {
+  return ((cx + 0x40000000) << 32) |
+         std::int64_t(std::uint32_t(cy + 0x40000000));
+}
+
 std::int64_t Channel::cell_key(Vec2 p) const {
   // Cell size = transmission range: any receiver lies within the 3x3 cell
   // block around the sender. Coordinates are packed into one 64-bit key
   // (biased to keep negative positions well-defined).
-  const auto cx = std::int64_t(std::floor(p.x / config_.range));
-  const auto cy = std::int64_t(std::floor(p.y / config_.range));
-  return ((cx + 0x40000000) << 32) | std::int64_t(std::uint32_t(cy + 0x40000000));
+  return pack_cell(cell_coord(p.x), cell_coord(p.y));
+}
+
+std::vector<Channel::CellEntry>& Channel::grid_cell(std::int64_t key) {
+  const auto [it, inserted] = grid_.try_emplace(key);
+  if (inserted) ++grid_cells_version_;  // stales every cached CellBlock
+  return it->second;
 }
 
 void Channel::index_insert(Radio* radio) {
-  grid_[cell_key(radio->position())].push_back(radio);
+  grid_cell(cell_key(radio->position()))
+      .push_back(CellEntry{radio->position(), radio});
 }
 
 void Channel::index_remove(Radio* radio) {
-  auto& cell = grid_[cell_key(radio->position())];
-  cell.erase(std::remove(cell.begin(), cell.end(), radio), cell.end());
+  auto& cell = grid_cell(cell_key(radio->position()));
+  cell.erase(std::remove_if(cell.begin(), cell.end(),
+                            [radio](const CellEntry& e) {
+                              return e.radio == radio;
+                            }),
+             cell.end());
 }
 
 void Channel::reindex(Radio* radio, Vec2 old_position, Vec2 new_position) {
   const std::int64_t old_key = cell_key(old_position);
   const std::int64_t new_key = cell_key(new_position);
-  if (old_key == new_key) return;
-  auto& old_cell = grid_[old_key];
-  old_cell.erase(std::remove(old_cell.begin(), old_cell.end(), radio),
+  if (old_key == new_key) {
+    // Same cell: only the cached position needs refreshing.
+    for (CellEntry& entry : grid_cell(old_key)) {
+      if (entry.radio == radio) {
+        entry.pos = new_position;
+        return;
+      }
+    }
+    return;
+  }
+  auto& old_cell = grid_cell(old_key);
+  old_cell.erase(std::remove_if(old_cell.begin(), old_cell.end(),
+                                [radio](const CellEntry& e) {
+                                  return e.radio == radio;
+                                }),
                  old_cell.end());
-  grid_[new_key].push_back(radio);
+  grid_cell(new_key).push_back(CellEntry{new_position, radio});
+}
+
+const Channel::CellBlock& Channel::cell_block(Vec2 center) const {
+  CellBlock& block = cell_blocks_[cell_key(center)];
+  if (block.version != grid_cells_version_) {
+    block.count = 0;
+    const std::int64_t ccx = cell_coord(center.x);
+    const std::int64_t ccy = cell_coord(center.y);
+    for (std::int64_t cx = ccx - 1; cx <= ccx + 1; ++cx) {
+      for (std::int64_t cy = ccy - 1; cy <= ccy + 1; ++cy) {
+        const auto it = grid_.find(pack_cell(cx, cy));
+        if (it == grid_.end()) continue;
+        block.cells[block.count++] = &it->second;
+      }
+    }
+    block.version = grid_cells_version_;
+  }
+  return block;
 }
 
 template <typename Fn>
 void Channel::for_each_in_range(Vec2 center, const Radio* exclude,
                                 Fn&& fn) const {
-  const auto ccx = std::int64_t(std::floor(center.x / config_.range));
-  const auto ccy = std::int64_t(std::floor(center.y / config_.range));
-  for (std::int64_t cx = ccx - 1; cx <= ccx + 1; ++cx) {
-    for (std::int64_t cy = ccy - 1; cy <= ccy + 1; ++cy) {
-      const std::int64_t key = ((cx + 0x40000000) << 32) |
-                               std::int64_t(std::uint32_t(cy + 0x40000000));
-      const auto it = grid_.find(key);
-      if (it == grid_.end()) continue;
-      for (Radio* radio : it->second) {
-        if (radio == exclude) continue;
-        if (!within_range(center, radio->position(), config_.range)) continue;
-        fn(radio);
-      }
+  const CellBlock& block = cell_block(center);
+  for (std::uint32_t c = 0; c < block.count; ++c) {
+    for (const CellEntry& entry : *block.cells[c]) {
+      if (entry.radio == exclude) continue;
+      if (!within_range(center, entry.pos, config_.range)) continue;
+      fn(entry.radio, entry.pos);
     }
   }
 }
 
 void Channel::attach(Radio& radio) {
   CFDS_EXPECT(radio.channel_ == nullptr, "radio already attached");
+  CFDS_EXPECT(radios_by_id_.find(radio.id()) == radios_by_id_.end(),
+              "duplicate radio id attached to channel");
   radio.channel_ = this;
   radios_.push_back(&radio);
+  radios_by_id_[radio.id()] = &radio;
   index_insert(&radio);
 }
 
 std::vector<NodeId> Channel::neighbors_of(NodeId self) const {
-  const Radio* me = nullptr;
-  for (const Radio* r : radios_) {
-    if (r->id() == self) {
-      me = r;
-      break;
-    }
-  }
-  CFDS_EXPECT(me != nullptr, "unknown radio id");
+  const auto it = radios_by_id_.find(self);
+  CFDS_EXPECT(it != radios_by_id_.end(), "unknown radio id");
+  const Radio* me = it->second;
   std::vector<NodeId> out;
   for_each_in_range(me->position(), me,
-                    [&](Radio* radio) { out.push_back(radio->id()); });
+                    [&](Radio* radio, Vec2) { out.push_back(radio->id()); });
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -151,6 +198,36 @@ std::uint64_t Channel::link_key(NodeId a, NodeId b) {
   return (hi << 32) | lo;
 }
 
+Transmission* Channel::acquire_transmission() {
+  if (!transmission_free_.empty()) {
+    Transmission* tx = transmission_free_.back();
+    transmission_free_.pop_back();
+    return tx;
+  }
+  transmission_slab_.push_back(std::make_unique<Transmission>());
+  transmission_slab_.back()->channel = this;
+  return transmission_slab_.back().get();
+}
+
+void Channel::release_transmission(Transmission* tx) {
+  tx->reception.payload.reset();  // drop the shared frame eagerly
+  tx->receivers.clear();          // keeps capacity for the next broadcast
+  tx->remaining = 0;
+  transmission_free_.push_back(tx);
+}
+
+void Channel::deliver_one(Transmission* tx, Radio* receiver) {
+  // Every receiver reads the one Reception embedded in the shared record;
+  // no per-receiver payload refcount traffic.
+  receiver->deliver(tx->reception, tx->payload_bytes);
+  if (--tx->remaining == 0) release_transmission(tx);
+}
+
+void Channel::batch_deliver(void* ctx, std::uint32_t index) {
+  auto* tx = static_cast<Transmission*>(ctx);
+  tx->channel->deliver_one(tx, tx->receivers[index]);
+}
+
 void Channel::transmit(Radio& sender, PayloadPtr payload, NodeId intended) {
   stats_.transmissions++;
   if (tap_) tap_(sender.id(), intended, *payload, sim_.now());
@@ -159,8 +236,17 @@ void Channel::transmit(Radio& sender, PayloadPtr payload, NodeId intended) {
   if (!muted_.empty() && muted_.contains(sender.id())) return;
   const Vec2 from = sender.position();
   const bool sender_jammed = !jam_regions_.empty() && is_jammed(from);
-  const SimTime sent_at = sim_.now();
-  for_each_in_range(from, &sender, [&](Radio* receiver) {
+
+  // One record per broadcast. The receiver list and its per-receiver delay
+  // draws happen in the same deterministic receiver order (and interleaved
+  // with the same loss-model draws) as the old per-receiver scheduling, so
+  // the RNG sequence is untouched.
+  Transmission* tx = acquire_transmission();
+  tx->reception = Reception{sender.id(), intended, std::move(payload),
+                            sim_.now()};
+  tx->payload_bytes = tx->reception.payload->size_bytes();
+  scratch_delays_.clear();
+  for_each_in_range(from, &sender, [&](Radio* receiver, Vec2 receiver_pos) {
     if (!receiver->powered()) return;
     // Deterministic fault drops happen before the loss/delay RNG draws: a
     // frame that cannot arrive must not consume channel randomness.
@@ -171,12 +257,18 @@ void Channel::transmit(Radio& sender, PayloadPtr payload, NodeId intended) {
       return;
     }
     if (sender_jammed ||
-        (!jam_regions_.empty() && is_jammed(receiver->position()))) {
+        (!jam_regions_.empty() && is_jammed(receiver_pos))) {
       stats_.losses++;  // jam region: loss probability forced to 1
       return;
     }
-    if (loss_.lost(sender.id(), from, receiver->id(), receiver->position(),
-                   rng_)) {
+    // Inlined draw for the common BernoulliLoss (bit-identical to calling
+    // lost(): one uniform per candidate); other models go virtual.
+    const bool frame_lost =
+        bernoulli_loss_ != nullptr
+            ? rng_.bernoulli(bernoulli_loss_->probability())
+            : loss_.lost(sender.id(), from, receiver->id(), receiver_pos,
+                         rng_);
+    if (frame_lost) {
       stats_.losses++;
       return;
     }
@@ -185,12 +277,27 @@ void Channel::transmit(Radio& sender, PayloadPtr payload, NodeId intended) {
         rng_.uniform(config_.min_delay_frac, config_.max_delay_frac);
     const auto delay =
         SimTime::micros(std::int64_t(frac * double(config_.t_hop.as_micros())));
-    sim_.schedule_after(
-        delay, [receiver, reception = Reception{sender.id(), intended, payload,
-                                                sent_at}] {
-          receiver->deliver(reception);
-        });
+    tx->receivers.push_back(receiver);
+    scratch_delays_.push_back(delay);
   });
+
+  if (tx->receivers.empty()) {
+    release_transmission(tx);
+    return;
+  }
+  stats_.max_fanout =
+      std::max<std::uint64_t>(stats_.max_fanout, tx->receivers.size());
+  // Scheduling after the fan-out loop assigns the same sequence numbers as
+  // scheduling inside it (nothing else schedules during the loop), so the
+  // firing order is bit-identical to the unbatched path. One batch = one
+  // timer slot for the whole broadcast; each firing carries its receiver
+  // index in the queue entry itself.
+  tx->remaining = std::uint32_t(tx->receivers.size());
+  const Simulator::BatchRef batch =
+      sim_.begin_batch(&Channel::batch_deliver, tx);
+  for (std::uint32_t i = 0; i < tx->remaining; ++i) {
+    sim_.add_batch_event(batch, scratch_delays_[i], i);
+  }
 }
 
 }  // namespace cfds

@@ -10,9 +10,12 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/flat.h"
@@ -52,6 +55,10 @@ struct RadioCounters {
 class Radio {
  public:
   using ReceiveHandler = std::function<void(const Reception&)>;
+  /// Allocation-free handler variant for the per-delivery hot path: a raw
+  /// function pointer plus an opaque context (the node runtime uses this;
+  /// tests keep the std::function convenience setter).
+  using RawReceiveHandler = void (*)(void* ctx, const Reception& reception);
 
   Radio(NodeId id, Vec2 position) : id_(id), position_(position) {}
 
@@ -68,8 +75,19 @@ class Radio {
   void set_powered(bool on) { powered_ = on; }
 
   /// Handler invoked on every frame this radio hears (addressed or overheard).
+  /// Replaces any raw handler.
   void set_receive_handler(ReceiveHandler handler) {
     on_receive_ = std::move(handler);
+    raw_receive_ = nullptr;
+    raw_ctx_ = nullptr;
+  }
+
+  /// Raw-pointer variant of set_receive_handler; replaces any std::function
+  /// handler. One predictable indirect call per delivery, no wrapper.
+  void set_receive_handler(RawReceiveHandler handler, void* ctx) {
+    raw_receive_ = handler;
+    raw_ctx_ = ctx;
+    on_receive_ = nullptr;
   }
 
   /// Emits a frame. All in-range powered radios are candidates to hear it.
@@ -82,13 +100,17 @@ class Radio {
  private:
   friend class Channel;
 
-  void deliver(const Reception& reception);
+  /// `payload_bytes` is reception.payload->size_bytes(), precomputed once
+  /// per broadcast by the channel (see Transmission::payload_bytes).
+  void deliver(const Reception& reception, std::uint64_t payload_bytes);
 
   NodeId id_;
   Vec2 position_;
   bool powered_ = true;
   Channel* channel_ = nullptr;
   ReceiveHandler on_receive_;
+  RawReceiveHandler raw_receive_ = nullptr;
+  void* raw_ctx_ = nullptr;
   RadioCounters counters_;
 };
 
@@ -97,6 +119,35 @@ struct ChannelStats {
   std::uint64_t transmissions = 0;
   std::uint64_t deliveries = 0;
   std::uint64_t losses = 0;  ///< in-range candidates that drew a loss
+  /// Widest single-broadcast fan-out seen (receivers of one transmission);
+  /// diagnostics for the batched-delivery path and the fan-out benches.
+  std::uint64_t max_fanout = 0;
+};
+
+/// One broadcast in flight: the shared frame every receiver hears plus the
+/// per-receiver delivery schedule. The channel builds one Transmission per
+/// transmit() — not one closure per receiver — and every delivery event
+/// hands the same embedded Reception to its receiver by const reference, so
+/// a fan-out of k costs one payload refcount bump, not k. Records are
+/// recycled through a slab pool (receiver-list capacity included), so a
+/// broadcast performs O(1) allocations regardless of fan-out.
+struct Transmission {
+  Reception reception;
+  /// Owning channel, for the batch-delivery callback (the simulator hands
+  /// it back only this record as context).
+  Channel* channel = nullptr;
+  /// reception.payload->size_bytes(), computed once per broadcast so the
+  /// per-receiver accounting skips the virtual call.
+  std::uint64_t payload_bytes = 0;
+  /// Deliveries scheduled but not yet fired; the record returns to the pool
+  /// when it reaches zero.
+  std::uint32_t remaining = 0;
+  /// Receivers in the channel's deterministic order — the same order the
+  /// per-receiver RNG draws are made in. The matching delivery delays are
+  /// consumed at scheduling time (the queue entries carry the fire times),
+  /// so only the bare pointers stay resident while deliveries are in
+  /// flight.
+  std::vector<Radio*> receivers;
 };
 
 /// Channel configuration.
@@ -158,30 +209,91 @@ class Channel {
   friend class Radio;
 
   void transmit(Radio& sender, PayloadPtr payload, NodeId intended);
+  /// Fires one scheduled delivery of `tx` to `receiver`; releases the
+  /// record back to the pool after its last delivery.
+  void deliver_one(Transmission* tx, Radio* receiver);
+  /// Simulator::BatchFn trampoline: `ctx` is the Transmission, `index` its
+  /// receiver-list position.
+  static void batch_deliver(void* ctx, std::uint32_t index);
+
+  [[nodiscard]] Transmission* acquire_transmission();
+  void release_transmission(Transmission* tx);
 
   // --- Spatial index: uniform grid with cell size = range. Reach from any
   // point spans at most the 3x3 cell block around it, so transmissions and
   // neighbour queries touch O(local density) radios instead of O(n). ------
+  /// Grid coordinate of one axis value (cell size = range).
+  [[nodiscard]] std::int64_t cell_coord(double v) const;
+  /// Packs grid coordinates into one 64-bit key. The bias keeps negative
+  /// coordinates well-defined; the single definition keeps cell_key and the
+  /// 3x3 probe loop from drifting apart.
+  [[nodiscard]] static std::int64_t pack_cell(std::int64_t cx, std::int64_t cy);
   [[nodiscard]] std::int64_t cell_key(Vec2 p) const;
   void index_insert(Radio* radio);
   void index_remove(Radio* radio);
   void reindex(Radio* radio, Vec2 old_position, Vec2 new_position);
-  /// Invokes fn(radio) for every indexed radio within `range` of `center`
-  /// (excluding `exclude`).
+  /// One indexed radio with its position cached inline. The range test per
+  /// candidate reads 24 contiguous bytes instead of chasing the Radio
+  /// object (most of a cell block is out of range, so the chase would be a
+  /// cache miss that buys nothing). reindex() keeps `pos` in sync with
+  /// every Radio::set_position call, including moves within one cell.
+  struct CellEntry {
+    Vec2 pos;
+    Radio* radio;
+  };
+
+  /// Invokes fn(radio, pos) for every indexed radio within `range` of
+  /// `center` (excluding `exclude`); `pos` is the radio's (cached) position.
   template <typename Fn>
   void for_each_in_range(Vec2 center, const Radio* exclude, Fn&& fn) const;
+
+  /// Cached 3x3 cell block around one centre cell: pointers to the grid's
+  /// cell vectors (stable — cells are never erased, and unordered_map
+  /// mapped values don't move on rehash), so a broadcast resolves its
+  /// neighbourhood with one cache lookup instead of nine hash probes. The
+  /// pointers see cell contents live; only the APPEARANCE of a brand-new
+  /// cell can stale a block, so grid_cells_version_ bumps exactly when
+  /// grid_ gains a key.
+  struct CellBlock {
+    std::uint64_t version = 0;
+    std::uint32_t count = 0;
+    std::array<const std::vector<CellEntry>*, 9> cells{};
+  };
+  /// The grid cell vector for `key`, creating it (and bumping
+  /// grid_cells_version_) on first use.
+  [[nodiscard]] std::vector<CellEntry>& grid_cell(std::int64_t key);
+  /// The up-to-date CellBlock for the cell containing `center`.
+  [[nodiscard]] const CellBlock& cell_block(Vec2 center) const;
 
   /// Order-independent key for the undirected link {a, b}.
   [[nodiscard]] static std::uint64_t link_key(NodeId a, NodeId b);
 
   Simulator& sim_;
   LossModel& loss_;
+  /// Cached loss_.as_bernoulli(): non-null lets transmit() inline the
+  /// single-uniform loss draw instead of a virtual call per candidate.
+  const BernoulliLoss* bernoulli_loss_ = nullptr;
   ChannelConfig config_;
   Rng rng_;
   std::vector<Radio*> radios_;
-  std::unordered_map<std::int64_t, std::vector<Radio*>> grid_;
+  /// id -> radio, maintained by attach(); makes neighbors_of O(log n)
+  /// instead of a linear scan and enforces id uniqueness.
+  FlatMap<NodeId, Radio*> radios_by_id_;
+  std::unordered_map<std::int64_t, std::vector<CellEntry>> grid_;
+  /// Bumped whenever grid_ gains a new cell key; stamps CellBlock caches.
+  std::uint64_t grid_cells_version_ = 1;
+  mutable std::unordered_map<std::int64_t, CellBlock> cell_blocks_;
   ChannelStats stats_;
   Tap tap_;
+  /// Transmission slab + freelist. Records are raw-pointer-stable (the
+  /// delivery events hold Transmission*), owned by the slab for the
+  /// channel's lifetime, and recycled with their receiver-list capacity.
+  std::vector<std::unique_ptr<Transmission>> transmission_slab_;
+  std::vector<Transmission*> transmission_free_;
+  /// Per-receiver delivery delays of the broadcast being scheduled, index-
+  /// aligned with its receiver list; reused scratch (delays are consumed by
+  /// the scheduling loop within transmit()).
+  std::vector<SimTime> scratch_delays_;
   // Fault-injection state (empty in fault-free runs; see the hooks above).
   FlatSet<NodeId> muted_;
   FlatSet<std::uint64_t> blocked_links_;

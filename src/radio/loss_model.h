@@ -29,6 +29,14 @@ class LossModel {
   /// outcomes must be independent across calls for the iid model.
   [[nodiscard]] virtual bool lost(NodeId sender, Vec2 from, NodeId receiver,
                                   Vec2 to, Rng& rng) = 0;
+
+  /// Non-null when this model is the paper's iid BernoulliLoss. The channel
+  /// caches this once and inlines the single-uniform draw on its per-
+  /// receiver hot path instead of a virtual call; the draw sequence is
+  /// identical to calling lost().
+  [[nodiscard]] virtual const class BernoulliLoss* as_bernoulli() const {
+    return nullptr;
+  }
 };
 
 /// The paper's model: iid loss with fixed probability p per receiver.
@@ -37,6 +45,10 @@ class BernoulliLoss final : public LossModel {
   explicit BernoulliLoss(double loss_probability);
 
   [[nodiscard]] bool lost(NodeId, Vec2, NodeId, Vec2, Rng& rng) override;
+
+  [[nodiscard]] const BernoulliLoss* as_bernoulli() const override {
+    return this;
+  }
 
   [[nodiscard]] double probability() const { return p_; }
 

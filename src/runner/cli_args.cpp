@@ -152,6 +152,8 @@ void add_runner_flags(FlagSet& flags, RunnerOptions& options) {
                   "JSONL results path (\"-\" = stdout)");
   flags.add_flag("--no-wall-time", &options.no_wall_time,
                  "omit wall_ms from JSONL (bit-reproducible output)");
+  flags.add_flag("--no-calendar", &options.no_calendar,
+                 "use the binary-heap event queue (calendar-queue oracle)");
   flags.add_value("--fault-plan", &options.fault_plan,
                   "FaultPlan JSONL to inject/replay (docs/FAULTS.md)");
 }

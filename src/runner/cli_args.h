@@ -74,6 +74,11 @@ struct RunnerOptions {
   std::int64_t seed = -1;
   std::string out;  ///< JSONL path; empty = no sink, "-" = stdout
   bool no_wall_time = false;
+  /// Run every simulator on the binary-heap event queue instead of the
+  /// calendar queue (--no-calendar). The heap is the property-test oracle;
+  /// the flag exists so any experiment can be replayed on it — output must
+  /// be byte-identical (tools/check_perf.sh diffs the two).
+  bool no_calendar = false;
   std::string fault_plan;  ///< FaultPlan JSONL to replay (empty = none)
 
   [[nodiscard]] std::uint64_t seed_or(std::uint64_t fallback) const {

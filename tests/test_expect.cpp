@@ -25,6 +25,27 @@ TEST(ExpectDeath, SchedulingInThePastAborts) {
                "cannot schedule events in the past");
 }
 
+TEST(ExpectDeath, CalendarInsertBeyondHorizonAborts) {
+  // The horizon invariant is load-bearing: an entry past the horizon would
+  // wrap the wheel and fire a lap early, silently corrupting event order.
+  // The wheel must abort loudly instead (the kernel routes such events to
+  // its overflow heap and never trips this).
+  CalendarQueue queue;
+  EventEntry entry{CalendarQueue::horizon() + SimTime::micros(1), 0, 0, 0};
+  EXPECT_DEATH(queue.insert(entry, SimTime::zero()),
+               "beyond the bounded horizon");
+  entry.when = CalendarQueue::horizon();  // exactly at the horizon is fine
+  queue.insert(entry, SimTime::zero());
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(ExpectDeath, CalendarInsertInThePastAborts) {
+  CalendarQueue queue;
+  const EventEntry entry{SimTime::millis(1), 0, 0, 0};
+  EXPECT_DEATH(queue.insert(entry, SimTime::millis(2)),
+               "calendar insert in the past");
+}
+
 TEST(ExpectDeath, InvalidLossProbabilityAborts) {
   EXPECT_DEATH(BernoulliLoss(-0.1), "loss probability");
   EXPECT_DEATH(BernoulliLoss(1.5), "loss probability");

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "analysis/figures.h"
+#include "event/simulator.h"
 #include "net/mobility.h"
 #include "radio/tracer.h"
 #include "runner/cli_args.h"
@@ -101,6 +102,11 @@ CliOptions parse(int argc, char** argv) {
     options.scenario.heartbeat_interval = SimTime::millis(interval_ms);
   }
   options.scenario.seed = options.runner.seed_or(options.scenario.seed);
+  // Before any trial thread constructs a Simulator (the pool spins up in
+  // run_monte_carlo, after parsing).
+  if (options.runner.no_calendar) {
+    Simulator::set_default_queue_mode(QueueMode::kHeap);
+  }
   return options;
 }
 

@@ -4,7 +4,8 @@
 # Builds a Release tree and a ThreadSanitizer tree, runs the smoke-sized
 # bench_kernel study under both (catching crashes, CFDS_EXPECT aborts, and
 # data races on the schedule/cancel/fire paths), then checks that the fig5
-# Monte-Carlo JSONL is byte-identical across thread counts.
+# Monte-Carlo JSONL is byte-identical across thread counts AND across event
+# queue implementations (calendar queue vs the --no-calendar binary heap).
 #
 # Usage: tools/check_perf.sh [build-dir-prefix]
 #   Build trees land in <prefix>-release/ and <prefix>-tsan/
@@ -47,4 +48,15 @@ if ! cmp -s "$tmp/fig5.t1.jsonl" "$tmp/fig5.t8.jsonl"; then
   exit 1
 fi
 
-echo "OK: smoke benches passed, fig5 JSONL byte-identical across threads"
+echo "== determinism: fig5 JSONL calendar queue vs --no-calendar heap"
+"./$prefix-release/tools/cfds_cli" --mc fig5 --cluster-n 20,30 \
+    --trials 4000 --threads 8 --seed 7 --no-wall-time --no-calendar \
+    --out "$tmp/fig5.heap.jsonl"
+if ! cmp -s "$tmp/fig5.t8.jsonl" "$tmp/fig5.heap.jsonl"; then
+  echo "FAIL: fig5 JSONL differs between calendar and heap queues" >&2
+  diff "$tmp/fig5.t8.jsonl" "$tmp/fig5.heap.jsonl" >&2 || true
+  exit 1
+fi
+
+echo "OK: smoke benches passed, fig5 JSONL byte-identical across threads" \
+     "and queue implementations"

@@ -1,0 +1,46 @@
+// Fixture: per-receiver scheduling inside a range-query callback — every
+// broadcast pays one timer slot and one closure per receiver, O(k)
+// allocations and heap sifts where a batch would cost O(1).
+
+namespace fixture {
+
+struct Vec2 {
+  double x, y;
+};
+
+struct Simulator {
+  template <typename F>
+  void schedule_after(long delay, F fn);
+  template <typename F>
+  void schedule_at(long when, F fn);
+};
+
+struct Radio {
+  void deliver(int payload);
+};
+
+struct Channel {
+  Simulator* sim;
+
+  template <typename F>
+  void for_each_in_range(Vec2 center, double range, F fn);
+
+  void transmit(Vec2 origin, double range, int payload) {
+    for_each_in_range(origin, range, [&](Radio* receiver, Vec2) {
+      const long delay = 100;
+      sim->schedule_after(delay,  // BAD: one timer per receiver
+                          [receiver, payload] { receiver->deliver(payload); });
+    });
+  }
+
+  void transmit_at(Vec2 origin, double range, int payload, long when) {
+    for_each_in_range(origin, range, [&](Radio* receiver, Vec2) {
+      // BAD: absolute-time flavor of the same per-receiver scheduling
+      sim->schedule_at(when, [receiver, payload] {
+        receiver->deliver(payload);
+      });
+    });
+  }
+};
+
+}  // namespace fixture

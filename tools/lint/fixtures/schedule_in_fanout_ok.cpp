@@ -1,0 +1,59 @@
+// Fixture: batched fan-out done right — the range-query callback only
+// collects receivers; scheduling happens once, after the loop, through the
+// kernel's batch API (one timer slot for the whole broadcast). Scheduling
+// outside any for_each_in_range span is also fine.
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Vec2 {
+  double x, y;
+};
+
+struct BatchRef {
+  std::uint32_t slot;
+};
+
+struct Simulator {
+  using BatchFn = void (*)(void* ctx, std::uint32_t index);
+  BatchRef begin_batch(BatchFn fn, void* ctx);
+  void add_batch_event(BatchRef batch, long delay, std::uint32_t index);
+  template <typename F>
+  void schedule_after(long delay, F fn);
+};
+
+struct Radio {
+  void deliver(int payload);
+};
+
+struct Channel {
+  Simulator* sim;
+  std::vector<Radio*> receivers;
+
+  template <typename F>
+  void for_each_in_range(Vec2 center, double range, F fn);
+
+  static void deliver_one(void* ctx, std::uint32_t index) {
+    auto* channel = static_cast<Channel*>(ctx);
+    channel->receivers[index]->deliver(0);
+  }
+
+  void transmit(Vec2 origin, double range) {
+    receivers.clear();
+    for_each_in_range(origin, range, [&](Radio* receiver, Vec2) {
+      receivers.push_back(receiver);  // collect only, schedule later
+    });
+    const BatchRef batch = sim->begin_batch(&deliver_one, this);
+    for (std::uint32_t i = 0; i < receivers.size(); ++i) {
+      sim->add_batch_event(batch, 100 + long(i), i);
+    }
+  }
+
+  void heartbeat() {
+    sim->schedule_after(1000, [this] { transmit({0, 0}, 100.0); });
+  }
+};
+
+}  // namespace fixture

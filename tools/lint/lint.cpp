@@ -219,6 +219,36 @@ std::vector<Violation> scan_source(const std::string& path,
     }
   }
 
+  // schedule-in-fanout needs multi-line state: per-event scheduling inside
+  // a for_each_in_range callback costs one timer slot and one closure per
+  // receiver, O(k) allocations and heap sifts per broadcast. Batch the
+  // fan-out instead: collect receivers in the callback, then schedule once
+  // with begin_batch/add_batch_event after the loop (src/radio/channel.cpp
+  // is the reference). The span is tracked lexically — from a line
+  // containing for_each_in_range( until its call parentheses balance.
+  {
+    static const std::regex kSchedule(R"(\bschedule_(?:at|after)\s*\()");
+    int depth = 0;
+    bool inside = false;
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+      std::size_t from = 0;
+      if (!inside) {
+        const std::size_t call = clean[i].find("for_each_in_range");
+        if (call == std::string::npos) continue;
+        inside = true;
+        depth = 0;
+        from = call;
+      }
+      for (std::size_t k = from; k < clean[i].size() && inside; ++k) {
+        if (clean[i][k] == '(') ++depth;
+        if (clean[i][k] == ')' && --depth == 0) inside = false;
+      }
+      if (std::regex_search(clean[i].substr(from), kSchedule)) {
+        emit("schedule-in-fanout", i);
+      }
+    }
+  }
+
   // unordered-iteration needs file-level state: which identifiers in this
   // file — or in its companion header, for members iterated from the .cpp —
   // are unordered containers.

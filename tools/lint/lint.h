@@ -28,6 +28,11 @@
 //                        kernel is allocation-free by contract (docs/PERF.md).
 //   raw-assert           use CFDS_EXPECT(expr, msg), not <cassert> assert —
 //                        contracts must fire in every build type.
+//   schedule-in-fanout   no schedule_at/schedule_after inside a
+//                        for_each_in_range callback — per-receiver timers
+//                        cost O(k) slots and closures per broadcast; batch
+//                        the fan-out with begin_batch/add_batch_event after
+//                        the loop instead (docs/PERF.md).
 //
 // Suppression: a `LINT-ALLOW(rule): reason` comment on the same or the
 // immediately preceding line exempts that line. Use it for permanent,

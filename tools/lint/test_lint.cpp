@@ -126,6 +126,30 @@ TEST(LintFixtures, RawAssertOk) {
   EXPECT_TRUE(scan_fixture("raw_assert_ok.cpp", "src/sim/f.cpp").empty());
 }
 
+TEST(LintFixtures, ScheduleInFanoutBad) {
+  const auto vs = scan_fixture("schedule_in_fanout_bad.cpp", "src/radio/f.cpp");
+  EXPECT_EQ(rules_of(vs).count("schedule-in-fanout"), 2u);
+  EXPECT_EQ(vs.size(), 2u);
+}
+
+TEST(LintFixtures, ScheduleInFanoutOk) {
+  EXPECT_TRUE(
+      scan_fixture("schedule_in_fanout_ok.cpp", "src/radio/f.cpp").empty());
+}
+
+TEST(LintEngine, ScheduleOutsideFanoutSpanIsClean) {
+  // The span ends where the for_each_in_range call's parentheses balance;
+  // scheduling right after the loop (the batched pattern) must not trip.
+  const std::string source =
+      "void f() {\n"
+      "  channel.for_each_in_range(center, range, [&](Radio* r, Vec2) {\n"
+      "    receivers.push_back(r);\n"
+      "  });\n"
+      "  sim.schedule_after(delay, [] {});\n"
+      "}\n";
+  EXPECT_TRUE(cfds::lint::scan_source("src/radio/f.cpp", source).empty());
+}
+
 TEST(LintEngine, CommentsAndStringsDoNotTrip) {
   const std::string source =
       "// system_clock mentioned in a comment is fine\n"
