@@ -8,9 +8,10 @@
 
 namespace cfds {
 
-FormationAgent::FormationAgent(Node& node, FormationConfig config)
-    : node_(node), config_(config), view_(node.id()) {
-  node_.add_frame_handler(
+FormationAgent::FormationAgent(Node& node, Transport& transport,
+                               FormationConfig config)
+    : node_(node), transport_(transport), config_(config), view_(node.id()) {
+  transport_.add_receive_handler(
       [](void* self, const Reception& reception) {
         static_cast<FormationAgent*>(self)->on_frame(reception);
       },
@@ -30,7 +31,7 @@ void FormationAgent::send_probe() {
   auto probe = std::make_shared<ProbePayload>();
   probe->sender = node_.id();
   probe->marked = node_.marked();
-  node_.radio().send(std::move(probe));
+  transport_.send(std::move(probe));
 }
 
 void FormationAgent::send_claim_if_eligible() {
@@ -48,7 +49,7 @@ void FormationAgent::send_claim_if_eligible() {
   claiming_ = true;
   auto claim = std::make_shared<ChClaimPayload>();
   claim->claimant = node_.id();
-  node_.radio().send(std::move(claim));
+  transport_.send(std::move(claim));
 }
 
 void FormationAgent::send_join_if_needed() {
@@ -71,7 +72,7 @@ void FormationAgent::send_join_if_needed() {
   join->sender = node_.id();
   join->clusterhead = best;
   join->observed_degree = probes_heard_;
-  node_.radio().send(std::move(join), best);
+  transport_.send(std::move(join), best);
 }
 
 void FormationAgent::send_announcement_if_clusterhead() {
@@ -119,7 +120,7 @@ void FormationAgent::send_announcement_if_clusterhead() {
   announce->clusterhead = updated.clusterhead;
   announce->members = updated.members;
   announce->deputies = updated.deputies;
-  node_.radio().send(std::move(announce));
+  transport_.send(std::move(announce));
 }
 
 void FormationAgent::send_gateway_candidacy_if_needed() {
@@ -137,7 +138,7 @@ void FormationAgent::send_gateway_candidacy_if_needed() {
   candidacy->sender = node_.id();
   candidacy->home_cluster = view_.cluster()->id;
   candidacy->reachable = std::move(reachable);
-  node_.radio().send(std::move(candidacy), view_.cluster()->clusterhead);
+  transport_.send(std::move(candidacy), view_.cluster()->clusterhead);
 }
 
 void FormationAgent::send_gateway_assignment_if_clusterhead() {
@@ -201,7 +202,7 @@ void FormationAgent::send_gateway_assignment_if_clusterhead() {
   auto assignment = std::make_shared<GatewayAssignmentPayload>();
   assignment->cluster = mine;
   assignment->links = std::move(links);
-  node_.radio().send(std::move(assignment));
+  transport_.send(std::move(assignment));
 }
 
 void FormationAgent::on_frame(const Reception& reception) {
@@ -260,7 +261,9 @@ void FormationAgent::on_frame(const Reception& reception) {
 FormationProtocol::FormationProtocol(Network& network, FormationConfig config)
     : network_(network), config_(config) {
   for (Node* node : network_.nodes()) {
-    agents_.push_back(std::make_unique<FormationAgent>(*node, config_));
+    transports_.push_back(std::make_unique<SimTransport>(*node));
+    agents_.push_back(
+        std::make_unique<FormationAgent>(*node, *transports_.back(), config_));
   }
 }
 
@@ -274,7 +277,9 @@ std::vector<FormationAgent*> FormationProtocol::agents() {
 void FormationProtocol::adopt_new_nodes() {
   const auto& nodes = network_.nodes();
   for (std::size_t i = agents_.size(); i < nodes.size(); ++i) {
-    agents_.push_back(std::make_unique<FormationAgent>(*nodes[i], config_));
+    transports_.push_back(std::make_unique<SimTransport>(*nodes[i]));
+    agents_.push_back(std::make_unique<FormationAgent>(
+        *nodes[i], *transports_.back(), config_));
   }
 }
 

@@ -43,6 +43,8 @@
 #include "common/flat.h"
 #include "common/sim_time.h"
 #include "net/network.h"
+#include "transport/sim_transport.h"
+#include "transport/transport.h"
 
 namespace cfds {
 
@@ -61,7 +63,10 @@ struct FormationConfig {
 /// reference it after formation completes.
 class FormationAgent {
  public:
-  FormationAgent(Node& node, FormationConfig config);
+  /// Frames flow only through `transport` (a SimTransport in simulation, a
+  /// real transport in service mode); `node` supplies identity, liveness,
+  /// and the marked flag.
+  FormationAgent(Node& node, Transport& transport, FormationConfig config);
 
   [[nodiscard]] MembershipView& view() { return view_; }
   [[nodiscard]] const MembershipView& view() const { return view_; }
@@ -80,6 +85,7 @@ class FormationAgent {
   void on_frame(const Reception& reception);
 
   Node& node_;
+  Transport& transport_;
   FormationConfig config_;
   MembershipView view_;
 
@@ -123,6 +129,8 @@ class FormationProtocol {
  private:
   Network& network_;
   FormationConfig config_;
+  /// One SimTransport per agent (pointer-stable; agents keep references).
+  std::vector<std::unique_ptr<SimTransport>> transports_;
   std::vector<std::unique_ptr<FormationAgent>> agents_;
 };
 

@@ -118,6 +118,14 @@ class FlatMap {
     return it != items_.end() && it->first == key ? it : items_.end();
   }
 
+  /// Removes the entry for `key`; returns true if it was present.
+  bool erase(const K& key) {
+    const auto it = lower_bound(key);
+    if (it == items_.end() || it->first != key) return false;
+    items_.erase(it);
+    return true;
+  }
+
   /// Drops all entries but keeps the entry buffer for the next round.
   void clear() { items_.clear(); }
 

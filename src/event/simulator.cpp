@@ -128,6 +128,13 @@ bool Simulator::peek_next(EventEntry* entry, QueueSource* source) {
   return true;
 }
 
+bool Simulator::next_event_time(SimTime* when) {
+  EventEntry head;
+  if (!peek_next(&head)) return false;
+  *when = head.when;
+  return true;
+}
+
 bool Simulator::pop_next(EventEntry* entry) {
   const EventEntry* near = calendar_.peek(now_);
   if (near == nullptr && heap_.empty()) return false;

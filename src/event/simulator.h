@@ -261,6 +261,13 @@ class Simulator {
   /// genuinely don't care must say so with (void).
   [[nodiscard]] bool step();
 
+  /// Fire time of the earliest pending event, as a peek; false when the
+  /// queue is empty. Cancelled events still occupy queue entries until they
+  /// are popped, so the reported time is a lower bound on the next firing.
+  /// Real-time drivers (src/transport/real_time.h) use this to bound their
+  /// poll timeout instead of busy-stepping the queue.
+  [[nodiscard]] bool next_event_time(SimTime* when);
+
   /// Number of events executed so far (diagnostics).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 

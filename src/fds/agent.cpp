@@ -18,15 +18,17 @@ SimTime peer_waiting_period(NodeId id, double energy_frac, SimTime t_hop) {
   return SimTime::micros(std::int64_t(frac * double(t_hop.as_micros())));
 }
 
-FdsAgent::FdsAgent(Node& node, MembershipView& view, Simulator& sim,
-                   SimTime t_hop, const FdsConfig& config, FdsHooks& hooks)
+FdsAgent::FdsAgent(Node& node, MembershipView& view, Transport& transport,
+                   TimerService& timers, SimTime t_hop,
+                   const FdsConfig& config, FdsHooks& hooks)
     : node_(node),
       view_(view),
-      sim_(sim),
+      transport_(transport),
+      timers_(timers),
       t_hop_(t_hop),
       config_(config),
       hooks_(hooks) {
-  node_.add_frame_handler(
+  transport_.add_receive_handler(
       [](void* self, const Reception& reception) {
         static_cast<FdsAgent*>(self)->on_frame(reception);
       },
@@ -55,6 +57,8 @@ void FdsAgent::on_lifecycle(bool alive) {
   missed_updates_ = 0;
   left_ = false;
   evidence_.clear();
+  heartbeat_seen_.clear();
+  digest_seen_.clear();
   unmarked_heard_.clear();
   leaves_heard_.clear();
   notices_heard_.clear();
@@ -78,7 +82,7 @@ ReportId FdsAgent::fresh_report_id() {
 void FdsAgent::begin_epoch(std::uint64_t epoch) {
   // Close out the previous execution's contact accounting before resetting.
   if (node_.alive() && view_.affiliated() && !view_.is_clusterhead() &&
-      node_.radio().powered()) {
+      transport_.powered()) {
     missed_updates_ = got_scheduled_update_ ? 0 : missed_updates_ + 1;
     if (config_.reaffiliate_after_missed > 0 &&
         missed_updates_ >= config_.reaffiliate_after_missed) {
@@ -87,11 +91,25 @@ void FdsAgent::begin_epoch(std::uint64_t epoch) {
       view_.clear();
       node_.set_marked(false);
       missed_updates_ = 0;
+      count_revert(kRevertMissedUpdates);
     }
   }
   epoch_ = epoch;
-  evidence_.clear();
-  unmarked_heard_.clear();
+  if (config_.tolerate_epoch_skew) {
+    // Soft boundary: a neighbour running a few milliseconds ahead has
+    // already delivered its R-1 heartbeat for this execution; wiping it
+    // here would fail that neighbour every single epoch. Age out the old
+    // evidence instead (see FdsConfig::tolerate_epoch_skew).
+    prune_evidence();
+  } else {
+    evidence_.clear();
+  }
+  // An acting head under tolerate_epoch_skew keeps pending subscriptions
+  // across the boundary (they are consumed at R-3); everyone else starts
+  // the execution with a clean slate.
+  if (!config_.tolerate_epoch_skew || !view_.is_clusterhead()) {
+    unmarked_heard_.clear();
+  }
   notices_heard_.clear();
   // leaves_heard_ persists across the epoch boundary: a notice arriving
   // after this epoch's R-3 must still be honoured by the next one.
@@ -111,14 +129,19 @@ void FdsAgent::round1_heartbeat() {
   heartbeat->sender = node_.id();
   heartbeat->marked = node_.marked();
   heartbeat->incarnation = node_.incarnation();
-  node_.radio().send(std::move(heartbeat));
+  ++heartbeats_sent_;
+  if (!heartbeat->marked) {
+    ++unmarked_sent_;
+    last_unmarked_epoch_ = epoch_;
+  }
+  transport_.send(std::move(heartbeat));
 }
 
 void FdsAgent::announce_leave() {
   if (!node_.alive()) return;
   auto notice = std::make_shared<LeaveNoticePayload>();
   notice->sender = node_.id();
-  node_.radio().send(std::move(notice));
+  transport_.send(std::move(notice));
   view_.clear();
   node_.set_marked(false);
   left_ = true;
@@ -131,13 +154,13 @@ void FdsAgent::announce_sleep(std::uint32_t epochs) {
   auto notice = std::make_shared<SleepNoticePayload>();
   notice->sender = node_.id();
   notice->epochs = epochs;
-  node_.radio().send(std::move(notice));
-  node_.radio().set_powered(false);
+  transport_.send(std::move(notice));
+  transport_.set_powered(false);
 }
 
 void FdsAgent::wake_up() {
   if (!node_.alive()) return;
-  node_.radio().set_powered(true);
+  transport_.set_powered(true);
 }
 
 void FdsAgent::round2_digest() {
@@ -159,7 +182,7 @@ void FdsAgent::round2_digest() {
   // Members send to the CH; the CH broadcasts its own digest.
   const NodeId intended =
       view_.is_clusterhead() ? NodeId::invalid() : cluster.clusterhead;
-  node_.radio().send(std::move(digest), intended);
+  transport_.send(std::move(digest), intended);
 }
 
 void FdsAgent::round3_update() {
@@ -195,12 +218,16 @@ void FdsAgent::round3_update() {
   update->departed = departed;
 
   for (NodeId f : failed) {
-    log_.record(f, {sim_.now(), epoch_, node_.id()});
+    log_.record(f, {timers_.now(), epoch_, node_.id()});
   }
   view_.remove_members(failed);
 
   if (config_.admit_unmarked) {
     for (NodeId newcomer : unmarked_heard_) {
+      if (config_.admit_filter != nullptr &&
+          !config_.admit_filter(config_.admit_filter_ctx, newcomer)) {
+        continue;  // another clusterhead's responsibility
+      }
       // Under crash-recovery, an unmarked heartbeat from a *current* member
       // is a node that lost its view (recovered or reaffiliating): it keeps
       // its membership slot but needs the snapshot to reinstall it.
@@ -216,6 +243,12 @@ void FdsAgent::round3_update() {
       }
       view_.admit_members(update->admitted);
       update->members_snapshot = view_.cluster()->members;
+    }
+    if (config_.tolerate_epoch_skew) {
+      // Consumed: each subscription is honoured (or delegated via the
+      // filter) exactly once, so stale entries cannot trigger a re-admission
+      // of a node that has long since died or joined elsewhere.
+      unmarked_heard_.clear();
     }
   }
   // Cumulative knowledge is published after admissions, so a re-admitted
@@ -257,7 +290,7 @@ void FdsAgent::deputy_check() {
     const std::uint64_t epoch_at_arming = epoch_;
     // Stored (not discarded) so that crash() can cancel it: a node that dies
     // with its evaluation armed must not fire a takeover from the grave.
-    deputy_timer_ = sim_.schedule_after(std::int64_t(rank) * t_hop_,
+    deputy_timer_ = timers_.schedule_after(std::int64_t(rank) * t_hop_,
                                         [this, epoch_at_arming] {
                                           if (epoch_ == epoch_at_arming) {
                                             evaluate_ch_failure();
@@ -277,7 +310,7 @@ void FdsAgent::evaluate_ch_failure() {
   // announces the failure together with its own R-1 hearing so members can
   // proactively cover any member outside the new CH's range (Figure 2(a)).
   view_.apply_takeover(node_.id());
-  log_.record(ch, {sim_.now(), epoch_, node_.id()});
+  log_.record(ch, {timers_.now(), epoch_, node_.id()});
 
   auto update = std::make_shared<HealthUpdatePayload>();
   update->cluster = view_.cluster()->id;
@@ -311,7 +344,7 @@ void FdsAgent::completeness_check() {
   request->sender = node_.id();
   request->cluster = view_.cluster()->id;
   request->epoch = epoch_;
-  node_.radio().send(std::move(request));
+  transport_.send(std::move(request));
 }
 
 void FdsAgent::broadcast_relay(const std::vector<NodeId>& reported_failed,
@@ -319,7 +352,7 @@ void FdsAgent::broadcast_relay(const std::vector<NodeId>& reported_failed,
   if (!node_.alive() || !view_.is_clusterhead()) return;
   std::vector<NodeId> news;
   for (NodeId f : reported_failed) {
-    if (f != node_.id() && log_.record(f, {sim_.now(), epoch_, node_.id()})) {
+    if (f != node_.id() && log_.record(f, {timers_.now(), epoch_, node_.id()})) {
       news.push_back(f);
     }
   }
@@ -341,7 +374,57 @@ void FdsAgent::broadcast_relay(const std::vector<NodeId>& reported_failed,
 void FdsAgent::broadcast_update(std::shared_ptr<HealthUpdatePayload> update) {
   std::shared_ptr<const HealthUpdatePayload> frozen = std::move(update);
   if (hooks_.on_update_sent) hooks_.on_update_sent(node_.id(), frozen);
-  node_.radio().send(frozen);
+  transport_.send(frozen);
+}
+
+void FdsAgent::note_alive(NodeId sender) {
+  evidence_.heartbeats.insert(sender);
+  if (config_.tolerate_epoch_skew) heartbeat_seen_[sender] = timers_.now();
+}
+
+void FdsAgent::count_revert(std::uint32_t cause) {
+  ++reverts_[cause];
+  last_revert_epoch_ = epoch_;
+  last_revert_cause_ = cause;
+}
+
+void FdsAgent::prune_evidence() {
+  // One full execution plus slack: an on-time previous-epoch frame (age
+  // ~phi at the boundary) deliberately SURVIVES into the next execution,
+  // so a node is judged silent only after missing two executions in a row.
+  // On a real transport a single miss is routinely benign — one lost
+  // datagram, or one heartbeat delivered late by a scheduling stall — and
+  // each false detection costs a full revert/re-subscribe/re-admit cycle;
+  // requiring consecutive misses suppresses that quadratically. The price
+  // is one extra execution of detection latency, paid only in service mode
+  // (the simulator's hard-boundary path never prunes).
+  const SimTime cutoff =
+      timers_.now() -
+      SimTime::micros(config_.heartbeat_interval.as_micros() +
+                      t_hop_.as_micros());
+  std::vector<NodeId> stale;
+  for (NodeId heard : evidence_.heartbeats) {
+    const auto it = heartbeat_seen_.find(heard);
+    if (it == heartbeat_seen_.end() || it->second < cutoff) {
+      stale.push_back(heard);
+    }
+  }
+  for (NodeId n : stale) {
+    evidence_.heartbeats.erase(n);
+    heartbeat_seen_.erase(n);
+  }
+  stale.clear();
+  for (const auto& entry : evidence_.digests) {
+    const auto it = digest_seen_.find(entry.first);
+    if (it == digest_seen_.end() || it->second < cutoff) {
+      stale.push_back(entry.first);
+    }
+  }
+  for (NodeId n : stale) {
+    evidence_.digests.erase(n);
+    digest_seen_.erase(n);
+  }
+  evidence_.ch_update_heard = false;
 }
 
 bool FdsAgent::apply_failures(const HealthUpdatePayload& update) {
@@ -352,17 +435,26 @@ bool FdsAgent::apply_failures(const HealthUpdatePayload& update) {
       // We were falsely detected. Re-subscribe by reverting to the unmarked
       // state: our next heartbeat acts as a membership subscription (F5).
       if (fresh_news) {
+        if (node_.marked()) count_revert(kRevertFreshSelfNews);
         node_.set_marked(false);
+        if (config_.tolerate_epoch_skew) {
+          // The author has already dropped us from its roster. Keeping the
+          // now-stale view would pin us to that cluster: re-admission offers
+          // from any other head would be discarded as foreign. Step down
+          // fully so whichever head answers our subscription can install us.
+          step_down = true;
+        }
       } else if (config_.recovery_enabled && node_.marked()) {
         // Stale failure news about ourselves while we think we are a marked
         // participant: the cluster reorganized while we were silent (a
         // freeze, or a takeover update we missed). Our view is stale — the
         // caller drops it so the next heartbeat re-runs affiliation.
         step_down = true;
+        count_revert(kRevertStaleSelfNews);
       }
       return;
     }
-    if (log_.record(f, {sim_.now(), update.epoch, update.sender})) {
+    if (log_.record(f, {timers_.now(), update.epoch, update.sender})) {
       to_remove.push_back(f);
     }
   };
@@ -386,6 +478,14 @@ void FdsAgent::handle_update(
       fresh.members = update->members_snapshot;
       view_.set_cluster(std::move(fresh));
       node_.set_marked(true);
+      if (config_.tolerate_epoch_skew) {
+        // Failure records accumulated before (or between) affiliations are
+        // scoped to clusters we no longer watch; in a shared broadcast
+        // domain they can name nodes that are alive and well elsewhere.
+        // Start from the new head's knowledge: apply_failures() below
+        // relearns its all_failed list.
+        log_.clear();
+      }
     } else {
       return;
     }
@@ -402,6 +502,7 @@ void FdsAgent::handle_update(
     // drops its log, and re-subscribes via F5 — its former members follow
     // once their scheduled updates go missing.
     if (update->sender.value() < node_.id().value()) {
+      count_revert(kRevertRivalHead);
       view_.clear();
       node_.set_marked(false);
       log_.clear();
@@ -501,6 +602,7 @@ void FdsAgent::handle_update(
           roster.end()) {
         // The acting CH does not count us as a member — we were removed
         // (or replaced by a takeover) while unreachable. Re-subscribe.
+        count_revert(kRevertRosterDropped);
         view_.clear();
         node_.set_marked(false);
         missed_updates_ = 0;
@@ -544,14 +646,14 @@ void FdsAgent::schedule_peer_forward(NodeId target) {
   }
   const SimTime wait =
       peer_waiting_period(node_.id(), energy_fraction(), t_hop_);
-  pending_forwards_[target] = sim_.schedule_after(wait, [this, target] {
+  pending_forwards_[target] = timers_.schedule_after(wait, [this, target] {
     if (!node_.alive() || acked_requesters_.contains(target)) return;
     if (!scheduled_update_) return;
     auto forward = std::make_shared<UpdateForwardPayload>();
     forward->forwarder = node_.id();
     forward->target = target;
     forward->update = scheduled_update_;
-    node_.radio().send(std::move(forward), target);
+    transport_.send(std::move(forward), target);
   });
 }
 
@@ -559,7 +661,7 @@ void FdsAgent::on_frame(const Reception& reception) {
   if (!node_.alive()) return;
 
   if (const auto* hb = payload_cast<HeartbeatPayload>(reception.payload)) {
-    evidence_.heartbeats.insert(hb->sender);
+    note_alive(hb->sender);
     if (!hb->marked) unmarked_heard_.insert(hb->sender);
     return;
   }
@@ -567,7 +669,7 @@ void FdsAgent::on_frame(const Reception& reception) {
   if (const auto* leave = payload_cast<LeaveNoticePayload>(reception.payload)) {
     // The departing node is alive right now (evidence) but will be removed
     // from the membership at the next update, not reported failed.
-    evidence_.heartbeats.insert(leave->sender);
+    note_alive(leave->sender);
     leaves_heard_.insert(leave->sender);
     return;
   }
@@ -575,7 +677,7 @@ void FdsAgent::on_frame(const Reception& reception) {
   if (const auto* notice =
           payload_cast<SleepNoticePayload>(reception.payload)) {
     // The notice itself proves the sender alive this execution.
-    evidence_.heartbeats.insert(notice->sender);
+    note_alive(notice->sender);
     notices_heard_[notice->sender] = notice->epochs;
     if (config_.honor_sleep_notices) {
       // +1: the first exemption is consumed by this very execution (the
@@ -593,6 +695,9 @@ void FdsAgent::on_frame(const Reception& reception) {
         (view_.is_clusterhead() || view_.is_deputy())) {
       evidence_.digests[digest->sender].assign(digest->heard.begin(),
                                                digest->heard.end());
+      if (config_.tolerate_epoch_skew) {
+        digest_seen_[digest->sender] = timers_.now();
+      }
       // Relayed sleep notices: grant (or extend) exemptions for sleepers
       // whose own notice we missed.
       if (config_.honor_sleep_notices) {
@@ -600,7 +705,7 @@ void FdsAgent::on_frame(const Reception& reception) {
           auto& exemption = sleep_exemptions_[sleeper];
           exemption = std::max(exemption, epochs + 1);
           // The notice also proves the sleeper was alive in R-1.
-          evidence_.heartbeats.insert(sleeper);
+          note_alive(sleeper);
         }
       }
     }
@@ -639,7 +744,7 @@ void FdsAgent::on_frame(const Reception& reception) {
         auto ack = std::make_shared<UpdateAckPayload>();
         ack->sender = node_.id();
         ack->epoch = epoch_;
-        node_.radio().send(std::move(ack));
+        transport_.send(std::move(ack));
       }
     }
     return;
@@ -658,7 +763,7 @@ void FdsAgent::on_frame(const Reception& reception) {
 
 FdsService::FdsService(Network& network, std::vector<MembershipView*> views,
                        FdsConfig config)
-    : network_(network), config_(config) {
+    : network_(network), config_(config), timers_(network.simulator()) {
   const SimTime t_hop = network_.channel().config().t_hop;
   CFDS_EXPECT(config_.heartbeat_interval.as_micros() >= 7 * t_hop.as_micros(),
               "heartbeat interval must cover all rounds plus peer forwarding");
@@ -666,9 +771,10 @@ FdsService::FdsService(Network& network, std::vector<MembershipView*> views,
     CFDS_EXPECT(node->id().value() < views.size() &&
                     views[node->id().value()] != nullptr,
                 "missing membership view");
+    transports_.push_back(std::make_unique<SimTransport>(*node));
     agents_.push_back(std::make_unique<FdsAgent>(
-        *node, *views[node->id().value()], network_.simulator(), t_hop,
-        config_, hooks_));
+        *node, *views[node->id().value()], *transports_.back(), timers_,
+        t_hop, config_, hooks_));
   }
 }
 
@@ -688,9 +794,10 @@ FdsAgent& FdsService::agent_for(NodeId id) {
 }
 
 FdsAgent& FdsService::adopt_node(Node& node, MembershipView& view) {
+  transports_.push_back(std::make_unique<SimTransport>(node));
   agents_.push_back(std::make_unique<FdsAgent>(
-      node, view, network_.simulator(), network_.channel().config().t_hop,
-      config_, hooks_));
+      node, view, *transports_.back(), timers_,
+      network_.channel().config().t_hop, config_, hooks_));
   return *agents_.back();
 }
 

@@ -22,6 +22,7 @@
 
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -37,6 +38,8 @@
 #include "fds/messages.h"
 #include "net/network.h"
 #include "net/node.h"
+#include "transport/sim_transport.h"
+#include "transport/transport.h"
 
 namespace cfds {
 
@@ -85,8 +88,14 @@ struct FdsHooks {
 
 class FdsAgent {
  public:
-  FdsAgent(Node& node, MembershipView& view, Simulator& sim, SimTime t_hop,
-           const FdsConfig& config, FdsHooks& hooks);
+  /// The agent speaks to the outside world only through `transport` (frames)
+  /// and `timers` (clock + cancellable timers): in simulation these are the
+  /// SimTransport/SimTimerService adapters owned by FdsService; in service
+  /// mode a real transport and a RealTimeScheduler. `node` supplies
+  /// identity, liveness, marked state, and energy — never the radio.
+  FdsAgent(Node& node, MembershipView& view, Transport& transport,
+           TimerService& timers, SimTime t_hop, const FdsConfig& config,
+           FdsHooks& hooks);
 
   [[nodiscard]] NodeId id() const { return node_.id(); }
   [[nodiscard]] MembershipView& view() { return view_; }
@@ -100,6 +109,42 @@ class FdsAgent {
     return got_scheduled_update_;
   }
   [[nodiscard]] std::uint64_t current_epoch() const { return epoch_; }
+
+  /// Lifetime send counters and the pending subscription set — diagnostics
+  /// for service-mode post-mortems (see service::AgentStatus), never
+  /// protocol inputs.
+  [[nodiscard]] std::uint64_t heartbeats_sent() const {
+    return heartbeats_sent_;
+  }
+  [[nodiscard]] std::uint64_t unmarked_heartbeats_sent() const {
+    return unmarked_sent_;
+  }
+  [[nodiscard]] std::uint64_t last_unmarked_sent_epoch() const {
+    return last_unmarked_epoch_;
+  }
+  [[nodiscard]] const FlatSet<NodeId>& unmarked_heard() const {
+    return unmarked_heard_;
+  }
+
+  /// Causes for dropping marked/affiliated state, indexing reverts().
+  enum RevertCause : std::uint32_t {
+    kRevertMissedUpdates = 0,  ///< reaffiliate_after_missed exceeded
+    kRevertFreshSelfNews = 1,  ///< an update freshly reported us failed
+    kRevertStaleSelfNews = 2,  ///< cumulative failure news still lists us
+    kRevertRosterDropped = 3,  ///< the CH's snapshot no longer carries us
+    kRevertRivalHead = 4,      ///< lost the lowest-NID head arbitration
+  };
+  /// Lifetime revert counts by cause, plus when/why the newest one fired —
+  /// diagnostics for service-mode post-mortems, never protocol inputs.
+  [[nodiscard]] const std::array<std::uint64_t, 5>& reverts() const {
+    return reverts_;
+  }
+  [[nodiscard]] std::uint64_t last_revert_epoch() const {
+    return last_revert_epoch_;
+  }
+  [[nodiscard]] std::uint32_t last_revert_cause() const {
+    return last_revert_cause_;
+  }
 
   // --- Round actions, driven by FdsService -----------------------------
   void begin_epoch(std::uint64_t epoch);
@@ -148,6 +193,16 @@ class FdsAgent {
   /// failure news about the node itself while it believed it was a marked
   /// cluster participant (crash-recovery reconciliation).
   [[nodiscard]] bool apply_failures(const HealthUpdatePayload& update);
+  /// Records a sign of life from `sender` in this round's evidence,
+  /// stamping its arrival time when tolerate_epoch_skew is on.
+  void note_alive(NodeId sender);
+  /// Bumps the revert diagnostics (see RevertCause / reverts()).
+  void count_revert(std::uint32_t cause);
+  /// Age-based evidence turnover for tolerate_epoch_skew: drops heartbeat
+  /// and digest evidence older than one execution (plus Thop slack) instead
+  /// of wiping everything, so early next-epoch arrivals survive the
+  /// boundary and a node is failed only after two silent executions.
+  void prune_evidence();
   void schedule_peer_forward(NodeId target);
   void broadcast_update(std::shared_ptr<HealthUpdatePayload> update);
   [[nodiscard]] ReportId fresh_report_id();
@@ -155,7 +210,8 @@ class FdsAgent {
 
   Node& node_;
   MembershipView& view_;
-  Simulator& sim_;
+  Transport& transport_;
+  TimerService& timers_;
   SimTime t_hop_;
   const FdsConfig& config_;
   FdsHooks& hooks_;
@@ -173,12 +229,24 @@ class FdsAgent {
   FlatMap<NodeId, std::uint32_t> notices_heard_;
   /// Consecutive executions whose scheduled update never arrived.
   std::uint32_t missed_updates_ = 0;
+  /// Diagnostics only (see accessors above).
+  std::uint64_t heartbeats_sent_ = 0;
+  std::uint64_t unmarked_sent_ = 0;
+  std::uint64_t last_unmarked_epoch_ = 0;
+  std::array<std::uint64_t, 5> reverts_{};
+  std::uint64_t last_revert_epoch_ = 0;
+  std::uint32_t last_revert_cause_ = 0;
   /// Voluntarily departed (announce_leave) and not yet rejoined.
   bool left_ = false;
 
   // Per-epoch evidence and peer-forwarding state. Flat containers: cleared
   // (buffer retained) every epoch, so steady-state rounds do not allocate.
   RoundEvidence evidence_;
+  /// Arrival stamps for evidence entries, maintained only under
+  /// tolerate_epoch_skew (prune_evidence erases by age; the simulator's
+  /// hard-boundary path never touches them).
+  FlatMap<NodeId, SimTime> heartbeat_seen_;
+  FlatMap<NodeId, SimTime> digest_seen_;
   FlatSet<NodeId> unmarked_heard_;
   bool got_scheduled_update_ = false;
   std::shared_ptr<const HealthUpdatePayload> scheduled_update_;
@@ -230,6 +298,11 @@ class FdsService {
   FdsConfig config_;
   FdsHooks hooks_;
   SkewProvider skew_provider_;
+  /// Simulation adapters for the transport/clock seam: one shared timer
+  /// service over the network's simulator plus one SimTransport per agent
+  /// (pointer-stable — agents keep references).
+  SimTimerService timers_;
+  std::vector<std::unique_ptr<SimTransport>> transports_;
   std::vector<std::unique_ptr<FdsAgent>> agents_;
 };
 

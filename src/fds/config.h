@@ -2,6 +2,7 @@
 
 #pragma once
 
+#include "common/ids.h"
 #include "common/sim_time.h"
 #include "fds/detector.h"
 
@@ -26,6 +27,51 @@ struct FdsConfig {
 
   /// Treat unmarked heartbeats as membership subscriptions (feature F5).
   bool admit_unmarked = true;
+
+  /// Scopes F5 admission: when set, a clusterhead admits an unmarked
+  /// subscriber only if the predicate accepts it. In simulation the radio
+  /// range already scopes who hears a subscription heartbeat; service mode
+  /// runs in one broadcast domain where every clusterhead hears every
+  /// re-subscription, and without this filter they would all admit the
+  /// node at once (the service layer restricts admission to the directory
+  /// block instead). Null admits anyone heard.
+  bool (*admit_filter)(void* ctx, NodeId subscriber) = nullptr;
+  void* admit_filter_ctx = nullptr;
+
+  /// Treat epoch boundaries as soft, for real clocks. The protocol's
+  /// per-execution state (round evidence, subscription heartbeats) is
+  /// normally wiped by begin_epoch, which assumes no frame of execution k
+  /// ever arrives before the receiver's own begin_epoch(k) — true in the
+  /// simulator (synchronized clocks, in-window delivery), false on a real
+  /// transport where clock skew or scheduler lateness lets a neighbour's
+  /// R-1 heartbeat land first. The phase error is persistent, so a wiped
+  /// neighbour is wiped EVERY epoch: it is declared failed each execution,
+  /// steps down, re-subscribes, and oscillates forever. When set:
+  ///  - begin_epoch prunes round evidence by age (entries older than
+  ///    phi + Thop are dropped) instead of clearing it. Early arrivals
+  ///    survive the boundary, and so does the previous execution's
+  ///    evidence: a node is judged silent only after missing two
+  ///    executions in a row, which quadratically suppresses the false
+  ///    detections that single lost or stall-delayed datagrams would
+  ///    otherwise cause — at the price of one extra execution of
+  ///    detection latency.
+  ///  - an acting clusterhead carries unheard subscription heartbeats
+  ///    across the boundary and consumes them at R-3 instead: each
+  ///    subscription is honoured exactly once, at most one epoch late
+  ///    (subscriptions have no digest cover, so unlike member liveness
+  ///    there is no second chance).
+  ///  - fresh failure news about this node steps it down fully (view
+  ///    dropped) instead of only unmarking it. The author has already
+  ///    removed the node from its roster; keeping the view would pin the
+  ///    node to that cluster and make it discard re-admission offers from
+  ///    every other head as foreign — a permanent subscribe-forever limbo
+  ///    when several clusters share one broadcast domain.
+  ///  - installing a fresh view on admission resets the failure log: old
+  ///    records are scoped to clusters this node no longer watches and may
+  ///    name nodes alive elsewhere in the shared domain; the new head's
+  ///    cumulative list is relearned from the same update.
+  /// Tolerates relative phase error up to phi/2.
+  bool tolerate_epoch_skew = false;
 
   /// When true, the agent emits no bare heartbeat in fds.R-1; another layer
   /// (e.g. the aggregation service, whose measurement frames derive from

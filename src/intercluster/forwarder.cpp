@@ -22,9 +22,14 @@ std::vector<NodeId> merged_failures(const HealthUpdatePayload& update) {
 }  // namespace
 
 ForwarderAgent::ForwarderAgent(Node& node, MembershipView& view, FdsAgent& fds,
+                               Transport& transport,
                                ForwarderService& service)
-    : node_(node), view_(view), fds_(fds), service_(service) {
-  node_.add_frame_handler(
+    : node_(node),
+      view_(view),
+      fds_(fds),
+      transport_(transport),
+      service_(service) {
+  transport_.add_receive_handler(
       [](void* self, const Reception& reception) {
         static_cast<ForwarderAgent*>(self)->on_frame(reception);
       },
@@ -50,7 +55,7 @@ void ForwarderAgent::on_own_update_sent(
 void ForwarderAgent::arm_ch_watch(
     const std::shared_ptr<const HealthUpdatePayload>& update,
     ClusterId dest_cluster, int attempts_left) {
-  service_.simulator().schedule_after(
+  service_.timers().schedule_after(
       2 * service_.t_hop(),
       [this, update, dest_cluster, attempts_left] {
         if (!node_.alive()) return;
@@ -69,7 +74,7 @@ void ForwarderAgent::arm_ch_watch(
         }
         if (link == nullptr || !link->gateway.is_valid()) return;
         service_.stats().ch_retransmissions++;
-        node_.radio().send(update, link->gateway);
+        transport_.send(update, link->gateway);
         arm_ch_watch(update, dest_cluster, attempts_left - 1);
       });
 }
@@ -91,7 +96,7 @@ void ForwarderAgent::consider_link(
       ack->cluster = dest_cluster;
       ack->receipt = false;
       service_.stats().explicit_acks++;
-      node_.radio().send(std::move(ack), update->sender);
+      transport_.send(std::move(ack), update->sender);
     }
     forward_across(update, dest_cluster, dest_ch, rank, n_backups,
                    service_.config().max_gw_retries);
@@ -101,7 +106,7 @@ void ForwarderAgent::consider_link(
   if (!service_.config().bgw_assist) return;
   // BGW ranked k stands by for k * 2*Thop, then forwards itself unless the
   // destination CH's implicit acknowledgement was overheard meanwhile.
-  service_.simulator().schedule_after(
+  service_.timers().schedule_after(
       std::int64_t(rank) * 2 * service_.t_hop(),
       [this, update, rank, n_backups, dest_cluster, dest_ch] {
         if (!node_.alive()) return;
@@ -134,11 +139,11 @@ void ForwarderAgent::forward_across(
   } else {
     service_.stats().bgw_assists++;
   }
-  node_.radio().send(std::move(report), dest_ch);
+  transport_.send(std::move(report), dest_ch);
 
   // Both the GW and an assisting BGW wait (n+1) * 2*Thop for the implicit
   // acknowledgement before re-forwarding.
-  service_.simulator().schedule_after(
+  service_.timers().schedule_after(
       std::int64_t(n_backups + 1) * 2 * service_.t_hop(),
       [this, update, dest_cluster, dest_ch, my_rank, n_backups,
        attempts_left] {
@@ -205,7 +210,7 @@ void ForwarderAgent::on_report(const FailureReportPayload& report) {
     ack->cluster = view_.cluster()->id;
     ack->receipt = true;
     service_.stats().explicit_acks++;
-    node_.radio().send(std::move(ack), report.forwarder);
+    transport_.send(std::move(ack), report.forwarder);
   }
   // The relay informs the local cluster, triggers further forwarding on our
   // other links when the report carried news, and — listing the report in
@@ -246,15 +251,17 @@ void ForwarderAgent::on_frame(const Reception& reception) {
 ForwarderService::ForwarderService(Network& network, FdsService& fds,
                                    std::vector<MembershipView*> views,
                                    ForwarderConfig config)
-    : network_(network), config_(config) {
+    : network_(network), config_(config), timers_(network.simulator()) {
   for (Node* node : network_.nodes()) {
     const std::size_t idx = node->id().value();
     CFDS_EXPECT(idx < views.size() && views[idx] != nullptr,
                 "missing membership view");
     CFDS_EXPECT(idx == agents_.size(),
                 "forwarder requires densely numbered nodes");
+    transports_.push_back(std::make_unique<SimTransport>(*node));
     agents_.push_back(std::make_unique<ForwarderAgent>(
-        *node, *views[idx], fds.agent_for(node->id()), *this));
+        *node, *views[idx], fds.agent_for(node->id()), *transports_.back(),
+        *this));
   }
   install_hook(fds);
 }
@@ -263,8 +270,9 @@ void ForwarderService::adopt_node(Node& node, MembershipView& view,
                                   FdsAgent& fds) {
   CFDS_EXPECT(node.id().value() == agents_.size(),
               "forwarder requires densely numbered nodes");
-  agents_.push_back(
-      std::make_unique<ForwarderAgent>(node, view, fds, *this));
+  transports_.push_back(std::make_unique<SimTransport>(node));
+  agents_.push_back(std::make_unique<ForwarderAgent>(
+      node, view, fds, *transports_.back(), *this));
 }
 
 void ForwarderService::install_hook(FdsService& fds) {

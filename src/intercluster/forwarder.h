@@ -38,6 +38,8 @@
 #include "fds/agent.h"
 #include "intercluster/messages.h"
 #include "net/network.h"
+#include "transport/sim_transport.h"
+#include "transport/transport.h"
 
 namespace cfds {
 
@@ -72,8 +74,10 @@ class ForwarderService;
 /// current view gives them a CH, GW, or BGW role ever act.
 class ForwarderAgent {
  public:
+  /// Frames and timers flow only through `transport` and the service's
+  /// TimerService; `node` supplies identity and liveness.
   ForwarderAgent(Node& node, MembershipView& view, FdsAgent& fds,
-                 ForwarderService& service);
+                 Transport& transport, ForwarderService& service);
 
   [[nodiscard]] NodeId id() const { return node_.id(); }
 
@@ -107,6 +111,7 @@ class ForwarderAgent {
   Node& node_;
   MembershipView& view_;
   FdsAgent& fds_;
+  Transport& transport_;
   ForwarderService& service_;
 
   /// (report, acking cluster) pairs collected from overheard emissions.
@@ -134,6 +139,8 @@ class ForwarderService {
   [[nodiscard]] ForwarderStats& stats() { return stats_; }
   [[nodiscard]] const ForwarderConfig& config() const { return config_; }
   [[nodiscard]] Simulator& simulator() { return network_.simulator(); }
+  /// The clock/timer source the agents schedule their watches on.
+  [[nodiscard]] TimerService& timers() { return timers_; }
   [[nodiscard]] SimTime t_hop() const {
     return network_.channel().config().t_hop;
   }
@@ -144,6 +151,9 @@ class ForwarderService {
   Network& network_;
   ForwarderConfig config_;
   ForwarderStats stats_;
+  SimTimerService timers_;
+  /// One SimTransport per agent (pointer-stable; agents keep references).
+  std::vector<std::unique_ptr<SimTransport>> transports_;
   std::vector<std::unique_ptr<ForwarderAgent>> agents_;
 };
 

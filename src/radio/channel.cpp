@@ -156,48 +156,6 @@ std::vector<NodeId> Channel::neighbors_of(NodeId self) const {
   return out;
 }
 
-void Channel::set_muted(NodeId id, bool muted) {
-  if (muted) {
-    muted_.insert(id);
-  } else {
-    muted_.erase(id);
-  }
-}
-
-void Channel::set_link_blocked(NodeId a, NodeId b, bool blocked) {
-  if (blocked) {
-    blocked_links_.insert(link_key(a, b));
-  } else {
-    blocked_links_.erase(link_key(a, b));
-  }
-}
-
-int Channel::add_jam_region(Disk area) {
-  const int token = next_jam_token_++;
-  jam_regions_.emplace_back(token, area);
-  return token;
-}
-
-void Channel::remove_jam_region(int token) {
-  jam_regions_.erase(
-      std::remove_if(jam_regions_.begin(), jam_regions_.end(),
-                     [token](const auto& jr) { return jr.first == token; }),
-      jam_regions_.end());
-}
-
-bool Channel::is_jammed(Vec2 p) const {
-  for (const auto& [token, disk] : jam_regions_) {
-    if (disk.contains(p)) return true;
-  }
-  return false;
-}
-
-std::uint64_t Channel::link_key(NodeId a, NodeId b) {
-  const std::uint64_t lo = std::min(a.value(), b.value());
-  const std::uint64_t hi = std::max(a.value(), b.value());
-  return (hi << 32) | lo;
-}
-
 Transmission* Channel::acquire_transmission() {
   if (!transmission_free_.empty()) {
     Transmission* tx = transmission_free_.back();
@@ -233,9 +191,10 @@ void Channel::transmit(Radio& sender, PayloadPtr payload, NodeId intended) {
   if (tap_) tap_(sender.id(), intended, *payload, sim_.now());
   // A muted (frozen) sender still pays tx energy and advances its protocol
   // state — the frame just never reaches the air (omission fault).
-  if (!muted_.empty() && muted_.contains(sender.id())) return;
+  if (drop_filter_.has_muted() && drop_filter_.is_muted(sender.id())) return;
   const Vec2 from = sender.position();
-  const bool sender_jammed = !jam_regions_.empty() && is_jammed(from);
+  const bool sender_jammed =
+      drop_filter_.has_jam_regions() && drop_filter_.jammed(from);
 
   // One record per broadcast. The receiver list and its per-receiver delay
   // draws happen in the same deterministic receiver order (and interleaved
@@ -250,14 +209,17 @@ void Channel::transmit(Radio& sender, PayloadPtr payload, NodeId intended) {
     if (!receiver->powered()) return;
     // Deterministic fault drops happen before the loss/delay RNG draws: a
     // frame that cannot arrive must not consume channel randomness.
-    if (!muted_.empty() && muted_.contains(receiver->id())) return;
-    if (!blocked_links_.empty() &&
-        blocked_links_.contains(link_key(sender.id(), receiver->id()))) {
+    if (drop_filter_.has_muted() && drop_filter_.is_muted(receiver->id())) {
+      return;
+    }
+    if (drop_filter_.has_blocked_links() &&
+        drop_filter_.link_blocked(sender.id(), receiver->id())) {
       stats_.losses++;
       return;
     }
     if (sender_jammed ||
-        (!jam_regions_.empty() && is_jammed(receiver_pos))) {
+        (drop_filter_.has_jam_regions() &&
+         drop_filter_.jammed(receiver_pos))) {
       stats_.losses++;  // jam region: loss probability forced to 1
       return;
     }

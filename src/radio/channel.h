@@ -26,21 +26,12 @@
 #include "event/simulator.h"
 #include "radio/loss_model.h"
 #include "radio/payload.h"
+#include "transport/drop_filter.h"
+#include "transport/reception.h"
 
 namespace cfds {
 
 class Channel;
-
-/// A frame as seen by a receiver.
-struct Reception {
-  NodeId sender;
-  /// Addressed recipient, or NodeId::invalid() for a broadcast. Receivers
-  /// other than `intended` are overhearing — the inherent message redundancy
-  /// the FDS exploits.
-  NodeId intended;
-  PayloadPtr payload;
-  SimTime sent_at;
-};
 
 /// Per-radio traffic counters (basis of the energy model).
 struct RadioCounters {
@@ -185,25 +176,35 @@ class Channel {
   /// regardless of power state. Used by topology diagnostics.
   [[nodiscard]] std::vector<NodeId> neighbors_of(NodeId self) const;
 
-  // --- Fault-injection hooks (src/fault/). All state defaults to empty and
-  // each costs one empty()-branch on the transmit path when unused, so the
-  // channel's RNG draw sequence is untouched by a fault-free run. -----------
+  // --- Fault-injection hooks (src/fault/). The drop state lives in a
+  // transport-agnostic DropFilter (src/transport/drop_filter.h) so the same
+  // seeded FaultPlan drives simulated and service-mode runs; these methods
+  // delegate. All state defaults to empty and each costs one has_*()-branch
+  // on the transmit path when unused, so the channel's RNG draw sequence is
+  // untouched by a fault-free run. ------------------------------------------
 
   /// A muted radio's frames vanish in the air and it hears nothing, but the
   /// node itself keeps running (and paying tx energy) — an omission fault,
   /// distinct from a crash (Freeze in the fault taxonomy).
-  void set_muted(NodeId id, bool muted);
-  [[nodiscard]] bool is_muted(NodeId id) const { return muted_.contains(id); }
+  void set_muted(NodeId id, bool muted) { drop_filter_.set_muted(id, muted); }
+  [[nodiscard]] bool is_muted(NodeId id) const {
+    return drop_filter_.is_muted(id);
+  }
 
   /// Blocks/unblocks the (symmetric) link between two nodes; blocked frames
   /// count as losses (LinkDown / partition faults).
-  void set_link_blocked(NodeId a, NodeId b, bool blocked);
+  void set_link_blocked(NodeId a, NodeId b, bool blocked) {
+    drop_filter_.set_link_blocked(a, b, blocked);
+  }
 
   /// Forces loss probability to 1 for any frame whose sender or receiver
   /// lies inside `area` (regional jamming). Returns a token for removal.
-  int add_jam_region(Disk area);
-  void remove_jam_region(int token);
-  [[nodiscard]] bool is_jammed(Vec2 p) const;
+  int add_jam_region(Disk area) { return drop_filter_.add_jam_region(area); }
+  void remove_jam_region(int token) { drop_filter_.remove_jam_region(token); }
+  [[nodiscard]] bool is_jammed(Vec2 p) const { return drop_filter_.jammed(p); }
+
+  /// The embedded fault-drop state (diagnostics and the fault injector).
+  [[nodiscard]] const DropFilter& drop_filter() const { return drop_filter_; }
 
  private:
   friend class Radio;
@@ -265,9 +266,6 @@ class Channel {
   /// The up-to-date CellBlock for the cell containing `center`.
   [[nodiscard]] const CellBlock& cell_block(Vec2 center) const;
 
-  /// Order-independent key for the undirected link {a, b}.
-  [[nodiscard]] static std::uint64_t link_key(NodeId a, NodeId b);
-
   Simulator& sim_;
   LossModel& loss_;
   /// Cached loss_.as_bernoulli(): non-null lets transmit() inline the
@@ -295,10 +293,7 @@ class Channel {
   /// the scheduling loop within transmit()).
   std::vector<SimTime> scratch_delays_;
   // Fault-injection state (empty in fault-free runs; see the hooks above).
-  FlatSet<NodeId> muted_;
-  FlatSet<std::uint64_t> blocked_links_;
-  std::vector<std::pair<int, Disk>> jam_regions_;
-  int next_jam_token_ = 0;
+  DropFilter drop_filter_;
 };
 
 }  // namespace cfds

@@ -1,0 +1,227 @@
+#include "service/agent.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "fds/messages.h"
+#include "radio/payload.h"
+#include "service/directory.h"
+#include "transport/reception.h"
+
+namespace cfds::service {
+
+namespace {
+
+/// Per-endpoint loss-stream seed: endpoints draw independently, but the
+/// whole deployment is reproducible from the one configured seed.
+[[nodiscard]] std::uint64_t endpoint_seed(std::uint64_t seed, NodeId self) {
+  std::uint64_t state = seed + 0x9E3779B97F4A7C15ULL *
+                                   (std::uint64_t{self.value()} + 1);
+  return splitmix64(state);
+}
+
+[[nodiscard]] FdsConfig service_fds_config(const ServiceConfig& config) {
+  FdsConfig fds;
+  fds.heartbeat_interval = config.phi;
+  // Crash-recovery is the point of a soak with injected crashes.
+  fds.recovery_enabled = true;
+  // Real transport: scheduler jitter / clock skew can deliver a neighbour's
+  // round frames before this endpoint's begin_epoch fires; age evidence out
+  // instead of wiping it, and carry subscription heartbeats to R-3 (see
+  // FdsConfig::tolerate_epoch_skew).
+  fds.tolerate_epoch_skew = true;
+  return fds;
+}
+
+/// Energy is effectively unmetered in service mode (the transport has no
+/// RadioCounters); a large budget keeps every energy fraction at 1.
+constexpr double kServiceEnergyUj = 1e12;
+
+/// Consecutive subscription epochs a foreign subscriber must accumulate
+/// before an adopter may take it. Its live home head admits within one
+/// epoch, so a streak this long means the home block is genuinely headless
+/// — a lossy overhearing gap can no longer trigger a spurious adoption.
+constexpr std::uint64_t kAdoptionStreak = 3;
+
+}  // namespace
+
+ServiceAgent::ServiceAgent(const ServiceConfig& config, NodeId self,
+                           Transport& raw, TimerService& timers)
+    : config_(config),
+      node_(self, directory_position(self, config.node_count), EnergyModel{},
+            kServiceEnergyUj),
+      view_(self),
+      filtered_(raw, filter_, self, config.loss_p,
+                endpoint_seed(config.seed, self), &ServiceAgent::position_thunk,
+                this),
+      fds_config_(service_fds_config(config)),
+      fds_(node_, view_, filtered_, timers, config.t_hop, fds_config_, hooks_),
+      plan_(node_, raw, filter_, timers),
+      timers_(timers) {
+  CFDS_EXPECT(config.phi >= 7 * config.t_hop,
+              "service: phi must be at least 7 * Thop");
+  // In one broadcast domain every clusterhead hears every F5 subscription
+  // heartbeat; scope admission to this endpoint's directory block so a
+  // recovered node is re-admitted by exactly one head (with deterministic
+  // orphan adoption when that block's head is gone — see admit_thunk).
+  fds_config_.admit_filter = &ServiceAgent::admit_thunk;
+  fds_config_.admit_filter_ctx = this;
+  filtered_.add_receive_handler(&ServiceAgent::overhear_thunk, this);
+  view_.set_cluster(
+      directory_cluster(self, config.node_count, config.cluster_size));
+  node_.set_marked(true);  // directory admission: no formation handshake
+}
+
+void ServiceAgent::overhear_thunk(void* ctx, const Reception& reception) {
+  auto* self = static_cast<ServiceAgent*>(ctx);
+  if (const auto* hb = payload_cast<HeartbeatPayload>(reception.payload)) {
+    self->note_subscription(hb->sender, !hb->marked);
+    return;
+  }
+  // Every bare HealthUpdatePayload is authored by a node acting as the head
+  // of update->cluster (members relay through UpdateForwardPayload instead),
+  // so overhearing one is proof of an acting head for that block.
+  const auto* update = payload_cast<HealthUpdatePayload>(reception.payload);
+  if (update == nullptr) return;
+  ++self->updates_overheard_;
+  if (std::find(update->admitted.begin(), update->admitted.end(),
+                self->node_.id()) != update->admitted.end()) {
+    ++self->admit_offers_;
+    if (update->epoch > self->last_offer_epoch_) {
+      self->last_offer_epoch_ = update->epoch;
+    }
+  }
+  const std::uint32_t block =
+      directory_cluster_index(NodeId{update->cluster.value()},
+                              self->config_.cluster_size);
+  std::uint64_t& newest = self->block_head_epoch_[block];
+  if (update->epoch > newest) newest = update->epoch;
+}
+
+void ServiceAgent::note_subscription(NodeId sender, bool subscribing) {
+  if (!subscribing) {
+    sub_streak_.erase(sender.value());
+    return;
+  }
+  const std::uint64_t epoch = fds_.current_epoch();
+  const auto [it, inserted] =
+      sub_streak_.try_emplace(sender.value(), epoch, epoch);
+  if (inserted) return;
+  auto& [first, last] = it->second;
+  if (epoch <= last) return;  // retransmission within the same epoch
+  if (epoch == last + 1) {
+    last = epoch;
+  } else {
+    it->second = {epoch, epoch};  // a gap restarts the streak
+  }
+}
+
+bool ServiceAgent::block_head_alive(std::uint32_t block) const {
+  const auto it = block_head_epoch_.find(block);
+  if (it == block_head_epoch_.end()) return false;
+  const std::uint64_t epoch = fds_.current_epoch();
+  return it->second + 2 >= epoch;
+}
+
+bool ServiceAgent::admit_thunk(void* ctx, NodeId subscriber) {
+  auto* self = static_cast<ServiceAgent*>(ctx);
+  const std::uint32_t home =
+      directory_cluster_index(subscriber, self->config_.cluster_size);
+  const std::uint32_t mine = directory_cluster_index(
+      NodeId{self->view_.cluster()->id.value()}, self->config_.cluster_size);
+  if (home == mine) return true;
+  // Orphan adoption: the subscriber's home block has no acting head left
+  // (its whole deputy chain died), so *somebody* must take the node or it
+  // stays unaffiliated forever. Exactly one head volunteers — the acting
+  // head with the lowest block index — which every head can determine
+  // locally from the updates it overhears.
+  if (self->block_head_alive(home)) return false;  // home head's job
+  for (const auto& [block, epoch] : self->block_head_epoch_) {
+    if (block >= mine) break;
+    if (block != home && self->block_head_alive(block)) return false;
+  }
+  // Home-head priority window: a live home head collects its subscriber
+  // within one epoch, so only a streak of unanswered subscriptions proves
+  // the node is genuinely orphaned rather than momentarily overlooked.
+  const auto it = self->sub_streak_.find(subscriber.value());
+  if (it == self->sub_streak_.end()) return false;
+  const auto& [first, last] = it->second;
+  return last + 1 - first >= kAdoptionStreak;
+}
+
+Vec2 ServiceAgent::position_thunk(void* ctx, NodeId id) {
+  auto* self = static_cast<ServiceAgent*>(ctx);
+  return directory_position(id, self->config_.node_count);
+}
+
+void ServiceAgent::start(SimTime start, const fault::FaultPlan* plan) {
+  if (plan != nullptr) {
+    const SimTime anchor =
+        start + std::int64_t(config_.warmup_epochs) * config_.phi;
+    plan_.install(*plan, anchor, config_.warmup_epochs);
+  }
+  // Deterministic per-endpoint phase offset within a quarter round: with
+  // every endpoint on one machine, perfectly aligned round starts make all
+  // of them wake, broadcast, and drain at the same instant — a thundering
+  // herd whose queueing delay alone can exceed the one-hop bound. Spreading
+  // the starts keeps the per-tick burst small; the offset is a constant
+  // clock bias per endpoint, exactly what tolerate_epoch_skew absorbs.
+  const std::int64_t spread_us = config_.t_hop.as_micros() / 4;
+  std::uint64_t phase_state = node_.id().value();
+  const SimTime phase =
+      spread_us > 0
+          ? SimTime::micros(std::int64_t(
+                splitmix64(phase_state) %
+                static_cast<std::uint64_t>(spread_us)))
+          : SimTime::zero();
+  for (std::uint64_t k = 0; k < config_.epochs; ++k) {
+    const SimTime t =
+        start + phase + std::int64_t(k) * config_.phi + plan_.skew(k);
+    // Same-instant events fire in schedule order (the embedded simulator's
+    // stable sequence numbers), so begin_epoch always precedes round 1.
+    timers_.schedule_at(t, [this, k] { fds_.begin_epoch(k); });
+    timers_.schedule_at(t, [this] { fds_.round1_heartbeat(); });
+    timers_.schedule_at(t + config_.t_hop, [this] { fds_.round2_digest(); });
+    timers_.schedule_at(t + 2 * config_.t_hop,
+                        [this] { fds_.round3_update(); });
+    timers_.schedule_at(t + 3 * config_.t_hop, [this] { fds_.deputy_check(); });
+    timers_.schedule_at(t + 4 * config_.t_hop,
+                        [this] { fds_.completeness_check(); });
+  }
+  timers_.schedule_at(start + std::int64_t(config_.epochs) * config_.phi,
+                      [this] { done_ = true; });
+}
+
+AgentStatus ServiceAgent::status() const {
+  AgentStatus s;
+  s.node = node_.id().value();
+  s.alive = node_.alive();
+  s.marked = node_.marked();
+  s.affiliated = view_.affiliated();
+  s.is_clusterhead = view_.is_clusterhead();
+  s.left = fds_.has_left();
+  s.epoch = fds_.current_epoch();
+  if (const auto& cluster = view_.cluster()) {
+    s.cluster = cluster->id.value();
+    s.clusterhead = cluster->clusterhead.value();
+    for (NodeId m : cluster->members) s.members.push_back(m.value());
+    for (NodeId d : cluster->deputies) s.deputies.push_back(d.value());
+  }
+  for (NodeId f : fds_.log().known_failed()) s.failed.push_back(f.value());
+  s.updates_overheard = updates_overheard_;
+  s.admit_offers = admit_offers_;
+  s.last_offer_epoch = last_offer_epoch_;
+  s.hb_sent = fds_.heartbeats_sent();
+  s.unmarked_sent = fds_.unmarked_heartbeats_sent();
+  s.last_unmarked_epoch = fds_.last_unmarked_sent_epoch();
+  for (NodeId sub : fds_.unmarked_heard()) s.subscribers.push_back(sub.value());
+  for (std::uint64_t count : fds_.reverts()) {
+    s.reverts.push_back(static_cast<std::uint32_t>(count));
+  }
+  s.last_revert_epoch = fds_.last_revert_epoch();
+  s.last_revert_cause = fds_.last_revert_cause();
+  return s;
+}
+
+}  // namespace cfds::service

@@ -1,0 +1,51 @@
+// Service-mode deployment parameters.
+//
+// Service mode runs the FDS against real time over a real transport (UDP
+// loopback across processes, or in-process loopback queues across threads).
+// The deployment is a single broadcast domain — every endpoint hears every
+// frame, the degenerate dense case of the paper's radio model — and the
+// cluster organization is installed from a directory (src/service/
+// directory.h) instead of being negotiated by the formation protocol, so
+// every process derives the identical organization without a handshake.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_time.h"
+
+namespace cfds::service {
+
+struct ServiceConfig {
+  /// Deployment size; NIDs are 0 .. node_count-1.
+  std::uint32_t node_count = 16;
+  /// Directory clustering: contiguous NID blocks of this size (the last
+  /// block absorbs the remainder). CH = lowest NID of the block.
+  std::uint32_t cluster_size = 8;
+
+  /// One-hop bound Thop, real time. The FDS round offsets (T, T+Thop, ...,
+  /// T+4Thop) and the phi >= 7*Thop constraint carry over unchanged.
+  SimTime t_hop = SimTime::millis(50);
+  /// Heartbeat interval phi.
+  SimTime phi = SimTime::millis(500);
+
+  /// FDS executions to run; the daemon exits after the last one.
+  std::uint64_t epochs = 10;
+  /// Executions before the fault plan's anchor: fault event at_us = 0 fires
+  /// at the start of epoch `warmup_epochs`.
+  std::uint64_t warmup_epochs = 2;
+
+  /// Seed for per-endpoint Bernoulli loss streams (combined with the NID,
+  /// so endpoints draw independently).
+  std::uint64_t seed = 1;
+  /// Independent per-frame receive loss probability.
+  double loss_p = 0.0;
+
+  [[nodiscard]] std::uint32_t cluster_count() const {
+    if (node_count == 0 || cluster_size == 0) return 0;
+    return (node_count + cluster_size - 1) / cluster_size;
+  }
+};
+
+}  // namespace cfds::service

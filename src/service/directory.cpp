@@ -1,0 +1,45 @@
+#include "service/directory.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace cfds::service {
+
+std::uint32_t directory_cluster_index(NodeId id, std::uint32_t cluster_size) {
+  CFDS_EXPECT(cluster_size > 0, "directory: cluster_size must be positive");
+  return id.value() / cluster_size;
+}
+
+ClusterView directory_cluster(NodeId self, std::uint32_t node_count,
+                              std::uint32_t cluster_size) {
+  CFDS_EXPECT(self.is_valid() && self.value() < node_count,
+              "directory: NID out of range");
+  const std::uint32_t block = directory_cluster_index(self, cluster_size);
+  const std::uint32_t first = block * cluster_size;
+  std::uint32_t last = first + cluster_size;  // exclusive
+  if (last > node_count) last = node_count;
+  // A trailing remainder block smaller than cluster_size still forms a
+  // cluster; a final block of one node is a singleton cluster (its CH).
+
+  ClusterView view;
+  view.clusterhead = NodeId{first};
+  view.id = ClusterId{first};  // clusters are named after their founding CH
+  for (std::uint32_t nid = first + 1; nid < last; ++nid) {
+    view.members.push_back(NodeId{nid});
+    if (nid - first <= kDeputies) view.deputies.push_back(NodeId{nid});
+  }
+  return view;
+}
+
+Vec2 directory_position(NodeId id, std::uint32_t node_count) {
+  // Square-ish grid: side = ceil(sqrt(n)).
+  std::uint32_t side = 1;
+  while (side * side < node_count) ++side;
+  const std::uint32_t row = id.value() / side;
+  const std::uint32_t col = id.value() % side;
+  return Vec2{kGridPitch * static_cast<double>(col),
+              kGridPitch * static_cast<double>(row)};
+}
+
+}  // namespace cfds::service

@@ -1,0 +1,250 @@
+#include "service/status.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <sstream>
+
+namespace cfds::service {
+
+namespace {
+
+void append_list(std::ostringstream& os, const char* key,
+                 const std::vector<std::uint32_t>& values) {
+  os << "\"" << key << "\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os << ",";
+    os << values[i];
+  }
+  os << "]";
+}
+
+/// Finds `"key":` in `line` and returns the offset just past the colon,
+/// or npos. Keys in this format are unique and never appear inside values
+/// (values are numbers, booleans, and integer arrays only).
+std::size_t value_offset(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::string::npos;
+  return at + needle.size();
+}
+
+bool parse_bool(const std::string& line, const std::string& key, bool* out) {
+  const std::size_t at = value_offset(line, key);
+  if (at == std::string::npos) return false;
+  if (line.compare(at, 4, "true") == 0) {
+    *out = true;
+    return true;
+  }
+  if (line.compare(at, 5, "false") == 0) {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool parse_u64(const std::string& line, const std::string& key,
+               std::uint64_t* out) {
+  const std::size_t at = value_offset(line, key);
+  if (at == std::string::npos) return false;
+  std::size_t end = at;
+  while (end < line.size() && line[end] >= '0' && line[end] <= '9') ++end;
+  if (end == at) return false;
+  *out = std::stoull(line.substr(at, end - at));
+  return true;
+}
+
+bool parse_u32(const std::string& line, const std::string& key,
+               std::uint32_t* out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(line, key, &v) || v > 0xFFFFFFFFULL) return false;
+  *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool parse_list(const std::string& line, const std::string& key,
+                std::vector<std::uint32_t>* out) {
+  std::size_t at = value_offset(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '[') {
+    return false;
+  }
+  ++at;
+  out->clear();
+  while (at < line.size() && line[at] != ']') {
+    std::size_t end = at;
+    while (end < line.size() && line[end] >= '0' && line[end] <= '9') ++end;
+    if (end == at) return false;
+    out->push_back(
+        static_cast<std::uint32_t>(std::stoul(line.substr(at, end - at))));
+    at = end;
+    if (at < line.size() && line[at] == ',') ++at;
+  }
+  return at < line.size() && line[at] == ']';
+}
+
+[[nodiscard]] const char* json_bool(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+std::string AgentStatus::to_json() const {
+  std::ostringstream os;
+  os << "{\"node\":" << node << ",\"alive\":" << json_bool(alive)
+     << ",\"marked\":" << json_bool(marked)
+     << ",\"affiliated\":" << json_bool(affiliated)
+     << ",\"ch\":" << json_bool(is_clusterhead)
+     << ",\"left\":" << json_bool(left) << ",\"cluster\":" << cluster
+     << ",\"clusterhead\":" << clusterhead << ",\"epoch\":" << epoch << ",";
+  append_list(os, "members", members);
+  os << ",";
+  append_list(os, "deputies", deputies);
+  os << ",";
+  append_list(os, "failed", failed);
+  os << ",\"updates_overheard\":" << updates_overheard
+     << ",\"admit_offers\":" << admit_offers
+     << ",\"last_offer_epoch\":" << last_offer_epoch
+     << ",\"hb_sent\":" << hb_sent << ",\"unmarked_sent\":" << unmarked_sent
+     << ",\"last_unmarked_epoch\":" << last_unmarked_epoch << ",";
+  append_list(os, "subscribers", subscribers);
+  os << ",";
+  append_list(os, "reverts", reverts);
+  os << ",\"last_revert_epoch\":" << last_revert_epoch
+     << ",\"last_revert_cause\":" << last_revert_cause << "}";
+  return os.str();
+}
+
+std::optional<AgentStatus> AgentStatus::parse(const std::string& line) {
+  AgentStatus s;
+  if (!parse_u32(line, "node", &s.node)) return std::nullopt;
+  if (!parse_bool(line, "alive", &s.alive)) return std::nullopt;
+  if (!parse_bool(line, "marked", &s.marked)) return std::nullopt;
+  if (!parse_bool(line, "affiliated", &s.affiliated)) return std::nullopt;
+  if (!parse_bool(line, "ch", &s.is_clusterhead)) return std::nullopt;
+  if (!parse_bool(line, "left", &s.left)) return std::nullopt;
+  if (!parse_u32(line, "cluster", &s.cluster)) return std::nullopt;
+  if (!parse_u32(line, "clusterhead", &s.clusterhead)) return std::nullopt;
+  if (!parse_u64(line, "epoch", &s.epoch)) return std::nullopt;
+  if (!parse_list(line, "members", &s.members)) return std::nullopt;
+  if (!parse_list(line, "deputies", &s.deputies)) return std::nullopt;
+  if (!parse_list(line, "failed", &s.failed)) return std::nullopt;
+  // Diagnostics are optional: a status line from an older endpoint still
+  // parses, with the counters left at zero.
+  (void)parse_u64(line, "updates_overheard", &s.updates_overheard);
+  (void)parse_u64(line, "admit_offers", &s.admit_offers);
+  (void)parse_u64(line, "last_offer_epoch", &s.last_offer_epoch);
+  (void)parse_u64(line, "hb_sent", &s.hb_sent);
+  (void)parse_u64(line, "unmarked_sent", &s.unmarked_sent);
+  (void)parse_u64(line, "last_unmarked_epoch", &s.last_unmarked_epoch);
+  (void)parse_list(line, "subscribers", &s.subscribers);
+  (void)parse_list(line, "reverts", &s.reverts);
+  (void)parse_u64(line, "last_revert_epoch", &s.last_revert_epoch);
+  (void)parse_u64(line, "last_revert_cause", &s.last_revert_cause);
+  return s;
+}
+
+std::vector<std::string> check_live_invariants(
+    const std::vector<AgentStatus>& statuses) {
+  std::vector<std::string> violations;
+  auto violation = [&violations](const std::string& msg) {
+    violations.push_back(msg);
+  };
+
+  std::map<std::uint32_t, const AgentStatus*> by_node;
+  for (const AgentStatus& s : statuses) {
+    if (!by_node.emplace(s.node, &s).second) {
+      violation("duplicate status for node " + std::to_string(s.node));
+    }
+  }
+  auto status_of = [&by_node](std::uint32_t nid) -> const AgentStatus* {
+    const auto it = by_node.find(nid);
+    return it == by_node.end() ? nullptr : it->second;
+  };
+  auto is_alive = [&status_of](std::uint32_t nid) {
+    const AgentStatus* s = status_of(nid);
+    return s != nullptr && s->alive;
+  };
+
+  // Acting clusterheads per cluster id.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> heads;
+  bool any_head = false;
+  for (const auto& [nid, s] : by_node) {
+    if (s->alive && s->is_clusterhead && s->affiliated) {
+      heads[s->cluster].push_back(nid);
+      any_head = true;
+    }
+  }
+
+  for (const auto& [nid, s] : by_node) {
+    if (!s->alive) continue;
+    const std::string who = "node " + std::to_string(nid);
+
+    // L-I5: dead nodes appear in no alive node's view.
+    if (s->affiliated) {
+      if (status_of(s->clusterhead) != nullptr && !is_alive(s->clusterhead)) {
+        violation("I5: " + who + " names dead clusterhead " +
+                  std::to_string(s->clusterhead));
+      }
+      for (std::uint32_t m : s->members) {
+        if (status_of(m) != nullptr && !is_alive(m)) {
+          violation("I5: " + who + " lists dead member " + std::to_string(m));
+        }
+      }
+      for (std::uint32_t d : s->deputies) {
+        if (status_of(d) != nullptr && !is_alive(d)) {
+          violation("I5: " + who + " lists dead deputy " + std::to_string(d));
+        }
+      }
+    }
+
+    // L-I1: the node's cluster has exactly one acting head.
+    if (s->affiliated) {
+      const auto it = heads.find(s->cluster);
+      if (it == heads.end()) {
+        violation("I1: cluster " + std::to_string(s->cluster) +
+                  " referenced by " + who + " has no acting clusterhead");
+      } else if (it->second.size() > 1) {
+        violation("I1: cluster " + std::to_string(s->cluster) + " has " +
+                  std::to_string(it->second.size()) + " acting clusterheads");
+      }
+    }
+
+    // L-I2: marked => consistent membership.
+    if (s->marked && !s->left) {
+      if (!s->affiliated) {
+        violation("I2: " + who + " is marked but unaffiliated");
+      } else if (!s->is_clusterhead) {
+        const AgentStatus* head = status_of(s->clusterhead);
+        if (head == nullptr || !head->alive || !head->is_clusterhead ||
+            head->cluster != s->cluster) {
+          violation("I2: " + who + "'s clusterhead " +
+                    std::to_string(s->clusterhead) + " is not acting for " +
+                    "cluster " + std::to_string(s->cluster));
+        } else if (std::find(head->members.begin(), head->members.end(),
+                             nid) == head->members.end()) {
+          violation("I2: clusterhead " + std::to_string(s->clusterhead) +
+                    " does not list " + who + " as a member");
+        }
+      }
+    }
+
+    // L-I3: no alive marked same-cluster node in the failure log.
+    for (std::uint32_t f : s->failed) {
+      const AgentStatus* fs = status_of(f);
+      if (fs != nullptr && fs->alive && fs->marked && !fs->left &&
+          fs->affiliated && s->affiliated && fs->cluster == s->cluster) {
+        violation("I3: " + who + " still records alive node " +
+                  std::to_string(f) + " as failed");
+      }
+    }
+
+    // L-I4: somebody is acting => everybody (who did not leave) belongs.
+    if (any_head && !s->left && !s->affiliated) {
+      violation("I4: " + who + " is alive and unaffiliated despite acting " +
+                "clusterheads being present");
+    }
+  }
+
+  std::sort(violations.begin(), violations.end());
+  return violations;
+}
+
+}  // namespace cfds::service

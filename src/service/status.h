@@ -1,0 +1,92 @@
+// Live membership status records and the live invariant checker.
+//
+// Each service agent serializes its protocol state as one JSON line when
+// its run completes (and cfds_serve can emit it on demand); the soak
+// harness collects the lines from all endpoints and checks the live
+// counterparts of the chaos oracle's invariants I1-I5 (src/fault/oracle.h)
+// against them.
+//
+// The live checks are VIEW-based where the simulator oracle is also
+// geometry-based: service mode is a single broadcast domain, so "within
+// radio range" is always true and the reachability carve-outs of the
+// simulated oracle collapse. F5 admission may cross directory blocks (any
+// CH that hears an unmarked heartbeat may admit the sender), so the checks
+// follow each node's own view of its cluster, never the static directory.
+//
+//   L-I1  every cluster referenced by an alive affiliated node has exactly
+//         one alive acting clusterhead
+//   L-I2  an alive marked node is affiliated, its clusterhead is alive and
+//         acting for the node's cluster, and that clusterhead lists the
+//         node as a member
+//   L-I3  no alive marked same-cluster node appears in an alive node's
+//         failure log (no zombies after crash-recovery)
+//   L-I4  if any alive acting clusterhead exists, every alive node that did
+//         not voluntarily leave is affiliated (F5 must succeed)
+//   L-I5  dead nodes appear in no alive node's view (clusterhead, members,
+//         or deputies)
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cfds::service {
+
+/// One endpoint's end-of-run protocol state, as serialized to the status
+/// JSONL. Plain integers, not StrongIds: this is an exchange format.
+struct AgentStatus {
+  std::uint32_t node = 0;
+  bool alive = true;
+  bool marked = false;
+  bool affiliated = false;
+  bool is_clusterhead = false;
+  bool left = false;
+  /// View fields; meaningful only when affiliated.
+  std::uint32_t cluster = 0xFFFFFFFFU;
+  std::uint32_t clusterhead = 0xFFFFFFFFU;
+  std::uint64_t epoch = 0;
+  std::vector<std::uint32_t> members;   ///< the view's non-CH member list
+  std::vector<std::uint32_t> deputies;
+  std::vector<std::uint32_t> failed;    ///< failure-log contents
+  /// Receive-side diagnostics (service layer): how many bare health updates
+  /// this endpoint overheard, how many of them offered it admission, and
+  /// the epoch of the newest such offer. Not invariant inputs — they exist
+  /// so a soak post-mortem can tell a deaf endpoint from an ignored one.
+  std::uint64_t updates_overheard = 0;
+  std::uint64_t admit_offers = 0;
+  std::uint64_t last_offer_epoch = 0;
+  /// Send-side diagnostics: lifetime heartbeats sent, how many of them were
+  /// unmarked (subscriptions), and the epoch of the newest subscription.
+  std::uint64_t hb_sent = 0;
+  std::uint64_t unmarked_sent = 0;
+  std::uint64_t last_unmarked_epoch = 0;
+  /// Subscriptions this endpoint has heard and not yet consumed at R-3 —
+  /// on an acting head, who is currently asking to join.
+  std::vector<std::uint32_t> subscribers;
+  /// Lifetime counts of marked/affiliated-state reverts by cause, indexed
+  /// by FdsAgent::RevertCause (missed-updates, fresh self news, stale self
+  /// news, roster drop, rival head), plus when/why the newest one fired.
+  std::vector<std::uint32_t> reverts;
+  std::uint64_t last_revert_epoch = 0;
+  std::uint64_t last_revert_cause = 0;
+
+  friend bool operator==(const AgentStatus&, const AgentStatus&) = default;
+
+  /// One JSON object, no trailing newline.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parses a to_json() line. Returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<AgentStatus> parse(
+      const std::string& line);
+};
+
+/// Checks L-I1 .. L-I5 over a complete set of endpoint statuses. Returns
+/// one human-readable message per violation; empty means the deployment
+/// reconverged. `statuses` need not be sorted; duplicate NIDs are reported
+/// as violations.
+[[nodiscard]] std::vector<std::string> check_live_invariants(
+    const std::vector<AgentStatus>& statuses);
+
+}  // namespace cfds::service

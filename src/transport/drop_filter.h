@@ -1,0 +1,116 @@
+// Transport-agnostic fault-drop state: which frames a seeded FaultPlan says
+// must not arrive.
+//
+// The fault taxonomy's omission faults (freeze/mute), link partitions
+// (link_down), and regional jamming used to live as private state inside
+// the simulated Channel, which meant a FaultPlan could only drive simulated
+// runs. DropFilter lifts exactly that state — muted nodes, blocked
+// undirected links, jam disks — behind fine-grained queries, so the same
+// plan drives both paths:
+//
+//   * Channel embeds a DropFilter and consults it per candidate receiver in
+//     transmit(), with the has_*() fast paths preserving the seed tree's
+//     empty()-branch structure (and therefore its RNG draw sequence) bit
+//     for bit.
+//   * FilteredTransport (service mode) consults drops() per received frame,
+//     so a daemon fleet replays the identical plan over loopback UDP.
+//
+// Header-only: Channel::transmit calls these queries on its hot path, and
+// keeping the filter out of any .cpp avoids a radio <-> transport link
+// cycle (cfds_transport links cfds_radio for payload/wire code).
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/flat.h"
+#include "common/geometry.h"
+#include "common/ids.h"
+
+namespace cfds {
+
+class DropFilter {
+ public:
+  /// A muted radio's frames vanish in the air and it hears nothing, but the
+  /// node itself keeps running (and paying tx energy) — an omission fault,
+  /// distinct from a crash (Freeze in the fault taxonomy).
+  void set_muted(NodeId id, bool muted) {
+    if (muted) {
+      muted_.insert(id);
+    } else {
+      muted_.erase(id);
+    }
+  }
+  [[nodiscard]] bool is_muted(NodeId id) const { return muted_.contains(id); }
+  [[nodiscard]] bool has_muted() const { return !muted_.empty(); }
+
+  /// Blocks/unblocks the (symmetric) link between two nodes; blocked frames
+  /// count as losses (LinkDown / partition faults).
+  void set_link_blocked(NodeId a, NodeId b, bool blocked) {
+    if (blocked) {
+      blocked_links_.insert(link_key(a, b));
+    } else {
+      blocked_links_.erase(link_key(a, b));
+    }
+  }
+  [[nodiscard]] bool link_blocked(NodeId a, NodeId b) const {
+    return blocked_links_.contains(link_key(a, b));
+  }
+  [[nodiscard]] bool has_blocked_links() const {
+    return !blocked_links_.empty();
+  }
+
+  /// Forces loss probability to 1 for any frame whose sender or receiver
+  /// lies inside `area` (regional jamming). Returns a token for removal.
+  int add_jam_region(Disk area) {
+    const int token = next_jam_token_++;
+    jam_regions_.emplace_back(token, area);
+    return token;
+  }
+  void remove_jam_region(int token) {
+    jam_regions_.erase(
+        std::remove_if(jam_regions_.begin(), jam_regions_.end(),
+                       [token](const auto& jr) { return jr.first == token; }),
+        jam_regions_.end());
+  }
+  [[nodiscard]] bool jammed(Vec2 p) const {
+    for (const auto& [token, disk] : jam_regions_) {
+      if (disk.contains(p)) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool has_jam_regions() const { return !jam_regions_.empty(); }
+
+  /// Whole-frame verdict for transports without a per-receiver fan-out loop
+  /// (service mode filters at the receiving endpoint): true when the frame
+  /// from `sender` must not reach `receiver` under the current fault state.
+  /// Branch order matches Channel::transmit — muted sender, muted receiver,
+  /// blocked link, jammed endpoint.
+  [[nodiscard]] bool drops(NodeId sender, Vec2 sender_pos, NodeId receiver,
+                           Vec2 receiver_pos) const {
+    if (has_muted() && (is_muted(sender) || is_muted(receiver))) return true;
+    if (has_blocked_links() && link_blocked(sender, receiver)) return true;
+    if (has_jam_regions() && (jammed(sender_pos) || jammed(receiver_pos))) {
+      return true;
+    }
+    return false;
+  }
+
+  /// Order-independent key for the undirected link {a, b}.
+  [[nodiscard]] static std::uint64_t link_key(NodeId a, NodeId b) {
+    const std::uint64_t lo = std::min(a.value(), b.value());
+    const std::uint64_t hi = std::max(a.value(), b.value());
+    return (hi << 32) | lo;
+  }
+
+ private:
+  FlatSet<NodeId> muted_;
+  FlatSet<std::uint64_t> blocked_links_;
+  std::vector<std::pair<int, Disk>> jam_regions_;
+  int next_jam_token_ = 0;
+};
+
+}  // namespace cfds

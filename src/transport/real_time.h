@@ -1,0 +1,93 @@
+// TimerService over the wall clock (service mode).
+//
+// In simulation, SimTime is virtual time owned by the Simulator. In service
+// mode the same SimTime type is reinterpreted as "microseconds since the
+// process's epoch anchor": RealTimeScheduler maps the monotonic clock onto
+// that axis, so protocol code written against TimerService (FdsAgent and
+// friends) runs unchanged against real time.
+//
+// Rather than reinventing a timer wheel, the scheduler EMBEDS a Simulator
+// and uses its calendar-queue event machinery as the pending-timer store:
+// schedule_* delegates to the simulator, and run_due() advances the
+// simulator's virtual clock to the current wall-clock reading, firing
+// everything due. The event loop around it is:
+//
+//   while (running) {
+//     poll(sockets, timeout = next_deadline() - now());
+//     drain sockets;
+//     scheduler.run_due();
+//   }
+//
+// Single-threaded by design, like the Simulator it wraps: one scheduler per
+// event loop (cfds_serve has one; the loopback soak has one per agent
+// thread). now() is safe from any thread; scheduling and run_due are not.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+#include "common/sim_time.h"
+#include "event/simulator.h"
+#include "transport/transport.h"
+
+namespace cfds {
+
+class RealTimeScheduler final : public TimerService {
+ public:
+  /// Anchors SimTime `start` (default zero) to the current instant: now()
+  /// reads `start + elapsed`. Daemons that must agree on epoch boundaries
+  /// across processes pass the offset of this process's launch from a
+  /// shared anchor timestamp (cfds_serve --anchor-us).
+  explicit RealTimeScheduler(SimTime start = SimTime::zero())
+      : origin_(std::chrono::steady_clock::now()), start_(start) {
+    sim_.run_until(start);  // align the embedded clock with the axis origin
+  }
+
+  /// Microseconds elapsed since the anchor, plus the anchor offset.
+  [[nodiscard]] SimTime now() const override {
+    const auto elapsed = std::chrono::steady_clock::now() - origin_;
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed);
+    return start_ + SimTime::micros(us.count());
+  }
+
+  TimerHandle schedule_at(SimTime when, EventFn action) override {
+    // The embedded simulator refuses past deadlines only by firing them on
+    // the next run_due(), which is the semantics a real-time timer wants.
+    const SimTime base = sim_.now();
+    return sim_.schedule_at(when < base ? base : when, std::move(action));
+  }
+
+  TimerHandle schedule_after(SimTime delay, EventFn action) override {
+    // Relative timers anchor at the wall clock, not at the embedded
+    // simulator's clock (which only advances inside run_due).
+    return schedule_at(now() + delay, std::move(action));
+  }
+
+  /// Fires every timer due at or before the current wall-clock reading.
+  /// Returns the number of events executed by this call.
+  std::size_t run_due() {
+    const std::uint64_t before = sim_.events_executed();
+    sim_.run_until(now());
+    return static_cast<std::size_t>(sim_.events_executed() - before);
+  }
+
+  /// Earliest pending deadline (a lower bound: cancelled timers may still
+  /// occupy queue entries). False when no timer is pending — the caller's
+  /// poll may then block indefinitely on I/O.
+  [[nodiscard]] bool next_deadline(SimTime* when) {
+    return sim_.next_event_time(when);
+  }
+
+  [[nodiscard]] std::size_t pending_timers() const {
+    return sim_.pending_events();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  SimTime start_;
+  Simulator sim_;
+};
+
+}  // namespace cfds

@@ -1,0 +1,29 @@
+// The frame-as-received record shared by every transport.
+//
+// Reception is what a protocol agent sees per frame, whether the frame
+// crossed the simulated Channel, an in-process loopback queue, or a real
+// UDP socket. It lives here — not in radio/channel.h — so the transport
+// interface (src/transport/transport.h) does not depend on the simulated
+// medium; channel.h includes this header, so existing channel users are
+// unaffected.
+
+#pragma once
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "radio/payload.h"
+
+namespace cfds {
+
+/// A frame as seen by a receiver.
+struct Reception {
+  NodeId sender;
+  /// Addressed recipient, or NodeId::invalid() for a broadcast. Receivers
+  /// other than `intended` are overhearing — the inherent message redundancy
+  /// the FDS exploits.
+  NodeId intended;
+  PayloadPtr payload;
+  SimTime sent_at;
+};
+
+}  // namespace cfds

@@ -1,0 +1,354 @@
+#include "transport/wire.h"
+
+#include <memory>
+#include <utility>
+
+#include "fds/messages.h"
+
+namespace cfds::wire {
+namespace {
+
+// --- primitive writers ----------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v & 0xFFU));
+    u8(static_cast<std::uint8_t>(v >> 8U));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v & 0xFFFFU));
+    u16(static_cast<std::uint16_t>(v >> 16U));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v & 0xFFFFFFFFU));
+    u32(static_cast<std::uint32_t>(v >> 32U));
+  }
+  void node(NodeId id) { u32(id.value()); }
+  void cluster(ClusterId id) { u32(id.value()); }
+  void report(ReportId id) { u64(id.value()); }
+  void boolean(bool v) { u8(v ? 1U : 0U); }
+
+  void nodes(const std::vector<NodeId>& v) {
+    u16(static_cast<std::uint16_t>(v.size()));
+    for (NodeId id : v) node(id);
+  }
+  void reports(const std::vector<ReportId>& v) {
+    u16(static_cast<std::uint16_t>(v.size()));
+    for (ReportId id : v) report(id);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+// --- primitive readers ----------------------------------------------------
+
+/// Cursor over the frame body. Every accessor returns a defined value even
+/// after a short read; `ok()` reports whether all reads were in-bounds, so
+/// callers validate once at the end instead of checking every field.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len)
+      : p_(data), end_(data + len) {}
+
+  std::uint8_t u8() {
+    if (p_ == end_) {
+      ok_ = false;
+      return 0;
+    }
+    return *p_++;
+  }
+  std::uint16_t u16() {
+    const auto lo = static_cast<std::uint16_t>(u8());
+    const auto hi = static_cast<std::uint16_t>(u8());
+    return static_cast<std::uint16_t>(lo | static_cast<std::uint16_t>(hi << 8U));
+  }
+  std::uint32_t u32() {
+    const auto lo = static_cast<std::uint32_t>(u16());
+    const auto hi = static_cast<std::uint32_t>(u16());
+    return lo | (hi << 16U);
+  }
+  std::uint64_t u64() {
+    const auto lo = static_cast<std::uint64_t>(u32());
+    const auto hi = static_cast<std::uint64_t>(u32());
+    return lo | (hi << 32U);
+  }
+  NodeId node() { return NodeId{u32()}; }
+  ClusterId cluster() { return ClusterId{u32()}; }
+  ReportId report() { return ReportId{u64()}; }
+  bool boolean() { return u8() != 0; }
+
+  void nodes(std::vector<NodeId>* out) {
+    const std::uint16_t n = u16();
+    if (remaining() < static_cast<std::size_t>(n) * 4) {
+      ok_ = false;
+      return;
+    }
+    out->reserve(n);
+    for (std::uint16_t i = 0; i < n; ++i) out->push_back(node());
+  }
+  void reports(std::vector<ReportId>* out) {
+    const std::uint16_t n = u16();
+    if (remaining() < static_cast<std::size_t>(n) * 8) {
+      ok_ = false;
+      return;
+    }
+    out->reserve(n);
+    for (std::uint16_t i = 0; i < n; ++i) out->push_back(report());
+  }
+
+  [[nodiscard]] std::size_t remaining() const {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+  [[nodiscard]] bool done() const { return ok_ && p_ == end_; }
+  [[nodiscard]] bool ok() const { return ok_; }
+  void fail() { ok_ = false; }
+
+ private:
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+  bool ok_ = true;
+};
+
+// --- per-type bodies ------------------------------------------------------
+
+void encode_body(Writer& w, const HeartbeatPayload& p) {
+  w.node(p.sender);
+  w.boolean(p.marked);
+  w.u32(p.incarnation);
+}
+
+void encode_body(Writer& w, const LeaveNoticePayload& p) { w.node(p.sender); }
+
+void encode_body(Writer& w, const SleepNoticePayload& p) {
+  w.node(p.sender);
+  w.u32(p.epochs);
+}
+
+void encode_body(Writer& w, const DigestPayload& p) {
+  w.node(p.sender);
+  w.cluster(p.cluster);
+  w.nodes(p.heard);
+  w.u16(static_cast<std::uint16_t>(p.sleeping.size()));
+  for (const auto& [who, epochs] : p.sleeping) {
+    w.node(who);
+    w.u32(epochs);
+  }
+}
+
+void encode_body(Writer& w, const HealthUpdatePayload& p) {
+  w.cluster(p.cluster);
+  w.node(p.sender);
+  w.u64(p.epoch);
+  w.nodes(p.newly_failed);
+  w.nodes(p.all_failed);
+  w.nodes(p.admitted);
+  w.nodes(p.departed);
+  w.nodes(p.members_snapshot);
+  w.boolean(p.takeover);
+  w.nodes(p.sender_heard);
+  w.report(p.report);
+  w.reports(p.acks);
+  w.cluster(p.learned_from);
+}
+
+void encode_body(Writer& w, const UpdateRequestPayload& p) {
+  w.node(p.sender);
+  w.cluster(p.cluster);
+  w.u64(p.epoch);
+}
+
+void encode_body(Writer& w, const UpdateForwardPayload& p) {
+  w.node(p.forwarder);
+  w.node(p.target);
+  // The nested update travels inline; presence flag guards a null pointer
+  // (never sent by the protocol, but the codec must not crash on one).
+  w.boolean(p.update != nullptr);
+  if (p.update != nullptr) encode_body(w, *p.update);
+}
+
+void encode_body(Writer& w, const UpdateAckPayload& p) {
+  w.node(p.sender);
+  w.u64(p.epoch);
+}
+
+std::shared_ptr<HeartbeatPayload> decode_heartbeat(Reader& r) {
+  auto p = std::make_shared<HeartbeatPayload>();
+  p->sender = r.node();
+  p->marked = r.boolean();
+  p->incarnation = r.u32();
+  return p;
+}
+
+std::shared_ptr<LeaveNoticePayload> decode_leave(Reader& r) {
+  auto p = std::make_shared<LeaveNoticePayload>();
+  p->sender = r.node();
+  return p;
+}
+
+std::shared_ptr<SleepNoticePayload> decode_sleep(Reader& r) {
+  auto p = std::make_shared<SleepNoticePayload>();
+  p->sender = r.node();
+  p->epochs = r.u32();
+  return p;
+}
+
+std::shared_ptr<DigestPayload> decode_digest(Reader& r) {
+  auto p = std::make_shared<DigestPayload>();
+  p->sender = r.node();
+  p->cluster = r.cluster();
+  r.nodes(&p->heard);
+  const std::uint16_t n = r.u16();
+  if (r.remaining() < static_cast<std::size_t>(n) * 8) {
+    r.fail();
+    return p;
+  }
+  p->sleeping.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    const NodeId who = r.node();
+    const std::uint32_t epochs = r.u32();
+    p->sleeping.emplace_back(who, epochs);
+  }
+  return p;
+}
+
+std::shared_ptr<HealthUpdatePayload> decode_update(Reader& r) {
+  auto p = std::make_shared<HealthUpdatePayload>();
+  p->cluster = r.cluster();
+  p->sender = r.node();
+  p->epoch = r.u64();
+  r.nodes(&p->newly_failed);
+  r.nodes(&p->all_failed);
+  r.nodes(&p->admitted);
+  r.nodes(&p->departed);
+  r.nodes(&p->members_snapshot);
+  p->takeover = r.boolean();
+  r.nodes(&p->sender_heard);
+  p->report = r.report();
+  r.reports(&p->acks);
+  p->learned_from = r.cluster();
+  return p;
+}
+
+std::shared_ptr<UpdateRequestPayload> decode_request(Reader& r) {
+  auto p = std::make_shared<UpdateRequestPayload>();
+  p->sender = r.node();
+  p->cluster = r.cluster();
+  p->epoch = r.u64();
+  return p;
+}
+
+std::shared_ptr<UpdateForwardPayload> decode_forward(Reader& r) {
+  auto p = std::make_shared<UpdateForwardPayload>();
+  p->forwarder = r.node();
+  p->target = r.node();
+  if (r.boolean()) p->update = decode_update(r);
+  return p;
+}
+
+std::shared_ptr<UpdateAckPayload> decode_ack(Reader& r) {
+  auto p = std::make_shared<UpdateAckPayload>();
+  p->sender = r.node();
+  p->epoch = r.u64();
+  return p;
+}
+
+}  // namespace
+
+bool encode_frame(NodeId sender, NodeId intended, const Payload& payload,
+                  std::vector<std::uint8_t>* out) {
+  const std::size_t mark = out->size();
+  Writer w(*out);
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(payload.tag()));
+  w.node(sender);
+  w.node(intended);
+  switch (payload.tag()) {
+    case PayloadKind::kHeartbeat:
+    case PayloadKind::kMeasurement:
+      // A measurement IS a heartbeat for FDS purposes (Section 6 message
+      // sharing); service mode carries only its heartbeat fields.
+      encode_body(w, static_cast<const HeartbeatPayload&>(payload));
+      return true;
+    case PayloadKind::kLeaveNotice:
+      encode_body(w, static_cast<const LeaveNoticePayload&>(payload));
+      return true;
+    case PayloadKind::kSleepNotice:
+      encode_body(w, static_cast<const SleepNoticePayload&>(payload));
+      return true;
+    case PayloadKind::kDigest:
+      encode_body(w, static_cast<const DigestPayload&>(payload));
+      return true;
+    case PayloadKind::kHealthUpdate:
+      encode_body(w, static_cast<const HealthUpdatePayload&>(payload));
+      return true;
+    case PayloadKind::kUpdateRequest:
+      encode_body(w, static_cast<const UpdateRequestPayload&>(payload));
+      return true;
+    case PayloadKind::kUpdateForward:
+      encode_body(w, static_cast<const UpdateForwardPayload&>(payload));
+      return true;
+    case PayloadKind::kUpdateAck:
+      encode_body(w, static_cast<const UpdateAckPayload&>(payload));
+      return true;
+    default:
+      // Un-encoded frame kinds (formation, aggregation, baselines) never
+      // travel in service mode; drop the partial header we wrote.
+      out->resize(mark);
+      return false;
+  }
+}
+
+bool decode_frame(const std::uint8_t* data, std::size_t len,
+                  DecodedFrame* out) {
+  if (len < kHeaderSize) return false;
+  Reader r(data, len);
+  if (r.u16() != kMagic) return false;
+  if (r.u8() != kVersion) return false;
+  const std::uint8_t kind = r.u8();
+  out->sender = r.node();
+  out->intended = r.node();
+  switch (static_cast<PayloadKind>(kind)) {
+    case PayloadKind::kHeartbeat:
+    case PayloadKind::kMeasurement:
+      // Only the heartbeat fields travel (see encode_frame); the receiver
+      // gets a plain heartbeat either way.
+      out->payload = decode_heartbeat(r);
+      break;
+    case PayloadKind::kLeaveNotice:
+      out->payload = decode_leave(r);
+      break;
+    case PayloadKind::kSleepNotice:
+      out->payload = decode_sleep(r);
+      break;
+    case PayloadKind::kDigest:
+      out->payload = decode_digest(r);
+      break;
+    case PayloadKind::kHealthUpdate:
+      out->payload = decode_update(r);
+      break;
+    case PayloadKind::kUpdateRequest:
+      out->payload = decode_request(r);
+      break;
+    case PayloadKind::kUpdateForward:
+      out->payload = decode_forward(r);
+      break;
+    case PayloadKind::kUpdateAck:
+      out->payload = decode_ack(r);
+      break;
+    default:
+      return false;
+  }
+  if (!r.done()) {
+    out->payload.reset();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cfds::wire

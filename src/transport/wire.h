@@ -1,0 +1,60 @@
+// Binary wire format for FDS frames (service mode).
+//
+// In simulation, payloads travel as shared_ptr<const Payload> and never
+// leave the process. Service mode sends them between processes over UDP (or
+// between threads over the loopback transport), so every FDS payload type
+// gets a canonical little-endian encoding here.
+//
+// Frame layout:
+//
+//   [magic u16 = 0xCFD5] [version u8 = 1] [kind u8] [sender u32] [intended u32]
+//   [payload body, kind-specific]
+//
+// `kind` is the PayloadKind tag value. `sender`/`intended` mirror the
+// Reception addressing of the simulated channel: `intended` is the NID the
+// frame is addressed to, or NodeId::invalid() for a plain broadcast —
+// receivers still see every frame (promiscuous overhearing is part of the
+// protocol), the field only distinguishes "addressed to me" frames.
+//
+// All integers are little-endian fixed-width. Vectors are a u16 element
+// count followed by the elements. Decoding is total: any truncated,
+// malformed, or unknown-kind buffer yields `false`, never UB — the UDP
+// socket is an open port and must tolerate garbage.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "radio/payload.h"
+
+namespace cfds::wire {
+
+inline constexpr std::uint16_t kMagic = 0xCFD5;
+inline constexpr std::uint8_t kVersion = 1;
+/// Bytes before the kind-specific payload body.
+inline constexpr std::size_t kHeaderSize = 12;
+
+/// A frame parsed off the wire: channel-level addressing plus the payload.
+struct DecodedFrame {
+  NodeId sender;
+  NodeId intended;  ///< invalid() for broadcast frames
+  PayloadPtr payload;
+};
+
+/// Appends the full frame (header + payload body) for `payload` to `out`
+/// (existing contents are preserved, so one buffer can be reused per send).
+/// Returns false if the payload kind has no wire encoding (non-FDS frames
+/// never travel in service mode).
+[[nodiscard]] bool encode_frame(NodeId sender, NodeId intended,
+                                const Payload& payload,
+                                std::vector<std::uint8_t>* out);
+
+/// Parses one frame. Returns false on any malformed input: wrong magic or
+/// version, unknown kind, truncated body, or trailing bytes.
+[[nodiscard]] bool decode_frame(const std::uint8_t* data, std::size_t len,
+                                DecodedFrame* out);
+
+}  // namespace cfds::wire

@@ -1,0 +1,316 @@
+// Wire-format golden tests: every FDS message type round-trips through the
+// service-mode codec, and the bytes it produces match the fixtures committed
+// under tests/golden/wire/. The fixtures pin the format: an accidental field
+// reorder, width change, or endianness slip shows up as a golden diff, not
+// as a silent cross-version incompatibility between deployed daemons.
+//
+// To regenerate after a DELIBERATE format change (bump wire::kVersion!):
+//   CFDS_UPDATE_GOLDEN=1 ./tests/test_wire
+
+#include "transport/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aggregation/messages.h"
+#include "fds/messages.h"
+
+namespace {
+
+using cfds::ClusterId;
+using cfds::NodeId;
+using cfds::ReportId;
+
+std::string hex(const std::vector<std::uint8_t>& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4U]);
+    out.push_back(kDigits[b & 0xFU]);
+  }
+  return out;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(CFDS_WIRE_GOLDEN_DIR) + "/" + name + ".hex";
+}
+
+/// Compares the frame against the committed fixture (one hex line). With
+/// CFDS_UPDATE_GOLDEN=1 the fixture is rewritten instead.
+void expect_golden(const std::string& name,
+                   const std::vector<std::uint8_t>& frame) {
+  const std::string actual = hex(frame);
+  if (std::getenv("CFDS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(name), std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path(name);
+    out << actual << "\n";
+    return;
+  }
+  std::ifstream in(golden_path(name));
+  ASSERT_TRUE(in.good()) << "missing fixture " << golden_path(name)
+                         << " (run with CFDS_UPDATE_GOLDEN=1 to create)";
+  std::string expected;
+  std::getline(in, expected);
+  EXPECT_EQ(actual, expected) << "wire format drift in " << name
+                              << " — if deliberate, bump wire::kVersion and "
+                              << "regenerate with CFDS_UPDATE_GOLDEN=1";
+}
+
+/// Encodes, checks the fixture, decodes, re-encodes, and checks the bytes
+/// are identical — the decoded payload must preserve every encoded field.
+cfds::PayloadPtr golden_round_trip(const std::string& name,
+                                   const cfds::Payload& payload) {
+  std::vector<std::uint8_t> frame;
+  EXPECT_TRUE(cfds::wire::encode_frame(NodeId{7}, NodeId{42}, payload, &frame));
+  expect_golden(name, frame);
+
+  cfds::wire::DecodedFrame decoded;
+  EXPECT_TRUE(cfds::wire::decode_frame(frame.data(), frame.size(), &decoded));
+  EXPECT_EQ(decoded.sender, NodeId{7});
+  EXPECT_EQ(decoded.intended, NodeId{42});
+  EXPECT_NE(decoded.payload, nullptr);
+  if (decoded.payload == nullptr) return nullptr;
+
+  std::vector<std::uint8_t> reencoded;
+  EXPECT_TRUE(cfds::wire::encode_frame(NodeId{7}, NodeId{42}, *decoded.payload,
+                                       &reencoded));
+  EXPECT_EQ(hex(reencoded), hex(frame)) << name << " round trip not identity";
+  return decoded.payload;
+}
+
+cfds::HealthUpdatePayload sample_update() {
+  cfds::HealthUpdatePayload p;
+  p.cluster = ClusterId{30};
+  p.sender = NodeId{31};
+  p.epoch = 0x0102030405060708ULL;
+  p.newly_failed = {NodeId{33}};
+  p.all_failed = {NodeId{33}, NodeId{12}};
+  p.admitted = {NodeId{14}};
+  p.departed = {NodeId{15}};
+  p.members_snapshot = {NodeId{31}, NodeId{32}, NodeId{14}};
+  p.takeover = true;
+  p.sender_heard = {NodeId{32}, NodeId{14}};
+  p.report = ReportId{0xA1B2C3D4E5F60718ULL};
+  p.acks = {ReportId{0x1122334455667788ULL}, ReportId{9}};
+  p.learned_from = ClusterId{20};
+  return p;
+}
+
+TEST(WireGolden, Heartbeat) {
+  cfds::HeartbeatPayload p;
+  p.sender = NodeId{9};
+  p.marked = false;
+  p.incarnation = 3;
+  const auto decoded = golden_round_trip("heartbeat", p);
+  const auto* hb = cfds::payload_cast<cfds::HeartbeatPayload>(decoded);
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(hb->sender, NodeId{9});
+  EXPECT_FALSE(hb->marked);
+  EXPECT_EQ(hb->incarnation, 3u);
+}
+
+TEST(WireGolden, MeasurementTravelsAsHeartbeat) {
+  // Section 6 message sharing: a measurement IS a heartbeat to FDS, and the
+  // service codec carries exactly its heartbeat fields.
+  cfds::MeasurementPayload p;
+  p.sender = NodeId{9};
+  p.marked = true;
+  p.incarnation = 5;
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(cfds::wire::encode_frame(NodeId{9}, NodeId{42}, p, &frame));
+  cfds::wire::DecodedFrame decoded;
+  // The kind byte on the wire is kMeasurement, and heartbeat receivers
+  // accept it through HeartbeatPayload::matches.
+  ASSERT_TRUE(cfds::wire::decode_frame(frame.data(), frame.size(), &decoded));
+  const auto* hb = cfds::payload_cast<cfds::HeartbeatPayload>(decoded.payload);
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(hb->incarnation, 5u);
+}
+
+TEST(WireGolden, LeaveNotice) {
+  cfds::LeaveNoticePayload p;
+  p.sender = NodeId{17};
+  const auto decoded = golden_round_trip("leave_notice", p);
+  const auto* leave = cfds::payload_cast<cfds::LeaveNoticePayload>(decoded);
+  ASSERT_NE(leave, nullptr);
+  EXPECT_EQ(leave->sender, NodeId{17});
+}
+
+TEST(WireGolden, SleepNotice) {
+  cfds::SleepNoticePayload p;
+  p.sender = NodeId{21};
+  p.epochs = 4;
+  const auto decoded = golden_round_trip("sleep_notice", p);
+  const auto* sleep = cfds::payload_cast<cfds::SleepNoticePayload>(decoded);
+  ASSERT_NE(sleep, nullptr);
+  EXPECT_EQ(sleep->sender, NodeId{21});
+  EXPECT_EQ(sleep->epochs, 4u);
+}
+
+TEST(WireGolden, Digest) {
+  cfds::DigestPayload p;
+  p.sender = NodeId{5};
+  p.cluster = ClusterId{2};
+  p.heard = {NodeId{6}, NodeId{8}, NodeId{11}};
+  p.sleeping = {{NodeId{6}, 2u}, {NodeId{8}, 1u}};
+  const auto decoded = golden_round_trip("digest", p);
+  const auto* digest = cfds::payload_cast<cfds::DigestPayload>(decoded);
+  ASSERT_NE(digest, nullptr);
+  EXPECT_EQ(digest->heard, p.heard);
+  EXPECT_EQ(digest->sleeping, p.sleeping);
+}
+
+TEST(WireGolden, HealthUpdate) {
+  const cfds::HealthUpdatePayload p = sample_update();
+  const auto decoded = golden_round_trip("health_update", p);
+  const auto* up = cfds::payload_cast<cfds::HealthUpdatePayload>(decoded);
+  ASSERT_NE(up, nullptr);
+  EXPECT_EQ(up->cluster, p.cluster);
+  EXPECT_EQ(up->sender, p.sender);
+  EXPECT_EQ(up->epoch, p.epoch);
+  EXPECT_EQ(up->newly_failed, p.newly_failed);
+  EXPECT_EQ(up->all_failed, p.all_failed);
+  EXPECT_EQ(up->admitted, p.admitted);
+  EXPECT_EQ(up->departed, p.departed);
+  EXPECT_EQ(up->members_snapshot, p.members_snapshot);
+  EXPECT_EQ(up->takeover, p.takeover);
+  EXPECT_EQ(up->sender_heard, p.sender_heard);
+  EXPECT_EQ(up->report, p.report);
+  EXPECT_EQ(up->acks, p.acks);
+  EXPECT_EQ(up->learned_from, p.learned_from);
+}
+
+TEST(WireGolden, UpdateRequest) {
+  cfds::UpdateRequestPayload p;
+  p.sender = NodeId{3};
+  p.cluster = ClusterId{0};
+  p.epoch = 77;
+  const auto decoded = golden_round_trip("update_request", p);
+  const auto* req = cfds::payload_cast<cfds::UpdateRequestPayload>(decoded);
+  ASSERT_NE(req, nullptr);
+  EXPECT_EQ(req->epoch, 77u);
+}
+
+TEST(WireGolden, UpdateForward) {
+  cfds::UpdateForwardPayload p;
+  p.forwarder = NodeId{4};
+  p.target = NodeId{6};
+  p.update = std::make_shared<cfds::HealthUpdatePayload>(sample_update());
+  const auto decoded = golden_round_trip("update_forward", p);
+  const auto* fwd = cfds::payload_cast<cfds::UpdateForwardPayload>(decoded);
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_EQ(fwd->forwarder, NodeId{4});
+  EXPECT_EQ(fwd->target, NodeId{6});
+  ASSERT_NE(fwd->update, nullptr);
+  EXPECT_EQ(fwd->update->members_snapshot, sample_update().members_snapshot);
+}
+
+TEST(WireGolden, UpdateForwardWithoutNestedUpdate) {
+  // Never sent by the protocol, but the codec must not crash on it.
+  cfds::UpdateForwardPayload p;
+  p.forwarder = NodeId{4};
+  p.target = NodeId{6};
+  const auto decoded = golden_round_trip("update_forward_empty", p);
+  const auto* fwd = cfds::payload_cast<cfds::UpdateForwardPayload>(decoded);
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_EQ(fwd->update, nullptr);
+}
+
+TEST(WireGolden, UpdateAck) {
+  cfds::UpdateAckPayload p;
+  p.sender = NodeId{2};
+  p.epoch = 8;
+  const auto decoded = golden_round_trip("update_ack", p);
+  const auto* ack = cfds::payload_cast<cfds::UpdateAckPayload>(decoded);
+  ASSERT_NE(ack, nullptr);
+  EXPECT_EQ(ack->sender, NodeId{2});
+  EXPECT_EQ(ack->epoch, 8u);
+}
+
+// --- total decode: malformed inputs are rejected, never misparsed ----------
+
+std::vector<std::uint8_t> valid_frame() {
+  std::vector<std::uint8_t> frame;
+  EXPECT_TRUE(cfds::wire::encode_frame(NodeId{7}, NodeId{42}, sample_update(),
+                                       &frame));
+  return frame;
+}
+
+TEST(WireMalformed, EveryTruncationIsRejected) {
+  const std::vector<std::uint8_t> frame = valid_frame();
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    cfds::wire::DecodedFrame out;
+    EXPECT_FALSE(cfds::wire::decode_frame(frame.data(), len, &out))
+        << "truncation to " << len << " bytes accepted";
+    EXPECT_EQ(out.payload, nullptr);
+  }
+}
+
+TEST(WireMalformed, TrailingBytesAreRejected) {
+  std::vector<std::uint8_t> frame = valid_frame();
+  frame.push_back(0);
+  cfds::wire::DecodedFrame out;
+  EXPECT_FALSE(cfds::wire::decode_frame(frame.data(), frame.size(), &out));
+}
+
+TEST(WireMalformed, BadMagicVersionAndKindAreRejected) {
+  const std::vector<std::uint8_t> frame = valid_frame();
+  for (std::size_t at : {std::size_t{0}, std::size_t{2}, std::size_t{3}}) {
+    std::vector<std::uint8_t> bad = frame;
+    bad[at] ^= 0xFFU;
+    cfds::wire::DecodedFrame out;
+    EXPECT_FALSE(cfds::wire::decode_frame(bad.data(), bad.size(), &out))
+        << "corrupt byte " << at << " accepted";
+  }
+}
+
+TEST(WireMalformed, OversizedListCountIsRejected) {
+  // Claim 0xFFFF newly_failed entries with no bytes behind the claim.
+  std::vector<std::uint8_t> frame = valid_frame();
+  frame[cfds::wire::kHeaderSize + 16] = 0xFF;  // list count lo byte
+  frame[cfds::wire::kHeaderSize + 17] = 0xFF;  // list count hi byte
+  cfds::wire::DecodedFrame out;
+  EXPECT_FALSE(cfds::wire::decode_frame(frame.data(), frame.size(), &out));
+}
+
+namespace testpayload {
+
+struct UnroutablePayload final : cfds::Payload {
+  UnroutablePayload() : Payload(cfds::PayloadKind::kTest) {}
+  [[nodiscard]] std::string_view kind() const override { return "test"; }
+  [[nodiscard]] std::size_t size_bytes() const override { return 1; }
+};
+
+}  // namespace testpayload
+
+TEST(WireMalformed, UnsupportedKindDoesNotEncode) {
+  // Simulation-only payloads (formation, baselines) have no wire format;
+  // encode_frame must refuse them and leave the buffer untouched.
+  std::vector<std::uint8_t> frame = {0xAB};
+  EXPECT_FALSE(cfds::wire::encode_frame(NodeId{1}, NodeId{2},
+                                        testpayload::UnroutablePayload{},
+                                        &frame));
+  EXPECT_EQ(frame.size(), 1u);
+  EXPECT_EQ(frame[0], 0xABu);
+}
+
+TEST(WireMalformed, EncodeAppendsAfterExistingBytes) {
+  std::vector<std::uint8_t> frame = {0xAB, 0xCD};
+  cfds::HeartbeatPayload p;
+  p.sender = NodeId{1};
+  ASSERT_TRUE(cfds::wire::encode_frame(NodeId{1}, NodeId{2}, p, &frame));
+  EXPECT_EQ(frame[0], 0xABu);
+  EXPECT_EQ(frame[1], 0xCDu);
+  cfds::wire::DecodedFrame out;
+  EXPECT_TRUE(cfds::wire::decode_frame(frame.data() + 2, frame.size() - 2,
+                                       &out));
+}
+
+}  // namespace

@@ -3,9 +3,11 @@
 #
 # Builds a -DCFDS_SANITIZE=thread tree and runs the code that actually
 # crosses threads — the runner/executor/thread-pool tests, the event-kernel
-# and fault/chaos suites they drive, and a multi-threaded bench_fig5 smoke —
-# then checks that the fig5 JSONL stays byte-identical across thread counts.
-# Any reported race fails the script (halt_on_error).
+# and fault/chaos suites they drive, the transport-seam tests plus a
+# 16-thread loopback soak (concurrent senders vs. draining owners, the
+# threading contract in src/transport/loopback.h), and a multi-threaded
+# bench_fig5 smoke — then checks that the fig5 JSONL stays byte-identical
+# across thread counts. Any reported race fails the script (halt_on_error).
 #
 # Usage: tools/check_tsan.sh [build-dir] [trials]
 #   (defaults: build-tsan, 4000)
@@ -20,8 +22,8 @@ echo "== configure + build $dir (ThreadSanitizer)"
 cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCFDS_SANITIZE=thread >/dev/null
 cmake --build "$dir" -j "$(nproc)" \
-    --target test_runner test_simulator test_fault cfds_cli \
-             bench_fig5_false_detection >/dev/null
+    --target test_runner test_simulator test_fault test_transport cfds_cli \
+             soak_harness bench_fig5_false_detection >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 
@@ -31,6 +33,12 @@ echo "== event-kernel tests"
 "$dir/tests/test_simulator"
 echo "== fault / chaos tests"
 "$dir/tests/test_fault"
+echo "== transport seam tests (loopback cross-thread exchange)"
+"$dir/tests/test_transport"
+
+echo "== loopback soak under TSan (16 threads, full chaos)"
+"$dir/tools/soak_harness" --mode threads --n 16 --epochs 10 \
+    --phi-ms 400 --warmup 2 --quiesce 5 --seed 7 --chaos full
 
 echo "== multi-threaded bench_fig5 smoke (--threads 8)"
 tmp="$(mktemp -d)"

@@ -1,0 +1,23 @@
+// Fixture: direct socket API use outside src/transport/ — every byte on or
+// off the wire must go through a Transport, or the simulator, loopback, and
+// UDP backends stop being interchangeable.
+#include <netinet/in.h>  // BAD: network header
+#include <poll.h>        // BAD: poll header
+#include <sys/socket.h>  // BAD: network header
+
+namespace fixture {
+
+int open_endpoint() {
+  int fd = socket(AF_INET, SOCK_DGRAM, 0);  // BAD: raw socket()
+  sockaddr_in addr{};
+  ::bind(fd, reinterpret_cast<const sockaddr*>(&addr),  // BAD: libc bind
+         sizeof(addr));
+  sendto(fd, nullptr, 0, 0, nullptr, 0);  // BAD: raw sendto
+  char buf[16];
+  recvfrom(fd, buf, sizeof(buf), 0, nullptr, nullptr);  // BAD: raw recvfrom
+  pollfd waiter{fd, POLLIN, 0};
+  poll(&waiter, 1, 0);  // BAD: bare poll is the libc symbol
+  return send(fd, buf, sizeof(buf), 0);  // BAD: returned call is a call
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: project identifiers that share the short POSIX names — method
+// calls, namespace-qualified calls, and interface declarations are not the
+// libc symbols and must not trip raw-socket.
+#include <cstddef>
+
+namespace fixture {
+
+struct Transport {
+  void send(const void* frame, std::size_t n);   // declaration: fine
+  std::size_t recv(void* out, std::size_t cap);  // declaration: fine
+  bool poll();                                   // declaration: fine
+};
+
+namespace net {
+bool poll(Transport& t);
+}  // namespace net
+
+void pump(Transport& direct, Transport* routed) {
+  direct.send(nullptr, 0);   // method call
+  routed->recv(nullptr, 0);  // method call through a pointer
+  if (net::poll(direct)) {   // namespace-qualified project function
+    direct
+        .send(nullptr, 0);   // wrapped method call
+  }
+}
+
+}  // namespace fixture

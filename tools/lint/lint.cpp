@@ -168,7 +168,17 @@ const std::vector<LineRule>& line_rules() {
         {"wall-clock",
          std::regex(R"(\btime\s*\(|system_clock|steady_clock|high_resolution_clock|gettimeofday|clock_gettime|\blocaltime\b|\bgmtime\b)"),
          [](const std::string& path) {
-           return !ends_with(path, "common/sim_time.h");
+           // real_time.h is the one sanctioned bridge between SimTime and
+           // the monotonic clock (service mode's scheduler).
+           return !ends_with(path, "common/sim_time.h") &&
+                  path.find("src/transport/real_time") == std::string::npos;
+         }});
+    rules.push_back(
+        {"raw-socket",
+         std::regex(
+             R"(\bsocket\s*\(|\bsendto\s*\(|\brecvfrom\s*\(|\bsendmsg\s*\(|\brecvmsg\s*\(|\bsetsockopt\s*\(|\bgetsockname\s*\(|\bepoll_\w+\s*\(|\bppoll\s*\(|[<"]sys/socket\.h[">]|[<"]netinet/|[<"]sys/epoll\.h[">]|[<"]arpa/inet\.h[">]|[<"]poll\.h[">])"),
+         [](const std::string& path) {
+           return path.find("src/transport/") == std::string::npos;
          }});
     rules.push_back(
         {"raw-random",
@@ -216,6 +226,69 @@ std::vector<Violation> scan_source(const std::string& path,
     if (!r.applies(path)) continue;
     for (std::size_t i = 0; i < clean.size(); ++i) {
       if (std::regex_search(clean[i], r.pattern)) emit(r.rule, i);
+    }
+  }
+
+  // raw-socket also covers the short POSIX names (send, recv, poll, bind,
+  // connect), which a plain word-boundary regex cannot police: the codebase
+  // is full of Transport::send and timer poll loops. std::regex has no
+  // lookbehind, so each match's left context is classified by hand — method
+  // calls (./->), namespace- or class-qualified names, and declarations
+  // (preceding identifier such as `void` or `ssize_t`) are fine; a bare or
+  // ::-qualified call is the libc symbol and belongs in src/transport/.
+  if (path.find("src/transport/") == std::string::npos) {
+    static const std::regex kPosixName(
+        R"(\b(?:send|recv|poll|bind|connect)\s*\()");
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+      const std::string& line = clean[i];
+      auto begin = std::sregex_iterator(line.begin(), line.end(), kPosixName);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        std::size_t at = static_cast<std::size_t>(it->position());
+        while (at > 0 && std::isspace(static_cast<unsigned char>(
+                             line[at - 1])) != 0) {
+          --at;
+        }
+        if (at == 0) {
+          emit("raw-socket", i);  // the call opens the line: bare
+          break;
+        }
+        const char prev = line[at - 1];
+        if (prev == '.') continue;                          // obj.send(
+        if (prev == '>' && at >= 2 && line[at - 2] == '-') {
+          continue;                                         // ptr->send(
+        }
+        if (prev == ':') {
+          if (at < 2 || line[at - 2] != ':') continue;  // label/ternary junk
+          std::size_t q = at - 2;
+          while (q > 0 &&
+                 std::isspace(static_cast<unsigned char>(line[q - 1])) != 0) {
+            --q;
+          }
+          const bool qualified =
+              q > 0 && (std::isalnum(static_cast<unsigned char>(
+                            line[q - 1])) != 0 ||
+                        line[q - 1] == '_');
+          if (qualified) continue;  // Transport::send( — a project name
+          emit("raw-socket", i);    // ::send( — explicitly the libc symbol
+          break;
+        }
+        const bool after_word =
+            std::isalnum(static_cast<unsigned char>(prev)) != 0 ||
+            prev == '_';
+        if (after_word) {
+          // `return send(...)` is a call; any other preceding identifier
+          // (`void send(`, `ssize_t recv(`) is a declaration.
+          std::size_t w = at;
+          while (w > 0 && (std::isalnum(static_cast<unsigned char>(
+                               line[w - 1])) != 0 ||
+                           line[w - 1] == '_')) {
+            --w;
+          }
+          if (line.compare(w, at - w, "return") != 0) continue;
+        }
+        emit("raw-socket", i);
+        break;
+      }
     }
   }
 

@@ -15,7 +15,17 @@
 //                        same file — iteration order is
 //                        implementation-defined and breaks replay.
 //   wall-clock           no time()/system_clock/steady_clock/... outside
-//                        src/common/sim_time.h — simulation time is SimTime.
+//                        src/common/sim_time.h and src/transport/real_time*
+//                        (the sanctioned SimTime <-> monotonic-clock bridge)
+//                        — simulation time is SimTime.
+//   raw-socket           no direct socket/sendto/recvfrom/poll/... calls or
+//                        network headers outside src/transport/ — every
+//                        byte on or off the wire goes through a Transport,
+//                        so the simulator, the loopback harness, and UDP
+//                        stay interchangeable. Bare or ::-qualified
+//                        send/recv/poll/bind/connect calls are flagged;
+//                        obj.send(...), Ns::send(...), and declarations of
+//                        project methods with those names are not.
 //   raw-random           no std::rand/srand/random_device outside
 //                        src/common/rng.h — all entropy flows from seeded
 //                        SplitMix/engine streams.

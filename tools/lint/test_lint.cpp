@@ -126,6 +126,44 @@ TEST(LintFixtures, RawAssertOk) {
   EXPECT_TRUE(scan_fixture("raw_assert_ok.cpp", "src/sim/f.cpp").empty());
 }
 
+TEST(LintFixtures, RawSocketBad) {
+  const auto vs = scan_fixture("raw_socket_bad.cpp", "src/sim/f.cpp");
+  // 3 headers + socket + ::bind + sendto + recvfrom + bare poll +
+  // return send — one finding per offending line.
+  EXPECT_EQ(rules_of(vs).count("raw-socket"), 9u);
+}
+
+TEST(LintFixtures, RawSocketOk) {
+  EXPECT_TRUE(scan_fixture("raw_socket_ok.cpp", "src/sim/f.cpp").empty());
+}
+
+TEST(LintFixtures, RawSocketExemptInTransport) {
+  // src/transport/ is where the socket calls belong.
+  EXPECT_TRUE(
+      scan_fixture("raw_socket_bad.cpp", "src/transport/udp.cpp").empty());
+}
+
+TEST(LintFixtures, WallClockExemptInRealTimeScheduler) {
+  // The SimTime <-> monotonic-clock bridge is the other sanctioned reader.
+  EXPECT_TRUE(
+      scan_fixture("wall_clock_bad.cpp", "src/transport/real_time.h").empty());
+}
+
+TEST(LintEngine, PosixNamesClassifiedByLeftContext) {
+  const std::string source =
+      "int pump(Transport& t, Transport* p, int fd) {\n"
+      "  t.send(nullptr, 0);\n"            // method: clean
+      "  p->recv(nullptr, 0);\n"           // method: clean
+      "  net::poll(*p);\n"                 // project-qualified: clean
+      "  void bind(int, const char*);\n"   // declaration: clean
+      "  ::connect(fd, nullptr, 0);\n"     // global-qualified: flagged
+      "  return send(fd, nullptr, 0);\n"   // returned call: flagged
+      "}\n";
+  const auto vs = cfds::lint::scan_source("src/sim/f.cpp", source);
+  EXPECT_EQ(rules_of(vs).count("raw-socket"), 2u);
+  EXPECT_EQ(vs.size(), 2u);
+}
+
 TEST(LintFixtures, ScheduleInFanoutBad) {
   const auto vs = scan_fixture("schedule_in_fanout_bad.cpp", "src/radio/f.cpp");
   EXPECT_EQ(rules_of(vs).count("schedule-in-fanout"), 2u);

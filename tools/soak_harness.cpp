@@ -1,0 +1,413 @@
+// soak_harness: drives a live service-mode deployment and checks the live
+// invariants L-I1..L-I5 when it settles.
+//
+//   --mode threads   N in-process endpoints, one thread each, exchanging
+//                    wire-encoded frames through LoopbackTransport queues.
+//                    This is the TSan target (tools/check_tsan.sh) and the
+//                    service_smoke ctest.
+//   --mode procs     N cfds_serve processes exchanging UDP datagrams on
+//                    127.0.0.1, epoch schedules aligned by a shared
+//                    --anchor-us. This is the 200-process soak of the CI
+//                    soak job.
+//
+// In both modes the harness generates a seeded FaultPlan (crashes,
+// recoveries, freezes, link_down windows, jams, clock drift) whose windows
+// all close before a quiescence tail of fault-free epochs, then collects
+// every endpoint's status line and runs the live invariant checker. Exit
+// status: 0 clean, 1 invariant violations or endpoint failures, 64 usage,
+// 70 setup errors.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "service/agent.h"
+#include "service/config.h"
+#include "service/directory.h"
+#include "service/status.h"
+#include "transport/loopback.h"
+#include "transport/real_time.h"
+
+namespace {
+
+using cfds::NodeId;
+using cfds::SimTime;
+using cfds::service::AgentStatus;
+using cfds::service::ServiceConfig;
+
+struct SoakOptions {
+  std::string mode = "threads";
+  ServiceConfig config;
+  std::uint64_t quiesce_epochs = 6;  ///< guaranteed fault-free tail
+  bool faults = true;
+  std::string chaos = "crash";  ///< "crash" or "full" event mix
+  std::uint16_t port_base = 19000;
+  std::string out_dir = "/tmp";
+  std::string serve_bin;  ///< procs mode; default: <argv0 dir>/cfds_serve
+};
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --mode threads|procs  deployment style            [threads]\n"
+      << "  --n N                 endpoints                   [16]\n"
+      << "  --cluster-size N      directory block size        [8]\n"
+      << "  --thop-ms N           one-hop bound Thop          [50]\n"
+      << "  --phi-ms N            heartbeat interval phi      [500]\n"
+      << "  --epochs N            total FDS executions        [10]\n"
+      << "  --warmup N            epochs before fault phase   [2]\n"
+      << "  --quiesce N           fault-free tail epochs      [6]\n"
+      << "  --seed N              plan + loss seed            [1]\n"
+      << "  --loss-p F            per-frame receive loss      [0]\n"
+      << "  --chaos crash|full    fault mix: crashes/recoveries plus\n"
+      << "                        clock drift (crash), or additionally\n"
+      << "                        freezes, link cuts, and jams (full)\n"
+      << "                                                    [crash]\n"
+      << "  --no-faults           skip fault injection\n"
+      << "  --port-base N         procs mode UDP ports        [19000]\n"
+      << "  --out-dir PATH        procs mode scratch files    [/tmp]\n"
+      << "  --serve-bin PATH      procs mode daemon binary\n";
+}
+
+bool parse_args(int argc, char** argv, SoakOptions* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--help" || arg == "-h") return false;
+    if (arg == "--mode" && (v = next())) {
+      opt->mode = v;
+    } else if (arg == "--n" && (v = next())) {
+      opt->config.node_count = std::uint32_t(std::stoul(v));
+    } else if (arg == "--cluster-size" && (v = next())) {
+      opt->config.cluster_size = std::uint32_t(std::stoul(v));
+    } else if (arg == "--thop-ms" && (v = next())) {
+      opt->config.t_hop = SimTime::millis(std::stoll(v));
+    } else if (arg == "--phi-ms" && (v = next())) {
+      opt->config.phi = SimTime::millis(std::stoll(v));
+    } else if (arg == "--epochs" && (v = next())) {
+      opt->config.epochs = std::stoull(v);
+    } else if (arg == "--warmup" && (v = next())) {
+      opt->config.warmup_epochs = std::stoull(v);
+    } else if (arg == "--quiesce" && (v = next())) {
+      opt->quiesce_epochs = std::stoull(v);
+    } else if (arg == "--seed" && (v = next())) {
+      opt->config.seed = std::stoull(v);
+    } else if (arg == "--loss-p" && (v = next())) {
+      opt->config.loss_p = std::stod(v);
+    } else if (arg == "--chaos" && (v = next())) {
+      opt->chaos = v;
+    } else if (arg == "--no-faults") {
+      opt->faults = false;
+    } else if (arg == "--port-base" && (v = next())) {
+      opt->port_base = std::uint16_t(std::stoul(v));
+    } else if (arg == "--out-dir" && (v = next())) {
+      opt->out_dir = v;
+    } else if (arg == "--serve-bin" && (v = next())) {
+      opt->serve_bin = v;
+    } else {
+      std::cerr << "unknown or incomplete option: " << arg << "\n";
+      return false;
+    }
+  }
+  if (opt->mode != "threads" && opt->mode != "procs") {
+    std::cerr << "--mode must be threads or procs\n";
+    return false;
+  }
+  if (opt->chaos != "crash" && opt->chaos != "full") {
+    std::cerr << "--chaos must be crash or full\n";
+    return false;
+  }
+  return true;
+}
+
+/// A seeded plan whose windows all close before the quiescence tail.
+std::optional<cfds::fault::FaultPlan> make_plan(const SoakOptions& opt) {
+  if (!opt.faults) return std::nullopt;
+  const std::uint64_t reserved = opt.config.warmup_epochs + opt.quiesce_epochs;
+  if (opt.config.epochs <= reserved + 1) {
+    std::cerr << "soak: too few epochs for a fault phase, running fault-free\n";
+    return std::nullopt;
+  }
+  cfds::fault::ChaosProfile profile;
+  profile.node_count = opt.config.node_count;
+  // Jam placement over the directory grid's extent.
+  const cfds::Vec2 far = cfds::service::directory_position(
+      NodeId{opt.config.node_count - 1}, opt.config.node_count);
+  profile.width = far.x + cfds::service::kGridPitch;
+  profile.height = far.y + cfds::service::kGridPitch;
+  profile.range = 4 * cfds::service::kGridPitch;
+  profile.epoch_interval = opt.config.phi;
+  profile.fault_epochs = opt.config.epochs - reserved;
+  // Scale the event mix with deployment size. The default "crash" mix is
+  // the deployment's real failure modes — process crashes/recoveries and
+  // clock drift, on top of --loss-p receive loss. "full" adds the radio
+  // conditions (freezes, link cuts, jam disks); those partition the single
+  // broadcast domain the directory clustering assumes, so they are suited
+  // to small deployments and robustness probing, not the invariant gate.
+  const int scale = int(opt.config.node_count / 16) + 1;
+  profile.crashes = 3 * scale;
+  profile.freezes = opt.chaos == "full" ? 2 * scale : 0;
+  profile.link_downs = opt.chaos == "full" ? 2 * scale : 0;
+  profile.jams = opt.chaos == "full" ? 1 : 0;
+  profile.clock_drifts = scale;
+  return cfds::fault::FaultPlan::random(opt.config.seed, profile);
+}
+
+int report(const std::vector<AgentStatus>& statuses, std::size_t expected) {
+  std::size_t alive = 0, heads = 0;
+  for (const AgentStatus& s : statuses) {
+    if (s.alive) ++alive;
+    if (s.alive && s.is_clusterhead) ++heads;
+  }
+  std::cout << "soak: " << statuses.size() << "/" << expected
+            << " statuses, " << alive << " alive, " << heads
+            << " acting clusterheads\n";
+  int rc = 0;
+  if (statuses.size() != expected) {
+    std::cout << "soak: FAIL missing statuses\n";
+    rc = 1;
+  }
+  const std::vector<std::string> violations =
+      cfds::service::check_live_invariants(statuses);
+  for (const std::string& v : violations) {
+    std::cout << "soak: VIOLATION " << v << "\n";
+  }
+  if (!violations.empty()) {
+    rc = 1;
+    // Post-mortem context: every acting head's roster and every stray
+    // (alive, unaffiliated, not departed) endpoint's state, so a violation
+    // is debuggable from the log alone.
+    for (const AgentStatus& s : statuses) {
+      if (!s.alive || !s.is_clusterhead) continue;
+      std::cout << "soak:   head " << s.node << " cluster " << s.cluster
+                << " epoch " << s.epoch << " members";
+      for (std::uint32_t m : s.members) std::cout << ' ' << m;
+      std::cout << " | subscribers";
+      for (std::uint32_t sub : s.subscribers) std::cout << ' ' << sub;
+      std::cout << "\n";
+    }
+    for (const AgentStatus& s : statuses) {
+      if (!s.alive || s.is_clusterhead || s.affiliated || s.left) continue;
+      std::cout << "soak:   stray " << s.node << " epoch " << s.epoch
+                << " marked " << (s.marked ? 1 : 0) << " overheard "
+                << s.updates_overheard << " offers " << s.admit_offers
+                << " last_offer " << s.last_offer_epoch << " hb_sent "
+                << s.hb_sent << " unmarked_sent " << s.unmarked_sent
+                << " last_unmarked " << s.last_unmarked_epoch << "\n";
+    }
+    // Everyone who churned near the end of the run, with the per-cause
+    // revert counters (missed/fresh/stale/roster/rival — see
+    // FdsAgent::RevertCause) and the newest revert's epoch and cause.
+    for (const AgentStatus& s : statuses) {
+      if (!s.alive || s.reverts.empty()) continue;
+      if (s.last_revert_epoch + 15 < s.epoch) continue;
+      std::cout << "soak:   churn " << s.node << " reverts";
+      for (std::uint32_t count : s.reverts) std::cout << ' ' << count;
+      std::cout << " last_revert " << s.last_revert_epoch << " cause "
+                << s.last_revert_cause << "\n";
+    }
+  }
+  if (rc == 0) std::cout << "soak: PASS invariants I1-I5 hold\n";
+  return rc;
+}
+
+int run_threads(const SoakOptions& opt,
+                const std::optional<cfds::fault::FaultPlan>& plan) {
+  const std::uint32_t n = opt.config.node_count;
+  std::vector<NodeId> ids;
+  ids.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) ids.push_back(NodeId{i});
+  cfds::LoopbackNet net(ids);
+
+  // Construct every endpoint before any thread starts: schedulers anchor
+  // their SimTime axes within microseconds of each other, far inside Thop.
+  struct Endpoint {
+    cfds::RealTimeScheduler scheduler;
+    cfds::LoopbackTransport transport;
+    cfds::service::ServiceAgent agent;
+    Endpoint(cfds::LoopbackNet& net, NodeId id, const ServiceConfig& config)
+        : transport(net, id), agent(config, id, transport, scheduler) {}
+  };
+  std::vector<std::unique_ptr<Endpoint>> endpoints;
+  endpoints.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    endpoints.push_back(
+        std::make_unique<Endpoint>(net, NodeId{i}, opt.config));
+    endpoints.back()->agent.start(SimTime::millis(300),
+                                  plan ? &*plan : nullptr);
+  }
+
+  const SimTime max_wait = SimTime::millis(100);
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (auto& ep_ptr : endpoints) {
+    threads.emplace_back([&max_wait, ep = ep_ptr.get()] {
+      while (!ep->agent.done()) {
+        SimTime deadline;
+        SimTime wait = max_wait;
+        if (ep->scheduler.next_deadline(&deadline)) {
+          wait = deadline - ep->scheduler.now();
+          if (wait > max_wait) wait = max_wait;
+        }
+        if (wait > SimTime::zero()) ep->transport.wait(wait);
+        ep->transport.drain(ep->scheduler.now());
+        ep->scheduler.run_due();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::vector<AgentStatus> statuses;
+  statuses.reserve(n);
+  for (auto& ep : endpoints) statuses.push_back(ep->agent.status());
+  return report(statuses, n);
+}
+
+int run_procs(const SoakOptions& opt,
+              const std::optional<cfds::fault::FaultPlan>& plan,
+              const char* argv0) {
+  const std::uint32_t n = opt.config.node_count;
+  std::string serve = opt.serve_bin;
+  if (serve.empty()) {
+    const std::string self = argv0;
+    const std::size_t slash = self.rfind('/');
+    serve = (slash == std::string::npos ? std::string(".")
+                                        : self.substr(0, slash)) +
+            "/cfds_serve";
+  }
+
+  std::string plan_path;
+  if (plan) {
+    plan_path = opt.out_dir + "/soak_plan." + std::to_string(::getpid()) +
+                ".jsonl";
+    std::ofstream out(plan_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "soak: cannot write " << plan_path << "\n";
+      return 70;
+    }
+    out << plan->to_jsonl();
+  }
+
+  // Shared anchor: enough lead for every fork+exec to finish first.
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const std::int64_t anchor_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count() +
+      2'000'000 + std::int64_t(n) * 5'000;
+
+  auto status_path = [&opt](std::uint32_t id) {
+    return opt.out_dir + "/soak_status." + std::to_string(::getpid()) + "." +
+           std::to_string(id) + ".jsonl";
+  };
+
+  std::vector<pid_t> pids;
+  pids.reserve(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    std::vector<std::string> args = {
+        serve,
+        "--id", std::to_string(id),
+        "--n", std::to_string(n),
+        "--cluster-size", std::to_string(opt.config.cluster_size),
+        "--port-base", std::to_string(opt.port_base),
+        "--thop-ms", std::to_string(opt.config.t_hop.as_micros() / 1000),
+        "--phi-ms", std::to_string(opt.config.phi.as_micros() / 1000),
+        "--epochs", std::to_string(opt.config.epochs),
+        "--warmup", std::to_string(opt.config.warmup_epochs),
+        "--anchor-us", std::to_string(anchor_us),
+        "--seed", std::to_string(opt.config.seed),
+        "--loss-p", std::to_string(opt.config.loss_p),
+        "--status-out", status_path(id),
+    };
+    if (!plan_path.empty()) {
+      args.push_back("--fault-plan");
+      args.push_back(plan_path);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::cerr << "soak: fork failed\n";
+      return 70;
+    }
+    if (pid == 0) {
+      ::execv(serve.c_str(), argv.data());
+      std::cerr << "soak: exec " << serve << " failed\n";
+      std::_Exit(127);
+    }
+    pids.push_back(pid);
+  }
+  std::cout << "soak: " << n << " cfds_serve processes launched ("
+            << opt.config.epochs << " epochs of "
+            << opt.config.phi.as_micros() / 1000 << " ms)\n";
+
+  int rc = 0;
+  std::size_t clean_exits = 0;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0) {
+      rc = 1;
+      continue;
+    }
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      ++clean_exits;
+    } else {
+      rc = 1;
+    }
+  }
+  if (clean_exits != pids.size()) {
+    std::cout << "soak: FAIL " << (pids.size() - clean_exits)
+              << " endpoints exited non-zero\n";
+  }
+
+  std::vector<AgentStatus> statuses;
+  statuses.reserve(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    std::ifstream in(status_path(id));
+    std::string line;
+    if (in && std::getline(in, line)) {
+      if (auto parsed = AgentStatus::parse(line)) {
+        statuses.push_back(*parsed);
+      } else {
+        std::cout << "soak: unparseable status from endpoint " << id << "\n";
+      }
+    }
+    (void)::unlink(status_path(id).c_str());
+  }
+  if (!plan_path.empty()) (void)::unlink(plan_path.c_str());
+
+  const int inv_rc = report(statuses, n);
+  return rc != 0 ? rc : inv_rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SoakOptions opt;
+  if (!parse_args(argc, argv, &opt)) {
+    usage(argv[0]);
+    return 64;
+  }
+  const std::optional<cfds::fault::FaultPlan> plan = make_plan(opt);
+  if (plan) {
+    std::cout << "soak: fault plan (seed " << opt.config.seed << "): "
+              << plan->events.size() << " events\n";
+  }
+  if (opt.mode == "threads") return run_threads(opt, plan);
+  return run_procs(opt, plan, argv[0]);
+}
