@@ -14,6 +14,16 @@
 //   --fault-plan F     one trial replaying the plan file F against the
 //                      deployment derived from --seed (docs/FAULTS.md)
 //   --dump-plans DIR   campaign also writes every trial's plan to DIR
+//   --rejoin-compare   paired campaign: every seed runs once with cold
+//                      rejoin and once with checkpointed recovery, and the
+//                      rejoin-to-consistent times are compared (the
+//                      checkpoint arm must win; docs/ADAPTIVE.md)
+//
+// Feature toggles (default off, matching the simulation defaults):
+//
+//   --adaptive         self-tuning accrual detection on every node
+//   --checkpoint       checkpointed CH/DCH recovery
+//   --loss-bursts N    add N channel-wide loss bursts to every random plan
 //
 // Failing trials always get their plan written to plan_<seed>.fail.jsonl
 // (under --dump-plans DIR if given, else the working directory) so a
@@ -21,6 +31,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -68,15 +79,15 @@ int report_single(const fault::ChaosResult& result) {
 }
 
 /// One trial, generated plan printed first so the run is reproducible.
-int run_replay_seed(std::uint64_t seed) {
-  const fault::ChaosConfig config;
+int run_replay_seed(const fault::ChaosConfig& config, std::uint64_t seed) {
   const fault::ChaosResult result = fault::run_chaos_trial(config, seed);
   std::printf("%s\n", result.plan.to_jsonl().c_str());
   return report_single(result);
 }
 
 /// One trial replaying an explicit plan file.
-int run_plan_file(const std::string& path, std::uint64_t seed) {
+int run_plan_file(const fault::ChaosConfig& config, const std::string& path,
+                  std::uint64_t seed) {
   std::string error;
   const auto plan = fault::FaultPlan::load(path, &error);
   if (!plan) {
@@ -84,15 +95,82 @@ int run_plan_file(const std::string& path, std::uint64_t seed) {
                  error.c_str());
     return 2;
   }
-  const fault::ChaosConfig config;
   return report_single(fault::replay_chaos_trial(config, seed, *plan));
 }
 
-int run_campaign(long trials, std::uint64_t base_seed,
-                 const std::string& dump_dir, bool dump_all) {
+/// Paired campaign: every seed's plan runs against the same deployment with
+/// checkpointed recovery off and on, and the per-arm rejoin-to-consistent
+/// aggregates are compared. The plans are identical across arms (plan
+/// generation does not depend on the feature flags), so any difference in
+/// rejoin time is attributable to the checkpoint path.
+int run_rejoin_compare(fault::ChaosConfig config, long trials,
+                       std::uint64_t base_seed) {
+  bench::banner("Chaos rejoin comparison",
+                "cold rejoin vs checkpointed CH/DCH recovery");
+  const std::size_t count = std::size_t(trials);
+  std::vector<fault::ChaosResult> cold(count);
+  std::vector<fault::ChaosResult> warm(count);
+  fault::ChaosConfig cold_config = config;
+  cold_config.checkpoint = false;
+  fault::ChaosConfig warm_config = config;
+  warm_config.checkpoint = true;
+  bench::pool().parallel_for(2 * count, [&](std::size_t i) {
+    const std::uint64_t seed = base_seed + (i % count);
+    if (i < count) {
+      cold[i] = fault::run_chaos_trial(cold_config, seed);
+    } else {
+      warm[i - count] = fault::run_chaos_trial(warm_config, seed);
+    }
+  });
+
+  long violated = 0;
+  auto summarize = [&](const char* arm,
+                       const std::vector<fault::ChaosResult>& results,
+                       std::int64_t* mean_out) {
+    std::size_t rejoins = 0, pending = 0;
+    std::int64_t total_us = 0, max_us = 0;
+    for (const fault::ChaosResult& r : results) {
+      if (!r.passed()) {
+        ++violated;
+        for (const std::string& v : r.violations) {
+          std::fprintf(stderr, "%s seed %llu VIOLATION %s\n", arm,
+                       static_cast<unsigned long long>(r.seed), v.c_str());
+        }
+      }
+      rejoins += r.rejoins;
+      pending += r.rejoin_pending;
+      total_us += r.rejoin_mean_us * std::int64_t(r.rejoins);
+      max_us = std::max(max_us, r.rejoin_max_us);
+    }
+    const std::int64_t mean = rejoins > 0 ? total_us / std::int64_t(rejoins) : 0;
+    *mean_out = mean;
+    std::printf("  %-10s rejoins=%zu pending=%zu mean=%.3fs max=%.3fs\n", arm,
+                rejoins, pending, double(mean) / 1e6, double(max_us) / 1e6);
+  };
+  std::int64_t cold_mean = 0, warm_mean = 0;
+  summarize("cold", cold, &cold_mean);
+  summarize("checkpoint", warm, &warm_mean);
+  if (violated > 0) {
+    std::printf("\nFAIL: %ld trial(s) violated invariants\n", violated);
+    return 1;
+  }
+  if (warm_mean >= cold_mean) {
+    std::printf("\nFAIL: checkpointed rejoin (%.3fs) not faster than cold "
+                "(%.3fs)\n",
+                double(warm_mean) / 1e6, double(cold_mean) / 1e6);
+    return 1;
+  }
+  std::printf("\nPASS: checkpointed rejoin %.3fs < cold %.3fs (-%lld%%)\n",
+              double(warm_mean) / 1e6, double(cold_mean) / 1e6,
+              static_cast<long long>(100 - 100 * warm_mean / cold_mean));
+  return 0;
+}
+
+int run_campaign(const fault::ChaosConfig& config, long trials,
+                 std::uint64_t base_seed, const std::string& dump_dir,
+                 bool dump_all) {
   bench::banner("Chaos campaign",
                 "seeded fault injection + invariant oracle");
-  const fault::ChaosConfig config;
   const std::size_t count = std::size_t(trials);
   std::vector<fault::ChaosResult> results(count);
   bench::pool().parallel_for(count, [&](std::size_t i) {
@@ -137,23 +215,43 @@ BENCHMARK(BM_ChaosTrial)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   std::string dump_plans;
   long long replay_seed = -1;
+  bool adaptive = false;
+  bool checkpoint = false;
+  bool rejoin_compare = false;
+  long loss_bursts = 0;
   runner::FlagSet extra;
   extra.add_value("--dump-plans", &dump_plans,
                   "directory for per-trial FaultPlan JSONL files");
   extra.add_value("--replay-seed", &replay_seed,
                   "run exactly one trial with this seed and print its plan");
+  extra.add_flag("--adaptive", &adaptive,
+                 "enable self-tuning accrual detection");
+  extra.add_flag("--checkpoint", &checkpoint,
+                 "enable checkpointed CH/DCH recovery");
+  extra.add_flag("--rejoin-compare", &rejoin_compare,
+                 "paired campaign: cold vs checkpointed rejoin time");
+  extra.add_value("--loss-bursts", &loss_bursts,
+                  "channel-wide loss bursts per random plan");
   extra.parse_or_exit(argc, argv);
   cfds::bench::parse_common_args(argc, argv);
   const auto& opts = cfds::bench::options();
 
+  fault::ChaosConfig config;
+  config.adaptive = adaptive;
+  config.checkpoint = checkpoint;
+  config.mix.loss_bursts = int(loss_bursts);
+
   if (!opts.fault_plan.empty()) {
-    return run_plan_file(opts.fault_plan, opts.seed_or(1));
+    return run_plan_file(config, opts.fault_plan, opts.seed_or(1));
   }
   if (replay_seed >= 0) {
-    return run_replay_seed(std::uint64_t(replay_seed));
+    return run_replay_seed(config, std::uint64_t(replay_seed));
+  }
+  if (rejoin_compare) {
+    return run_rejoin_compare(config, opts.trials_or(40), opts.seed_or(1));
   }
 
-  const int status = run_campaign(opts.trials_or(500), opts.seed_or(1),
+  const int status = run_campaign(config, opts.trials_or(500), opts.seed_or(1),
                                   dump_plans, !dump_plans.empty());
   if (status != 0) return status;
 

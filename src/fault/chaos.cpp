@@ -1,6 +1,8 @@
 #include "fault/chaos.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "fault/injector.h"
 #include "fault/oracle.h"
@@ -8,13 +10,43 @@
 
 namespace cfds::fault {
 
+namespace {
+
+/// One kRecover event under observation: when did the node come back, and
+/// when was it next seen alive + affiliated + marked.
+struct RejoinProbe {
+  NodeId id{0};
+  SimTime recovered_at = SimTime::zero();
+  bool done = false;
+  SimTime consistent_at = SimTime::zero();
+};
+
+/// True once `id` is fully re-integrated: powered on, carrying a cluster
+/// view, and admitted (marked) by an acting head. Read-only — the probes
+/// must not perturb the trial they are measuring.
+[[nodiscard]] bool rejoined(Scenario& scenario, NodeId id) {
+  if (!scenario.network().has_node(id)) return false;
+  const Node& node = scenario.network().node(id);
+  if (!node.alive() || !node.marked()) return false;
+  for (const MembershipView* view : scenario.views()) {
+    if (view->self() == id) return view->affiliated();
+  }
+  return false;
+}
+
+}  // namespace
+
 std::string ChaosResult::summary_json() const {
-  char buffer[256];
+  char buffer[384];
   std::snprintf(buffer, sizeof buffer,
                 "{\"seed\":%llu,\"events\":%zu,\"violations\":%zu,"
-                "\"alive\":%zu,\"clusters\":%zu,\"affiliation\":%.6f}",
+                "\"alive\":%zu,\"clusters\":%zu,\"affiliation\":%.6f,"
+                "\"rejoins\":%zu,\"rejoin_pending\":%zu,"
+                "\"rejoin_mean_us\":%lld,\"rejoin_max_us\":%lld}",
                 static_cast<unsigned long long>(seed), plan.events.size(),
-                violations.size(), alive, clusters, affiliation);
+                violations.size(), alive, clusters, affiliation, rejoins,
+                rejoin_pending, static_cast<long long>(rejoin_mean_us),
+                static_cast<long long>(rejoin_max_us));
   return buffer;
 }
 
@@ -33,6 +65,8 @@ ChaosResult replay_chaos_trial(const ChaosConfig& config, std::uint64_t seed,
   sc.heartbeat_interval = config.epoch_interval;
   sc.seed = seed;
   sc.fds.recovery_enabled = true;
+  sc.fds.adaptive_enabled = config.adaptive;
+  sc.fds.checkpoint_enabled = config.checkpoint;
   SwitchableLoss* switchable = nullptr;
   sc.loss_factory = [&switchable, p = config.loss_p] {
     auto loss =
@@ -46,7 +80,37 @@ ChaosResult replay_chaos_trial(const ChaosConfig& config, std::uint64_t seed,
   scenario.run_epochs(config.warmup_epochs);
 
   FaultInjector injector(scenario);
+  const SimTime anchor = scenario.next_epoch_time();
   injector.install(plan);
+
+  // Rejoin-to-consistent probes: a fixed ladder of read-only checks at
+  // quarter-epoch granularity from each recovery instant to the end of the
+  // trial. Scheduled up front (like the plan itself) so a replay schedules
+  // the identical event sequence.
+  const std::int64_t phi_us = config.epoch_interval.as_micros();
+  const std::int64_t step_us = phi_us / 4;
+  const std::int64_t tail_us =
+      std::int64_t(config.fault_epochs + config.quiesce_epochs) * phi_us;
+  std::vector<std::shared_ptr<RejoinProbe>> probes;
+  Simulator& sim = scenario.network().simulator();
+  for (const FaultEvent& e : plan.events) {
+    if (e.kind != FaultKind::kRecover) continue;
+    auto probe = std::make_shared<RejoinProbe>();
+    probe->id = NodeId{e.node};
+    probe->recovered_at = anchor + SimTime::micros(e.at_us);
+    probes.push_back(probe);
+    for (std::int64_t off = step_us; e.at_us + off <= tail_us;
+         off += step_us) {
+      sim.schedule_at(probe->recovered_at + SimTime::micros(off),
+                      [probe, &scenario, &sim] {
+                        if (probe->done) return;
+                        if (!rejoined(scenario, probe->id)) return;
+                        probe->done = true;
+                        probe->consistent_at = sim.now();
+                      });
+    }
+  }
+
   scenario.run_epochs(config.fault_epochs);
 
   // Quiescence: no channel fault survives the horizon and the background
@@ -62,6 +126,21 @@ ChaosResult replay_chaos_trial(const ChaosConfig& config, std::uint64_t seed,
   result.alive = scenario.network().alive_count();
   result.clusters = scenario.cluster_count();
   result.affiliation = scenario.affiliation_rate();
+  std::int64_t total_us = 0;
+  for (const auto& probe : probes) {
+    if (!probe->done) {
+      ++result.rejoin_pending;
+      continue;
+    }
+    const std::int64_t latency_us =
+        probe->consistent_at.as_micros() - probe->recovered_at.as_micros();
+    ++result.rejoins;
+    total_us += latency_us;
+    result.rejoin_max_us = std::max(result.rejoin_max_us, latency_us);
+  }
+  if (result.rejoins > 0) {
+    result.rejoin_mean_us = total_us / std::int64_t(result.rejoins);
+  }
   return result;
 }
 

@@ -60,6 +60,11 @@ struct ChaosConfig {
   std::uint64_t fault_epochs = 6;
   std::uint64_t quiesce_epochs = 10;
 
+  /// Self-tuning (accrual) detection — see FdsConfig::adaptive_enabled.
+  bool adaptive = false;
+  /// Checkpointed CH/DCH recovery — see FdsConfig::checkpoint_enabled.
+  bool checkpoint = false;
+
   /// Event mix handed to FaultPlan::random (node_count/width/height/range/
   /// epoch_interval/fault_epochs are filled in from the fields above).
   ChaosProfile mix;
@@ -83,6 +88,15 @@ struct ChaosResult {
   std::size_t alive = 0;
   std::size_t clusters = 0;
   double affiliation = 0.0;
+  /// Rejoin-to-consistent: for each kRecover event whose node came back,
+  /// the time from the recovery instant until the node is alive, affiliated
+  /// and marked again (polled at epoch_interval/4 granularity). This is the
+  /// metric the checkpointed-recovery path is judged on: a restoring CH/DCH
+  /// skips the subscribe/admit handshake, so its rejoin time should drop.
+  std::size_t rejoins = 0;        ///< recoveries that reached consistency
+  std::size_t rejoin_pending = 0; ///< recoveries that never became consistent
+  std::int64_t rejoin_mean_us = 0;
+  std::int64_t rejoin_max_us = 0;
 
   [[nodiscard]] bool passed() const { return violations.empty(); }
 

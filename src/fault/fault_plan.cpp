@@ -19,6 +19,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kLinkDown: return "link_down";
     case FaultKind::kJam: return "jam";
     case FaultKind::kClockDrift: return "clock_drift";
+    case FaultKind::kLoss: return "loss";
   }
   return "?";
 }
@@ -28,7 +29,8 @@ namespace {
 [[nodiscard]] std::optional<FaultKind> kind_from(const std::string& name) {
   for (FaultKind k : {FaultKind::kCrash, FaultKind::kRecover,
                       FaultKind::kFreeze, FaultKind::kLinkDown,
-                      FaultKind::kJam, FaultKind::kClockDrift}) {
+                      FaultKind::kJam, FaultKind::kClockDrift,
+                      FaultKind::kLoss}) {
     if (name == to_string(k)) return k;
   }
   return std::nullopt;
@@ -129,6 +131,11 @@ std::string FaultPlan::to_jsonl() const {
                e.node, static_cast<unsigned long long>(e.start_epoch),
                static_cast<unsigned long long>(e.end_epoch), static_cast<long long>(e.per_epoch_us));
         break;
+      case FaultKind::kLoss:
+        append(out, ",\"x\":%.17g,\"at_us\":%lld,\"duration_us\":%lld", e.x,
+               static_cast<long long>(e.at_us),
+               static_cast<long long>(e.duration_us));
+        break;
     }
     out += "}\n";
   }
@@ -200,6 +207,13 @@ std::optional<FaultPlan> FaultPlan::parse_jsonl(const std::string& text,
             !find_i64(line, "per_epoch_us", &e.per_epoch_us)) {
           return fail(
               "clock_drift needs node, start_epoch, end_epoch, per_epoch_us");
+        }
+        break;
+      case FaultKind::kLoss:
+        if (!find_number(line, "x", &e.x) ||
+            !find_i64(line, "at_us", &e.at_us) ||
+            !find_i64(line, "duration_us", &e.duration_us)) {
+          return fail("loss needs x, at_us, duration_us");
         }
         break;
     }
@@ -313,6 +327,21 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const ChaosProfile& profile) {
     // Up to 20 ms of extra skew per epoch: well under Thop in total, enough
     // to push rounds measurably out of alignment.
     e.per_epoch_us = 2000 + std::int64_t(rng.below(18000));
+    plan.events.push_back(e);
+  }
+
+  // Loss bursts draw LAST: a profile with loss_bursts == 0 (the default)
+  // makes exactly the draws older profiles made, so pre-existing seeds keep
+  // producing byte-identical plans.
+  for (int i = 0; i < profile.loss_bursts; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kLoss;
+    // Heavy interference: 30-80% frame loss for 1-3 epochs.
+    e.x = rng.uniform(0.3, 0.8);
+    e.at_us = std::int64_t(rng.below(std::uint64_t(horizon / 2)));
+    e.duration_us =
+        std::min(phi + std::int64_t(rng.below(std::uint64_t(2 * phi))),
+                 horizon - e.at_us);
     plan.events.push_back(e);
   }
 

@@ -109,6 +109,17 @@ void FaultInjector::install(const FaultPlan& plan) {
       case FaultKind::kClockDrift:
         drifts_.push_back(e);
         break;
+      case FaultKind::kLoss:
+        sim.schedule_at(at, [this, p = e.x] {
+          ++loss_depth_;
+          scenario_.network().channel().set_loss_override(p);
+        });
+        sim.schedule_at(until, [this] {
+          if (--loss_depth_ == 0) {
+            scenario_.network().channel().clear_loss_override();
+          }
+        });
+        break;
     }
   }
 
@@ -147,6 +158,10 @@ void FaultInjector::clear_channel_faults() {
   link_depth_.clear();
   for (int token : active_jams_) channel.remove_jam_region(token);
   active_jams_.clear();
+  if (loss_depth_ > 0) {
+    channel.clear_loss_override();
+    loss_depth_ = 0;
+  }
 }
 
 }  // namespace cfds::fault

@@ -59,6 +59,10 @@ class FaultInjector {
   std::map<std::uint64_t, int> link_depth_;
   std::vector<int> active_jams_;
   std::vector<FaultEvent> drifts_;
+  /// Open kLoss windows. Overlapping bursts are legal: the most recently
+  /// activated probability wins, and the override clears only when the last
+  /// window closes.
+  int loss_depth_ = 0;
 };
 
 }  // namespace cfds::fault

@@ -67,6 +67,40 @@ void FdsAgent::on_lifecycle(bool alive) {
   scheduled_update_.reset();
   acked_requesters_.clear();
   sent_ack_ = false;
+  estimator_.clear();
+  tune_level_ = 0;
+  restored_from_checkpoint_ = false;
+  // stable_checkpoint_ deliberately survives: it models stable storage,
+  // the one thing a minimum-process checkpointing scheme assumes outlives
+  // the crash. If it names this node as CH or deputy, restore from it and
+  // reconcile with the live cluster instead of cold-rejoining.
+  if (config_.checkpoint_enabled) restore_from_checkpoint();
+}
+
+void FdsAgent::restore_from_checkpoint() {
+  if (!stable_checkpoint_) return;
+  const CheckpointPayload& cp = *stable_checkpoint_;
+  const bool named_ch = cp.clusterhead == node_.id();
+  const bool named_dch =
+      std::find(cp.deputies.begin(), cp.deputies.end(), node_.id()) !=
+      cp.deputies.end();
+  if (!named_ch && !named_dch) return;
+  ClusterView fresh;
+  fresh.id = cp.cluster;
+  fresh.clusterhead = cp.clusterhead;
+  fresh.members = cp.members;
+  fresh.deputies = cp.deputies;
+  view_.set_cluster(std::move(fresh));
+  node_.set_marked(true);
+  // The checkpointed failure log may be stale (a member re-admitted after
+  // checkpoint time): the recovery_enabled reconciliation rules heal that —
+  // stale self-news steps the zombie entry's owner down, its re-subscription
+  // refutes the record everywhere the admission update lands.
+  for (NodeId f : cp.failed) {
+    if (f == node_.id()) continue;
+    log_.record(f, {timers_.now(), cp.epoch, cp.sender});
+  }
+  restored_from_checkpoint_ = true;
 }
 
 double FdsAgent::energy_fraction() const {
@@ -83,15 +117,28 @@ void FdsAgent::begin_epoch(std::uint64_t epoch) {
   // Close out the previous execution's contact accounting before resetting.
   if (node_.alive() && view_.affiliated() && !view_.is_clusterhead() &&
       transport_.powered()) {
+    if (config_.adaptive_enabled) {
+      // A member's only per-execution liveness signal from its CH is the
+      // scheduled update; feed it to the estimator so the deputies' accrual
+      // gate (evaluate_ch_failure) knows how flaky the CH's link is.
+      estimator_.observe(view_.cluster()->clusterhead, got_scheduled_update_);
+    }
     missed_updates_ = got_scheduled_update_ ? 0 : missed_updates_ + 1;
-    if (config_.reaffiliate_after_missed > 0 &&
-        missed_updates_ >= config_.reaffiliate_after_missed) {
+    // Under adaptive detection the CH-announced tune level stretches the
+    // re-affiliation patience: a congested cluster (high announced loss)
+    // must not shed members over transient misses.
+    const std::uint32_t patience =
+        config_.reaffiliate_after_missed +
+        (config_.adaptive_enabled ? tune_level_ : 0U);
+    if (config_.reaffiliate_after_missed > 0 && missed_updates_ >= patience) {
       // Lost contact with the cluster (drifted out of range, or the CH we
       // can hear changed): revert to unmarked and re-subscribe (F5).
       view_.clear();
       node_.set_marked(false);
       missed_updates_ = 0;
       count_revert(kRevertMissedUpdates);
+      estimator_.clear();
+      tune_level_ = 0;
     }
   }
   epoch_ = epoch;
@@ -144,6 +191,8 @@ void FdsAgent::announce_leave() {
   transport_.send(std::move(notice));
   view_.clear();
   node_.set_marked(false);
+  estimator_.clear();
+  tune_level_ = 0;
   left_ = true;
 }
 
@@ -207,8 +256,15 @@ void FdsAgent::round3_update() {
     }
     expected.push_back(member);
   }
+  // Adaptive: the same evidence feeds the per-member link-quality estimator,
+  // and a silent member is declared only once its accrued suspicion clears
+  // the threshold — identical latency over clean links, extra consecutive
+  // misses demanded over lossy ones (see fds/link_quality.h).
   const std::vector<NodeId> failed =
-      detect_failed(expected, evidence_, config_.rule_mode);
+      config_.adaptive_enabled
+          ? detect_failed_accrual(expected, evidence_, config_.rule_mode,
+                                  estimator_, config_.accrual_threshold_milli)
+          : detect_failed(expected, evidence_, config_.rule_mode);
 
   auto update = std::make_shared<HealthUpdatePayload>();
   update->cluster = view_.cluster()->id;
@@ -219,7 +275,9 @@ void FdsAgent::round3_update() {
 
   for (NodeId f : failed) {
     log_.record(f, {timers_.now(), epoch_, node_.id()});
+    estimator_.forget(f);
   }
+  for (NodeId d : departed) estimator_.forget(d);
   view_.remove_members(failed);
 
   if (config_.admit_unmarked) {
@@ -267,9 +325,78 @@ void FdsAgent::round3_update() {
       hooks_.on_detection(node_.id(), epoch_, failed, /*by_deputy=*/false);
     }
   }
+  if (config_.adaptive_enabled) {
+    // Piggyback the self-tuning announcement: worst per-member loss estimate
+    // plus the tune level, ramped by at most one step per epoch so members
+    // (who adopt the announced level directly) and the CH never disagree by
+    // more than one level even across a lost update.
+    const std::uint32_t worst = estimator_.max_loss_pm();
+    std::uint8_t target = 4;
+    if (worst < 50) {
+      target = 0;
+    } else if (worst < 150) {
+      target = 1;
+    } else if (worst < 300) {
+      target = 2;
+    } else if (worst < 450) {
+      target = 3;
+    }
+    if (target > tune_level_) {
+      ++tune_level_;
+    } else if (target < tune_level_) {
+      --tune_level_;
+    }
+    update->cluster_loss_pm = static_cast<std::uint16_t>(worst);
+    update->tune_level = tune_level_;
+  }
   got_scheduled_update_ = true;  // the author trivially has the update
   scheduled_update_ = update;
   broadcast_update(std::move(update));
+  if (config_.checkpoint_enabled && config_.checkpoint_interval_epochs > 0 &&
+      epoch_ % config_.checkpoint_interval_epochs == 0) {
+    emit_checkpoint();
+  }
+}
+
+void FdsAgent::emit_checkpoint() {
+  if (!node_.alive() || !view_.is_clusterhead()) return;
+  auto cp = std::make_shared<CheckpointPayload>();
+  cp->cluster = view_.cluster()->id;
+  cp->sender = node_.id();
+  cp->epoch = epoch_;
+  cp->seq = ++checkpoint_seq_;
+  cp->clusterhead = view_.cluster()->clusterhead;
+  cp->members = view_.cluster()->members;
+  cp->deputies = view_.cluster()->deputies;
+  cp->failed = log_.known_failed();
+  // The author's own copy IS its stable storage (its radio never hears its
+  // own broadcast); the broadcast replicates it to the deputies.
+  stable_checkpoint_ = cp;
+  transport_.send(std::move(cp));
+}
+
+void FdsAgent::handle_checkpoint(
+    const std::shared_ptr<const CheckpointPayload>& cp) {
+  if (!config_.checkpoint_enabled) return;
+  if (!view_.affiliated() || cp->cluster != view_.cluster()->id) return;
+  // Minimum-process: only the CH and its deputies retain cluster state.
+  // The checkpoint's own deputy list also counts — a deputy promoted by the
+  // very roster this checkpoint carries may not see itself in its (older)
+  // local view yet.
+  const bool holder =
+      view_.is_clusterhead() || view_.is_deputy() ||
+      std::find(cp->deputies.begin(), cp->deputies.end(), node_.id()) !=
+          cp->deputies.end();
+  if (!holder) return;
+  // Keep the freshest: newest epoch wins; the sequence number breaks ties
+  // within an epoch (a takeover emits with a fresh head's counter).
+  if (stable_checkpoint_ &&
+      (cp->epoch < stable_checkpoint_->epoch ||
+       (cp->epoch == stable_checkpoint_->epoch &&
+        cp->seq < stable_checkpoint_->seq))) {
+    return;
+  }
+  stable_checkpoint_ = cp;
 }
 
 void FdsAgent::deputy_check() {
@@ -305,11 +432,25 @@ void FdsAgent::evaluate_ch_failure() {
   evidence_.ch_update_heard = got_scheduled_update_;
   const NodeId ch = view_.cluster()->clusterhead;
   if (!clusterhead_failed(ch, evidence_, config_.rule_mode)) return;
+  if (config_.adaptive_enabled) {
+    // Accrual gate on the takeover: suspicion accrued over past executions
+    // (begin_epoch observes the CH once per epoch) plus this execution's
+    // still-unrecorded miss must clear the threshold. Over a clean link
+    // that is one miss — the static rule's latency; over a lossy link the
+    // deputy holds back for more consecutive silence.
+    if (estimator_.pending_suspicion_milli(ch) <
+        config_.accrual_threshold_milli) {
+      return;
+    }
+  }
 
   // Takeover (Section 4.2): the highest-ranked DCH assumes the CH role and
   // announces the failure together with its own R-1 hearing so members can
   // proactively cover any member outside the new CH's range (Figure 2(a)).
   view_.apply_takeover(node_.id());
+  // Role change: the member-side estimator tracked the (now failed) CH;
+  // as acting head this node starts estimating its members afresh.
+  estimator_.clear();
   log_.record(ch, {timers_.now(), epoch_, node_.id()});
 
   auto update = std::make_shared<HealthUpdatePayload>();
@@ -506,6 +647,8 @@ void FdsAgent::handle_update(
       view_.clear();
       node_.set_marked(false);
       log_.clear();
+      estimator_.clear();
+      tune_level_ = 0;
       missed_updates_ = 0;
       got_scheduled_update_ = false;
       scheduled_update_.reset();
@@ -544,6 +687,8 @@ void FdsAgent::handle_update(
     // next heartbeat re-subscribes us through the F5 admission path.
     view_.clear();
     node_.set_marked(false);
+    estimator_.clear();
+    tune_level_ = 0;
     missed_updates_ = 0;
     got_scheduled_update_ = false;
     scheduled_update_.reset();
@@ -605,6 +750,8 @@ void FdsAgent::handle_update(
         count_revert(kRevertRosterDropped);
         view_.clear();
         node_.set_marked(false);
+        estimator_.clear();
+        tune_level_ = 0;
         missed_updates_ = 0;
         got_scheduled_update_ = false;
         scheduled_update_.reset();
@@ -615,6 +762,13 @@ void FdsAgent::handle_update(
       }
       view_.sync_members(roster);
     }
+  }
+
+  if (config_.adaptive_enabled && scheduled && !view_.is_clusterhead()) {
+    // Adopt the CH-announced tune level directly. The CH ramps its
+    // announcement one step per epoch, so even when one update is lost the
+    // member's level lags the CH's by at most one.
+    tune_level_ = update->tune_level;
   }
 
   if (scheduled && !got_scheduled_update_) {
@@ -759,14 +913,18 @@ void FdsAgent::on_frame(const Reception& reception) {
     }
     return;
   }
+
+  if (auto cp = payload_cast_shared<CheckpointPayload>(reception.payload)) {
+    handle_checkpoint(cp);
+    return;
+  }
 }
 
 FdsService::FdsService(Network& network, std::vector<MembershipView*> views,
                        FdsConfig config)
     : network_(network), config_(config), timers_(network.simulator()) {
   const SimTime t_hop = network_.channel().config().t_hop;
-  CFDS_EXPECT(config_.heartbeat_interval.as_micros() >= 7 * t_hop.as_micros(),
-              "heartbeat interval must cover all rounds plus peer forwarding");
+  config_.validate(t_hop);
   for (Node* node : network_.nodes()) {
     CFDS_EXPECT(node->id().value() < views.size() &&
                     views[node->id().value()] != nullptr,

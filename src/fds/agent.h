@@ -146,6 +146,26 @@ class FdsAgent {
     return last_revert_cause_;
   }
 
+  /// Self-tuning state (FdsConfig::adaptive_enabled): the link-quality
+  /// estimator this node feeds from round evidence, and the tune level it
+  /// currently applies (as CH: the level it announces; as member: the level
+  /// adopted from the newest scheduled update).
+  [[nodiscard]] const LinkQualityEstimator& estimator() const {
+    return estimator_;
+  }
+  [[nodiscard]] std::uint8_t tune_level() const { return tune_level_; }
+
+  /// Checkpointed-recovery state (FdsConfig::checkpoint_enabled): the
+  /// freshest retained checkpoint (CH/DCH only), and whether the last
+  /// crash-recovery restored from one instead of cold-rejoining.
+  [[nodiscard]] const std::shared_ptr<const CheckpointPayload>&
+  stable_checkpoint() const {
+    return stable_checkpoint_;
+  }
+  [[nodiscard]] bool restored_from_checkpoint() const {
+    return restored_from_checkpoint_;
+  }
+
   // --- Round actions, driven by FdsService -----------------------------
   void begin_epoch(std::uint64_t epoch);
   void round1_heartbeat();
@@ -207,6 +227,16 @@ class FdsAgent {
   void broadcast_update(std::shared_ptr<HealthUpdatePayload> update);
   [[nodiscard]] ReportId fresh_report_id();
   [[nodiscard]] double energy_fraction() const;
+  /// CH only: broadcasts (and retains) a minimum-process cluster-state
+  /// checkpoint — roster, deputies, failure log (checkpoint_enabled).
+  void emit_checkpoint();
+  /// Retains `cp` if this node is a holder (CH/DCH of that cluster) and the
+  /// checkpoint is fresher than the one already stored.
+  void handle_checkpoint(const std::shared_ptr<const CheckpointPayload>& cp);
+  /// Crash-recovery entry: if the stored checkpoint names this node as CH
+  /// or deputy, reinstall the checkpointed view and failure log so the node
+  /// reconciles with the live cluster instead of cold-rejoining.
+  void restore_from_checkpoint();
 
   Node& node_;
   MembershipView& view_;
@@ -256,6 +286,20 @@ class FdsAgent {
   /// cancel it — a dead node must never fire a round callback.
   TimerHandle deputy_timer_;
   bool sent_ack_ = false;
+
+  /// Self-tuning detection state (config_.adaptive_enabled; inert
+  /// otherwise). As CH the estimator tracks every expected member; as a
+  /// member it tracks the CH (via scheduled-update arrival), feeding the
+  /// deputy's accrual gate on takeover.
+  LinkQualityEstimator estimator_;
+  std::uint8_t tune_level_ = 0;
+
+  /// Checkpointed recovery (config_.checkpoint_enabled). stable_checkpoint_
+  /// models stable storage: it is deliberately NOT wiped by on_lifecycle,
+  /// so it survives this node's own crash.
+  std::shared_ptr<const CheckpointPayload> stable_checkpoint_;
+  std::uint64_t checkpoint_seq_ = 0;
+  bool restored_from_checkpoint_ = false;
 };
 
 /// Owns the per-node agents and drives synchronized FDS executions.

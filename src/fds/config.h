@@ -119,6 +119,55 @@ struct FdsConfig {
   ///    but need the snapshot to reinstall it).
   /// See docs/FAULTS.md.
   bool recovery_enabled = false;
+
+  /// Self-tuning (accrual) detection, default off so the baseline
+  /// reproduces the paper's static rule exactly. When enabled:
+  ///  - deciding nodes maintain a per-member LinkQualityEstimator from the
+  ///    same evidence the detection rule consumes, and judge a silent
+  ///    member failed only once its accrued suspicion (consecutive misses
+  ///    weighted by estimated loss rate) reaches accrual_threshold_milli —
+  ///    identical latency over clean links, extra patience over lossy ones;
+  ///  - the CH announces its worst per-member loss estimate and a derived
+  ///    tune level (0..4) on every scheduled R-3 update. The announced
+  ///    level ramps by at most one step per epoch, so members and CH never
+  ///    disagree by more than one level even across a lost update;
+  ///  - members scale their re-affiliation patience by the announced tune
+  ///    level (reaffiliate_after_missed + level missed updates), so a
+  ///    congested cluster does not shed members over transient loss.
+  /// See docs/ADAPTIVE.md.
+  bool adaptive_enabled = false;
+
+  /// Suspicion level at which a silent member is declared failed, in
+  /// milli-units of accrued surprisal (-log10 of the probability that an
+  /// alive member with the estimated loss rate stayed silent this long).
+  /// 1500 declares after one miss on a clean link (1% floor: 2000 milli)
+  /// and after three on a 30% link (523 milli each).
+  std::uint32_t accrual_threshold_milli = 1500;
+
+  /// Checkpointed CH/DCH recovery (minimum-process coordinated
+  /// checkpointing, after arXiv:1111.2208), default off. When enabled, an
+  /// acting CH broadcasts a CheckpointPayload — roster, deputies, failure
+  /// log — every checkpoint_interval_epochs; only the CH and its DCHs
+  /// retain the freshest checkpoint (stable storage survives the crash).
+  /// A recovering CH/DCH named by its stored checkpoint restores the view
+  /// and failure log from it and reconciles via the recovery_enabled rules
+  /// instead of cold-rejoining as an unmarked subscriber. Requires
+  /// recovery_enabled for the reconciliation rules. See docs/ADAPTIVE.md.
+  bool checkpoint_enabled = false;
+
+  /// Epochs between checkpoint broadcasts by an acting CH.
+  std::uint32_t checkpoint_interval_epochs = 2;
+
+  /// Aborts (CFDS_EXPECT) unless the configuration satisfies the documented
+  /// constraints against one-hop bound `t_hop`:
+  ///   - heartbeat_interval (phi) >= 7 * t_hop, so all rounds plus peer
+  ///     forwarding fit strictly inside one interval;
+  ///   - max_clock_skew <= phi / 2, the bound tolerate_epoch_skew absorbs;
+  ///   - adaptive_enabled => accrual_threshold_milli > 0;
+  ///   - checkpoint_enabled => checkpoint_interval_epochs > 0 and
+  ///     recovery_enabled.
+  /// Every bench/tool entry point calls this before running.
+  void validate(SimTime t_hop) const;
 };
 
 }  // namespace cfds

@@ -31,4 +31,49 @@ bool clusterhead_failed(NodeId ch, const RoundEvidence& evidence,
   return silent(ch, evidence, mode) && !evidence.ch_update_heard;
 }
 
+std::vector<NodeId> detect_failed_accrual(const std::vector<NodeId>& expected,
+                                          const RoundEvidence& evidence,
+                                          RuleMode mode,
+                                          LinkQualityEstimator& estimator,
+                                          std::uint32_t threshold_milli) {
+  // First pass: who is silent this execution? The count is the cluster-wide
+  // congestion signal no flat (per-link) accrual detector has: independent
+  // crashes silence members one or two at a time, interference silences a
+  // large fraction of the cluster in the same execution.
+  std::vector<NodeId> failed;
+  std::size_t silent_count = 0;
+  std::vector<bool> is_silent(expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    is_silent[i] = silent(expected[i], evidence, mode);
+    if (is_silent[i]) ++silent_count;
+  }
+  const bool congestion =
+      silent_count >= 2 && 4 * silent_count >= expected.size();
+  // In a congestion execution, per-member suspicion is capped by what the
+  // cluster-wide miss fraction itself would explain: each consecutive miss
+  // scores at most the surprisal of the observed fraction (floored so a
+  // mass crash — silence the fraction can "explain" forever — is still
+  // declared within threshold/floor executions, ~4 at the defaults).
+  const std::uint32_t cluster_miss_pm =
+      expected.empty()
+          ? 0
+          : std::uint32_t((silent_count * 1000) / expected.size());
+  const std::uint32_t congestion_surprise =
+      std::max(LinkQualityEstimator::surprise_milli(cluster_miss_pm),
+               kCongestionSurpriseFloorMilli);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const NodeId v = expected[i];
+    estimator.observe(v, !is_silent[i]);
+    if (!is_silent[i]) continue;
+    std::uint32_t suspicion = estimator.suspicion_milli(v);
+    if (congestion) {
+      suspicion = std::min(
+          suspicion, estimator.consecutive_missed(v) * congestion_surprise);
+    }
+    if (suspicion >= threshold_milli) failed.push_back(v);
+  }
+  std::sort(failed.begin(), failed.end());
+  return failed;
+}
+
 }  // namespace cfds

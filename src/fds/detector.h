@@ -14,10 +14,12 @@
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/flat.h"
 #include "common/ids.h"
+#include "fds/link_quality.h"
 
 namespace cfds {
 
@@ -58,5 +60,37 @@ enum class RuleMode { kFull, kNoSpatial, kHeartbeatOnly };
 /// health-status update was not received.
 [[nodiscard]] bool clusterhead_failed(NodeId ch, const RoundEvidence& evidence,
                                       RuleMode mode);
+
+/// Floor on the per-miss surprisal applied during a congestion execution
+/// (see detect_failed_accrual): even a silence the cluster-wide miss
+/// fraction would fully "explain" accrues at least this much per execution,
+/// so a mass crash is declared within threshold/floor executions (4 at the
+/// default 1500 threshold) instead of being excused forever.
+inline constexpr std::uint32_t kCongestionSurpriseFloorMilli = 375;
+
+/// The accrual variant of detect_failed (FdsConfig::adaptive_enabled):
+/// orthogonal to `mode`, which still decides what counts as evidence.
+/// Feeds this execution's silence observations into `estimator`, then
+/// judges a member failed iff it is silent AND its accrued suspicion
+/// (consecutive misses weighted by the surprisal of a miss at the link's
+/// estimated loss rate — see fds/link_quality.h) reaches `threshold_milli`.
+/// Over clean links this reduces to the static rule (one miss scores 2000,
+/// past the default 1500); over lossy links it demands extra consecutive
+/// misses before declaring, suppressing loss-induced false positives.
+///
+/// On top of the per-link accrual sits a cluster-level congestion gate —
+/// the signal only a cluster-based detector has: when at least two members
+/// and at least a quarter of the expected roster are silent in the SAME
+/// execution, the silence pattern says interference, not crashes, and each
+/// member's suspicion is capped at consecutive_missed times the surprisal
+/// of the observed cluster-wide miss fraction (floored at
+/// kCongestionSurpriseFloorMilli so genuine mass crashes still clear the
+/// threshold after a few executions). Isolated crashes — one silent member,
+/// or two in a big cluster — never trip the gate and keep static latency.
+/// Returns the judged-failed members in ascending NID order.
+[[nodiscard]] std::vector<NodeId> detect_failed_accrual(
+    const std::vector<NodeId>& expected, const RoundEvidence& evidence,
+    RuleMode mode, LinkQualityEstimator& estimator,
+    std::uint32_t threshold_milli);
 
 }  // namespace cfds

@@ -1,0 +1,94 @@
+#include "fds/link_quality.h"
+
+#include <bit>
+
+namespace cfds {
+
+std::uint32_t milli_log10(std::uint32_t x) {
+  if (x <= 1) return 0;
+  // Integer part of log2: position of the highest set bit.
+  const std::uint32_t k = std::uint32_t(std::bit_width(x)) - 1;
+  // Mantissa x / 2^k in Q16, in [1, 2). Ten rounds of shift-and-square
+  // extract ten fractional bits of log2 — 1/1024 resolution, an order
+  // finer than the milli-units we return.
+  std::uint64_t m = (std::uint64_t{x} << 16) >> k;
+  std::uint32_t frac = 0;
+  for (int i = 0; i < 10; ++i) {
+    m = (m * m) >> 16;
+    frac <<= 1;
+    if (m >= (std::uint64_t{2} << 16)) {
+      m >>= 1;
+      frac |= 1;
+    }
+  }
+  const std::uint64_t log2_q10 = (std::uint64_t{k} << 10) | frac;
+  // log10(x) = log2(x) * log10(2); 30103/100000 is log10(2) to 5 places.
+  return std::uint32_t((log2_q10 * 30103) / 102400);
+}
+
+void LinkQualityEstimator::observe(NodeId member, bool heard) {
+  Link& link = links_[member];
+  if (!heard && link.consecutive_missed == 0) {
+    // A silence run begins: snapshot the estimate as it stood while the
+    // member was still being heard (see the file comment for why suspicion
+    // must not be computed against an estimate the run itself inflates).
+    link.run_loss_pm = link.loss_pm;
+  }
+  const std::uint32_t miss_pm = heard ? 0 : 1000;
+  link.loss_pm = (3 * link.loss_pm + miss_pm) / 4;
+  if (link.loss_pm < kMinLossPm) link.loss_pm = kMinLossPm;
+  if (link.loss_pm > kMaxLossPm) link.loss_pm = kMaxLossPm;
+  link.consecutive_missed = heard ? 0 : link.consecutive_missed + 1;
+}
+
+std::uint32_t LinkQualityEstimator::loss_pm(NodeId member) const {
+  const auto it = links_.find(member);
+  return it == links_.end() ? kMinLossPm : it->second.loss_pm;
+}
+
+std::uint32_t LinkQualityEstimator::consecutive_missed(NodeId member) const {
+  const auto it = links_.find(member);
+  return it == links_.end() ? 0 : it->second.consecutive_missed;
+}
+
+std::uint32_t LinkQualityEstimator::surprise_milli(std::uint32_t loss_pm) {
+  if (loss_pm < kMinLossPm) loss_pm = kMinLossPm;
+  if (loss_pm > kMaxLossPm) loss_pm = kMaxLossPm;
+  // -log10(loss_pm/1000) * 1000 = 3000 - milli_log10(loss_pm).
+  return 3000 - milli_log10(loss_pm);
+}
+
+std::uint32_t LinkQualityEstimator::suspicion_milli(NodeId member) const {
+  const auto it = links_.find(member);
+  if (it == links_.end()) return 0;
+  return it->second.consecutive_missed * surprise_milli(it->second.run_loss_pm);
+}
+
+std::uint32_t LinkQualityEstimator::pending_suspicion_milli(
+    NodeId member) const {
+  const auto it = links_.find(member);
+  if (it == links_.end()) {
+    // Never observed: one miss over a clean link.
+    return surprise_milli(kMinLossPm);
+  }
+  const Link& link = it->second;
+  // If this pending miss starts a new run, the snapshot will be the current
+  // live estimate; otherwise the run's existing snapshot keeps applying.
+  const std::uint32_t snapshot =
+      link.consecutive_missed == 0 ? link.loss_pm : link.run_loss_pm;
+  return (link.consecutive_missed + 1) * surprise_milli(snapshot);
+}
+
+std::uint32_t LinkQualityEstimator::max_loss_pm() const {
+  std::uint32_t worst = kMinLossPm;
+  for (const auto& [member, link] : links_) {
+    if (link.loss_pm > worst) worst = link.loss_pm;
+  }
+  return worst;
+}
+
+void LinkQualityEstimator::forget(NodeId member) { links_.erase(member); }
+
+void LinkQualityEstimator::clear() { links_.clear(); }
+
+}  // namespace cfds

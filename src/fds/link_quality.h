@@ -1,0 +1,123 @@
+// Per-cluster link-quality estimation for the self-tuning detector.
+//
+// A deciding node (CH, or a DCH watching the CH) feeds the estimator one
+// observation per member per FDS execution: was the member heard this
+// execution (heartbeat, own digest, or digest mention — the same evidence
+// the detection rule consumes), or was it silent? From that stream the
+// estimator maintains, per member:
+//
+//   loss_pm              an EWMA estimate of the member's round-miss
+//                        probability, in per-mille (0..1000). Update rule
+//                        loss_pm' = (3*loss_pm + miss*1000) / 4, i.e. a
+//                        decay factor of 1/4 per execution, clamped to
+//                        [kMinLossPm, kMaxLossPm]. This is the congestion
+//                        signal: it keeps folding misses in while a member
+//                        is silent, so max_loss_pm() climbs during an
+//                        interference burst and feeds the CH's announced
+//                        tune level.
+//   run_loss_pm          loss_pm as it stood when the current silence run
+//                        began, BEFORE the run's first miss was folded in.
+//                        Suspicion is computed against this snapshot: the
+//                        question accrual answers is "how surprising is
+//                        this much silence from a member whose link looked
+//                        like THAT?", and letting the run's own misses
+//                        inflate the estimate would make every long silence
+//                        self-excusing (the product consecutive * surprise
+//                        would plateau below any useful threshold instead
+//                        of growing without bound).
+//   consecutive_missed   executions in a row the member has been silent.
+//
+// and derives an accrual-style suspicion level (after Hayashibara's phi
+// accrual detector, via "Robust Failure Detection Architecture for Large
+// Scale Distributed Systems", arXiv:0910.0708):
+//
+//   suspicion_milli = consecutive_missed * surprise_milli(run_loss_pm)
+//
+// where surprise_milli(q) = -log10(q) in milli-units — the surprisal of one
+// round-miss given the member's estimated loss rate. Over a clean link
+// (loss_pm at the 1% floor) a single miss scores 2000 milli, crossing the
+// default 1500 threshold immediately — the static detector's latency. Over
+// a 30% link a miss scores ~523, so three consecutive misses are needed —
+// the detector automatically trades latency for false-positive suppression
+// exactly where the link is bad.
+//
+// Cluster-wide interference (many members silent in the SAME execution) is
+// not a per-link phenomenon and is handled one level up, by the congestion
+// gate in detect_failed_accrual (fds/detector.h).
+//
+// All arithmetic is integer/fixed-point (milli-log10 via shift-and-square
+// log2): the estimator runs inside the deterministic replay core, where
+// cfds-lint bans floating point (rule float-in-estimator).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/flat.h"
+#include "common/ids.h"
+
+namespace cfds {
+
+/// log10(x) in milli-units (log10(x) * 1000, rounded down), for x >= 1.
+/// Integer shift-and-square fixed-point; deterministic on every platform.
+[[nodiscard]] std::uint32_t milli_log10(std::uint32_t x);
+
+class LinkQualityEstimator {
+ public:
+  /// Clamp bounds for the loss estimate: 1% floor (a silent member is
+  /// always at least mildly surprising) and 90% ceiling (even a terrible
+  /// link eventually accrues suspicion).
+  static constexpr std::uint32_t kMinLossPm = 10;
+  static constexpr std::uint32_t kMaxLossPm = 900;
+
+  /// Records one execution's observation of `member`.
+  void observe(NodeId member, bool heard);
+
+  /// Current loss estimate for `member` in per-mille; kMinLossPm when the
+  /// member has never been observed.
+  [[nodiscard]] std::uint32_t loss_pm(NodeId member) const;
+
+  /// Executions in a row `member` has been silent; 0 when heard last
+  /// execution or never observed.
+  [[nodiscard]] std::uint32_t consecutive_missed(NodeId member) const;
+
+  /// Surprisal of one round-miss at loss rate `loss_pm`, in milli-units:
+  /// -log10(loss_pm / 1000) * 1000.
+  [[nodiscard]] static std::uint32_t surprise_milli(std::uint32_t loss_pm);
+
+  /// Accrued suspicion for `member` in milli-units: consecutive misses
+  /// weighted by the surprisal of a miss at the loss rate estimated when
+  /// the silence run began. 0 while the member is being heard.
+  [[nodiscard]] std::uint32_t suspicion_milli(NodeId member) const;
+
+  /// Suspicion if the current execution ALSO turns out to be a miss — what
+  /// suspicion_milli will report after observe(member, false). Deciding
+  /// nodes evaluate mid-execution (the deputy check fires before the next
+  /// begin_epoch records the miss), so their gate must count the pending
+  /// miss itself. For a never-observed member this is one miss over a clean
+  /// link, so a member silent from the moment it was expected still accrues.
+  [[nodiscard]] std::uint32_t pending_suspicion_milli(NodeId member) const;
+
+  /// Worst (largest) loss estimate across all tracked members; kMinLossPm
+  /// when nothing is tracked. This is the per-cluster congestion signal the
+  /// CH announces on its R-3 update.
+  [[nodiscard]] std::uint32_t max_loss_pm() const;
+
+  /// Drops `member` (detected failed, departed, or no longer a member).
+  void forget(NodeId member);
+
+  /// Drops all state (step-down, view reset).
+  void clear();
+
+  [[nodiscard]] bool empty() const { return links_.empty(); }
+
+ private:
+  struct Link {
+    std::uint32_t loss_pm = kMinLossPm;
+    std::uint32_t run_loss_pm = kMinLossPm;
+    std::uint32_t consecutive_missed = 0;
+  };
+  FlatMap<NodeId, Link> links_;
+};
+
+}  // namespace cfds

@@ -140,12 +140,20 @@ struct HealthUpdatePayload final : Payload {
   /// on that link suppress forwarding it straight back.
   ClusterId learned_from;
 
+  /// Self-tuning piggyback (FdsConfig::adaptive_enabled): the CH's worst
+  /// per-member loss estimate in per-mille and the announced tune level
+  /// (0..4) members scale their patience by. Zero when adaptive detection
+  /// is off; the wire encoding and size_bytes add bytes only when the
+  /// loss estimate is non-zero, so static runs are byte-identical.
+  std::uint16_t cluster_loss_pm = 0;
+  std::uint8_t tune_level = 0;
+
   [[nodiscard]] std::string_view kind() const override { return "update"; }
   [[nodiscard]] std::size_t size_bytes() const override {
     return 24 +
            4 * (newly_failed.size() + all_failed.size() + admitted.size() +
                 members_snapshot.size() + sender_heard.size()) +
-           8 * acks.size();
+           8 * acks.size() + (cluster_loss_pm != 0 ? 3 : 0);
   }
 };
 
@@ -177,6 +185,34 @@ struct UpdateForwardPayload final : Payload {
   [[nodiscard]] std::string_view kind() const override { return "upd-fwd"; }
   [[nodiscard]] std::size_t size_bytes() const override {
     return 9 + update->size_bytes();
+  }
+};
+
+/// Minimum-process cluster-state checkpoint (FdsConfig::checkpoint_enabled,
+/// after arXiv:1111.2208): broadcast by the acting CH every
+/// checkpoint_interval_epochs, retained only by the CH itself and its
+/// deputies. A recovering CH/DCH that finds itself named in its freshest
+/// stored checkpoint restores the roster and failure log from it and
+/// reconciles with the live cluster instead of cold-rejoining.
+struct CheckpointPayload final : Payload {
+  static constexpr PayloadKind kTag = PayloadKind::kCheckpoint;
+  static constexpr bool matches(PayloadKind k) { return k == kTag; }
+  CheckpointPayload() : Payload(kTag) {}
+
+  ClusterId cluster;
+  NodeId sender;
+  std::uint64_t epoch = 0;
+  /// Monotonic checkpoint sequence number; receivers keep the largest.
+  std::uint64_t seq = 0;
+
+  NodeId clusterhead;
+  std::vector<NodeId> members;   ///< non-CH roster at checkpoint time
+  std::vector<NodeId> deputies;  ///< DCH chain, rank order
+  std::vector<NodeId> failed;    ///< failure-log contents
+
+  [[nodiscard]] std::string_view kind() const override { return "checkpoint"; }
+  [[nodiscard]] std::size_t size_bytes() const override {
+    return 29 + 4 * (members.size() + deputies.size() + failed.size());
   }
 };
 

@@ -51,6 +51,10 @@ class Network {
   [[nodiscard]] const Node& node(NodeId id) const;
   [[nodiscard]] bool has_node(NodeId id) const;
 
+  /// The loss model installed at construction (tests flip switchable models
+  /// mid-run to stage interference bursts).
+  [[nodiscard]] LossModel& loss_model() { return *loss_; }
+
   /// All nodes in NID order. Returns a reference to a cache maintained by
   /// add_node — callers in per-round loops pay nothing per call. The
   /// reference is invalidated by add_node.

@@ -224,9 +224,14 @@ void Channel::transmit(Radio& sender, PayloadPtr payload, NodeId intended) {
       return;
     }
     // Inlined draw for the common BernoulliLoss (bit-identical to calling
-    // lost(): one uniform per candidate); other models go virtual.
+    // lost(): one uniform per candidate); other models go virtual. An
+    // active loss override (kLoss fault burst) substitutes its probability
+    // but still makes exactly one draw, so the RNG sequence seen by later
+    // transmissions is independent of whether a burst was in effect.
     const bool frame_lost =
-        bernoulli_loss_ != nullptr
+        loss_override_active_
+            ? rng_.bernoulli(loss_override_p_)
+        : bernoulli_loss_ != nullptr
             ? rng_.bernoulli(bernoulli_loss_->probability())
             : loss_.lost(sender.id(), from, receiver->id(), receiver_pos,
                          rng_);

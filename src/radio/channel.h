@@ -203,6 +203,25 @@ class Channel {
   void remove_jam_region(int token) { drop_filter_.remove_jam_region(token); }
   [[nodiscard]] bool is_jammed(Vec2 p) const { return drop_filter_.jammed(p); }
 
+  /// Overrides the configured loss model's per-frame loss probability for
+  /// every in-range candidate (time-varying interference: loss bursts /
+  /// storms from FaultKind::kLoss plans). While active each candidate draws
+  /// one uniform against `p` — the same single draw the normal path makes —
+  /// so engaging or clearing the override never shifts the RNG sequence of
+  /// subsequent draws, and a plan with no loss events is bit-identical to a
+  /// fault-free run.
+  void set_loss_override(double p) {
+    loss_override_active_ = true;
+    loss_override_p_ = p;
+  }
+  void clear_loss_override() {
+    loss_override_active_ = false;
+    loss_override_p_ = 0.0;
+  }
+  [[nodiscard]] bool loss_override_active() const {
+    return loss_override_active_;
+  }
+
   /// The embedded fault-drop state (diagnostics and the fault injector).
   [[nodiscard]] const DropFilter& drop_filter() const { return drop_filter_; }
 
@@ -294,6 +313,8 @@ class Channel {
   std::vector<SimTime> scratch_delays_;
   // Fault-injection state (empty in fault-free runs; see the hooks above).
   DropFilter drop_filter_;
+  bool loss_override_active_ = false;
+  double loss_override_p_ = 0.0;
 };
 
 }  // namespace cfds

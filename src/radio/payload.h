@@ -52,6 +52,9 @@ enum class PayloadKind : std::uint8_t {
   kSwimPing,
   kSwimAck,
   kSwimPingReq,
+  // checkpointed recovery (appended to keep earlier kind bytes stable
+  // across the wire-format version bump)
+  kCheckpoint,
   // reserved for test-local payload types
   kTest,
 };

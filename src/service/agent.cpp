@@ -31,6 +31,8 @@ namespace {
   // instead of wiping it, and carry subscription heartbeats to R-3 (see
   // FdsConfig::tolerate_epoch_skew).
   fds.tolerate_epoch_skew = true;
+  fds.adaptive_enabled = config.adaptive;
+  fds.checkpoint_enabled = config.checkpoint;
   return fds;
 }
 
@@ -59,8 +61,7 @@ ServiceAgent::ServiceAgent(const ServiceConfig& config, NodeId self,
       fds_(node_, view_, filtered_, timers, config.t_hop, fds_config_, hooks_),
       plan_(node_, raw, filter_, timers),
       timers_(timers) {
-  CFDS_EXPECT(config.phi >= 7 * config.t_hop,
-              "service: phi must be at least 7 * Thop");
+  fds_config_.validate(config.t_hop);
   // In one broadcast domain every clusterhead hears every F5 subscription
   // heartbeat; scope admission to this endpoint's directory block so a
   // recovered node is re-admitted by exactly one head (with deterministic
@@ -160,6 +161,32 @@ void ServiceAgent::start(SimTime start, const fault::FaultPlan* plan) {
     const SimTime anchor =
         start + std::int64_t(config_.warmup_epochs) * config_.phi;
     plan_.install(*plan, anchor, config_.warmup_epochs);
+    // Detection-latency sampling: remember when each planned crash fires,
+    // then chain onto on_detection (after any hook the embedding tool
+    // installed) and stamp the first verdict this endpoint renders against
+    // a planned victim. A recovered-then-recrashed node keeps its first
+    // sample — the metric is first detection of the first crash.
+    for (const fault::FaultEvent& e : plan->events) {
+      if (e.kind != fault::FaultKind::kCrash) continue;
+      crash_at_.emplace(e.node, anchor + SimTime::micros(e.at_us));
+    }
+    if (!crash_at_.empty()) {
+      hooks_.on_detection =
+          [this, prev = std::move(hooks_.on_detection)](
+              NodeId decider, std::uint64_t epoch,
+              const std::vector<NodeId>& failed, bool by_deputy) {
+            const SimTime now = timers_.now();
+            for (NodeId f : failed) {
+              const auto it = crash_at_.find(f.value());
+              if (it == crash_at_.end()) continue;
+              if (detect_ms_.count(f.value()) != 0) continue;
+              const std::int64_t us = now.as_micros() - it->second.as_micros();
+              detect_ms_[f.value()] =
+                  us > 0 ? std::uint32_t(us / 1000) : 0U;
+            }
+            if (prev) prev(decider, epoch, failed, by_deputy);
+          };
+    }
   }
   // Deterministic per-endpoint phase offset within a quarter round: with
   // every endpoint on one machine, perfectly aligned round starts make all
@@ -221,6 +248,10 @@ AgentStatus ServiceAgent::status() const {
   }
   s.last_revert_epoch = fds_.last_revert_epoch();
   s.last_revert_cause = fds_.last_revert_cause();
+  for (const auto& [victim, ms] : detect_ms_) {
+    s.detect_node.push_back(victim);
+    s.detect_ms.push_back(ms);
+  }
   return s;
 }
 

@@ -98,6 +98,13 @@ class ServiceAgent {
   std::uint64_t updates_overheard_ = 0;
   std::uint64_t admit_offers_ = 0;
   std::uint64_t last_offer_epoch_ = 0;
+  /// Per-detection latency sampling: absolute crash instant per planned
+  /// victim (from the installed FaultPlan), and the latency in ms from that
+  /// instant until THIS endpoint first judged the victim failed (the
+  /// on_detection hook — deciders only). The soak harness takes the min
+  /// across endpoints per victim, which is the deployment's first verdict.
+  std::map<std::uint32_t, SimTime> crash_at_;
+  std::map<std::uint32_t, std::uint32_t> detect_ms_;
 };
 
 }  // namespace cfds::service

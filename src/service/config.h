@@ -42,6 +42,11 @@ struct ServiceConfig {
   /// Independent per-frame receive loss probability.
   double loss_p = 0.0;
 
+  /// Self-tuning (accrual) detection — see FdsConfig::adaptive_enabled.
+  bool adaptive = false;
+  /// Checkpointed CH/DCH recovery — see FdsConfig::checkpoint_enabled.
+  bool checkpoint = false;
+
   [[nodiscard]] std::uint32_t cluster_count() const {
     if (node_count == 0 || cluster_size == 0) return 0;
     return (node_count + cluster_size - 1) / cluster_size;

@@ -108,7 +108,11 @@ std::string AgentStatus::to_json() const {
   os << ",";
   append_list(os, "reverts", reverts);
   os << ",\"last_revert_epoch\":" << last_revert_epoch
-     << ",\"last_revert_cause\":" << last_revert_cause << "}";
+     << ",\"last_revert_cause\":" << last_revert_cause << ",";
+  append_list(os, "detect_node", detect_node);
+  os << ",";
+  append_list(os, "detect_ms", detect_ms);
+  os << "}";
   return os.str();
 }
 
@@ -138,6 +142,8 @@ std::optional<AgentStatus> AgentStatus::parse(const std::string& line) {
   (void)parse_list(line, "reverts", &s.reverts);
   (void)parse_u64(line, "last_revert_epoch", &s.last_revert_epoch);
   (void)parse_u64(line, "last_revert_cause", &s.last_revert_cause);
+  (void)parse_list(line, "detect_node", &s.detect_node);
+  (void)parse_list(line, "detect_ms", &s.detect_ms);
   return s;
 }
 

@@ -71,6 +71,13 @@ struct AgentStatus {
   std::vector<std::uint32_t> reverts;
   std::uint64_t last_revert_epoch = 0;
   std::uint64_t last_revert_cause = 0;
+  /// Per-detection latency samples, index-aligned: detect_node[i] is a
+  /// planned crash victim this endpoint judged failed, detect_ms[i] the
+  /// latency from the planned crash instant to that verdict. Only deciders
+  /// (CH/DCH at the moment of detection) carry samples; the soak harness
+  /// reduces to the min per victim across all endpoints.
+  std::vector<std::uint32_t> detect_node;
+  std::vector<std::uint32_t> detect_ms;
 
   friend bool operator==(const AgentStatus&, const AgentStatus&) = default;
 

@@ -7,6 +7,12 @@
 namespace cfds {
 
 Scenario::Scenario(ScenarioConfig config) : config_(config) {
+  // Fail loudly at construction, before any simulation time is spent: the
+  // FDS config must satisfy the documented constraints against this
+  // scenario's Thop (FdsService re-validates with the effective phi).
+  FdsConfig effective = config_.fds;
+  effective.heartbeat_interval = config_.heartbeat_interval;
+  effective.validate(config_.t_hop);
   NetworkConfig net_config;
   net_config.channel.range = config_.range;
   net_config.channel.t_hop = config_.t_hop;

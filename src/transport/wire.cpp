@@ -154,6 +154,9 @@ void encode_body(Writer& w, const HealthUpdatePayload& p) {
   w.report(p.report);
   w.reports(p.acks);
   w.cluster(p.learned_from);
+  // v2 self-tuning trailer (zeros when adaptive detection is off).
+  w.u16(p.cluster_loss_pm);
+  w.u8(p.tune_level);
 }
 
 void encode_body(Writer& w, const UpdateRequestPayload& p) {
@@ -174,6 +177,17 @@ void encode_body(Writer& w, const UpdateForwardPayload& p) {
 void encode_body(Writer& w, const UpdateAckPayload& p) {
   w.node(p.sender);
   w.u64(p.epoch);
+}
+
+void encode_body(Writer& w, const CheckpointPayload& p) {
+  w.cluster(p.cluster);
+  w.node(p.sender);
+  w.u64(p.epoch);
+  w.u64(p.seq);
+  w.node(p.clusterhead);
+  w.nodes(p.members);
+  w.nodes(p.deputies);
+  w.nodes(p.failed);
 }
 
 std::shared_ptr<HeartbeatPayload> decode_heartbeat(Reader& r) {
@@ -231,6 +245,8 @@ std::shared_ptr<HealthUpdatePayload> decode_update(Reader& r) {
   p->report = r.report();
   r.reports(&p->acks);
   p->learned_from = r.cluster();
+  p->cluster_loss_pm = r.u16();
+  p->tune_level = r.u8();
   return p;
 }
 
@@ -254,6 +270,19 @@ std::shared_ptr<UpdateAckPayload> decode_ack(Reader& r) {
   auto p = std::make_shared<UpdateAckPayload>();
   p->sender = r.node();
   p->epoch = r.u64();
+  return p;
+}
+
+std::shared_ptr<CheckpointPayload> decode_checkpoint(Reader& r) {
+  auto p = std::make_shared<CheckpointPayload>();
+  p->cluster = r.cluster();
+  p->sender = r.node();
+  p->epoch = r.u64();
+  p->seq = r.u64();
+  p->clusterhead = r.node();
+  r.nodes(&p->members);
+  r.nodes(&p->deputies);
+  r.nodes(&p->failed);
   return p;
 }
 
@@ -295,6 +324,9 @@ bool encode_frame(NodeId sender, NodeId intended, const Payload& payload,
       return true;
     case PayloadKind::kUpdateAck:
       encode_body(w, static_cast<const UpdateAckPayload&>(payload));
+      return true;
+    case PayloadKind::kCheckpoint:
+      encode_body(w, static_cast<const CheckpointPayload&>(payload));
       return true;
     default:
       // Un-encoded frame kinds (formation, aggregation, baselines) never
@@ -340,6 +372,9 @@ bool decode_frame(const std::uint8_t* data, std::size_t len,
       break;
     case PayloadKind::kUpdateAck:
       out->payload = decode_ack(r);
+      break;
+    case PayloadKind::kCheckpoint:
+      out->payload = decode_checkpoint(r);
       break;
     default:
       return false;

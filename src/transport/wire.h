@@ -7,8 +7,13 @@
 //
 // Frame layout:
 //
-//   [magic u16 = 0xCFD5] [version u8 = 1] [kind u8] [sender u32] [intended u32]
+//   [magic u16 = 0xCFD5] [version u8 = 2] [kind u8] [sender u32] [intended u32]
 //   [payload body, kind-specific]
+//
+// Version history:
+//   1  initial service-mode format
+//   2  health-update body gains the self-tuning trailer (cluster_loss_pm
+//      u16, tune_level u8); new kCheckpoint frame
 //
 // `kind` is the PayloadKind tag value. `sender`/`intended` mirror the
 // Reception addressing of the simulated channel: `intended` is the NID the
@@ -33,7 +38,7 @@
 namespace cfds::wire {
 
 inline constexpr std::uint16_t kMagic = 0xCFD5;
-inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kVersion = 2;
 /// Bytes before the kind-specific payload body.
 inline constexpr std::size_t kHeaderSize = 12;
 

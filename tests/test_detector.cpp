@@ -117,5 +117,234 @@ TEST(Detector, NoEvidenceChannelCanFabricateLife) {
   }
 }
 
+// --- self-tuning accrual detection (FdsConfig::adaptive_enabled) ------------
+
+TEST(LinkQuality, MilliLog10MatchesReferenceValues) {
+  // Shift-and-square fixed point gives 1/1024 log2 resolution, well inside
+  // +-3 milli of the real logarithm over the whole per-mille range.
+  EXPECT_EQ(milli_log10(0), 0u);
+  EXPECT_EQ(milli_log10(1), 0u);
+  EXPECT_NEAR(double(milli_log10(2)), 301.0, 3.0);
+  EXPECT_NEAR(double(milli_log10(10)), 1000.0, 3.0);
+  EXPECT_NEAR(double(milli_log10(100)), 2000.0, 3.0);
+  EXPECT_NEAR(double(milli_log10(300)), 2477.0, 3.0);
+  EXPECT_NEAR(double(milli_log10(1000)), 3000.0, 3.0);
+  for (std::uint32_t x = 2; x <= 1000; ++x) {
+    EXPECT_GE(milli_log10(x), milli_log10(x - 1)) << x;  // monotone
+  }
+}
+
+TEST(LinkQuality, SurpriseCalibration) {
+  using LQ = LinkQualityEstimator;
+  // 1% floor: a single miss (2000 milli) crosses the default 1500 threshold
+  // — static-rule latency over clean links.
+  EXPECT_NEAR(double(LQ::surprise_milli(LQ::kMinLossPm)), 2000.0, 3.0);
+  // 30% link: ~523 per miss, so three consecutive misses are demanded.
+  const std::uint32_t s300 = LQ::surprise_milli(300);
+  EXPECT_NEAR(double(s300), 523.0, 4.0);
+  EXPECT_LT(2 * s300, 1500u);
+  EXPECT_GE(3 * s300, 1500u);
+  // Out-of-range inputs clamp to the floor/ceiling instead of misbehaving.
+  EXPECT_EQ(LQ::surprise_milli(0), LQ::surprise_milli(LQ::kMinLossPm));
+  EXPECT_EQ(LQ::surprise_milli(1000), LQ::surprise_milli(LQ::kMaxLossPm));
+}
+
+TEST(LinkQuality, EwmaTracksMissesAndClamps) {
+  LinkQualityEstimator est;
+  const NodeId v{5};
+  EXPECT_EQ(est.loss_pm(v), LinkQualityEstimator::kMinLossPm);  // untracked
+  est.observe(v, true);
+  EXPECT_EQ(est.loss_pm(v), LinkQualityEstimator::kMinLossPm);
+  est.observe(v, false);  // (3*10 + 1000) / 4
+  EXPECT_EQ(est.loss_pm(v), 257u);
+  est.observe(v, false);  // (3*257 + 1000) / 4
+  EXPECT_EQ(est.loss_pm(v), 442u);
+  for (int i = 0; i < 20; ++i) est.observe(v, false);
+  EXPECT_EQ(est.loss_pm(v), LinkQualityEstimator::kMaxLossPm);  // ceiling
+  for (int i = 0; i < 30; ++i) est.observe(v, true);
+  EXPECT_EQ(est.loss_pm(v), LinkQualityEstimator::kMinLossPm);  // floor
+  EXPECT_EQ(est.max_loss_pm(), LinkQualityEstimator::kMinLossPm);
+}
+
+TEST(LinkQuality, SuspicionUsesRunStartSnapshot) {
+  using LQ = LinkQualityEstimator;
+  LQ est;
+  const NodeId v{5};
+  est.observe(v, true);
+  EXPECT_EQ(est.suspicion_milli(v), 0u);
+  est.observe(v, false);
+  const std::uint32_t clean = LQ::surprise_milli(LQ::kMinLossPm);
+  EXPECT_EQ(est.suspicion_milli(v), clean);
+  est.observe(v, false);
+  // The run's own misses inflated the live EWMA but NOT the snapshot the
+  // suspicion is computed against — the product grows without bound instead
+  // of plateauing (a long silence must never become self-excusing).
+  EXPECT_EQ(est.suspicion_milli(v), 2 * clean);
+  EXPECT_GT(est.loss_pm(v), LQ::kMinLossPm);
+  est.observe(v, false);
+  EXPECT_EQ(est.suspicion_milli(v), 3 * clean);
+  // Hearing the member ends the run and zeroes suspicion.
+  est.observe(v, true);
+  EXPECT_EQ(est.suspicion_milli(v), 0u);
+  EXPECT_EQ(est.consecutive_missed(v), 0u);
+  // A new run snapshots the now-lossier estimate: less surprise per miss.
+  est.observe(v, false);
+  EXPECT_LT(est.suspicion_milli(v), clean);
+  EXPECT_GT(est.suspicion_milli(v), 0u);
+}
+
+TEST(LinkQuality, PendingSuspicionCountsTheUnrecordedMiss) {
+  using LQ = LinkQualityEstimator;
+  LQ est;
+  const NodeId ch{0};
+  const std::uint32_t clean = LQ::surprise_milli(LQ::kMinLossPm);
+  // Never observed: one miss over a clean link (a CH silent from the moment
+  // a deputy started watching still accrues).
+  EXPECT_EQ(est.pending_suspicion_milli(ch), clean);
+  est.observe(ch, true);
+  EXPECT_EQ(est.pending_suspicion_milli(ch), clean);
+  est.observe(ch, false);
+  EXPECT_EQ(est.pending_suspicion_milli(ch), 2 * clean);
+}
+
+TEST(LinkQuality, ForgetAndClearDropState) {
+  LinkQualityEstimator est;
+  est.observe(NodeId{1}, false);
+  est.observe(NodeId{2}, false);
+  EXPECT_GT(est.max_loss_pm(), LinkQualityEstimator::kMinLossPm);
+  est.forget(NodeId{1});
+  EXPECT_EQ(est.suspicion_milli(NodeId{1}), 0u);
+  est.clear();
+  EXPECT_TRUE(est.empty());
+  EXPECT_EQ(est.max_loss_pm(), LinkQualityEstimator::kMinLossPm);
+}
+
+std::vector<NodeId> members(std::initializer_list<std::uint32_t> ids) {
+  std::vector<NodeId> out;
+  for (auto id : ids) out.emplace_back(id);
+  return out;
+}
+
+TEST(Detector, AccrualCleanLinkMatchesStaticLatency) {
+  LinkQualityEstimator est;
+  const auto expected = members({1, 2, 3, 4, 5, 6, 7});
+  const RoundEvidence all = evidence_with({1, 2, 3, 4, 5, 6, 7});
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    EXPECT_TRUE(
+        detect_failed_accrual(expected, all, RuleMode::kFull, est, 1500)
+            .empty());
+  }
+  // Member 4 crashes: over a clean link one miss scores ~2000 — declared on
+  // the very first silent execution, exactly like the static rule.
+  const RoundEvidence missing4 = evidence_with({1, 2, 3, 5, 6, 7});
+  const auto failed =
+      detect_failed_accrual(expected, missing4, RuleMode::kFull, est, 1500);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], NodeId{4});
+}
+
+TEST(Detector, AccrualLossyLinkDemandsConsecutiveMisses) {
+  LinkQualityEstimator est;
+  const auto expected = members({1, 2, 3, 4, 5, 6, 7});
+  const RoundEvidence all = evidence_with({1, 2, 3, 4, 5, 6, 7});
+  const RoundEvidence missing4 = evidence_with({1, 2, 3, 5, 6, 7});
+  // Pre-train member 4's link to ~40% estimated loss. In the protocol this
+  // training happens through congestion-excused executions: the gate below
+  // suppresses declarations while the misses still fold into the estimate.
+  for (int i = 0; i < 4; ++i) {
+    est.observe(NodeId{4}, false);
+    est.observe(NodeId{4}, true);
+  }
+  EXPECT_GT(est.loss_pm(NodeId{4}), 300u);
+  // A single miss over the known-lossy link is unremarkable: the static
+  // rule false-positives here, the accrual rule stays quiet.
+  EXPECT_EQ(detect_failed(expected, missing4, RuleMode::kFull).size(), 1u);
+  EXPECT_TRUE(
+      detect_failed_accrual(expected, missing4, RuleMode::kFull, est, 1500)
+          .empty());
+  // Heard again: the silence run (and suspicion) resets.
+  EXPECT_TRUE(
+      detect_failed_accrual(expected, all, RuleMode::kFull, est, 1500)
+          .empty());
+  EXPECT_EQ(est.suspicion_milli(NodeId{4}), 0u);
+  // Now member 4 crashes for real: suspicion accrues per silent execution
+  // and crosses the threshold within a handful of executions.
+  int declared_after = -1;
+  for (int epoch = 1; epoch <= 8; ++epoch) {
+    const auto failed =
+        detect_failed_accrual(expected, missing4, RuleMode::kFull, est, 1500);
+    if (!failed.empty()) {
+      EXPECT_EQ(failed[0], NodeId{4});
+      declared_after = epoch;
+      break;
+    }
+  }
+  EXPECT_GE(declared_after, 3);  // strictly more patient than static
+  EXPECT_LE(declared_after, 6);  // but still bounded
+}
+
+TEST(Detector, CongestionGateSuppressesClusterWideSilence) {
+  LinkQualityEstimator est;
+  const auto expected = members({1, 2, 3, 4, 5, 6, 7, 8});
+  const RoundEvidence all = evidence_with({1, 2, 3, 4, 5, 6, 7, 8});
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    (void)detect_failed_accrual(expected, all, RuleMode::kFull, est, 1500);
+  }
+  // An interference burst silences half the cluster at once. The static
+  // rule declares all four immediately; the congestion gate recognises the
+  // cluster-wide pattern and declares nobody.
+  const RoundEvidence burst = evidence_with({1, 2, 3, 4});
+  EXPECT_EQ(detect_failed(expected, burst, RuleMode::kFull).size(), 4u);
+  EXPECT_TRUE(
+      detect_failed_accrual(expected, burst, RuleMode::kFull, est, 1500)
+          .empty());
+  EXPECT_TRUE(
+      detect_failed_accrual(expected, burst, RuleMode::kFull, est, 1500)
+          .empty());
+  // The burst clears: everyone is heard again, no one was ever declared,
+  // and suspicion resets.
+  EXPECT_TRUE(
+      detect_failed_accrual(expected, all, RuleMode::kFull, est, 1500)
+          .empty());
+  EXPECT_EQ(est.suspicion_milli(NodeId{5}), 0u);
+}
+
+TEST(Detector, CongestionGateStillDeclaresMassCrashWithinBoundedEpochs) {
+  LinkQualityEstimator est;
+  const auto expected = members({1, 2, 3, 4, 5, 6, 7, 8});
+  const RoundEvidence all = evidence_with({1, 2, 3, 4, 5, 6, 7, 8});
+  (void)detect_failed_accrual(expected, all, RuleMode::kFull, est, 1500);
+  // Half the cluster genuinely crashes. The silence pattern is
+  // indistinguishable from interference at first, but the floored
+  // congestion surprisal guarantees a declaration within
+  // threshold / kCongestionSurpriseFloorMilli = 4 executions.
+  const RoundEvidence crashed = evidence_with({1, 2, 3, 4});
+  int declared_after = -1;
+  for (int epoch = 1; epoch <= 8; ++epoch) {
+    const auto failed =
+        detect_failed_accrual(expected, crashed, RuleMode::kFull, est, 1500);
+    if (!failed.empty()) {
+      EXPECT_EQ(failed.size(), 4u);
+      declared_after = epoch;
+      break;
+    }
+  }
+  EXPECT_EQ(declared_after, 4);
+}
+
+TEST(Detector, IsolatedCrashNeverTripsTheCongestionGate) {
+  // One silent member of eight is a crash signature, not interference: the
+  // gate requires both two silent members and a quarter of the roster.
+  LinkQualityEstimator est;
+  const auto expected = members({1, 2, 3, 4, 5, 6, 7, 8});
+  const RoundEvidence all = evidence_with({1, 2, 3, 4, 5, 6, 7, 8});
+  (void)detect_failed_accrual(expected, all, RuleMode::kFull, est, 1500);
+  const RoundEvidence missing3 = evidence_with({1, 2, 4, 5, 6, 7, 8});
+  const auto failed =
+      detect_failed_accrual(expected, missing3, RuleMode::kFull, est, 1500);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], NodeId{3});
+}
+
 }  // namespace
 }  // namespace cfds

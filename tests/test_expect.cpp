@@ -68,7 +68,50 @@ TEST(ExpectDeath, TooShortHeartbeatIntervalAborts) {
   FdsConfig fds_config;
   fds_config.heartbeat_interval = SimTime::millis(100);  // == Thop
   EXPECT_DEATH(FdsService(network, views, fds_config),
-               "heartbeat interval");
+               "phi must be at least 7");
+}
+
+// FdsConfig::validate is the single choke point every bench and tool entry
+// point runs before touching the network; each documented constraint must
+// abort, and a conforming config must pass silently.
+TEST(ExpectDeath, FdsConfigValidateEnforcesEveryConstraint) {
+  const SimTime t_hop = SimTime::millis(100);
+
+  FdsConfig ok;
+  ok.heartbeat_interval = SimTime::millis(800);
+  ok.validate(t_hop);  // the conforming baseline is silent
+
+  FdsConfig short_phi = ok;
+  short_phi.heartbeat_interval = SimTime::millis(699);  // 7*Thop - 1ms
+  EXPECT_DEATH(short_phi.validate(t_hop), "phi must be at least 7");
+  short_phi.heartbeat_interval = SimTime::millis(700);  // exactly 7*Thop
+  short_phi.validate(t_hop);
+
+  EXPECT_DEATH(ok.validate(SimTime::zero()), "Thop must be positive");
+
+  FdsConfig wild_skew = ok;
+  wild_skew.max_clock_skew = SimTime::millis(401);  // > phi/2
+  EXPECT_DEATH(wild_skew.validate(t_hop), "max_clock_skew");
+  wild_skew.max_clock_skew = SimTime::millis(400);  // exactly phi/2
+  wild_skew.validate(t_hop);
+
+  FdsConfig zero_threshold = ok;
+  zero_threshold.adaptive_enabled = true;
+  zero_threshold.accrual_threshold_milli = 0;
+  EXPECT_DEATH(zero_threshold.validate(t_hop), "accrual threshold");
+
+  FdsConfig orphan_checkpoint = ok;
+  orphan_checkpoint.checkpoint_enabled = true;  // without recovery_enabled
+  EXPECT_DEATH(orphan_checkpoint.validate(t_hop), "requires recovery_enabled");
+
+  FdsConfig zero_interval = ok;
+  zero_interval.checkpoint_enabled = true;
+  zero_interval.recovery_enabled = true;
+  zero_interval.checkpoint_interval_epochs = 0;
+  EXPECT_DEATH(zero_interval.validate(t_hop), "positive interval");
+
+  zero_interval.checkpoint_interval_epochs = 2;
+  zero_interval.validate(t_hop);  // checkpoint + recovery together is fine
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -19,13 +21,29 @@ class FdsFixture : public ::testing::Test {
  protected:
   static constexpr int kN = 8;
 
-  explicit FdsFixture(double loss_p = 0.0) {
+  static FdsConfig default_config() {
+    FdsConfig config;
+    config.heartbeat_interval = SimTime::millis(800);
+    return config;
+  }
+
+  FdsFixture() : FdsFixture(default_config()) {}
+
+  explicit FdsFixture(double loss_p)
+      : FdsFixture(default_config(),
+                   loss_p == 0.0
+                       ? std::unique_ptr<LossModel>(
+                             std::make_unique<PerfectLinks>())
+                       : std::unique_ptr<LossModel>(
+                             std::make_unique<BernoulliLoss>(loss_p))) {}
+
+  explicit FdsFixture(FdsConfig config)
+      : FdsFixture(std::move(config), std::make_unique<PerfectLinks>()) {}
+
+  FdsFixture(FdsConfig config, std::unique_ptr<LossModel> loss) {
     NetworkConfig net_config;
     net_config.seed = 13;
-    network_ = std::make_unique<Network>(
-        net_config, loss_p == 0.0 ? std::unique_ptr<LossModel>(
-                                        std::make_unique<PerfectLinks>())
-                                  : std::make_unique<BernoulliLoss>(loss_p));
+    network_ = std::make_unique<Network>(net_config, std::move(loss));
     network_->add_node({0.0, 0.0});  // CH
     for (int i = 1; i < kN; ++i) {
       const double angle = 2.0 * M_PI * double(i) / double(kN - 1);
@@ -35,8 +53,6 @@ class FdsFixture : public ::testing::Test {
       views_.push_back(std::make_unique<MembershipView>(
           NodeId{std::uint32_t(i)}));
     }
-    FdsConfig config;
-    config.heartbeat_interval = SimTime::millis(800);
     fds_ = std::make_unique<FdsService>(*network_, view_ptrs(), config);
     ClusterDirectory::single_cluster(kN).install(*network_, view_ptrs_);
   }
@@ -286,6 +302,306 @@ TEST(FdsPeerForwarding, MissedUpdateRecoveredViaRequest) {
   fds2.schedule_epoch(0, SimTime::zero());
   network2.simulator().run_until(SimTime::millis(800));
   EXPECT_FALSE(fds2.agent_for(victim).got_scheduled_update());
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-skew tolerance edges (FdsConfig::tolerate_epoch_skew).
+
+class SkewTolerantFixture : public FdsFixture {
+ public:
+  static FdsConfig config() {
+    FdsConfig c = default_config();
+    c.tolerate_epoch_skew = true;
+    return c;
+  }
+
+ protected:
+  SkewTolerantFixture() : FdsFixture(config()) {}
+};
+
+TEST_F(SkewTolerantFixture, EvidenceAgesOutInsteadOfVanishingAtTheBoundary) {
+  // Under the soft boundary, epoch-0 signs of life stay valid until they age
+  // past phi + Thop. A node that crashes BETWEEN epochs is therefore cleared
+  // by its own stale evidence for one extra execution and declared in the
+  // second — the price of not failing fast neighbours every epoch.
+  run_epoch(0);
+  network_->crash(NodeId{5});
+  std::vector<std::pair<std::uint64_t, std::vector<NodeId>>> detections;
+  fds_->hooks().on_detection = [&](NodeId, std::uint64_t epoch,
+                                   const std::vector<NodeId>& failed, bool) {
+    detections.emplace_back(epoch, failed);
+  };
+  run_epoch(1);
+  EXPECT_TRUE(detections.empty());  // stale evidence still within the window
+  run_epoch(2);
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].first, 2u);
+  EXPECT_EQ(detections[0].second, std::vector<NodeId>{NodeId{5}});
+}
+
+TEST(FdsSkew, SubscriptionHeardAfterR3CarriesIntoTheNextExecution) {
+  // A newcomer whose clock runs 3*Thop ahead delivers its subscription
+  // heartbeat after the CH's R-3 has already passed. A hard boundary wipes
+  // the pending subscription every epoch and the newcomer is never admitted;
+  // the soft boundary carries it into the next R-3.
+  for (const bool tolerate : {false, true}) {
+    NetworkConfig net_config;
+    net_config.seed = 13;
+    Network network(net_config, std::make_unique<PerfectLinks>());
+    network.add_node({0.0, 0.0});
+    for (int i = 1; i < 8; ++i) {
+      const double angle = 2.0 * M_PI * double(i) / 7.0;
+      network.add_node({60.0 * std::cos(angle), 60.0 * std::sin(angle)});
+    }
+    Node& newcomer = network.add_node({30.0, 10.0});  // NID 8, unmarked
+    std::vector<std::unique_ptr<MembershipView>> views;
+    std::vector<MembershipView*> ptrs;
+    for (std::uint32_t i = 0; i < 9; ++i) {
+      views.push_back(std::make_unique<MembershipView>(NodeId{i}));
+      ptrs.push_back(views.back().get());
+    }
+    FdsConfig config;
+    config.heartbeat_interval = SimTime::millis(800);
+    config.tolerate_epoch_skew = tolerate;
+    FdsService fds(network, ptrs, config);
+    ClusterDirectory::single_cluster(8).install(network, ptrs);
+    fds.set_skew_provider([&](NodeId id, std::uint64_t) {
+      return id == newcomer.id() ? SimTime::millis(300) : SimTime::zero();
+    });
+    for (std::uint64_t e = 0; e < 3; ++e) {
+      fds.schedule_epoch(e, SimTime::millis(std::int64_t(800 * e)));
+    }
+    network.simulator().run_until(SimTime::millis(2400));
+    EXPECT_EQ(newcomer.marked(), tolerate) << "tolerate=" << tolerate;
+    EXPECT_EQ(fds.agent_for(newcomer.id()).view().affiliated(), tolerate);
+  }
+}
+
+/// Drops every frame SENT by the victim while muted; reception is unaffected.
+class MutedVictimsLoss final : public LossModel {
+ public:
+  explicit MutedVictimsLoss(std::vector<NodeId> victims)
+      : victims_(std::move(victims)) {}
+  bool lost(NodeId sender, Vec2, NodeId, Vec2, Rng&) override {
+    return muted && std::find(victims_.begin(), victims_.end(), sender) !=
+                        victims_.end();
+  }
+  bool muted = true;
+
+ private:
+  std::vector<NodeId> victims_;
+};
+
+class FreshSelfNewsFixture : public FdsFixture {
+ protected:
+  FreshSelfNewsFixture()
+      : FdsFixture(SkewTolerantFixture::config(),
+                   std::make_unique<MutedVictimsLoss>(
+                       std::vector<NodeId>{NodeId{5}})) {}
+  MutedVictimsLoss& gate() {
+    return static_cast<MutedVictimsLoss&>(network_->loss_model());
+  }
+};
+
+TEST_F(FreshSelfNewsFixture, FreshSelfNewsForcesFullStepDownThenResubscribe) {
+  // The victim's radio is mute for one epoch: the CH declares it failed and
+  // the victim HEARS that fresh news about itself. Under tolerate_epoch_skew
+  // it must step down fully (view dropped, unmarked) — the author already
+  // dropped it from the roster, so clinging to the stale view would discard
+  // any re-admission from another head as foreign.
+  run_epoch(0);
+  FdsAgent& victim = fds_->agent_for(NodeId{5});
+  EXPECT_FALSE(network_->node(NodeId{5}).marked());
+  EXPECT_FALSE(victim.view().affiliated());
+  EXPECT_GE(victim.reverts()[FdsAgent::kRevertFreshSelfNews], 1u);
+  // Radio heals: the next unmarked heartbeat is a subscription (F5) and the
+  // victim rejoins the same cluster.
+  gate().muted = false;
+  run_epoch(1);
+  EXPECT_TRUE(network_->node(NodeId{5}).marked());
+  ASSERT_TRUE(victim.view().affiliated());
+  EXPECT_EQ(victim.view().cluster()->clusterhead, NodeId{0});
+  EXPECT_TRUE(
+      fds_->agent_for(NodeId{0}).view().cluster()->is_member(NodeId{5}));
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive detection (FdsConfig::adaptive_enabled).
+
+class AdaptiveFixture : public FdsFixture {
+ public:
+  static FdsConfig config() {
+    FdsConfig c = default_config();
+    c.adaptive_enabled = true;
+    return c;
+  }
+
+ protected:
+  AdaptiveFixture() : FdsFixture(config()) {}
+};
+
+TEST_F(AdaptiveFixture, CleanLinkCrashKeepsStaticLatency) {
+  // Over clean links one miss scores surprise(kMinLossPm) = 2000, past the
+  // default 1500 threshold: the accrual rule must not be slower than the
+  // static rule where the static rule is right.
+  network_->crash(NodeId{5});
+  std::vector<NodeId> detected;
+  std::uint64_t detected_epoch = 99;
+  fds_->hooks().on_detection = [&](NodeId decider, std::uint64_t epoch,
+                                   const std::vector<NodeId>& failed, bool) {
+    EXPECT_EQ(decider, NodeId{0});
+    detected = failed;
+    detected_epoch = epoch;
+  };
+  run_epoch(0);
+  ASSERT_EQ(detected.size(), 1u);
+  EXPECT_EQ(detected[0], NodeId{5});
+  EXPECT_EQ(detected_epoch, 0u);
+}
+
+class AdaptiveTuneFixture : public FdsFixture {
+ protected:
+  AdaptiveTuneFixture()
+      : FdsFixture(AdaptiveFixture::config(),
+                   std::make_unique<MutedVictimsLoss>(std::vector<NodeId>{
+                       NodeId{4}, NodeId{5}, NodeId{6}})) {
+    gate().muted = false;  // start clean; tests flip it on
+  }
+  MutedVictimsLoss& gate() {
+    return static_cast<MutedVictimsLoss&>(network_->loss_model());
+  }
+};
+
+TEST_F(AdaptiveTuneFixture, TuneLevelRampsUpAndDownWithoutFalsePositives) {
+  // Three of seven members go mute for three epochs — a cluster-wide
+  // interference pattern. The congestion gate must excuse them (no
+  // declarations), the CH's announced tune level must ramp up by at most one
+  // per epoch while the burst lasts and back down after it clears, and
+  // members must track the announcement.
+  int detections = 0;
+  fds_->hooks().on_detection = [&](NodeId, std::uint64_t,
+                                   const std::vector<NodeId>&,
+                                   bool) { ++detections; };
+  std::vector<int> announced;
+  fds_->hooks().on_update_applied = [&](NodeId to,
+                                        const HealthUpdatePayload& u) {
+    if (to == NodeId{3}) announced.push_back(int(u.tune_level));
+  };
+  run_epoch(0);  // clean: level 0
+  gate().muted = true;
+  for (std::uint64_t e = 1; e <= 3; ++e) run_epoch(e);
+  gate().muted = false;
+  for (std::uint64_t e = 4; e <= 9; ++e) run_epoch(e);
+
+  EXPECT_EQ(detections, 0);  // nobody was ever declared failed
+  ASSERT_GE(announced.size(), 8u);
+  EXPECT_EQ(announced.front(), 0);
+  for (std::size_t i = 1; i < announced.size(); ++i) {
+    EXPECT_LE(std::abs(announced[i] - announced[i - 1]), 1)
+        << "ramp jumped at update " << i;
+  }
+  EXPECT_GE(*std::max_element(announced.begin(), announced.end()), 2);
+  EXPECT_LT(announced.back(),
+            *std::max_element(announced.begin(), announced.end()));
+  // Ramp rules: a member and its CH never disagree by more than one level.
+  EXPECT_LE(std::abs(int(fds_->agent_for(NodeId{3}).tune_level()) -
+                     int(fds_->agent_for(NodeId{0}).tune_level())),
+            1);
+  // The muted members were never shed: still marked, still on the roster.
+  for (std::uint32_t nid : {4u, 5u, 6u}) {
+    EXPECT_TRUE(network_->node(NodeId{nid}).marked()) << nid;
+    EXPECT_TRUE(
+        fds_->agent_for(NodeId{0}).view().cluster()->is_member(NodeId{nid}));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointed CH/DCH recovery (FdsConfig::checkpoint_enabled).
+
+class CheckpointFixture : public FdsFixture {
+ protected:
+  static FdsConfig config() {
+    FdsConfig c = default_config();
+    c.recovery_enabled = true;
+    c.checkpoint_enabled = true;
+    c.checkpoint_interval_epochs = 2;
+    return c;
+  }
+  CheckpointFixture() : FdsFixture(config()) {}
+};
+
+TEST_F(CheckpointFixture, CheckpointRetainedByHeadAndDeputiesOnly) {
+  run_epoch(0);  // epoch 0 is on the interval: checkpoint broadcast at R-3
+  for (FdsAgent* agent : fds_->agents()) {
+    const bool holder = agent->id() == NodeId{0} ||
+                        agent->id() == NodeId{1} || agent->id() == NodeId{2};
+    EXPECT_EQ(agent->stable_checkpoint() != nullptr, holder) << agent->id();
+  }
+  const auto& cp = fds_->agent_for(NodeId{1}).stable_checkpoint();
+  ASSERT_NE(cp, nullptr);
+  EXPECT_EQ(cp->clusterhead, NodeId{0});
+  EXPECT_EQ(cp->members.size(), std::size_t{kN - 1});
+  EXPECT_EQ(cp->deputies, (std::vector<NodeId>{NodeId{1}, NodeId{2}}));
+  const std::uint64_t first_seq = cp->seq;
+  run_epoch(1);  // off the interval: no new checkpoint
+  EXPECT_EQ(fds_->agent_for(NodeId{2}).stable_checkpoint()->seq, first_seq);
+  run_epoch(2);  // on the interval again: receivers keep the larger seq
+  EXPECT_GT(fds_->agent_for(NodeId{2}).stable_checkpoint()->seq, first_seq);
+}
+
+TEST_F(CheckpointFixture, RecoveredClusterheadRestoresAndReclaimsItsCluster) {
+  run_epoch(0);  // checkpoint lands on 0, 1, 2
+  network_->crash(NodeId{0});
+  run_epoch(1);  // primary deputy takes over
+  EXPECT_TRUE(fds_->agent_for(NodeId{1}).view().is_clusterhead());
+  network_->recover(NodeId{0});
+  FdsAgent& old_ch = fds_->agent_for(NodeId{0});
+  // Warm restart from stable storage: CH role, roster and deputies are back
+  // before a single frame is exchanged.
+  EXPECT_TRUE(old_ch.restored_from_checkpoint());
+  EXPECT_TRUE(network_->node(NodeId{0}).marked());
+  ASSERT_TRUE(old_ch.view().affiliated());
+  EXPECT_TRUE(old_ch.view().is_clusterhead());
+  EXPECT_TRUE(old_ch.view().cluster()->is_member(NodeId{5}));
+  // Reconciliation: lowest-NID head arbitration makes the interim head (1)
+  // stand down; its members age out, re-subscribe, and the cluster converges
+  // on the restored head with no lingering rivals.
+  for (std::uint64_t e = 2; e <= 11; ++e) run_epoch(e);
+  int heads = 0;
+  for (FdsAgent* agent : fds_->agents()) {
+    if (agent->view().is_clusterhead()) ++heads;
+  }
+  EXPECT_EQ(heads, 1);
+  for (FdsAgent* agent : fds_->agents()) {
+    ASSERT_TRUE(agent->view().affiliated()) << agent->id();
+    EXPECT_EQ(agent->view().cluster()->clusterhead, NodeId{0}) << agent->id();
+  }
+  EXPECT_GE(fds_->agent_for(NodeId{1}).reverts()[FdsAgent::kRevertRivalHead],
+            1u);
+}
+
+TEST_F(CheckpointFixture, RecoveredDeputyRestoresAndIsReconciled) {
+  run_epoch(0);  // deputies 1 and 2 retain the checkpoint
+  network_->crash(NodeId{2});
+  run_epoch(1);  // CH detects the dead deputy and drops it
+  EXPECT_TRUE(fds_->agent_for(NodeId{0}).log().knows(NodeId{2}));
+  network_->recover(NodeId{2});
+  FdsAgent& deputy = fds_->agent_for(NodeId{2});
+  EXPECT_TRUE(deputy.restored_from_checkpoint());
+  EXPECT_TRUE(network_->node(NodeId{2}).marked());
+  ASSERT_TRUE(deputy.view().affiliated());
+  // The live cluster has moved on (the roster no longer lists 2): the
+  // recovery rules step the deputy down and its subscription re-admits it.
+  for (std::uint64_t e = 2; e <= 6; ++e) run_epoch(e);
+  EXPECT_TRUE(network_->node(NodeId{2}).marked());
+  ASSERT_TRUE(deputy.view().affiliated());
+  EXPECT_EQ(deputy.view().cluster()->clusterhead, NodeId{0});
+  EXPECT_TRUE(
+      fds_->agent_for(NodeId{0}).view().cluster()->is_member(NodeId{2}));
+  const auto reverts = deputy.reverts();
+  EXPECT_GE(reverts[FdsAgent::kRevertStaleSelfNews] +
+                reverts[FdsAgent::kRevertRosterDropped],
+            1u);
 }
 
 }  // namespace

@@ -100,6 +100,8 @@ cfds::HealthUpdatePayload sample_update() {
   p.report = ReportId{0xA1B2C3D4E5F60718ULL};
   p.acks = {ReportId{0x1122334455667788ULL}, ReportId{9}};
   p.learned_from = ClusterId{20};
+  p.cluster_loss_pm = 257;
+  p.tune_level = 2;
   return p;
 }
 
@@ -185,6 +187,31 @@ TEST(WireGolden, HealthUpdate) {
   EXPECT_EQ(up->report, p.report);
   EXPECT_EQ(up->acks, p.acks);
   EXPECT_EQ(up->learned_from, p.learned_from);
+  EXPECT_EQ(up->cluster_loss_pm, p.cluster_loss_pm);
+  EXPECT_EQ(up->tune_level, p.tune_level);
+}
+
+TEST(WireGolden, Checkpoint) {
+  cfds::CheckpointPayload p;
+  p.cluster = ClusterId{30};
+  p.sender = NodeId{31};
+  p.epoch = 12;
+  p.seq = 6;
+  p.clusterhead = NodeId{31};
+  p.members = {NodeId{31}, NodeId{32}, NodeId{35}};
+  p.deputies = {NodeId{32}, NodeId{35}};
+  p.failed = {NodeId{33}};
+  const auto decoded = golden_round_trip("checkpoint", p);
+  const auto* cp = cfds::payload_cast<cfds::CheckpointPayload>(decoded);
+  ASSERT_NE(cp, nullptr);
+  EXPECT_EQ(cp->cluster, p.cluster);
+  EXPECT_EQ(cp->sender, p.sender);
+  EXPECT_EQ(cp->epoch, p.epoch);
+  EXPECT_EQ(cp->seq, p.seq);
+  EXPECT_EQ(cp->clusterhead, p.clusterhead);
+  EXPECT_EQ(cp->members, p.members);
+  EXPECT_EQ(cp->deputies, p.deputies);
+  EXPECT_EQ(cp->failed, p.failed);
 }
 
 TEST(WireGolden, UpdateRequest) {

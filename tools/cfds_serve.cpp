@@ -54,6 +54,8 @@ void usage(const char* argv0) {
       << "  --fault-plan PATH  FaultPlan JSONL to inject     [none]\n"
       << "  --seed N           loss-stream seed              [1]\n"
       << "  --loss-p F         per-frame receive loss        [0]\n"
+      << "  --adaptive         self-tuning accrual detection\n"
+      << "  --checkpoint       checkpointed CH/DCH recovery\n"
       << "  --status-out PATH  status JSONL destination      [stdout]\n";
 }
 
@@ -97,6 +99,10 @@ bool parse_args(int argc, char** argv, ServeOptions* opt) {
       opt->config.seed = std::stoull(v);
     } else if (arg == "--loss-p" && (v = next())) {
       opt->config.loss_p = std::stod(v);
+    } else if (arg == "--adaptive") {
+      opt->config.adaptive = true;
+    } else if (arg == "--checkpoint") {
+      opt->config.checkpoint = true;
     } else if (arg == "--status-out" && (v = next())) {
       opt->status_out = v;
     } else {

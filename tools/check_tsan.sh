@@ -40,6 +40,11 @@ echo "== loopback soak under TSan (16 threads, full chaos)"
 "$dir/tools/soak_harness" --mode threads --n 16 --epochs 10 \
     --phi-ms 400 --warmup 2 --quiesce 5 --seed 7 --chaos full
 
+echo "== loopback soak under TSan (adaptive + checkpointed recovery)"
+"$dir/tools/soak_harness" --mode threads --n 16 --epochs 10 \
+    --phi-ms 400 --warmup 2 --quiesce 5 --seed 11 --chaos full \
+    --loss-p 0.05 --adaptive --checkpoint
+
 echo "== multi-threaded bench_fig5 smoke (--threads 8)"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT

@@ -1,0 +1,15 @@
+// Fixture: floating point inside the adaptive-detection arithmetic — the
+// suspicion a CH computes must match its deputies bit-for-bit, and FP
+// rounding varies with flags and hardware.
+
+namespace fixture {
+
+double ewma(double prev, bool missed) {  // BAD: double in estimator path
+  return 0.75 * prev + (missed ? 250.0 : 0.0);
+}
+
+float surprise(float loss) {  // BAD: float in estimator path
+  return 3.0F - loss;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: the sanctioned integer fixed-point style — per-mille loss rates,
+// milli-scaled surprisal, shift-and-square log — plus a comment mentioning
+// double (comments are sanitized before matching).
+#include <cstdint>
+
+namespace fixture {
+
+// A double-wide intermediate would overflow here, which is why the mantissa
+// stays in Q16: float talk in prose must not trip the rule.
+std::uint32_t ewma_pm(std::uint32_t prev_pm, bool missed) {
+  return (3U * prev_pm + (missed ? 1000U : 0U)) / 4U;
+}
+
+std::uint32_t surprise_milli(std::uint32_t loss_pm) {
+  return 3000U - (loss_pm * 3U);
+}
+
+}  // namespace fixture

@@ -199,6 +199,18 @@ const std::vector<LineRule>& line_rules() {
     rules.push_back({"raw-assert",
                      std::regex(R"(\bassert\s*\(|[<"]c?assert(?:\.h)?[">])"),
                      [](const std::string&) { return true; }});
+    rules.push_back(
+        {"float-in-estimator",
+         std::regex(R"(\b(?:float|double)\b)"),
+         [](const std::string& path) {
+           // The adaptive-detection arithmetic (loss EWMA, milli_log10
+           // surprisal, accrual products) must stay integer/fixed-point:
+           // floating point rounds differently across -ffast-math,
+           // -mfma and architectures, and a one-milli disagreement
+           // between a CH and a deputy splits their failure verdicts.
+           return path.find("src/fds/link_quality") != std::string::npos ||
+                  path.find("src/fds/detector") != std::string::npos;
+         }});
     return rules;
   }();
   return kRules;

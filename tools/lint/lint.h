@@ -43,6 +43,12 @@
 //                        cost O(k) slots and closures per broadcast; batch
 //                        the fan-out with begin_batch/add_batch_event after
 //                        the loop instead (docs/PERF.md).
+//   float-in-estimator   no float/double in the adaptive-detection
+//                        arithmetic (src/fds/link_quality.*,
+//                        src/fds/detector.*) — the loss EWMA, milli_log10
+//                        surprisal, and accrual products are specified in
+//                        integer fixed-point so every node computes the
+//                        same suspicion bit-for-bit (docs/ADAPTIVE.md).
 //
 // Suppression: a `LINT-ALLOW(rule): reason` comment on the same or the
 // immediately preceding line exempts that line. Use it for permanent,

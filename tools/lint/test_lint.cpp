@@ -126,6 +126,31 @@ TEST(LintFixtures, RawAssertOk) {
   EXPECT_TRUE(scan_fixture("raw_assert_ok.cpp", "src/sim/f.cpp").empty());
 }
 
+TEST(LintFixtures, FloatInEstimatorBad) {
+  const auto vs =
+      scan_fixture("float_in_estimator_bad.cpp", "src/fds/link_quality.cpp");
+  EXPECT_GE(rules_of(vs).count("float-in-estimator"), 2u);
+  // The same arithmetic in the detector is covered too.
+  EXPECT_GE(rules_of(scan_fixture("float_in_estimator_bad.cpp",
+                                  "src/fds/detector.cpp"))
+                .count("float-in-estimator"),
+            2u);
+}
+
+TEST(LintFixtures, FloatInEstimatorOk) {
+  EXPECT_TRUE(
+      scan_fixture("float_in_estimator_ok.cpp", "src/fds/link_quality.cpp")
+          .empty());
+}
+
+TEST(LintFixtures, FloatInEstimatorScopedToEstimatorPaths) {
+  // Floating point is fine elsewhere (positions, energy, bench statistics):
+  // the rule only polices the fixed-point detection arithmetic.
+  EXPECT_TRUE(rules_of(scan_fixture("float_in_estimator_bad.cpp",
+                                    "src/sim/f.cpp"))
+                  .count("float-in-estimator") == 0u);
+}
+
 TEST(LintFixtures, RawSocketBad) {
   const auto vs = scan_fixture("raw_socket_bad.cpp", "src/sim/f.cpp");
   // 3 headers + socket + ::bind + sendto + recvfrom + bare poll +

@@ -20,9 +20,11 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <chrono>
+#include <map>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -74,6 +76,8 @@ void usage(const char* argv0) {
       << "                        clock drift (crash), or additionally\n"
       << "                        freezes, link cuts, and jams (full)\n"
       << "                                                    [crash]\n"
+      << "  --adaptive            self-tuning accrual detection\n"
+      << "  --checkpoint          checkpointed CH/DCH recovery\n"
       << "  --no-faults           skip fault injection\n"
       << "  --port-base N         procs mode UDP ports        [19000]\n"
       << "  --out-dir PATH        procs mode scratch files    [/tmp]\n"
@@ -110,6 +114,10 @@ bool parse_args(int argc, char** argv, SoakOptions* opt) {
       opt->config.loss_p = std::stod(v);
     } else if (arg == "--chaos" && (v = next())) {
       opt->chaos = v;
+    } else if (arg == "--adaptive") {
+      opt->config.adaptive = true;
+    } else if (arg == "--checkpoint") {
+      opt->config.checkpoint = true;
     } else if (arg == "--no-faults") {
       opt->faults = false;
     } else if (arg == "--port-base" && (v = next())) {
@@ -167,6 +175,30 @@ std::optional<cfds::fault::FaultPlan> make_plan(const SoakOptions& opt) {
   return cfds::fault::FaultPlan::random(opt.config.seed, profile);
 }
 
+/// Deployment-wide detection latency: for each planned crash victim, the
+/// minimum latency sample over every endpoint that rendered a verdict (the
+/// first decider's sample is the deployment's detection time). Sorted
+/// ascending for the quantile cuts.
+std::vector<std::uint32_t> merge_detect_ms(
+    const std::vector<AgentStatus>& statuses) {
+  std::map<std::uint32_t, std::uint32_t> best;
+  for (const AgentStatus& s : statuses) {
+    const std::size_t n = std::min(s.detect_node.size(), s.detect_ms.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [it, inserted] =
+          best.emplace(s.detect_node[i], s.detect_ms[i]);
+      if (!inserted && s.detect_ms[i] < it->second) {
+        it->second = s.detect_ms[i];
+      }
+    }
+  }
+  std::vector<std::uint32_t> samples;
+  samples.reserve(best.size());
+  for (const auto& [victim, ms] : best) samples.push_back(ms);
+  std::sort(samples.begin(), samples.end());
+  return samples;
+}
+
 int report(const std::vector<AgentStatus>& statuses, std::size_t expected) {
   std::size_t alive = 0, heads = 0;
   for (const AgentStatus& s : statuses) {
@@ -176,6 +208,16 @@ int report(const std::vector<AgentStatus>& statuses, std::size_t expected) {
   std::cout << "soak: " << statuses.size() << "/" << expected
             << " statuses, " << alive << " alive, " << heads
             << " acting clusterheads\n";
+  const std::vector<std::uint32_t> detect = merge_detect_ms(statuses);
+  if (!detect.empty()) {
+    auto quantile = [&detect](double q) {
+      const std::size_t at = std::size_t(q * double(detect.size() - 1) + 0.5);
+      return detect[std::min(at, detect.size() - 1)];
+    };
+    std::cout << "soak: detection latency over " << detect.size()
+              << " victim(s): p50 " << quantile(0.5) << " ms, p95 "
+              << quantile(0.95) << " ms, max " << detect.back() << " ms\n";
+  }
   int rc = 0;
   if (statuses.size() != expected) {
     std::cout << "soak: FAIL missing statuses\n";
@@ -208,6 +250,17 @@ int report(const std::vector<AgentStatus>& statuses, std::size_t expected) {
                 << " last_offer " << s.last_offer_epoch << " hb_sent "
                 << s.hb_sent << " unmarked_sent " << s.unmarked_sent
                 << " last_unmarked " << s.last_unmarked_epoch << "\n";
+    }
+    // Every endpoint's own detection verdicts, so a latency outlier or a
+    // missing detection is attributable to a specific decider.
+    for (const AgentStatus& s : statuses) {
+      if (s.detect_node.empty()) continue;
+      std::cout << "soak:   detections by " << s.node;
+      const std::size_t n = std::min(s.detect_node.size(), s.detect_ms.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        std::cout << ' ' << s.detect_node[i] << ':' << s.detect_ms[i] << "ms";
+      }
+      std::cout << "\n";
     }
     // Everyone who churned near the end of the run, with the per-cause
     // revert counters (missed/fresh/stale/roster/rival — see
@@ -331,6 +384,8 @@ int run_procs(const SoakOptions& opt,
         "--loss-p", std::to_string(opt.config.loss_p),
         "--status-out", status_path(id),
     };
+    if (opt.config.adaptive) args.push_back("--adaptive");
+    if (opt.config.checkpoint) args.push_back("--checkpoint");
     if (!plan_path.empty()) {
       args.push_back("--fault-plan");
       args.push_back(plan_path);
