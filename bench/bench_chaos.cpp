@@ -13,6 +13,8 @@
 //   --replay-seed S    one trial; prints its generated plan then the verdict
 //   --fault-plan F     one trial replaying the plan file F against the
 //                      deployment derived from --seed (docs/FAULTS.md)
+//   --replay-plan F    alias for --fault-plan; the name cfds_check's --plan
+//                      output documents (docs/MODEL_CHECKING.md)
 //   --dump-plans DIR   campaign also writes every trial's plan to DIR
 //   --rejoin-compare   paired campaign: every seed runs once with cold
 //                      rejoin and once with checkpointed recovery, and the
@@ -214,6 +216,7 @@ BENCHMARK(BM_ChaosTrial)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   std::string dump_plans;
+  std::string replay_plan;
   long long replay_seed = -1;
   bool adaptive = false;
   bool checkpoint = false;
@@ -224,6 +227,8 @@ int main(int argc, char** argv) {
                   "directory for per-trial FaultPlan JSONL files");
   extra.add_value("--replay-seed", &replay_seed,
                   "run exactly one trial with this seed and print its plan");
+  extra.add_value("--replay-plan", &replay_plan,
+                  "replay a FaultPlan JSONL file (e.g. cfds_check --plan)");
   extra.add_flag("--adaptive", &adaptive,
                  "enable self-tuning accrual detection");
   extra.add_flag("--checkpoint", &checkpoint,
@@ -241,6 +246,9 @@ int main(int argc, char** argv) {
   config.checkpoint = checkpoint;
   config.mix.loss_bursts = int(loss_bursts);
 
+  if (!replay_plan.empty()) {
+    return run_plan_file(config, replay_plan, opts.seed_or(1));
+  }
   if (!opts.fault_plan.empty()) {
     return run_plan_file(config, opts.fault_plan, opts.seed_or(1));
   }

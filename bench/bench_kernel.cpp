@@ -73,12 +73,10 @@ std::vector<PayloadPtr> dispatch_frames() {
 void emit(runner::JsonlResultSink* sink, const char* bench, const char* metric,
           int n, double value) {
   if (sink != nullptr) {
-    runner::BenchRecord record;
-    record.bench = bench;
-    record.metric = metric;
-    record.n = n;
-    record.value = value;
-    sink->write(record);
+    // Aggregate-init (not member-wise assignment): GCC 12's inliner flags the
+    // SSO buffer of a default-constructed string as maybe-uninitialized when
+    // `operator=(const char*)` is inlined here under -O2.
+    sink->write(runner::BenchRecord{bench, metric, n, value});
   }
 }
 

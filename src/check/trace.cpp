@@ -1,0 +1,291 @@
+#include "check/trace.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace cfds::check {
+
+namespace {
+
+// fmt is always a literal at the call sites in this file; the variadic
+// template hides that from -Wformat-nonliteral.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-nonliteral"
+void append(std::string& out, const char* fmt, auto... args) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof buffer, fmt, args...);
+  out += buffer;
+}
+#pragma GCC diagnostic pop
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          append(out, "\\u%04x", static_cast<unsigned>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Locates `"key":` in `line`; returns the value start or npos.
+std::size_t value_pos(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::string::npos;
+  return pos + needle.size();
+}
+
+/// Exact unsigned integer: no strtod detour, so 64-bit values survive.
+bool find_u64(const std::string& line, const char* key, std::uint64_t* out) {
+  const auto pos = value_pos(line, key);
+  if (pos == std::string::npos) return false;
+  const char* start = line.c_str() + pos;
+  if (*start == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(start, &end, 10);
+  if (end == start || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+bool find_i64(const std::string& line, const char* key, std::int64_t* out) {
+  const auto pos = value_pos(line, key);
+  if (pos == std::string::npos) return false;
+  const char* start = line.c_str() + pos;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(start, &end, 10);
+  if (end == start || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+bool find_u32(const std::string& line, const char* key, std::uint32_t* out) {
+  std::uint64_t value = 0;
+  if (!find_u64(line, key, &value)) return false;
+  if (value > 0xFFFFFFFFu) return false;
+  *out = static_cast<std::uint32_t>(value);
+  return true;
+}
+
+/// Extracts and unescapes the string value of `"key":"..."`.
+bool find_string(const std::string& line, const char* key, std::string* out) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  out->clear();
+  for (std::size_t i = pos + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') return true;
+    if (c != '\\') {
+      *out += c;
+      continue;
+    }
+    if (++i >= line.size()) return false;
+    switch (line[i]) {
+      case '"': *out += '"'; break;
+      case '\\': *out += '\\'; break;
+      case 'n': *out += '\n'; break;
+      case 't': *out += '\t'; break;
+      case 'u': {
+        if (i + 4 >= line.size()) return false;
+        char* end = nullptr;
+        const std::string hex = line.substr(i + 1, 4);
+        const unsigned long cp = std::strtoul(hex.c_str(), &end, 16);
+        if (end != hex.c_str() + 4 || cp > 0x7F) return false;
+        *out += static_cast<char>(cp);
+        i += 4;
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;  // unterminated
+}
+
+std::optional<ChoiceKind> kind_from(const std::string& name) {
+  for (ChoiceKind k :
+       {ChoiceKind::kFault, ChoiceKind::kDrop, ChoiceKind::kOrder}) {
+    if (name == choice_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string fault_plan_jsonl(const CheckTrace& trace) {
+  std::string out;
+  append(out, "{\"fault_plan\":1,\"seed\":0,\"events\":%zu}\n",
+         trace.fault_events.size());
+  for (const FaultEvent& e : trace.fault_events) {
+    append(out, "{\"fault\":\"%s\",\"node\":%u,\"at_us\":%lld}\n",
+           e.recover ? "recover" : "crash", e.node.value(),
+           static_cast<long long>(e.at_us));
+  }
+  return out;
+}
+
+std::string to_jsonl(const CheckTrace& trace) {
+  const CheckOptions& o = trace.options;
+  std::string out;
+  append(out,
+         "{\"cfds_check\":1,\"nodes\":%u,\"deputies\":%u,\"epochs\":%llu,"
+         "\"crashes\":%u,\"recoveries\":%u,\"drops\":%u,\"perm_max\":%u,"
+         "\"adaptive\":%d,\"checkpoint\":%d,\"checkpoint_interval\":%u,"
+         "\"reduction\":%d,\"quiesce_max\":%u,\"t_hop_us\":%lld,"
+         "\"mutation\":\"",
+         o.nodes, o.deputies, static_cast<unsigned long long>(o.epochs),
+         o.max_crashes, o.max_recoveries, o.max_drops, o.perm_max,
+         o.adaptive ? 1 : 0, o.checkpoint ? 1 : 0, o.checkpoint_interval,
+         o.reduction ? 1 : 0, o.quiesce_max,
+         static_cast<long long>(o.t_hop.as_micros()));
+  append_escaped(out, trace.mutation);
+  out += "\"}\n";
+  for (const ChoiceRec& c : trace.choices) {
+    append(out,
+           "{\"choice\":{\"kind\":\"%s\",\"count\":%u,\"chosen\":%u,"
+           "\"a\":%llu,\"b\":%llu}}\n",
+           choice_kind_name(c.kind), c.count, c.chosen,
+           static_cast<unsigned long long>(c.a),
+           static_cast<unsigned long long>(c.b));
+  }
+  if (trace.violation) {
+    const Violation& v = *trace.violation;
+    append(out, "{\"violation\":{\"invariant\":\"%s\",\"epoch\":%llu,"
+                "\"barrier\":%u,\"detail\":\"",
+           v.invariant.c_str(), static_cast<unsigned long long>(v.epoch),
+           v.barrier);
+    append_escaped(out, v.detail);
+    out += "\"}}\n";
+  }
+  out += fault_plan_jsonl(trace);
+  return out;
+}
+
+std::optional<CheckTrace> parse_jsonl(const std::string& text,
+                                      std::string* error) {
+  CheckTrace trace;
+  bool saw_header = false;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_no = 0;
+  auto fail = [&](const std::string& why) -> std::optional<CheckTrace> {
+    if (error) *error = "trace line " + std::to_string(line_no) + ": " + why;
+    return std::nullopt;
+  };
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (line.find("\"cfds_check\"") != std::string::npos) {
+      CheckOptions& o = trace.options;
+      std::uint32_t adaptive = 0;
+      std::uint32_t checkpoint = 0;
+      std::uint32_t reduction = 1;
+      std::int64_t t_hop_us = 0;
+      if (!find_u32(line, "nodes", &o.nodes) ||
+          !find_u32(line, "deputies", &o.deputies) ||
+          !find_u64(line, "epochs", &o.epochs) ||
+          !find_u32(line, "crashes", &o.max_crashes) ||
+          !find_u32(line, "recoveries", &o.max_recoveries) ||
+          !find_u32(line, "drops", &o.max_drops) ||
+          !find_u32(line, "perm_max", &o.perm_max) ||
+          !find_u32(line, "adaptive", &adaptive) ||
+          !find_u32(line, "checkpoint", &checkpoint) ||
+          !find_u32(line, "checkpoint_interval", &o.checkpoint_interval) ||
+          !find_u32(line, "reduction", &reduction) ||
+          !find_u32(line, "quiesce_max", &o.quiesce_max) ||
+          !find_i64(line, "t_hop_us", &t_hop_us)) {
+        return fail("malformed cfds_check header");
+      }
+      if (t_hop_us <= 0) return fail("t_hop_us must be positive");
+      o.adaptive = adaptive != 0;
+      o.checkpoint = checkpoint != 0;
+      o.reduction = reduction != 0;
+      o.t_hop = SimTime::micros(t_hop_us);
+      (void)find_string(line, "mutation", &trace.mutation);
+      saw_header = true;
+      continue;
+    }
+    if (line.find("\"choice\"") != std::string::npos) {
+      std::string kind_name;
+      ChoiceRec rec;
+      if (!find_string(line, "kind", &kind_name) ||
+          !find_u32(line, "count", &rec.count) ||
+          !find_u32(line, "chosen", &rec.chosen) ||
+          !find_u64(line, "a", &rec.a) || !find_u64(line, "b", &rec.b)) {
+        return fail("malformed choice record");
+      }
+      const auto kind = kind_from(kind_name);
+      if (!kind) return fail("unknown choice kind '" + kind_name + "'");
+      if (rec.count < 2) return fail("choice count must be >= 2");
+      if (rec.chosen >= rec.count) return fail("chosen out of range");
+      rec.kind = *kind;
+      trace.choices.push_back(rec);
+      continue;
+    }
+    if (line.find("\"violation\"") != std::string::npos) {
+      Violation v;
+      if (!find_string(line, "invariant", &v.invariant) ||
+          !find_u64(line, "epoch", &v.epoch) ||
+          !find_u32(line, "barrier", &v.barrier)) {
+        return fail("malformed violation record");
+      }
+      (void)find_string(line, "detail", &v.detail);
+      trace.violation = std::move(v);
+      continue;
+    }
+    if (line.find("\"fault_plan\"") != std::string::npos) continue;
+    if (line.find("\"fault\"") != std::string::npos) {
+      std::string kind_name;
+      FaultEvent e;
+      std::uint32_t node = 0;
+      if (!find_string(line, "fault", &kind_name) ||
+          !find_u32(line, "node", &node) ||
+          !find_i64(line, "at_us", &e.at_us)) {
+        return fail("malformed fault record");
+      }
+      if (kind_name == "crash") {
+        e.recover = false;
+      } else if (kind_name == "recover") {
+        e.recover = true;
+      } else {
+        return fail("trace fault kind must be crash or recover");
+      }
+      e.node = NodeId{node};
+      trace.fault_events.push_back(e);
+      continue;
+    }
+    return fail("unrecognized trace line");
+  }
+  if (!saw_header) {
+    ++line_no;
+    return fail("missing cfds_check header");
+  }
+  return trace;
+}
+
+std::optional<CheckTrace> load_trace(const std::string& path,
+                                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open trace file: " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_jsonl(buffer.str(), error);
+}
+
+}  // namespace cfds::check

@@ -1,0 +1,645 @@
+#include "check/world.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "check/fingerprint.h"
+#include "common/expect.h"
+#include "common/geometry.h"
+#include "fds/messages.h"
+#include "radio/payload.h"
+#include "transport/reception.h"
+
+namespace cfds::check {
+namespace {
+
+[[nodiscard]] bool contains(const std::vector<NodeId>& v, NodeId n) {
+  return std::find(v.begin(), v.end(), n) != v.end();
+}
+
+/// n! for the tiny batch sizes the permutation choice covers.
+[[nodiscard]] std::uint32_t factorial(std::uint32_t n) {
+  std::uint32_t f = 1;
+  for (std::uint32_t i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+/// The rank-th permutation of `items` in lexicographic order (Lehmer code):
+/// rank 0 is the identity, matching the canonical no-choice order.
+[[nodiscard]] std::vector<std::uint32_t> nth_permutation(
+    std::vector<std::uint32_t> items, std::uint32_t rank) {
+  std::vector<std::uint32_t> out;
+  out.reserve(items.size());
+  for (std::uint32_t k = std::uint32_t(items.size()); k > 0; --k) {
+    const std::uint32_t f = factorial(k - 1);
+    const std::uint32_t pick = rank / f;
+    rank %= f;
+    out.push_back(items[pick]);
+    items.erase(items.begin() + pick);
+  }
+  return out;
+}
+
+[[nodiscard]] std::string nid(NodeId id) { return std::to_string(id.value()); }
+
+}  // namespace
+
+const char* choice_kind_name(ChoiceKind kind) {
+  switch (kind) {
+    case ChoiceKind::kFault: return "fault";
+    case ChoiceKind::kDrop: return "drop";
+    case ChoiceKind::kOrder: return "order";
+  }
+  return "?";
+}
+
+void CheckTransport::send(PayloadPtr payload, NodeId intended) {
+  if (!powered()) return;
+  world_.pool_.push_back(
+      {node_.id(), intended, std::move(payload), world_.timers_.now()});
+}
+
+void CheckTransport::deliver(const Reception& reception) {
+  if (!powered()) return;
+  for (const HandlerRef& h : handlers_) h.fn(h.ctx, reception);
+}
+
+std::vector<std::int64_t> CheckTimerService::pending_deltas() {
+  std::erase_if(tracked_, [](const Tracked& t) { return !t.handle.pending(); });
+  std::vector<std::int64_t> out;
+  out.reserve(tracked_.size());
+  const SimTime at = sim_.now();
+  for (const Tracked& t : tracked_) out.push_back((t.when - at).as_micros());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CheckWorld::CheckWorld(const CheckOptions& opts, ChoiceSink& sink)
+    : opts_(opts), sink_(sink), phi_(opts.t_hop * 7) {
+  CFDS_EXPECT(opts_.nodes >= 2 && opts_.nodes <= 16,
+              "check world population out of range");
+  CFDS_EXPECT(opts_.deputies >= 1 && opts_.deputies < opts_.nodes,
+              "deputy count out of range");
+  CFDS_EXPECT(opts_.perm_max >= 1 && opts_.perm_max <= 5,
+              "perm_max out of range (permutation ranks explode)");
+
+  config_.heartbeat_interval = phi_;
+  config_.rule_mode = RuleMode::kFull;
+  config_.recovery_enabled = true;
+  config_.adaptive_enabled = opts_.adaptive;
+  config_.checkpoint_enabled = opts_.checkpoint;
+  config_.checkpoint_interval_epochs = opts_.checkpoint_interval;
+  config_.validate(opts_.t_hop);
+
+  // I-V3: a decider must not declare a node whose rule-countable evidence
+  // of life was delivered to it in the very epoch it decided over. For the
+  // deputy rule the CH's scheduled update is itself such evidence.
+  hooks_.on_detection = [this](NodeId decider, std::uint64_t epoch,
+                               const std::vector<NodeId>& failed,
+                               bool by_deputy) {
+    if (decider.value() >= opts_.nodes) return;
+    const bool heard_update =
+        by_deputy && sched_upd_[decider.value()] == epoch + 1;
+    for (NodeId f : failed) {
+      if (f.value() >= opts_.nodes) continue;
+      if (evid_[decider.value()][f.value()] == epoch + 1 || heard_update) {
+        flag("I-V3", "node " + nid(decider) + " declared node " + nid(f) +
+                         " failed in epoch " + std::to_string(epoch) +
+                         " despite evidence delivered that epoch" +
+                         (by_deputy ? " (deputy rule)" : ""));
+      }
+    }
+  };
+
+  const std::uint32_t n = opts_.nodes;
+  recover_count_.assign(n, 0);
+  evid_.assign(n, std::vector<std::uint64_t>(n, 0));
+  sched_upd_.assign(n, 0);
+
+  // The pre-formed cluster every run starts from: CH = NID 0, everyone
+  // else a member, the lowest member NIDs ranked as deputies.
+  ClusterView cluster;
+  cluster.id = ClusterId{0};
+  cluster.clusterhead = NodeId{0};
+  for (std::uint32_t i = 1; i < n; ++i) cluster.members.push_back(NodeId{i});
+  for (std::uint32_t i = 1; i <= opts_.deputies; ++i) {
+    cluster.deputies.push_back(NodeId{i});
+  }
+
+  nodes_.reserve(n);
+  views_.reserve(n);
+  transports_.reserve(n);
+  agents_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<Node>(NodeId{i}, Vec2{}, EnergyModel{},
+                                            /*initial_energy_uj=*/1e9));
+    nodes_.back()->set_marked(true);
+    views_.push_back(std::make_unique<MembershipView>(NodeId{i}));
+    views_.back()->set_cluster(cluster);
+    transports_.push_back(std::make_unique<CheckTransport>(*this, *nodes_[i]));
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    agents_.push_back(std::make_unique<FdsAgent>(*nodes_[i], *views_[i],
+                                                 *transports_[i], timers_,
+                                                 opts_.t_hop, config_, hooks_));
+  }
+
+  drops_left_ = opts_.max_drops;
+  crashes_left_ = opts_.max_crashes;
+  recoveries_left_ = opts_.max_recoveries;
+}
+
+std::optional<Violation> CheckWorld::run() {
+  for (std::uint64_t e = 0; e < opts_.epochs; ++e) {
+    if (!run_epoch(e)) return violation_;  // nullopt when pruned
+  }
+  if (opts_.quiesce_max == 0) return violation_;
+
+  // Quiescence probe: grant the cluster forced-benign executions and
+  // require it to reach a self-consistent steady state.
+  forced_ = true;
+  if (!quiescence_defect()) return violation_;
+  for (std::uint32_t q = 0; q < opts_.quiesce_max; ++q) {
+    if (!run_epoch(opts_.epochs + q)) return violation_;
+    if (!quiescence_defect()) return violation_;
+  }
+  std::optional<std::string> defect = quiescence_defect();
+  CFDS_EXPECT(defect.has_value(), "probe loop exited without a defect");
+  cur_epoch_ = opts_.epochs + opts_.quiesce_max - 1;
+  cur_barrier_ = 5;
+  flag("quiescence", "not quiescent after " +
+                         std::to_string(opts_.quiesce_max) +
+                         " benign executions: " + *defect);
+  return violation_;
+}
+
+bool CheckWorld::run_epoch(std::uint64_t epoch) {
+  for (std::uint32_t k = 0; k < 6; ++k) {
+    if (!crossing(epoch, k)) return false;
+  }
+  return true;
+}
+
+bool CheckWorld::crossing(std::uint64_t epoch, std::uint32_t barrier) {
+  cur_epoch_ = epoch;
+  cur_barrier_ = barrier;
+  // Advance the clock to the barrier; agent timers armed earlier (deputy
+  // rank timers, peer-forward waits) fire here and park their frames in
+  // the pool.
+  const SimTime at =
+      phi_ * std::int64_t(epoch) + opts_.t_hop * std::int64_t(barrier);
+  timers_.sim().run_until(at);
+  if (violation_) return false;  // a timer-driven detection tripped I-V3
+  resolve_pool(epoch, barrier);
+  if (violation_) return false;
+  fault_point(epoch, barrier);
+  if (violation_) return false;
+  round_actions(epoch, barrier);
+  if (violation_) return false;
+  check_invariants(epoch, barrier);
+  if (violation_) return false;
+  if (!forced_ && !sink_.note_state(fingerprint(epoch, barrier))) {
+    pruned_ = true;
+    return false;
+  }
+  return true;
+}
+
+void CheckWorld::resolve_pool(std::uint64_t epoch, std::uint32_t barrier) {
+  (void)epoch;
+  (void)barrier;
+  std::vector<PoolMsg> batch;
+  batch.swap(pool_);  // reactions to deliveries pool for the NEXT barrier
+  if (batch.empty()) return;
+
+  if (opts_.reduction) {
+    // Receiver-major resolution: each alive receiver's batch is dropped
+    // and ordered independently; cross-receiver interleavings are never
+    // enumerated (receivers share no state between crossings).
+    for (std::uint32_t r = 0; r < opts_.nodes; ++r) {
+      if (!transports_[r]->powered()) continue;
+      std::vector<std::uint32_t> deliver;
+      for (std::uint32_t i = 0; i < std::uint32_t(batch.size()); ++i) {
+        if (batch[i].sender.value() == r) continue;  // own broadcast
+        if (drops_left_ > 0 && choose(2, ChoiceKind::kDrop, i, r) == 1) {
+          --drops_left_;
+          continue;
+        }
+        deliver.push_back(i);
+      }
+      deliver_batch(batch, std::move(deliver), r);
+      if (violation_) return;
+    }
+    return;
+  }
+
+  // Unreduced: one global interleaving over (frame, receiver) pairs. Only
+  // the DPOR soundness test runs this; the state space is much larger.
+  struct Pair {
+    std::uint32_t msg;
+    std::uint32_t receiver;
+  };
+  std::vector<Pair> pairs;
+  for (std::uint32_t i = 0; i < std::uint32_t(batch.size()); ++i) {
+    for (std::uint32_t r = 0; r < opts_.nodes; ++r) {
+      if (batch[i].sender.value() == r || !transports_[r]->powered()) continue;
+      if (drops_left_ > 0 && choose(2, ChoiceKind::kDrop, i, r) == 1) {
+        --drops_left_;
+        continue;
+      }
+      pairs.push_back({i, r});
+    }
+  }
+  std::vector<std::uint32_t> order(pairs.size());
+  for (std::uint32_t i = 0; i < std::uint32_t(order.size()); ++i) order[i] = i;
+  if (pairs.size() >= 2 && pairs.size() <= opts_.perm_max) {
+    const std::uint32_t rank =
+        choose(factorial(std::uint32_t(pairs.size())), ChoiceKind::kOrder,
+               /*a=*/~std::uint64_t{0}, pairs.size());
+    order = nth_permutation(std::move(order), rank);
+  }
+  for (std::uint32_t idx : order) {
+    deliver_to(batch[pairs[idx].msg], pairs[idx].receiver);
+    if (violation_) return;
+  }
+}
+
+void CheckWorld::deliver_batch(const std::vector<PoolMsg>& batch,
+                               std::vector<std::uint32_t> indices,
+                               std::uint32_t receiver) {
+  if (indices.size() >= 2 && indices.size() <= opts_.perm_max) {
+    const std::uint32_t rank =
+        choose(factorial(std::uint32_t(indices.size())), ChoiceKind::kOrder,
+               receiver, indices.size());
+    indices = nth_permutation(std::move(indices), rank);
+  }
+  for (std::uint32_t i : indices) {
+    deliver_to(batch[i], receiver);
+    if (violation_) return;
+  }
+}
+
+void CheckWorld::deliver_to(const PoolMsg& msg, std::uint32_t receiver) {
+  CheckTransport& transport = *transports_[receiver];
+  if (!transport.powered()) return;  // crashed between resolution and here
+  FdsAgent& agent = *agents_[receiver];
+
+  // I-V4: a heartbeat on the air carries exactly the incarnation the world
+  // has granted its sender (recover() bumps both).
+  if (msg.payload->tag() == PayloadKind::kHeartbeat) {
+    const auto* hb = payload_cast<HeartbeatPayload>(msg.payload);
+    if (hb != nullptr && hb->incarnation != recover_count_[msg.sender.value()]) {
+      flag("I-V4", "heartbeat from node " + nid(msg.sender) +
+                       " carries incarnation " +
+                       std::to_string(hb->incarnation) + ", world count is " +
+                       std::to_string(recover_count_[msg.sender.value()]));
+    }
+  }
+
+  // I-V2 precondition: an acting head about to hear a direct same-cluster
+  // update from a lower-NID rival must lose the arbitration.
+  bool rival_obligation = false;
+  if (const auto* up = payload_cast<HealthUpdatePayload>(msg.payload)) {
+    rival_obligation = config_.recovery_enabled &&
+                       agent.view().is_clusterhead() &&
+                       up->cluster == agent.view().cluster()->id &&
+                       up->sender != agent.id() &&
+                       up->sender.value() < agent.id().value();
+  }
+
+  // I-V5 precondition: snapshot the stored checkpoint before delivery.
+  std::shared_ptr<const CheckpointPayload> before;
+  if (msg.payload->tag() == PayloadKind::kCheckpoint) {
+    before = agent.stable_checkpoint();
+  }
+
+  transport.deliver(Reception{msg.sender, msg.intended, msg.payload,
+                              msg.sent_at});
+
+  if (rival_obligation && agent.view().is_clusterhead()) {
+    flag("I-V2", "node " + nid(agent.id()) +
+                     " still acting head after a direct update from rival " +
+                     "head with lower NID");
+  }
+  if (before) {
+    const std::shared_ptr<const CheckpointPayload>& after =
+        agent.stable_checkpoint();
+    if (after && (after->epoch < before->epoch ||
+                  (after->epoch == before->epoch && after->seq < before->seq))) {
+      flag("I-V5", "node " + nid(agent.id()) + " regressed its checkpoint (" +
+                       std::to_string(before->epoch) + "," +
+                       std::to_string(before->seq) + ") -> (" +
+                       std::to_string(after->epoch) + "," +
+                       std::to_string(after->seq) + ")");
+    }
+  }
+
+  note_evidence(receiver, msg);
+}
+
+void CheckWorld::note_evidence(std::uint32_t receiver, const PoolMsg& msg) {
+  // Stamps are (epoch at delivery) + 1 so 0 can mean "never". Frames
+  // delivered at the next execution's first barrier land before
+  // begin_epoch and are stamped with the old epoch — correctly: that
+  // epoch's decisions are already made, and the receiving agent's own
+  // evidence buffer discards them at the boundary too.
+  //
+  // Stamps mirror EXACTLY the evidence the protocol's rules consume
+  // (agent.cpp): heartbeats and notices feed note_alive; a digest vouches
+  // for its sender and everyone it reports hearing, but only to an
+  // affiliated CH/deputy of the digest's cluster; a scheduled update
+  // vouches for the CH to the deputy rule (sched_upd_). Frames the rules
+  // ignore — requests, acks, checkpoints — must NOT stamp: an ack sent
+  // just before its sender crashes is still in flight when the crash
+  // lands, and stamping it would mark the genuinely dead sender as
+  // "evidence delivered this epoch", flagging a CORRECT detection.
+  const FdsAgent& agent = *agents_[receiver];
+  const std::uint64_t stamp = agent.current_epoch() + 1;
+  switch (msg.payload->tag()) {
+    case PayloadKind::kHeartbeat:
+    case PayloadKind::kLeaveNotice:
+    case PayloadKind::kSleepNotice:
+      evid_[receiver][msg.sender.value()] = stamp;
+      break;
+    case PayloadKind::kDigest: {
+      const auto* digest = payload_cast<DigestPayload>(msg.payload);
+      const std::optional<ClusterView>& c = agent.view().cluster();
+      if (digest == nullptr || !c || digest->cluster != c->id ||
+          (!agent.view().is_clusterhead() && !agent.view().is_deputy())) {
+        break;
+      }
+      evid_[receiver][msg.sender.value()] = stamp;
+      for (NodeId heard : digest->heard) {
+        if (heard.value() < opts_.nodes) evid_[receiver][heard.value()] = stamp;
+      }
+      break;
+    }
+    case PayloadKind::kHealthUpdate:
+    case PayloadKind::kUpdateForward: {
+      std::shared_ptr<const HealthUpdatePayload> up;
+      if (const auto* fwd = payload_cast<UpdateForwardPayload>(msg.payload)) {
+        if (fwd->target != agent.id()) break;
+        up = fwd->update;
+      } else {
+        up = payload_cast_shared<HealthUpdatePayload>(msg.payload);
+      }
+      const std::optional<ClusterView>& c = agent.view().cluster();
+      // Mirrors handle_update's `scheduled`: this is the update the deputy
+      // rule early-returns on, so hearing it forbids declaring the CH.
+      if (up && c && up->cluster == c->id &&
+          up->epoch == agent.current_epoch() &&
+          (up->sender == c->clusterhead || up->takeover)) {
+        sched_upd_[receiver] = stamp;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void CheckWorld::fault_point(std::uint64_t epoch, std::uint32_t barrier) {
+  // Crash menus open where they hit distinct protocol windows: before the
+  // execution (barrier 0: silent all epoch), between digests and the
+  // update (barrier 2: CH dies without sending), and after update
+  // delivery (barrier 3: CH dies having spoken). Recoveries only at the
+  // execution boundary.
+  if (barrier != 0 && barrier != 2 && barrier != 3) return;
+  struct Option {
+    bool recover;
+    std::uint32_t idx;
+  };
+  std::vector<Option> menu;
+  if (barrier == 0 && recoveries_left_ > 0) {
+    for (std::uint32_t i = 0; i < opts_.nodes; ++i) {
+      if (!nodes_[i]->alive()) menu.push_back({true, i});
+    }
+  }
+  if (crashes_left_ > 0) {
+    for (std::uint32_t i = 0; i < opts_.nodes; ++i) {
+      if (nodes_[i]->alive()) menu.push_back({false, i});
+    }
+  }
+  if (menu.empty()) return;
+  const std::uint32_t c =
+      choose(std::uint32_t(menu.size()) + 1, ChoiceKind::kFault,
+             epoch * 6 + barrier, 0);
+  if (c == 0) return;
+  const Option& op = menu[c - 1];
+  if (op.recover) {
+    nodes_[op.idx]->recover();
+    ++recover_count_[op.idx];
+    --recoveries_left_;
+  } else {
+    nodes_[op.idx]->crash();
+    --crashes_left_;
+  }
+  fault_events_.push_back(
+      {op.recover, NodeId{op.idx}, timers_.now().as_micros()});
+}
+
+void CheckWorld::round_actions(std::uint64_t epoch, std::uint32_t barrier) {
+  // Ascending-NID order, matching FdsService's per-agent scheduling (ties
+  // at one instant execute in schedule order). Agents guard on their own
+  // liveness internally.
+  switch (barrier) {
+    case 0:
+      for (auto& a : agents_) a->begin_epoch(epoch);
+      for (auto& a : agents_) a->round1_heartbeat();
+      break;
+    case 1:
+      for (auto& a : agents_) a->round2_digest();
+      break;
+    case 2:
+      for (auto& a : agents_) a->round3_update();
+      break;
+    case 3:
+      for (auto& a : agents_) a->deputy_check();
+      break;
+    case 4:
+      for (auto& a : agents_) a->completeness_check();
+      break;
+    default:
+      break;  // barrier 5 only resolves deliveries (requests, forwards)
+  }
+}
+
+void CheckWorld::check_invariants(std::uint64_t epoch, std::uint32_t barrier) {
+  (void)epoch;
+  (void)barrier;
+  for (std::uint32_t i = 0; i < opts_.nodes; ++i) {
+    if (!nodes_[i]->alive()) continue;
+    const FdsAgent& a = *agents_[i];
+    const std::string who = "node " + std::to_string(i);
+
+    if (a.log().knows(NodeId{i})) {
+      flag("I-V7", who + " lists itself in its own failure log");
+    }
+
+    const std::optional<ClusterView>& cl = a.view().cluster();
+    if (!cl) {
+      if (nodes_[i]->marked()) flag("I-V1", who + ": marked but unaffiliated");
+      continue;
+    }
+    const ClusterView& c = *cl;
+    if (a.view().is_clusterhead() && !nodes_[i]->marked()) {
+      flag("I-V1", who + ": acting clusterhead but unmarked");
+    }
+    if (contains(c.members, c.clusterhead)) {
+      flag("I-V1", who + ": clusterhead listed as a member");
+    }
+    if (contains(c.deputies, c.clusterhead)) {
+      flag("I-V1", who + ": clusterhead listed as a deputy");
+    }
+    for (NodeId d : c.deputies) {
+      if (!contains(c.members, d)) {
+        flag("I-V1", who + ": deputy " + nid(d) + " is not a member");
+      }
+    }
+    for (std::size_t x = 0; x < c.members.size(); ++x) {
+      for (std::size_t y = x + 1; y < c.members.size(); ++y) {
+        if (c.members[x] == c.members[y]) {
+          flag("I-V1", who + ": duplicate member " + nid(c.members[x]));
+        }
+      }
+    }
+    if (c.clusterhead != NodeId{i} && !contains(c.members, NodeId{i})) {
+      flag("I-V1", who + ": affiliated but missing from its own roster");
+    }
+    if (a.view().is_clusterhead()) {
+      for (NodeId m : c.members) {
+        if (a.log().knows(m)) {
+          flag("I-V6", who + ": expects member " + nid(m) +
+                           " it also records as failed");
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t CheckWorld::fingerprint(std::uint64_t epoch,
+                                      std::uint32_t barrier) {
+  Hasher h;
+  h.mix(epoch);
+  h.mix(barrier);
+  // Remaining budgets are future-behaviour state: equal protocol states
+  // with different budgets have different choice trees ahead.
+  h.mix(drops_left_);
+  h.mix(crashes_left_);
+  h.mix(recoveries_left_);
+  for (std::uint32_t i = 0; i < opts_.nodes; ++i) {
+    h.mix(recover_count_[i]);
+    StateFingerprinter::mix_agent(h, *agents_[i]);
+  }
+  // In-flight pool, in send order (the canonical delivery order).
+  h.mix(pool_.size());
+  for (const PoolMsg& m : pool_) {
+    h.mix(m.sender.value());
+    h.mix(m.intended.value());
+    StateFingerprinter::mix_payload(h, *m.payload);
+  }
+  // Pending timer deadlines relative to now. Equal-deadline firing order
+  // is unobservable here: same-time timers either belong to different
+  // nodes or only emit frames, and frame order is canonicalized by the
+  // pool.
+  const std::vector<std::int64_t> deltas = timers_.pending_deltas();
+  h.mix(deltas.size());
+  for (std::int64_t d : deltas) h.mix(std::uint64_t(d));
+  // World evidence entries matter only while current (I-V3 compares by
+  // equality with the decider's epoch); stale entries are normalized out
+  // so equal protocol states merge.
+  for (std::uint32_t r = 0; r < opts_.nodes; ++r) {
+    const std::uint64_t stamp = agents_[r]->current_epoch() + 1;
+    for (std::uint32_t s = 0; s < opts_.nodes; ++s) {
+      h.mix(evid_[r][s] == stamp ? 1U : 0U);
+    }
+    h.mix(sched_upd_[r] == stamp ? 1U : 0U);
+  }
+  return h.digest();
+}
+
+std::uint32_t CheckWorld::choose(std::uint32_t count, ChoiceKind kind,
+                                 std::uint64_t a, std::uint64_t b) {
+  if (count <= 1 || forced_) return 0;  // 0 is always the benign default
+  const std::uint32_t c = sink_.choose(count, kind, a, b);
+  CFDS_EXPECT(c < count, "ChoiceSink returned an out-of-range branch");
+  return c;
+}
+
+void CheckWorld::flag(const char* invariant, std::string detail) {
+  if (violation_) return;  // first violation wins; the rest are downstream
+  violation_ = Violation{invariant, std::move(detail), cur_epoch_, cur_barrier_};
+}
+
+std::optional<std::string> CheckWorld::quiescence_defect() const {
+  std::vector<std::uint32_t> alive;
+  for (std::uint32_t i = 0; i < opts_.nodes; ++i) {
+    if (nodes_[i]->alive()) alive.push_back(i);
+  }
+  if (alive.empty()) return std::nullopt;  // vacuously quiescent
+
+  std::vector<std::uint32_t> heads;
+  for (std::uint32_t i : alive) {
+    if (agents_[i]->view().is_clusterhead()) heads.push_back(i);
+  }
+  if (heads.empty()) {
+    // Full dissolution is a legitimate FDS-layer terminal state: when the
+    // CH crashes and recovers amnesiac (no checkpoint), the deputies keep
+    // hearing it alive — so never take over — and every member's
+    // re-affiliation patience eventually reverts it to the unmarked,
+    // unaffiliated state that hands the cluster back to the formation
+    // protocol (which checked worlds exclude). Quiescent only if the
+    // dissolution is COMPLETE: a node still marked or affiliated while no
+    // head exists is a zombie.
+    for (std::uint32_t i : alive) {
+      if (nodes_[i]->marked()) {
+        return "no acting clusterhead but node " + std::to_string(i) +
+               " is still marked";
+      }
+      if (agents_[i]->view().affiliated()) {
+        return "no acting clusterhead but node " + std::to_string(i) +
+               " is still affiliated";
+      }
+    }
+    return std::nullopt;
+  }
+  if (heads.size() != 1) {
+    return std::to_string(heads.size()) + " acting clusterheads among " +
+           std::to_string(alive.size()) + " alive nodes";
+  }
+  const FdsAgent& head = *agents_[heads.front()];
+  const ClusterView& c = *head.view().cluster();
+
+  for (std::uint32_t i : alive) {
+    const std::string who = "node " + std::to_string(i);
+    if (!nodes_[i]->marked()) return who + " unmarked";
+    if (!agents_[i]->view().affiliated()) return who + " unaffiliated";
+    if (i != heads.front() && !contains(c.members, NodeId{i})) {
+      return who + " missing from the head's roster";
+    }
+    for (std::uint32_t j : alive) {
+      if (agents_[i]->log().knows(NodeId{j})) {
+        return who + " still records alive node " + std::to_string(j) +
+               " as failed";
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < opts_.nodes; ++i) {
+    if (nodes_[i]->alive()) continue;
+    if (!head.log().knows(NodeId{i})) {
+      return "dead node " + std::to_string(i) + " missing from the head's log";
+    }
+    for (std::uint32_t j : alive) {
+      const std::optional<ClusterView>& jc = agents_[j]->view().cluster();
+      if (jc && (contains(jc->members, NodeId{i}) ||
+                 contains(jc->deputies, NodeId{i}))) {
+        return "dead node " + std::to_string(i) + " still in node " +
+               std::to_string(j) + "'s roster";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cfds::check

@@ -100,8 +100,20 @@ class MembershipView {
   void update_link_neighbor(ClusterId neighbor, NodeId new_ch);
 
  private:
+  // LINT-FINGERPRINT: members below must be covered (mixed or FP-EXEMPT'd)
+  // in src/check/fingerprint.cpp — rule state-outside-fingerprint.
   NodeId self_;
   std::optional<ClusterView> cluster_;
 };
+
+// Fingerprint tripwire (src/check/fingerprint.h): a layout change means
+// membership state was added — mix it in src/check/fingerprint.cpp (or
+// FP-EXEMPT it with a reason), then update the expected size.
+#if defined(__x86_64__) && defined(__linux__) && defined(__GLIBCXX__) && \
+    !defined(_GLIBCXX_DEBUG)
+static_assert(sizeof(MembershipView) == 96,
+              "MembershipView layout changed: update "
+              "src/check/fingerprint.cpp, then this tripwire");
+#endif
 
 }  // namespace cfds

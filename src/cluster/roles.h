@@ -97,4 +97,18 @@ struct ClusterView {
   }
 };
 
+// Fingerprint tripwires (src/check/fingerprint.h): a layout change means
+// cluster-organization state was added — mix it in
+// src/check/fingerprint.cpp (or FP-EXEMPT it with a reason), then update
+// the expected size.
+#if defined(__x86_64__) && defined(__linux__) && defined(__GLIBCXX__) && \
+    !defined(_GLIBCXX_DEBUG)
+static_assert(sizeof(GatewayLink) == 40,
+              "GatewayLink layout changed: update src/check/fingerprint.cpp, "
+              "then this tripwire");
+static_assert(sizeof(ClusterView) == 80,
+              "ClusterView layout changed: update src/check/fingerprint.cpp, "
+              "then this tripwire");
+#endif
+
 }  // namespace cfds

@@ -141,8 +141,17 @@ class EventFn {
         ops_->relocate(other.storage_, storage_);
       } else {
         // Fixed-size copy: the compiler turns this into a few vector moves,
-        // and copying slack bytes of the buffer is harmless.
+        // and copying slack bytes of the buffer is harmless. GCC 12's
+        // inliner sees those slack bytes as uninitialized reads when a
+        // small capture is moved, hence the local suppression.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
         std::memcpy(storage_, other.storage_, kInlineCapacity);
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
       }
       other.ops_ = nullptr;
     }

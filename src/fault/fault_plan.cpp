@@ -1,6 +1,7 @@
 #include "fault/fault_plan.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -61,24 +62,50 @@ bool find_number(const std::string& line, const char* key, double* out) {
   return true;
 }
 
+/// Locates the raw value text after `"key":`, or nullptr if absent.
+const char* find_value(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return nullptr;
+  return line.c_str() + pos + needle.size();
+}
+
+// Integer fields are parsed as integers, not through double: a double only
+// holds 53 bits of mantissa, so a round-trip through find_number would
+// silently corrupt large at_us/seed values, and a negative value cast to an
+// unsigned type would wrap instead of failing the line.
 bool find_i64(const std::string& line, const char* key, std::int64_t* out) {
-  double value = 0.0;
-  if (!find_number(line, key, &value)) return false;
-  *out = std::int64_t(value);
+  const char* start = find_value(line, key);
+  if (start == nullptr) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(start, &end, 10);
+  if (end == start || errno == ERANGE) return false;
+  // Reject "1.5" or "1e3" masquerading as an integer: the value must stop
+  // at a JSON delimiter, not a fraction/exponent marker.
+  if (*end == '.' || *end == 'e' || *end == 'E') return false;
+  *out = value;
   return true;
 }
 
 bool find_u64(const std::string& line, const char* key, std::uint64_t* out) {
-  double value = 0.0;
-  if (!find_number(line, key, &value)) return false;
-  *out = std::uint64_t(value);
+  const char* start = find_value(line, key);
+  if (start == nullptr) return false;
+  if (*start == '-') return false;  // strtoull would wrap, not fail
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(start, &end, 10);
+  if (end == start || errno == ERANGE) return false;
+  if (*end == '.' || *end == 'e' || *end == 'E') return false;
+  *out = value;
   return true;
 }
 
 bool find_u32(const std::string& line, const char* key, std::uint32_t* out) {
-  double value = 0.0;
-  if (!find_number(line, key, &value)) return false;
-  *out = std::uint32_t(value);
+  std::uint64_t value = 0;
+  if (!find_u64(line, key, &value)) return false;
+  if (value > 0xFFFFFFFFull) return false;
+  *out = static_cast<std::uint32_t>(value);
   return true;
 }
 

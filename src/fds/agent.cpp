@@ -297,7 +297,9 @@ void FdsAgent::round3_update() {
       if (config_.recovery_enabled) {
         // Admission refutes stale failure records: a node subscribing with
         // a live heartbeat is alive, whatever the log said.
+#ifndef CFDS_MUTATION_ADMIT_WITHOUT_REFUTE
         for (NodeId n : update->admitted) log_.erase(n);
+#endif
       }
       view_.admit_members(update->admitted);
       update->members_snapshot = view_.cluster()->members;
@@ -390,12 +392,14 @@ void FdsAgent::handle_checkpoint(
   if (!holder) return;
   // Keep the freshest: newest epoch wins; the sequence number breaks ties
   // within an epoch (a takeover emits with a fresh head's counter).
+#ifndef CFDS_MUTATION_NO_CHECKPOINT_SEQ_GUARD
   if (stable_checkpoint_ &&
       (cp->epoch < stable_checkpoint_->epoch ||
        (cp->epoch == stable_checkpoint_->epoch &&
         cp->seq < stable_checkpoint_->seq))) {
     return;
   }
+#endif
   stable_checkpoint_ = cp;
 }
 
@@ -428,8 +432,12 @@ void FdsAgent::deputy_check() {
 
 void FdsAgent::evaluate_ch_failure() {
   if (!node_.alive() || !view_.affiliated()) return;
+#ifndef CFDS_MUTATION_DEPUTY_IGNORES_CH_UPDATE
   if (got_scheduled_update_) return;  // the CH (or a higher deputy) spoke
   evidence_.ch_update_heard = got_scheduled_update_;
+#else
+  evidence_.ch_update_heard = false;
+#endif
   const NodeId ch = view_.cluster()->clusterhead;
   if (!clusterhead_failed(ch, evidence_, config_.rule_mode)) return;
   if (config_.adaptive_enabled) {
@@ -590,8 +598,10 @@ bool FdsAgent::apply_failures(const HealthUpdatePayload& update) {
         // participant: the cluster reorganized while we were silent (a
         // freeze, or a takeover update we missed). Our view is stale — the
         // caller drops it so the next heartbeat re-runs affiliation.
+#ifndef CFDS_MUTATION_DROP_SELF_RECONCILIATION
         step_down = true;
         count_revert(kRevertStaleSelfNews);
+#endif
       }
       return;
     }
@@ -642,6 +652,7 @@ void FdsAgent::handle_update(
     // arbitrates: the lowest NID keeps the cluster; the loser steps down,
     // drops its log, and re-subscribes via F5 — its former members follow
     // once their scheduled updates go missing.
+#ifndef CFDS_MUTATION_SKIP_RIVAL_ARBITRATION
     if (update->sender.value() < node_.id().value()) {
       count_revert(kRevertRivalHead);
       view_.clear();
@@ -656,6 +667,7 @@ void FdsAgent::handle_update(
         hooks_.on_update_applied(node_.id(), *update);
       }
     }
+#endif
     return;
   }
 
@@ -743,6 +755,7 @@ void FdsAgent::handle_update(
     }
     if (!update->members_snapshot.empty()) {
       const auto& roster = update->members_snapshot;
+#ifndef CFDS_MUTATION_DROP_SELF_RECONCILIATION
       if (std::find(roster.begin(), roster.end(), node_.id()) ==
           roster.end()) {
         // The acting CH does not count us as a member — we were removed
@@ -760,6 +773,7 @@ void FdsAgent::handle_update(
         }
         return;
       }
+#endif
       view_.sync_members(roster);
     }
   }

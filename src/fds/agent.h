@@ -43,6 +43,10 @@
 
 namespace cfds {
 
+namespace check {
+class StateFingerprinter;
+}  // namespace check
+
 /// Chains `extra` after an existing std::function-valued hook. Use this
 /// instead of plain assignment when several layers observe the same hook
 /// (e.g. MetricsCollector + a demo trace): assignment silently disconnects
@@ -205,6 +209,12 @@ class FdsAgent {
                        ReportId ack, ClusterId learned_from);
 
  private:
+  /// The model checker's canonical serializer reads the private protocol
+  /// state directly. Every member declared below must be mixed or
+  /// FP-EXEMPT'd in src/check/fingerprint.cpp (cfds-lint rule
+  /// state-outside-fingerprint enforces this).
+  friend class check::StateFingerprinter;
+
   void on_frame(const Reception& reception);
   void on_lifecycle(bool alive);
   void evaluate_ch_failure();
@@ -301,6 +311,18 @@ class FdsAgent {
   std::uint64_t checkpoint_seq_ = 0;
   bool restored_from_checkpoint_ = false;
 };
+
+// Fingerprint tripwire (src/check/fingerprint.h): a layout change means a
+// state member was added, removed, or resized. Mix the new member in
+// src/check/fingerprint.cpp — or FP-EXEMPT it there with a reason — then
+// update the expected size. The gate pins the one ABI the assert's constant
+// is computed for; other platforms rely on the lint rule alone.
+#if defined(__x86_64__) && defined(__linux__) && defined(__GLIBCXX__) && \
+    !defined(_GLIBCXX_DEBUG)
+static_assert(sizeof(FdsAgent) == 568,
+              "FdsAgent layout changed: update src/check/fingerprint.cpp "
+              "(mix or FP-EXEMPT the new member), then this tripwire");
+#endif
 
 /// Owns the per-node agents and drives synchronized FDS executions.
 class FdsService {

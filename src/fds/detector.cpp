@@ -9,9 +9,11 @@ bool silent(NodeId v, const RoundEvidence& evidence, RuleMode mode) {
   if (mode == RuleMode::kHeartbeatOnly) return true;
   if (evidence.digests.contains(v)) return false;
   if (mode == RuleMode::kNoSpatial) return true;
+#ifndef CFDS_MUTATION_DETECT_IGNORES_MENTIONS
   for (const auto& [sender, heard] : evidence.digests) {
     if (sender != v && heard.contains(v)) return false;
   }
+#endif
   return true;
 }
 

@@ -41,6 +41,16 @@ struct RoundEvidence {
   }
 };
 
+// Fingerprint tripwire (src/check/fingerprint.h): a layout change means
+// evidence state was added — mix it in src/check/fingerprint.cpp (or
+// FP-EXEMPT it with a reason), then update the expected size.
+#if defined(__x86_64__) && defined(__linux__) && defined(__GLIBCXX__) && \
+    !defined(_GLIBCXX_DEBUG)
+static_assert(sizeof(RoundEvidence) == 56,
+              "RoundEvidence layout changed: update "
+              "src/check/fingerprint.cpp, then this tripwire");
+#endif
+
 /// Evidence policy (see file comment).
 enum class RuleMode { kFull, kNoSpatial, kHeartbeatOnly };
 

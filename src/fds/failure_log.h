@@ -63,7 +63,19 @@ class FailureLog {
   }
 
  private:
+  // LINT-FINGERPRINT: members below must be covered (mixed or FP-EXEMPT'd)
+  // in src/check/fingerprint.cpp — rule state-outside-fingerprint.
   std::map<NodeId, Entry> entries_;
 };
+
+// Fingerprint tripwire (src/check/fingerprint.h): a layout change means
+// log state was added — mix it in src/check/fingerprint.cpp (or FP-EXEMPT
+// it with a reason), then update the expected size.
+#if defined(__x86_64__) && defined(__linux__) && defined(__GLIBCXX__) && \
+    !defined(_GLIBCXX_DEBUG)
+static_assert(sizeof(FailureLog) == 48,
+              "FailureLog layout changed: update src/check/fingerprint.cpp, "
+              "then this tripwire");
+#endif
 
 }  // namespace cfds

@@ -58,6 +58,10 @@
 
 namespace cfds {
 
+namespace check {
+class StateFingerprinter;
+}  // namespace check
+
 /// log10(x) in milli-units (log10(x) * 1000, rounded down), for x >= 1.
 /// Integer shift-and-square fixed-point; deterministic on every platform.
 [[nodiscard]] std::uint32_t milli_log10(std::uint32_t x);
@@ -112,6 +116,11 @@ class LinkQualityEstimator {
   [[nodiscard]] bool empty() const { return links_.empty(); }
 
  private:
+  /// Fingerprint access for the model checker: members below must be
+  /// covered (mixed or FP-EXEMPT'd) in src/check/fingerprint.cpp — rule
+  /// state-outside-fingerprint.
+  friend class check::StateFingerprinter;
+
   struct Link {
     std::uint32_t loss_pm = kMinLossPm;
     std::uint32_t run_loss_pm = kMinLossPm;
@@ -119,5 +128,15 @@ class LinkQualityEstimator {
   };
   FlatMap<NodeId, Link> links_;
 };
+
+// Fingerprint tripwire (src/check/fingerprint.h): a layout change means
+// estimator state was added — mix it in src/check/fingerprint.cpp (or
+// FP-EXEMPT it with a reason), then update the expected size.
+#if defined(__x86_64__) && defined(__linux__) && defined(__GLIBCXX__) && \
+    !defined(_GLIBCXX_DEBUG)
+static_assert(sizeof(LinkQualityEstimator) == 24,
+              "LinkQualityEstimator layout changed: update "
+              "src/check/fingerprint.cpp, then this tripwire");
+#endif
 
 }  // namespace cfds

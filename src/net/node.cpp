@@ -49,7 +49,9 @@ void Node::crash() {
 void Node::recover() {
   if (alive_) return;
   alive_ = true;
+#ifndef CFDS_MUTATION_SKIP_INCARNATION_BUMP
   ++incarnation_;
+#endif
   radio_.set_powered(true);
   for (const auto& handler : lifecycle_handlers_) handler(true);
 }

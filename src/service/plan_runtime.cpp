@@ -80,6 +80,14 @@ void PlanRuntime::install(const fault::FaultPlan& plan, SimTime anchor,
       case fault::FaultKind::kClockDrift:
         if (e.node == self) drifts_.push_back(e);
         break;
+      case fault::FaultKind::kLoss:
+        // Channel-wide loss bursts are a simulated-channel property (the
+        // Channel's loss override). A live endpoint has no probabilistic
+        // drop stage — DropFilter verdicts are deterministic per frame, and
+        // seeding per-receiver RNGs here would reintroduce the divergence
+        // the service determinism story forbids — so over a real network
+        // the medium itself supplies the loss and the event is a no-op.
+        break;
     }
   }
 }

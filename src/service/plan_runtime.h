@@ -17,6 +17,9 @@
 //                  directory positions
 //   clock_drift    the target endpoint offsets its own epoch schedule
 //                  (ServiceAgent consults skew() when scheduling rounds)
+//   loss           no-op: channel-wide loss bursts are a simulated-channel
+//                  property; over a live network the medium supplies its
+//                  own loss, and DropFilter verdicts stay deterministic
 //
 // All events are scheduled on the endpoint's TimerService, anchored at the
 // fault phase's start — the same plan JSONL that drives a simulated chaos

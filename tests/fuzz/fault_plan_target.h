@@ -1,0 +1,34 @@
+// Fuzz target body for the FaultPlan JSONL parser, shared between the
+// libFuzzer harness (fuzz_fault_plan.cpp, CFDS_FUZZ builds) and the
+// no-libFuzzer corpus smoke driver (fuzz_corpus_smoke.cpp, every build).
+//
+// Plans arrive from outside the trust boundary (operator-edited files,
+// cfds_check --plan output, bench_chaos --replay-plan), so parse_jsonl must
+// reject malformed text without UB. The semantic property: anything the
+// parser accepts must survive a serialize/parse round trip unchanged —
+// that is what makes replayed counterexamples trustworthy.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "fault/fault_plan.h"
+
+namespace cfds::fuzz {
+
+inline int fault_plan_one(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  const auto plan = fault::FaultPlan::parse_jsonl(text, &error);
+  if (!plan.has_value()) return 0;
+  const auto again = fault::FaultPlan::parse_jsonl(plan->to_jsonl(), &error);
+  if (!again.has_value() || !(*again == *plan)) {
+    std::abort();  // accepted plan lost information across the round trip
+  }
+  return 0;
+}
+
+}  // namespace cfds::fuzz

@@ -1,0 +1,9 @@
+// libFuzzer entry point for the FaultPlan JSONL parser. Built only under
+// CFDS_FUZZ (requires Clang); see tests/fuzz/CMakeLists.txt.
+
+#include "fault_plan_target.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return cfds::fuzz::fault_plan_one(data, size);
+}

@@ -1,0 +1,9 @@
+// libFuzzer entry point for the wire codec. Built only under CFDS_FUZZ
+// (requires Clang); see tests/fuzz/CMakeLists.txt.
+
+#include "wire_target.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return cfds::fuzz::wire_one(data, size);
+}

@@ -1,0 +1,40 @@
+// Fuzz target body for the binary wire codec, shared between the libFuzzer
+// harness (fuzz_wire.cpp, CFDS_FUZZ builds) and the no-libFuzzer corpus
+// smoke driver (fuzz_corpus_smoke.cpp, every build).
+//
+// decode_frame is the open attack surface: the UDP socket accepts frames
+// from anyone, so decoding must be total — any byte soup yields `false`,
+// never UB. On top of memory safety (libFuzzer runs under ASan) the target
+// checks a semantic property: whatever decode accepts must re-encode and
+// decode again — accepted frames live inside the codec's fixpoint.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "transport/wire.h"
+
+namespace cfds::fuzz {
+
+inline int wire_one(const std::uint8_t* data, std::size_t size) {
+  wire::DecodedFrame frame;
+  if (!wire::decode_frame(data, size, &frame)) return 0;
+  std::vector<std::uint8_t> buf;
+  if (!wire::encode_frame(frame.sender, frame.intended, *frame.payload,
+                          &buf)) {
+    std::abort();  // decoded a kind the encoder disowns
+  }
+  wire::DecodedFrame again;
+  if (!wire::decode_frame(buf.data(), buf.size(), &again)) {
+    std::abort();  // re-encoded frame no longer parses
+  }
+  if (again.sender != frame.sender || again.intended != frame.intended) {
+    std::abort();  // addressing mutated across the round trip
+  }
+  return 0;
+}
+
+}  // namespace cfds::fuzz

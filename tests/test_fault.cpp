@@ -98,6 +98,108 @@ TEST(FaultPlanTest, ParseRejectsMalformedInput) {
   EXPECT_FALSE(FaultPlan::parse_jsonl("{\"fault\":\"crash\"}", &error));
 }
 
+// Every kind, with field values a double-typed parser would corrupt: 64-bit
+// timestamps above 2^53 and a full-width seed must survive the round trip
+// bit for bit.
+TEST(FaultPlanTest, JsonlRoundTripCoversEveryKind) {
+  FaultPlan plan;
+  plan.seed = 0xFFFFFFFFFFFFFFFFull;
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrash;
+  crash.node = 7;
+  crash.at_us = (std::int64_t(1) << 60) + 1;
+  FaultEvent recover;
+  recover.kind = FaultKind::kRecover;
+  recover.node = 7;
+  recover.at_us = (std::int64_t(1) << 60) + 2;
+  FaultEvent freeze;
+  freeze.kind = FaultKind::kFreeze;
+  freeze.node = 3;
+  freeze.at_us = 250000;
+  freeze.duration_us = (std::int64_t(1) << 53) + 1;
+  FaultEvent link;
+  link.kind = FaultKind::kLinkDown;
+  link.node = 1;
+  link.peer = 0xFFFFFFFFu;
+  link.at_us = 500000;
+  link.duration_us = 750000;
+  FaultEvent jam;
+  jam.kind = FaultKind::kJam;
+  jam.x = 120.5;
+  jam.y = 80.25;
+  jam.radius = 55.0;
+  jam.at_us = 1000000;
+  jam.duration_us = 2000000;
+  FaultEvent drift;
+  drift.kind = FaultKind::kClockDrift;
+  drift.node = 9;
+  drift.start_epoch = 2;
+  drift.end_epoch = 0x20000000000001ull;  // 2^53 + 1
+  drift.per_epoch_us = -40000;            // drift may run behind, not ahead
+  FaultEvent loss;
+  loss.kind = FaultKind::kLoss;
+  loss.x = 0.75;
+  loss.at_us = 300000;
+  loss.duration_us = 600000;
+  plan.events = {crash, recover, freeze, link, jam, drift, loss};
+
+  std::string error;
+  const auto parsed = FaultPlan::parse_jsonl(plan.to_jsonl(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, plan);
+}
+
+TEST(FaultPlanTest, ParseRejectsNonIntegerAndOutOfRangeFields) {
+  std::string error;
+  // Fractional and exponent forms are not integers.
+  EXPECT_FALSE(FaultPlan::parse_jsonl(
+      "{\"fault\":\"crash\",\"node\":1,\"at_us\":1.5}", &error));
+  EXPECT_FALSE(FaultPlan::parse_jsonl(
+      "{\"fault\":\"crash\",\"node\":1,\"at_us\":1e3}", &error));
+  // A negative value must fail an unsigned field, not wrap.
+  EXPECT_FALSE(FaultPlan::parse_jsonl(
+      "{\"fault\":\"crash\",\"node\":-1,\"at_us\":0}", &error));
+  // Out of range: node is u32, at_us is i64.
+  EXPECT_FALSE(FaultPlan::parse_jsonl(
+      "{\"fault\":\"crash\",\"node\":4294967296,\"at_us\":0}", &error));
+  EXPECT_FALSE(FaultPlan::parse_jsonl(
+      "{\"fault\":\"crash\",\"node\":1,\"at_us\":9223372036854775808}",
+      &error));
+  // Wrong type entirely.
+  EXPECT_FALSE(FaultPlan::parse_jsonl(
+      "{\"fault\":\"crash\",\"node\":\"x\",\"at_us\":0}", &error));
+}
+
+TEST(FaultPlanTest, ParseRejectsMissingPerKindFields) {
+  std::string error;
+  EXPECT_FALSE(FaultPlan::parse_jsonl(
+      "{\"fault\":\"freeze\",\"node\":1,\"at_us\":0}", &error));
+  EXPECT_FALSE(FaultPlan::parse_jsonl(
+      "{\"fault\":\"link_down\",\"node\":1,\"at_us\":0,\"duration_us\":1}",
+      &error));
+  EXPECT_FALSE(FaultPlan::parse_jsonl(
+      "{\"fault\":\"jam\",\"x\":1,\"y\":2,\"at_us\":0,\"duration_us\":1}",
+      &error));
+  EXPECT_FALSE(FaultPlan::parse_jsonl(
+      "{\"fault\":\"clock_drift\",\"node\":1,\"start_epoch\":0,"
+      "\"per_epoch_us\":1}",
+      &error));
+  EXPECT_FALSE(FaultPlan::parse_jsonl(
+      "{\"fault\":\"loss\",\"at_us\":0,\"duration_us\":1}", &error));
+}
+
+TEST(FaultPlanTest, ParsePreservesLargeIntegersExactly) {
+  // 2^60 + 1 is not representable as a double; a strtod-based parser would
+  // silently round it to 2^60.
+  const std::string text =
+      "{\"fault\":\"crash\",\"node\":3,\"at_us\":1152921504606846977}\n";
+  std::string error;
+  const auto plan = FaultPlan::parse_jsonl(text, &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  ASSERT_EQ(plan->events.size(), 1u);
+  EXPECT_EQ(plan->events[0].at_us, 1152921504606846977ll);
+}
+
 TEST(FaultPlanTest, RandomRespectsMixAndHorizon) {
   const ChaosProfile profile = test_profile();
   const FaultPlan plan = FaultPlan::random(11, profile);
@@ -118,6 +220,7 @@ TEST(FaultPlanTest, RandomRespectsMixAndHorizon) {
         ++drifts;
         EXPECT_LE(e.end_epoch, profile.fault_epochs);
         break;
+      case FaultKind::kLoss: break;  // opt-in via loss_bursts, 0 here
     }
   }
   EXPECT_EQ(crashes, profile.crashes);

@@ -1,0 +1,251 @@
+// cfds_check: exhaustive protocol state-space checker.
+//
+// Explore mode (default) enumerates every schedule of a bounded world —
+// delivery order, per-frame drops, crashes and recoveries — within the
+// given budgets, checking the safety invariants I-V1..I-V7 plus the
+// quiescence probe at every crossing (src/check/world.h). On a violation
+// it writes a JSONL counterexample trace (--out) and, optionally, the
+// FaultPlan-schema tail alone (--plan) for bench_chaos --replay-plan.
+//
+// Replay mode (--replay FILE) re-executes a recorded trace: the world is
+// rebuilt from the trace header's options and every choice point is pinned
+// to the recording, so the violation reproduces deterministically. With
+// --out the reproduced trace is re-serialized, which must match the
+// original byte for byte (tools/check_model.sh relies on this).
+//
+// Exit codes: 0 = explored clean within budgets, 2 = violation found (or
+// reproduced), 1 = usage or I/O error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "check/explorer.h"
+#include "check/trace.h"
+#include "check/world.h"
+
+// Stamped by the build: the seeded-mutation name compiled into the
+// protocol libraries, or "" for the clean tree (tools/check_model.sh).
+#ifndef CFDS_MUTATION_NAME
+#define CFDS_MUTATION_NAME ""
+#endif
+
+namespace {
+
+using cfds::check::CheckOptions;
+using cfds::check::CheckTrace;
+using cfds::check::ExploreLimits;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  world:   --nodes N --deputies D --epochs E --perm-max P\n"
+      "           --adaptive --checkpoint --checkpoint-interval I\n"
+      "           --no-reduction --quiesce-max Q --t-hop-ms MS\n"
+      "  faults:  --crashes C --recoveries R --drops K\n"
+      "  budgets: --max-states S --max-runs R\n"
+      "  output:  --out TRACE.jsonl --plan PLAN.jsonl --quiet\n"
+      "  replay:  --replay TRACE.jsonl [--out COPY.jsonl]\n"
+      "exit: 0 clean, 2 violation, 1 error\n",
+      argv0);
+  return 1;
+}
+
+bool parse_u32(const char* s, std::uint32_t* out) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s, &end, 10);
+  if (end == s || *end != '\0' || v > 0xFFFFFFFFul) return false;
+  *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return bool(out);
+}
+
+void describe(const cfds::check::Violation& v) {
+  std::printf("VIOLATION %s at epoch %llu barrier %u: %s\n",
+              v.invariant.c_str(), static_cast<unsigned long long>(v.epoch),
+              v.barrier, v.detail.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CheckOptions opts;
+  ExploreLimits limits;
+  std::string out_path;
+  std::string plan_path;
+  std::string replay_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    bool ok = true;
+    std::uint32_t ms = 0;
+    if (std::strcmp(arg, "--nodes") == 0) {
+      const char* v = value();
+      ok = v && parse_u32(v, &opts.nodes);
+    } else if (std::strcmp(arg, "--deputies") == 0) {
+      const char* v = value();
+      ok = v && parse_u32(v, &opts.deputies);
+    } else if (std::strcmp(arg, "--epochs") == 0) {
+      const char* v = value();
+      ok = v && parse_u64(v, &opts.epochs);
+    } else if (std::strcmp(arg, "--crashes") == 0) {
+      const char* v = value();
+      ok = v && parse_u32(v, &opts.max_crashes);
+    } else if (std::strcmp(arg, "--recoveries") == 0) {
+      const char* v = value();
+      ok = v && parse_u32(v, &opts.max_recoveries);
+    } else if (std::strcmp(arg, "--drops") == 0) {
+      const char* v = value();
+      ok = v && parse_u32(v, &opts.max_drops);
+    } else if (std::strcmp(arg, "--perm-max") == 0) {
+      const char* v = value();
+      ok = v && parse_u32(v, &opts.perm_max);
+    } else if (std::strcmp(arg, "--adaptive") == 0) {
+      opts.adaptive = true;
+    } else if (std::strcmp(arg, "--checkpoint") == 0) {
+      opts.checkpoint = true;
+    } else if (std::strcmp(arg, "--checkpoint-interval") == 0) {
+      const char* v = value();
+      ok = v && parse_u32(v, &opts.checkpoint_interval);
+    } else if (std::strcmp(arg, "--no-reduction") == 0) {
+      opts.reduction = false;
+    } else if (std::strcmp(arg, "--quiesce-max") == 0) {
+      const char* v = value();
+      ok = v && parse_u32(v, &opts.quiesce_max);
+    } else if (std::strcmp(arg, "--t-hop-ms") == 0) {
+      const char* v = value();
+      ok = v && parse_u32(v, &ms) && ms > 0;
+      if (ok) opts.t_hop = cfds::SimTime::millis(ms);
+    } else if (std::strcmp(arg, "--max-states") == 0) {
+      const char* v = value();
+      ok = v && parse_u64(v, &limits.max_states);
+    } else if (std::strcmp(arg, "--max-runs") == 0) {
+      const char* v = value();
+      ok = v && parse_u64(v, &limits.max_runs);
+    } else if (std::strcmp(arg, "--out") == 0) {
+      const char* v = value();
+      ok = v != nullptr;
+      if (ok) out_path = v;
+    } else if (std::strcmp(arg, "--plan") == 0) {
+      const char* v = value();
+      ok = v != nullptr;
+      if (ok) plan_path = v;
+    } else if (std::strcmp(arg, "--replay") == 0) {
+      const char* v = value();
+      ok = v != nullptr;
+      if (ok) replay_path = v;
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      return usage(argv[0]);
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad value for %s\n", arg);
+      return usage(argv[0]);
+    }
+  }
+
+  if (!replay_path.empty()) {
+    std::string error;
+    std::optional<CheckTrace> trace =
+        cfds::check::load_trace(replay_path, &error);
+    if (!trace) {
+      std::fprintf(stderr, "cfds_check: %s\n", error.c_str());
+      return 1;
+    }
+    if (trace->mutation != CFDS_MUTATION_NAME) {
+      std::fprintf(stderr,
+                   "cfds_check: warning: trace was recorded under mutation "
+                   "'%s' but this build is '%s'\n",
+                   trace->mutation.c_str(), CFDS_MUTATION_NAME);
+    }
+    const cfds::check::ReplayOutcome outcome =
+        cfds::check::replay(trace->options, trace->choices);
+    if (!outcome.error.empty()) {
+      std::fprintf(stderr, "cfds_check: replay failed: %s\n",
+                   outcome.error.c_str());
+      return 1;
+    }
+    if (!outcome.violation) {
+      std::fprintf(stderr,
+                   "cfds_check: replay completed without a violation\n");
+      return 1;
+    }
+    if (!quiet) describe(*outcome.violation);
+    CheckTrace reproduced;
+    reproduced.options = trace->options;
+    reproduced.mutation = trace->mutation;
+    reproduced.choices = trace->choices;
+    reproduced.violation = outcome.violation;
+    reproduced.fault_events = outcome.fault_events;
+    if (!out_path.empty() &&
+        !write_file(out_path, cfds::check::to_jsonl(reproduced))) {
+      std::fprintf(stderr, "cfds_check: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    if (!plan_path.empty() &&
+        !write_file(plan_path, cfds::check::fault_plan_jsonl(reproduced))) {
+      std::fprintf(stderr, "cfds_check: cannot write %s\n", plan_path.c_str());
+      return 1;
+    }
+    return 2;
+  }
+
+  const cfds::check::ExploreResult result = cfds::check::explore(opts, limits);
+  if (!quiet) {
+    std::printf("runs=%llu pruned=%llu unique_states=%llu%s\n",
+                static_cast<unsigned long long>(result.runs),
+                static_cast<unsigned long long>(result.pruned_runs),
+                static_cast<unsigned long long>(result.unique_states),
+                result.budget_exhausted ? " (budget exhausted)" : "");
+  }
+  if (!result.counterexample) {
+    if (!quiet) std::printf("no violations\n");
+    return 0;
+  }
+
+  const cfds::check::Counterexample& ce = *result.counterexample;
+  if (!quiet) describe(ce.violation);
+  CheckTrace trace;
+  trace.options = opts;
+  trace.mutation = CFDS_MUTATION_NAME;
+  trace.choices = ce.choices;
+  trace.violation = ce.violation;
+  trace.fault_events = ce.fault_events;
+  if (!out_path.empty() && !write_file(out_path, cfds::check::to_jsonl(trace))) {
+    std::fprintf(stderr, "cfds_check: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (!plan_path.empty() &&
+      !write_file(plan_path, cfds::check::fault_plan_jsonl(trace))) {
+    std::fprintf(stderr, "cfds_check: cannot write %s\n", plan_path.c_str());
+    return 1;
+  }
+  return 2;
+}

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Self-validation harness for the model checker (docs/MODEL_CHECKING.md).
+#
+# Phase 1 drives the CLEAN tree through a battery of exploration configs and
+# requires every one to finish inside its budget with zero violations.
+#
+# Phase 2 rebuilds the tree once per seeded protocol mutation
+# (-DCFDS_MUTATION=<name>, see the guard sites in src/fds/agent.cpp,
+# src/fds/detector.cpp, src/net/node.cpp) and requires cfds_check to KILL
+# each mutant: exit 2, a counterexample trace, and a --replay of that trace
+# that reproduces the violation and re-serializes byte-for-byte.
+#
+# A checker that misses a known-seeded bug is worse than no checker — it
+# would bless broken protocol changes — so this script is the gate CI runs,
+# not the exploration itself.
+#
+# Usage: tools/check_model.sh [clean-build-dir]
+#   BUILD      clean build dir (default: ./build, created if missing)
+#   MUT_BUILD  scratch dir for mutant builds (default: ./build-mutant)
+#   JOBS       parallel build jobs (default: nproc)
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${BUILD:-$ROOT/build}}"
+MUT_BUILD="${MUT_BUILD:-$ROOT/build-mutant}"
+JOBS="${JOBS:-$(nproc)}"
+SCRATCH="$(mktemp -d "${TMPDIR:-/tmp}/check_model.XXXXXX")"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+log() { printf '== %s\n' "$*"; }
+die() { printf 'check_model: FAIL: %s\n' "$*" >&2; exit 1; }
+
+log "clean build ($BUILD)"
+cmake -B "$BUILD" -S "$ROOT" > "$SCRATCH/cmake.log" 2>&1 \
+  || die "clean configure failed (see $SCRATCH/cmake.log)"
+cmake --build "$BUILD" -j "$JOBS" --target cfds_check_tool \
+  > "$SCRATCH/build.log" 2>&1 || { tail -30 "$SCRATCH/build.log" >&2;
+  die "clean build failed"; }
+CHECK="$BUILD/tools/cfds_check"
+
+# ---------------------------------------------------------------------------
+# Phase 1: the clean tree must explore every config to budget, violation-free.
+# Configs mirror the mutant kill configs below plus the flag-gated extensions,
+# so a clean-tree false positive in any of those state spaces fails here
+# before the mutation phase can claim a vacuous kill.
+CLEAN_CONFIGS=(
+  "--nodes 3 --epochs 2"
+  "--nodes 3 --epochs 2 --crashes 1 --recoveries 1"
+  "--nodes 3 --epochs 2 --drops 2"
+  "--nodes 3 --epochs 2 --crashes 1 --recoveries 1 --drops 2"
+  "--nodes 3 --epochs 2 --crashes 1 --recoveries 1 --drops 2 --adaptive"
+  "--nodes 3 --epochs 2 --crashes 1 --recoveries 1 --drops 2 --checkpoint"
+  "--nodes 3 --epochs 3 --crashes 1 --recoveries 1 --checkpoint --checkpoint-interval 1"
+  "--nodes 3 --epochs 2 --drops 3"
+  "--nodes 3 --epochs 3 --drops 3"
+  "--nodes 3 --epochs 2 --crashes 1 --drops 1 --no-reduction"
+)
+for config in "${CLEAN_CONFIGS[@]}"; do
+  log "clean: cfds_check $config"
+  # shellcheck disable=SC2086
+  "$CHECK" $config --max-states 2000000 --max-runs 20000000 \
+    || die "clean tree not clean under: $config"
+done
+
+# ---------------------------------------------------------------------------
+# Phase 2: every seeded mutant must be killed, and its counterexample must
+# replay. Entries are "mutation|kill config"; configs are the smallest state
+# spaces known to reach each bug (see docs/MODEL_CHECKING.md for the
+# scenarios).
+MUTANTS=(
+  "skip_incarnation_bump|--nodes 3 --epochs 2 --crashes 1 --recoveries 1"
+  "drop_self_reconciliation|--nodes 3 --epochs 2 --crashes 1 --recoveries 1 --drops 2"
+  "no_checkpoint_seq_guard|--nodes 3 --epochs 3 --crashes 1 --recoveries 1 --checkpoint --checkpoint-interval 1"
+  "skip_rival_arbitration|--nodes 3 --epochs 3 --crashes 1 --recoveries 1 --checkpoint --checkpoint-interval 1"
+  "detect_ignores_mentions|--nodes 3 --epochs 2 --drops 2"
+  "deputy_ignores_ch_update|--nodes 3 --epochs 2 --drops 3"
+  "admit_without_refute|--nodes 3 --epochs 3 --drops 3"
+)
+
+killed=0
+for entry in "${MUTANTS[@]}"; do
+  mutation="${entry%%|*}"
+  config="${entry#*|}"
+  log "mutant $mutation: build"
+  cmake -B "$MUT_BUILD" -S "$ROOT" -DCFDS_MUTATION="$mutation" \
+    > "$SCRATCH/$mutation.cmake.log" 2>&1 \
+    || die "$mutation: configure failed"
+  cmake --build "$MUT_BUILD" -j "$JOBS" --target cfds_check_tool \
+    > "$SCRATCH/$mutation.build.log" 2>&1 \
+    || { tail -30 "$SCRATCH/$mutation.build.log" >&2;
+    die "$mutation: build failed"; }
+  mcheck="$MUT_BUILD/tools/cfds_check"
+  trace="$SCRATCH/$mutation.trace.jsonl"
+
+  log "mutant $mutation: cfds_check $config"
+  status=0
+  # shellcheck disable=SC2086
+  "$mcheck" $config --max-states 2000000 --max-runs 20000000 \
+    --out "$trace" || status=$?
+  [ "$status" -eq 2 ] || die "$mutation: NOT killed (exit $status)"
+  [ -s "$trace" ] || die "$mutation: killed but no counterexample trace"
+
+  replayed="$SCRATCH/$mutation.replay.jsonl"
+  status=0
+  "$mcheck" --replay "$trace" --out "$replayed" --quiet || status=$?
+  [ "$status" -eq 2 ] || die "$mutation: counterexample did not replay (exit $status)"
+  cmp -s "$trace" "$replayed" \
+    || die "$mutation: replayed trace differs from the original"
+  killed=$((killed + 1))
+done
+
+log "PASS: clean tree violation-free on ${#CLEAN_CONFIGS[@]} configs;" \
+    "$killed/${#MUTANTS[@]} seeded mutants killed with replayable counterexamples"

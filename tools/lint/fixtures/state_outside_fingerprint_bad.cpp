@@ -1,0 +1,30 @@
+// Fixture: a class that befriends the canonical serializer but declares a
+// member the fingerprint TU never references — the model checker would
+// merge states that differ in `shadow_` and silently prune behaviour.
+// (The test supplies a fake fingerprint TU covering every name but
+// `shadow_` and `ghost_`.)
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class Tracked {
+ public:
+  void tick();
+
+ private:
+  // Canonical-state contract: every member below must be mixed in
+  // check/fingerprint.cpp or FP-EXEMPT'd there.
+  friend class check::StateFingerprinter;
+
+  std::uint32_t epoch_ = 0;        // covered by the fake TU
+  std::vector<int> roster_{};      // covered by the fake TU
+  std::uint64_t shadow_;           // BAD: absent from the fingerprint TU
+  struct Nested {
+    int depth;  // nested scope: not at the class's own depth, not checked
+  };
+  Nested nested_cfg_;              // covered (FP-EXEMPT in the fake TU)
+  bool ghost_ = false;             // BAD: absent from the fingerprint TU
+};
+
+}  // namespace fixture

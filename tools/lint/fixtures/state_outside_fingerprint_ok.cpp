@@ -1,0 +1,36 @@
+// Fixture: the compliant shapes — every post-friend member is referenced in
+// the (fake) fingerprint TU, a justified exception uses LINT-ALLOW, and a
+// class that never befriends the serializer is out of scope entirely.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class Tracked {
+ public:
+  void tick();
+
+ private:
+  friend class check::StateFingerprinter;
+
+  std::uint32_t epoch_ = 0;    // mixed in the fake TU
+  std::vector<int> roster_{};  // mixed in the fake TU
+  // LINT-ALLOW(state-outside-fingerprint): scratch buffer, rebuilt per round
+  std::vector<int> scratch_;
+};
+
+class Accessed {
+ private:
+  // LINT-FINGERPRINT: members below must be covered (mixed or FP-EXEMPT'd)
+  // in the fingerprint TU — the marker-comment form, for classes the
+  // fingerprint reads through public accessors without friendship.
+  std::uint32_t epoch_ = 0;  // mixed in the fake TU
+};
+
+class Untracked {
+  // No friend declaration or marker: members here are not canonical state,
+  // so the rule does not apply no matter what the fingerprint TU contains.
+  std::uint64_t whatever_ = 0;
+};
+
+}  // namespace fixture

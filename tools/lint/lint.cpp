@@ -223,7 +223,8 @@ const std::vector<LineRule>& line_rules() {
 
 std::vector<Violation> scan_source(const std::string& path,
                                    const std::string& content,
-                                   const std::string& companion_header) {
+                                   const std::string& companion_header,
+                                   const std::string& fingerprint_tu) {
   std::vector<Violation> out;
   const std::string sanitized = sanitize(content);
   const std::vector<std::string> raw = split_lines(content);
@@ -334,6 +335,57 @@ std::vector<Violation> scan_source(const std::string& path,
     }
   }
 
+  // state-outside-fingerprint: `friend class check::StateFingerprinter` in
+  // a class — or a `LINT-FINGERPRINT:` marker comment where the
+  // fingerprint reads state through public accessors and needs no
+  // friendship — is a contract: the members that follow are protocol
+  // state, and each must be referenced in src/check/fingerprint.cpp (mixed
+  // into the canonical state hash, or named in an FP-EXEMPT(name_) comment
+  // arguing why it cannot influence future behaviour). A member the
+  // fingerprint never saw means the checker merges states that differ and
+  // silently prunes reachable behaviour. Members are recognised by the
+  // project's trailing-underscore convention at the marker's own brace
+  // depth; nested structs (deeper depth) get their own marker if they hold
+  // state.
+  if (!fingerprint_tu.empty()) {
+    static const std::regex kMember(
+        R"(\b([A-Za-z_]\w*_)\s*(?:=[^;{}]*|\{[^{}]*\})?\s*;)");
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+      std::size_t mark =
+          clean[i].find("friend class check::StateFingerprinter");
+      // The marker-comment form lives in raw text (comments are blanked in
+      // the sanitized view).
+      if (mark == std::string::npos &&
+          raw[i].find("LINT-FINGERPRINT") != std::string::npos) {
+        mark = 0;
+      }
+      if (mark == std::string::npos) continue;
+      int depth = 0;      // brace depth relative to the marker line
+      bool open = true;   // false once the enclosing class body closes
+      for (std::size_t j = i + 1; j < clean.size() && open; ++j) {
+        const std::string& line = clean[j];
+        if (depth == 0) {
+          auto begin = std::sregex_iterator(line.begin(), line.end(), kMember);
+          for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            const std::string name = (*it)[1].str();
+            const std::regex used("\\b" + name + "\\b");
+            if (!std::regex_search(fingerprint_tu, used)) {
+              emit("state-outside-fingerprint", j);
+              break;  // one finding per line is enough
+            }
+          }
+        }
+        for (const char c : line) {
+          if (c == '{') ++depth;
+          if (c == '}' && --depth < 0) {
+            open = false;
+            break;
+          }
+        }
+      }
+    }
+  }
+
   // unordered-iteration needs file-level state: which identifiers in this
   // file — or in its companion header, for members iterated from the .cpp —
   // are unordered containers.
@@ -360,6 +412,19 @@ std::vector<Violation> scan_source(const std::string& path,
 std::vector<Violation> scan_tree(const std::vector<std::string>& roots) {
   namespace fs = std::filesystem;
   std::vector<Violation> out;
+  // The fingerprint TU is shared context for every file that befriends the
+  // canonical serializer: locate it once across all roots.
+  std::string fingerprint_tu;
+  for (const std::string& root : roots) {
+    const fs::path candidate = fs::path(root) / "check" / "fingerprint.cpp";
+    if (fs::exists(candidate)) {
+      std::ifstream fin(candidate);
+      std::stringstream fbuf;
+      fbuf << fin.rdbuf();
+      fingerprint_tu = fbuf.str();
+      break;
+    }
+  }
   for (const std::string& root : roots) {
     const fs::path root_path(root);
     const std::string prefix = root_path.filename().string();
@@ -390,7 +455,8 @@ std::vector<Violation> scan_tree(const std::vector<std::string>& roots) {
       }
       const std::string rel =
           prefix + "/" + fs::relative(file, root_path).generic_string();
-      for (Violation& v : scan_source(rel, buffer.str(), companion)) {
+      for (Violation& v :
+           scan_source(rel, buffer.str(), companion, fingerprint_tu)) {
         out.push_back(std::move(v));
       }
     }

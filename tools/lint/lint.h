@@ -49,6 +49,21 @@
 //                        surprisal, and accrual products are specified in
 //                        integer fixed-point so every node computes the
 //                        same suspicion bit-for-bit (docs/ADAPTIVE.md).
+//   state-outside-fingerprint
+//                        a class granting `friend class
+//                        check::StateFingerprinter` (or carrying a
+//                        `LINT-FINGERPRINT:` marker comment, for classes
+//                        the fingerprint reads via public accessors)
+//                        declares its members to be protocol state: every
+//                        `name_` member declared after the marker must be
+//                        referenced in src/check/fingerprint.cpp — mixed
+//                        into the state hash, or named in an
+//                        `FP-EXEMPT(name_)` comment arguing why it cannot
+//                        influence future behaviour.
+//                        An unreferenced member means the model checker
+//                        would treat two differing states as one and
+//                        silently prune reachable behaviour
+//                        (docs/MODEL_CHECKING.md).
 //
 // Suppression: a `LINT-ALLOW(rule): reason` comment on the same or the
 // immediately preceding line exempts that line. Use it for permanent,
@@ -76,9 +91,14 @@ struct Violation {
 /// consulted for declarations only — members declared unordered in the
 /// header are tracked when the .cpp iterates them — and is never itself
 /// reported against here (it gets its own scan).
+/// `fingerprint_tu` is the content of src/check/fingerprint.cpp; when
+/// non-empty, the state-outside-fingerprint rule checks classes that
+/// befriend the canonical serializer against it (scan_tree locates and
+/// passes it automatically).
 std::vector<Violation> scan_source(const std::string& path,
                                    const std::string& content,
-                                   const std::string& companion_header = "");
+                                   const std::string& companion_header = "",
+                                   const std::string& fingerprint_tu = "");
 
 /// Recursively scans *.h / *.cpp under each root directory. Reported paths
 /// are `<basename-of-root>/<relative-path>` so baselines are stable across

@@ -38,6 +38,23 @@ std::vector<Violation> scan_fixture(const std::string& fixture,
   return cfds::lint::scan_source(pretend_path, content);
 }
 
+/// A stand-in for src/check/fingerprint.cpp: mixes epoch_ and roster_, and
+/// exempts nested_cfg_ the way the real TU documents its exemptions.
+constexpr char kFakeFingerprintTu[] =
+    "void mix(Hasher& h, const Tracked& t) {\n"
+    "  h.mix(t.epoch_);\n"
+    "  for (int m : t.roster_) h.mix(m);\n"
+    "  // FP-EXEMPT(nested_cfg_): construction-time constant, never written\n"
+    "}\n";
+
+std::vector<Violation> scan_fixture_fp(const std::string& fixture,
+                                       const std::string& pretend_path) {
+  const std::string content =
+      read_file(std::string(CFDS_LINT_FIXTURE_DIR) + "/" + fixture);
+  return cfds::lint::scan_source(pretend_path, content, "",
+                                 kFakeFingerprintTu);
+}
+
 std::multiset<std::string> rules_of(const std::vector<Violation>& vs) {
   std::multiset<std::string> rules;
   for (const Violation& v : vs) rules.insert(v.rule);
@@ -261,6 +278,69 @@ TEST(LintEngine, CompanionHeaderDeclarationsAreTracked) {
   // Without the header, the declaration is invisible and nothing fires.
   EXPECT_TRUE(
       cfds::lint::scan_source("src/fault/injector.cpp", impl).empty());
+}
+
+TEST(LintFixtures, StateOutsideFingerprintBad) {
+  const auto vs =
+      scan_fixture_fp("state_outside_fingerprint_bad.cpp", "src/fds/f.h");
+  // shadow_ and ghost_ are absent from the fake fingerprint TU; epoch_ and
+  // roster_ are mixed, nested_cfg_ is FP-EXEMPT'd, and the nested struct's
+  // own field sits at a deeper brace depth.
+  EXPECT_EQ(rules_of(vs).count("state-outside-fingerprint"), 2u);
+  EXPECT_EQ(vs.size(), 2u);
+}
+
+TEST(LintFixtures, StateOutsideFingerprintOk) {
+  EXPECT_TRUE(
+      scan_fixture_fp("state_outside_fingerprint_ok.cpp", "src/fds/f.h")
+          .empty());
+}
+
+TEST(LintFixtures, StateOutsideFingerprintNeedsTheFingerprintTu) {
+  // Without the fingerprint TU (scan_source called standalone, or a tree
+  // with no check/fingerprint.cpp) the rule cannot judge and stays silent.
+  EXPECT_TRUE(
+      scan_fixture("state_outside_fingerprint_bad.cpp", "src/fds/f.h")
+          .empty());
+}
+
+TEST(LintEngine, FingerprintMarkerCommentIsEquivalentToFriendship) {
+  // Classes the fingerprint reads through public accessors carry a
+  // LINT-FINGERPRINT marker comment instead of a friend declaration; the
+  // contract is the same.
+  const std::string source =
+      "class Log {\n"
+      "  // LINT-FINGERPRINT: members below must be covered\n"
+      "  int untracked_ = 0;\n"
+      "};\n";
+  const auto vs = cfds::lint::scan_source("src/fds/f.h", source, "",
+                                          kFakeFingerprintTu);
+  EXPECT_EQ(rules_of(vs).count("state-outside-fingerprint"), 1u);
+}
+
+TEST(LintEngine, FingerprintScopeEndsAtClassClose) {
+  // The member walk stops where the befriending class's body closes: a
+  // later class without the friend declaration is out of scope.
+  const std::string source =
+      "class Tracked {\n"
+      "  friend class check::StateFingerprinter;\n"
+      "  int epoch_ = 0;\n"
+      "};\n"
+      "class Other {\n"
+      "  int untracked_ = 0;\n"
+      "};\n";
+  EXPECT_TRUE(cfds::lint::scan_source("src/fds/f.h", source, "",
+                                      kFakeFingerprintTu)
+                  .empty());
+  // Flip the friend line into Other and its member is judged (and missing).
+  const std::string flipped =
+      "class Other {\n"
+      "  friend class check::StateFingerprinter;\n"
+      "  int untracked_ = 0;\n"
+      "};\n";
+  const auto vs = cfds::lint::scan_source("src/fds/f.h", flipped, "",
+                                          kFakeFingerprintTu);
+  EXPECT_EQ(rules_of(vs).count("state-outside-fingerprint"), 1u);
 }
 
 TEST(LintEngine, ViolationCarriesLineAndText) {
