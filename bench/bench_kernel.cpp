@@ -76,7 +76,8 @@ void emit(runner::JsonlResultSink* sink, const char* bench, const char* metric,
     // Aggregate-init (not member-wise assignment): GCC 12's inliner flags the
     // SSO buffer of a default-constructed string as maybe-uninitialized when
     // `operator=(const char*)` is inlined here under -O2.
-    sink->write(runner::BenchRecord{bench, metric, n, value});
+    sink->write(
+        runner::BenchRecord{bench, metric, n, value, bench::options().label});
   }
 }
 
@@ -159,13 +160,16 @@ void print_study(runner::JsonlResultSink* sink, bool smoke) {
     Rng placement(seed);
     Channel channel(sim, loss, ChannelConfig{}, Rng(seed + 1));
     const std::size_t fanout = smoke ? 16 : 256;
+    NodeStore store;
     std::vector<std::unique_ptr<Radio>> radios;
     for (std::size_t i = 0; i <= fanout; ++i) {
       // Everyone within a 50 m box: the whole population is in range of the
       // sender (range 100 m), so every broadcast fans out to `fanout`.
-      radios.push_back(std::make_unique<Radio>(
-          NodeId{std::uint32_t(i)}, Vec2{placement.uniform(0.0, 50.0),
-                                         placement.uniform(0.0, 50.0)}));
+      const Vec2 pos{placement.uniform(0.0, 50.0),
+                     placement.uniform(0.0, 50.0)};
+      const std::uint32_t slot = store.add(pos, 1e9);
+      radios.push_back(
+          std::make_unique<Radio>(store, slot, NodeId{std::uint32_t(i)}));
       channel.attach(*radios.back());
     }
     auto hb = std::make_shared<HeartbeatPayload>();
@@ -325,11 +329,14 @@ void BM_BroadcastFanout(benchmark::State& state) {
   BernoulliLoss loss(0.0);
   Rng placement(19);
   Channel channel(sim, loss, ChannelConfig{}, Rng(20));
+  NodeStore store;
   std::vector<std::unique_ptr<Radio>> radios;
   for (std::size_t i = 0; i <= fanout; ++i) {
-    radios.push_back(std::make_unique<Radio>(
-        NodeId{std::uint32_t(i)},
-        Vec2{placement.uniform(0.0, 50.0), placement.uniform(0.0, 50.0)}));
+    const Vec2 pos{placement.uniform(0.0, 50.0),
+                   placement.uniform(0.0, 50.0)};
+    const std::uint32_t slot = store.add(pos, 1e9);
+    radios.push_back(
+        std::make_unique<Radio>(store, slot, NodeId{std::uint32_t(i)}));
     channel.attach(*radios.back());
   }
   auto hb = std::make_shared<HeartbeatPayload>();

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cmath>
 
@@ -28,11 +30,21 @@ void field_for(std::size_t n, double& width, double& height) {
   height = 450.0 * scale;
 }
 
+/// Peak resident set size of this process in bytes (ru_maxrss is KiB on
+/// Linux). Process-wide and monotone: with --threads > 1 the trials share
+/// one peak, so the per-trial attribution below is an upper bound. Run with
+/// --threads 1 for clean per-size numbers (check_perf.sh does).
+[[nodiscard]] std::uint64_t peak_rss_bytes() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return std::uint64_t(usage.ru_maxrss) * 1024;
+}
+
 void print_study(runner::JsonlResultSink* sink) {
   bench::banner("Scalability", "per-node cost and dissemination vs size");
-  std::printf("\n%-8s %10s %12s %16s %14s %16s %14s\n", "nodes", "clusters",
-              "FDS frames", "frames/node", "flood frames", "backbone fwd",
-              "events/sec");
+  std::printf("\n%-8s %10s %12s %16s %14s %16s %14s %12s\n", "nodes",
+              "clusters", "FDS frames", "frames/node", "flood frames",
+              "backbone fwd", "events/sec", "bytes/node");
 
   // Each population size is an independent simulation, so the study fans
   // out across the runner's thread pool; rows are collected per index and
@@ -45,6 +57,7 @@ void print_study(runner::JsonlResultSink* sink) {
     std::uint64_t flood_frames = 0;
     std::uint64_t backbone_forwards = 0;
     double events_per_sec = 0.0;
+    std::uint64_t peak_rss = 0;
   };
   std::vector<Row> rows(sizes.size());
   bench::pool().parallel_for(sizes.size(), [&](std::size_t index) {
@@ -102,23 +115,32 @@ void print_study(runner::JsonlResultSink* sink) {
 
     rows[index] = Row{scenario.cluster_count(), fds_frames,
                       flood.total_rebroadcasts() + 1, backbone_forwards,
-                      double(epoch_events) / epoch_ms * 1000.0};
+                      double(epoch_events) / epoch_ms * 1000.0,
+                      peak_rss_bytes()};
   });
 
   for (std::size_t index = 0; index < sizes.size(); ++index) {
     const Row& row = rows[index];
-    std::printf("%-8zu %10zu %12.0f %16.1f %14llu %16llu %14.0f\n",
+    const double bytes_per_node = double(row.peak_rss) / double(sizes[index]);
+    std::printf("%-8zu %10zu %12.0f %16.1f %14llu %16llu %14.0f %12.0f\n",
                 sizes[index], row.clusters, row.fds_frames,
                 row.fds_frames / double(sizes[index]),
                 static_cast<unsigned long long>(row.flood_frames),
                 static_cast<unsigned long long>(row.backbone_forwards),
-                row.events_per_sec);
+                row.events_per_sec, bytes_per_node);
     if (sink != nullptr) {
       runner::BenchRecord record;
       record.bench = "scalability_epoch";
-      record.metric = "events_per_sec";
+      record.label = bench::options().label;
       record.n = int(sizes[index]);
+      record.metric = "events_per_sec";
       record.value = row.events_per_sec;
+      sink->write(record);
+      record.metric = "peak_rss_bytes";
+      record.value = double(row.peak_rss);
+      sink->write(record);
+      record.metric = "bytes_per_node";
+      record.value = bytes_per_node;
       sink->write(record);
     }
   }

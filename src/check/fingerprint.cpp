@@ -100,10 +100,16 @@ void StateFingerprinter::mix_failure_log(Hasher& h, const FailureLog& log) {
 void StateFingerprinter::mix_evidence(Hasher& h, const RoundEvidence& ev) {
   h.mix(kTagEvidence);
   mix_id_set(h, ev.heartbeats);
-  h.mix(ev.digests.size());
-  for (const auto& [sender, heard] : ev.digests) {
+  // RoundEvidence's slot table: digest_index_ is mixed sender-by-sender in
+  // ascending order with each sender's resolved set, which covers
+  // digest_slots_ too. FP-EXEMPT(free_slots_) / FP-EXEMPT(used_) /
+  // FP-EXEMPT(slot_watermark_): slot recycling bookkeeping — which physical
+  // slot holds a sender's set (and how much capacity it carries) is
+  // invisible to the protocol (only the sender -> set mapping is read).
+  h.mix(ev.digest_index().size());
+  for (const auto& [sender, slot] : ev.digest_index()) {
     h.mix(sender.value());
-    mix_id_set(h, heard);
+    mix_id_set(h, ev.digest_slot(slot));
   }
   h.mix(std::uint64_t{ev.ch_update_heard});
 }
@@ -216,6 +222,13 @@ void StateFingerprinter::mix_agent(Hasher& h, const FdsAgent& a) {
   }
   h.mix(a.checkpoint_seq_);
   h.mix(std::uint64_t{a.restored_from_checkpoint_});
+  // FP-EXEMPT(epoch_clock_): scheduling-seam pointer, null in the checker's
+  // worlds (they drive agents per-node, never through FdsService's batched
+  // path); the value it exposes is the epoch counter, which is mixed above.
+  // FP-EXEMPT(heartbeat_pool_) / FP-EXEMPT(digest_pool_) /
+  // FP-EXEMPT(update_pool_) / FP-EXEMPT(expected_scratch_): send-side
+  // buffers, fully overwritten before every emission and never read as
+  // protocol inputs (the header documents the reuse contract).
 }
 
 }  // namespace cfds::check

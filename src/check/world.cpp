@@ -132,7 +132,7 @@ CheckWorld::CheckWorld(const CheckOptions& opts, ChoiceSink& sink)
   transports_.reserve(n);
   agents_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    nodes_.push_back(std::make_unique<Node>(NodeId{i}, Vec2{}, EnergyModel{},
+    nodes_.push_back(std::make_unique<Node>(store_, NodeId{i}, Vec2{},
                                             /*initial_energy_uj=*/1e9));
     nodes_.back()->set_marked(true);
     views_.push_back(std::make_unique<MembershipView>(NodeId{i}));
@@ -364,7 +364,7 @@ void CheckWorld::note_evidence(std::uint32_t receiver, const PoolMsg& msg) {
       break;
     case PayloadKind::kDigest: {
       const auto* digest = payload_cast<DigestPayload>(msg.payload);
-      const std::optional<ClusterView>& c = agent.view().cluster();
+      const ClusterRef c = agent.view().cluster();
       if (digest == nullptr || !c || digest->cluster != c->id ||
           (!agent.view().is_clusterhead() && !agent.view().is_deputy())) {
         break;
@@ -384,7 +384,7 @@ void CheckWorld::note_evidence(std::uint32_t receiver, const PoolMsg& msg) {
       } else {
         up = payload_cast_shared<HealthUpdatePayload>(msg.payload);
       }
-      const std::optional<ClusterView>& c = agent.view().cluster();
+      const ClusterRef c = agent.view().cluster();
       // Mirrors handle_update's `scheduled`: this is the update the deputy
       // rule early-returns on, so hearing it forbids declaring the CH.
       if (up && c && up->cluster == c->id &&
@@ -477,7 +477,7 @@ void CheckWorld::check_invariants(std::uint64_t epoch, std::uint32_t barrier) {
       flag("I-V7", who + " lists itself in its own failure log");
     }
 
-    const std::optional<ClusterView>& cl = a.view().cluster();
+    const ClusterRef cl = a.view().cluster();
     if (!cl) {
       if (nodes_[i]->marked()) flag("I-V1", who + ": marked but unaffiliated");
       continue;
@@ -631,7 +631,7 @@ std::optional<std::string> CheckWorld::quiescence_defect() const {
       return "dead node " + std::to_string(i) + " missing from the head's log";
     }
     for (std::uint32_t j : alive) {
-      const std::optional<ClusterView>& jc = agents_[j]->view().cluster();
+      const ClusterRef jc = agents_[j]->view().cluster();
       if (jc && (contains(jc->members, NodeId{i}) ||
                  contains(jc->deputies, NodeId{i}))) {
         return "dead node " + std::to_string(i) + " still in node " +

@@ -296,6 +296,8 @@ class CheckWorld {
   FdsConfig config_;
   FdsHooks hooks_;
   CheckTimerService timers_;
+  /// Backing store for the barrier world's Node views (slot i == NID i).
+  NodeStore store_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<MembershipView>> views_;
   std::vector<std::unique_ptr<CheckTransport>> transports_;

@@ -4,10 +4,18 @@
 // inter-cluster forwarder consult this view for the node's role, the expected
 // heartbeat sources, and the gateway structure. Views are updated by the
 // formation protocol, by CH announcements, and by DCH takeover.
+//
+// Storage is copy-on-write: the ClusterView lives behind a
+// shared_ptr<const ClusterView>, so centralized formation installs ONE view
+// object per cluster shared by every member (a million-node world allocates
+// per cluster, not per node), and a CH's roster snapshot adopted by k members
+// is one allocation, not k. Mutators clone only when the view is actually
+// shared and the change is real — every mutator starts with a no-change fast
+// path, which also keeps steady-state FDS rounds allocation-free.
 
 #pragma once
 
-#include <optional>
+#include <memory>
 #include <vector>
 
 #include "cluster/roles.h"
@@ -15,20 +23,48 @@
 
 namespace cfds {
 
+/// Nullable reference to a node's (immutable, possibly shared) cluster view.
+/// Mimics the optional<ClusterView>& interface this accessor historically
+/// returned: test with has_value()/bool, read through * and ->.
+class ClusterRef {
+ public:
+  explicit ClusterRef(const ClusterView* view) : view_(view) {}
+
+  [[nodiscard]] bool has_value() const { return view_ != nullptr; }
+  explicit operator bool() const { return view_ != nullptr; }
+  [[nodiscard]] const ClusterView& operator*() const { return *view_; }
+  [[nodiscard]] const ClusterView* operator->() const { return view_; }
+
+ private:
+  const ClusterView* view_;
+};
+
 /// What one node believes about its own cluster.
 class MembershipView {
  public:
+  using ClusterViewPtr = std::shared_ptr<const ClusterView>;
+
   explicit MembershipView(NodeId self) : self_(self) {}
 
   [[nodiscard]] NodeId self() const { return self_; }
 
-  [[nodiscard]] bool affiliated() const { return cluster_.has_value(); }
-  [[nodiscard]] const std::optional<ClusterView>& cluster() const {
-    return cluster_;
+  [[nodiscard]] bool affiliated() const { return cluster_ != nullptr; }
+  [[nodiscard]] ClusterRef cluster() const {
+    return ClusterRef(cluster_.get());
   }
 
-  /// Installs or replaces the cluster organization.
-  void set_cluster(ClusterView view) { cluster_ = std::move(view); }
+  /// The shared view object itself. Pointer equality between two nodes'
+  /// cluster_ptr() proves their views identical without a deep compare
+  /// (formation uses this to adopt prebuilt announced views).
+  [[nodiscard]] const ClusterViewPtr& cluster_ptr() const { return cluster_; }
+
+  /// Installs or replaces the cluster organization with a private copy.
+  void set_cluster(ClusterView view) {
+    cluster_ = std::make_shared<const ClusterView>(std::move(view));
+  }
+  /// Adopts an existing (shared) view object: one allocation serves every
+  /// member the installer hands it to.
+  void set_cluster(ClusterViewPtr view) { cluster_ = std::move(view); }
   void clear() { cluster_.reset(); }
 
   /// This node's current role.
@@ -91,7 +127,8 @@ class MembershipView {
 
   /// Replaces the member list with the clusterhead's authoritative snapshot
   /// (crash-recovery reconciliation); deputies no longer in the list are
-  /// dropped. No-op if not affiliated.
+  /// dropped. No-op if not affiliated (or if the snapshot changes nothing —
+  /// the steady-state case for every per-epoch roster announcement).
   void sync_members(const std::vector<NodeId>& members);
 
   /// Records that the neighbouring cluster `neighbor` is now headed by
@@ -100,10 +137,16 @@ class MembershipView {
   void update_link_neighbor(ClusterId neighbor, NodeId new_ch);
 
  private:
+  /// The view as privately mutable state: clones the shared object unless
+  /// this node is its only holder (then mutates in place — the clone would
+  /// be dead weight). Callers must have checked cluster_ != nullptr and
+  /// that a real change follows.
+  [[nodiscard]] ClusterView& mutate();
+
   // LINT-FINGERPRINT: members below must be covered (mixed or FP-EXEMPT'd)
   // in src/check/fingerprint.cpp — rule state-outside-fingerprint.
   NodeId self_;
-  std::optional<ClusterView> cluster_;
+  ClusterViewPtr cluster_;
 };
 
 // Fingerprint tripwire (src/check/fingerprint.h): a layout change means
@@ -111,7 +154,7 @@ class MembershipView {
 // FP-EXEMPT it with a reason), then update the expected size.
 #if defined(__x86_64__) && defined(__linux__) && defined(__GLIBCXX__) && \
     !defined(_GLIBCXX_DEBUG)
-static_assert(sizeof(MembershipView) == 96,
+static_assert(sizeof(MembershipView) == 24,
               "MembershipView layout changed: update "
               "src/check/fingerprint.cpp, then this tripwire");
 #endif

@@ -72,6 +72,10 @@ class FlatSet {
   /// Drops all elements but keeps the allocated buffer for the next round.
   void clear() { items_.clear(); }
 
+  /// Pre-sizes the backing buffer (std::vector::reserve semantics).
+  void reserve(std::size_t n) { items_.reserve(n); }
+  [[nodiscard]] std::size_t capacity() const { return items_.capacity(); }
+
   [[nodiscard]] bool empty() const { return items_.empty(); }
   [[nodiscard]] std::size_t size() const { return items_.size(); }
   [[nodiscard]] const_iterator begin() const { return items_.begin(); }

@@ -16,6 +16,27 @@ void CalendarQueue::ensure_buckets() {
 void CalendarQueue::reserve(std::size_t per_bucket) {
   ensure_buckets();
   for (Bucket& bucket : buckets_) bucket.entries.reserve(per_bucket);
+  // Every bucket's vector can end up parked in spare_ at once, so size the
+  // free list for the worst case up front (8192 pointers-worth, ~200KB).
+  spare_.reserve(kNumBuckets);
+}
+
+void CalendarQueue::stash(std::vector<EventEntry>&& donor) {
+  // Keep spare_ capacity-sorted (smallest at the front) so trade-ups can
+  // best-fit a donor with one binary search. The sort-in costs a tail
+  // memmove of vector headers, once per drained burst bucket or trade-up.
+  // Small vectors displaced by a trade-up are pooled too: the buckets a
+  // past burst left at zero capacity claim a donor for their next lone
+  // timer event, and those claims must be satisfiable by the small end of
+  // the pool or they starve the burst of its big donors.
+  if (donor.capacity() == 0) return;
+  const std::size_t cap = donor.capacity();
+  const auto pos = std::upper_bound(
+      spare_.begin(), spare_.end(), cap,
+      [](std::size_t c, const std::vector<EventEntry>& v) {
+        return c < v.capacity();
+      });
+  spare_.insert(pos, std::move(donor));
 }
 
 void CalendarQueue::ensure_sorted(Bucket& bucket) {
@@ -65,6 +86,30 @@ void CalendarQueue::insert(const EventEntry& entry, SimTime now) {
   advance(now);
   const std::size_t idx = bucket_index(entry.when);
   Bucket& bucket = buckets_[idx];
+  if (bucket.entries.size() == bucket.entries.capacity() && !spare_.empty() &&
+      spare_.back().capacity() > bucket.entries.capacity()) {
+    // The bucket is about to grow: trade up to a drained burst vector
+    // instead. Best fit — the smallest donor giving at least the doubling
+    // a reallocation would have given — so one monster bucket's worth of
+    // capacity is not burned on a claim that needed 128 slots (spare_ is
+    // capacity-sorted, smallest at the front). Copying the current entries
+    // (at most the old capacity) costs less than the reallocation it
+    // replaces; the displaced vector goes back into the pool, where it
+    // satisfies the small claims of trail buckets this bucket's past
+    // trade-ups left at zero capacity (see stash()).
+    const std::size_t want = 2 * bucket.entries.capacity();
+    auto pos = std::lower_bound(
+        spare_.begin(), spare_.end(), want,
+        [](const std::vector<EventEntry>& v, std::size_t cap) {
+          return v.capacity() < cap;
+        });
+    if (pos == spare_.end()) --pos;  // all smaller than 2x: take largest
+    std::vector<EventEntry> donor = std::move(*pos);
+    spare_.erase(pos);
+    donor.assign(bucket.entries.begin(), bucket.entries.end());
+    std::swap(bucket.entries, donor);
+    stash(std::move(donor));
+  }
   if (bucket.sorted && !bucket.entries.empty()) {
     // The bucket is mid-drain (sorted latest-first, popped from the back).
     // A short-delay insert lands near the back: splicing it into place keeps
@@ -118,6 +163,11 @@ EventEntry CalendarQueue::pop_min(SimTime now) {
   if (bucket.entries.empty()) {
     occupied_[idx / 64] &= ~(std::uint64_t{1} << (idx % 64));
     min_bucket_ = kNoBucket;  // the next peek/pop rescans the bitmap
+    if (bucket.entries.capacity() >= kSpareWorthy) {
+      // Donate the warm vector for the next bucket activation (see spare_).
+      stash(std::move(bucket.entries));
+      bucket.entries.clear();  // moved-from: force the guaranteed state
+    }
   }
   --size_;
   CFDS_EXPECT(entry.when >= now, "calendar queue fired an event in the past");

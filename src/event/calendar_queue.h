@@ -135,6 +135,10 @@ class CalendarQueue {
   /// Lazily sizes the wheel (first insert) so heap-mode simulators and
   /// simulators that never schedule pay nothing.
   void ensure_buckets();
+  /// Returns a vector to the capacity-sorted spare pool (no-op for
+  /// capacity 0). Drained buckets only donate at kSpareWorthy or above;
+  /// trade-up displacements of any size are pooled.
+  void stash(std::vector<EventEntry>&& donor);
   /// Sorts `bucket` latest-first if it is not already sorted.
   static void ensure_sorted(Bucket& bucket);
   /// Moves the cursor to now's bucket. Every bucket it skips is provably
@@ -151,6 +155,11 @@ class CalendarQueue {
 
   static constexpr std::size_t kNoBucket = ~std::size_t{0};
 
+  /// Minimum capacity worth recycling through spare_. Buckets that only
+  /// ever hold a handful of timers keep their small vectors in place;
+  /// burst-grown vectors (a round's deliveries) circulate.
+  static constexpr std::size_t kSpareWorthy = 256;
+
   /// Ring distance from the cursor to `idx` (how far ahead the bucket is,
   /// modulo the wheel). Within one lap — which the horizon invariant
   /// guarantees for every live bucket — smaller distance means earlier.
@@ -160,6 +169,16 @@ class CalendarQueue {
 
   std::vector<Bucket> buckets_;
   std::vector<std::uint64_t> occupied_;  // one bit per bucket
+  /// Drained buckets donate their (empty, warm) entry vectors here and the
+  /// next bucket to activate adopts one. Bursty workloads — a round's
+  /// deliveries all land within Thop of the sweep — concentrate thousands
+  /// of entries in a narrow band of buckets, and that band drifts around
+  /// the wheel when the schedule period is not commensurate with the wheel
+  /// period. Recycling lets the grown capacity follow the hot phase instead
+  /// of being re-grown (and left stranded) in every bucket the band ever
+  /// visits: steady-state inserts stay allocation-free and total capacity
+  /// is bounded by the hot set, not by the laps driven.
+  std::vector<std::vector<EventEntry>> spare_;
   std::size_t cursor_ = 0;          // bucket index window_start_ maps to
   SimTime window_start_ = SimTime::zero();  // cursor bucket's start time
   std::size_t size_ = 0;

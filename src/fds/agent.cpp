@@ -6,6 +6,19 @@
 
 namespace cfds {
 
+namespace {
+
+/// Send-pool accessor: hands back the pooled payload for in-place reuse when
+/// this agent holds the only reference, or replaces it with a fresh object
+/// when some receiver still does (see the pool members in fds/agent.h).
+template <typename T>
+T& pooled(std::shared_ptr<T>& pool) {
+  if (!pool || pool.use_count() != 1) pool = std::make_shared<T>();
+  return *pool;
+}
+
+}  // namespace
+
 SimTime peer_waiting_period(NodeId id, double energy_frac, SimTime t_hop) {
   // NID-derived point in (0, 1): globally unique NIDs give (probabilistically)
   // unique waiting periods, so candidate forwarders fire one at a time.
@@ -51,6 +64,11 @@ void FdsAgent::on_lifecycle(bool alive) {
   // restarts unaffiliated and unmarked, so its next heartbeat is a fresh
   // membership subscription (F5) and the lowest-NID affiliation rules of
   // Section 3 re-run naturally through the admission path.
+  // Under batched scheduling this agent received no begin_epoch calls while
+  // dead; catch the epoch counter up first so post-recovery bookkeeping
+  // (last_unmarked_epoch_, revert diagnostics, log records) stamps the
+  // execution the node actually rejoined.
+  if (epoch_clock_) epoch_ = *epoch_clock_;
   view_.clear();
   node_.set_marked(false);
   log_.clear();
@@ -113,6 +131,9 @@ ReportId FdsAgent::fresh_report_id() {
                   ++report_counter_};
 }
 
+// LINT-ROUND-PATH: per-epoch for every agent; allocation-free in steady
+// state (tests/test_steady_state_alloc.cpp). Failure-path allocations are
+// baseline burndown debt.
 void FdsAgent::begin_epoch(std::uint64_t epoch) {
   // Close out the previous execution's contact accounting before resetting.
   if (node_.alive() && view_.affiliated() && !view_.is_clusterhead() &&
@@ -169,19 +190,22 @@ void FdsAgent::begin_epoch(std::uint64_t epoch) {
   sent_ack_ = false;
 }
 
+// LINT-ROUND-PATH: per-epoch for every agent; allocation-free in steady
+// state (tests/test_steady_state_alloc.cpp). Failure-path allocations are
+// baseline burndown debt.
 void FdsAgent::round1_heartbeat() {
   if (!node_.alive() || left_) return;
   if (config_.external_heartbeats) return;  // another layer supplies them
-  auto heartbeat = std::make_shared<HeartbeatPayload>();
-  heartbeat->sender = node_.id();
-  heartbeat->marked = node_.marked();
-  heartbeat->incarnation = node_.incarnation();
+  HeartbeatPayload& heartbeat = pooled(heartbeat_pool_);
+  heartbeat.sender = node_.id();
+  heartbeat.marked = node_.marked();
+  heartbeat.incarnation = node_.incarnation();
   ++heartbeats_sent_;
-  if (!heartbeat->marked) {
+  if (!heartbeat.marked) {
     ++unmarked_sent_;
     last_unmarked_epoch_ = epoch_;
   }
-  transport_.send(std::move(heartbeat));
+  transport_.send(heartbeat_pool_);
 }
 
 void FdsAgent::announce_leave() {
@@ -212,28 +236,36 @@ void FdsAgent::wake_up() {
   transport_.set_powered(true);
 }
 
+// LINT-ROUND-PATH: per-epoch for every agent; allocation-free in steady
+// state (tests/test_steady_state_alloc.cpp). Failure-path allocations are
+// baseline burndown debt.
 void FdsAgent::round2_digest() {
   if (!node_.alive() || !view_.affiliated()) return;
   const ClusterView& cluster = *view_.cluster();
-  auto digest = std::make_shared<DigestPayload>();
-  digest->sender = node_.id();
-  digest->cluster = cluster.id;
+  DigestPayload& digest = pooled(digest_pool_);
+  digest.sender = node_.id();
+  digest.cluster = cluster.id;
+  digest.heard.clear();
+  digest.sleeping.clear();
   // Enumerate only in-cluster heartbeats (the digest "enumerates the nodes
   // in C from which the sender hears or overhears their heartbeats").
   for (NodeId heard : evidence_.heartbeats) {
-    if (cluster.is_member(heard)) digest->heard.push_back(heard);
+    if (cluster.is_member(heard)) digest.heard.push_back(heard);
   }
   if (config_.relay_sleep_notices) {
     for (const auto& [sleeper, epochs] : notices_heard_) {
-      if (cluster.is_member(sleeper)) digest->sleeping.emplace_back(sleeper, epochs);
+      if (cluster.is_member(sleeper)) digest.sleeping.emplace_back(sleeper, epochs);
     }
   }
   // Members send to the CH; the CH broadcasts its own digest.
   const NodeId intended =
       view_.is_clusterhead() ? NodeId::invalid() : cluster.clusterhead;
-  transport_.send(std::move(digest), intended);
+  transport_.send(digest_pool_, intended);
 }
 
+// LINT-ROUND-PATH: per-epoch for every agent; allocation-free in steady
+// state (tests/test_steady_state_alloc.cpp). Failure-path allocations are
+// baseline burndown debt.
 void FdsAgent::round3_update() {
   if (!node_.alive() || !view_.is_clusterhead()) return;
   // Voluntary departures announced this epoch leave the membership first —
@@ -247,8 +279,9 @@ void FdsAgent::round3_update() {
 
   // Members inside an announced sleep window are not expected to show any
   // sign of life (Section 6 extension); consume one exempt execution each.
-  std::vector<NodeId> expected;
-  for (NodeId member : view_.expected_members()) {
+  std::vector<NodeId>& expected = expected_scratch_;
+  expected.clear();
+  for (NodeId member : view_.cluster()->members) {
     const auto it = sleep_exemptions_.find(member);
     if (it != sleep_exemptions_.end() && it->second > 0) {
       --it->second;
@@ -266,12 +299,23 @@ void FdsAgent::round3_update() {
                                   estimator_, config_.accrual_threshold_milli)
           : detect_failed(expected, evidence_, config_.rule_mode);
 
-  auto update = std::make_shared<HealthUpdatePayload>();
-  update->cluster = view_.cluster()->id;
-  update->sender = node_.id();
-  update->epoch = epoch_;
-  update->newly_failed = failed;
-  update->departed = departed;
+  // Reset EVERY field of the pooled update: a recycled object still carries
+  // the previous epoch's admissions, snapshot, report id and piggybacks.
+  HealthUpdatePayload& update = pooled(update_pool_);
+  update.cluster = view_.cluster()->id;
+  update.sender = node_.id();
+  update.epoch = epoch_;
+  update.newly_failed = failed;
+  update.departed = departed;
+  update.admitted.clear();
+  update.members_snapshot.clear();
+  update.takeover = false;
+  update.sender_heard.clear();
+  update.report = ReportId();
+  update.acks.clear();
+  update.learned_from = ClusterId();
+  update.cluster_loss_pm = 0;
+  update.tune_level = 0;
 
   for (NodeId f : failed) {
     log_.record(f, {timers_.now(), epoch_, node_.id()});
@@ -290,19 +334,19 @@ void FdsAgent::round3_update() {
       // is a node that lost its view (recovered or reaffiliating): it keeps
       // its membership slot but needs the snapshot to reinstall it.
       if (config_.recovery_enabled || !view_.cluster()->is_member(newcomer)) {
-        update->admitted.push_back(newcomer);
+        update.admitted.push_back(newcomer);
       }
     }
-    if (!update->admitted.empty()) {
+    if (!update.admitted.empty()) {
       if (config_.recovery_enabled) {
         // Admission refutes stale failure records: a node subscribing with
         // a live heartbeat is alive, whatever the log said.
 #ifndef CFDS_MUTATION_ADMIT_WITHOUT_REFUTE
-        for (NodeId n : update->admitted) log_.erase(n);
+        for (NodeId n : update.admitted) log_.erase(n);
 #endif
       }
-      view_.admit_members(update->admitted);
-      update->members_snapshot = view_.cluster()->members;
+      view_.admit_members(update.admitted);
+      update.members_snapshot = view_.cluster()->members;
     }
     if (config_.tolerate_epoch_skew) {
       // Consumed: each subscription is honoured (or delegated via the
@@ -313,16 +357,16 @@ void FdsAgent::round3_update() {
   }
   // Cumulative knowledge is published after admissions, so a re-admitted
   // node is never simultaneously listed failed in the same update.
-  update->all_failed = log_.known_failed();
+  update.all_failed = log_.known_failed();
   if (config_.recovery_enabled) {
     // Under crash-recovery the scheduled update always carries the full
     // roster: members reconcile against it, so a lost admission or removal
     // update heals at the next execution instead of diverging forever.
-    update->members_snapshot = view_.cluster()->members;
+    update.members_snapshot = view_.cluster()->members;
   }
 
   if (!failed.empty()) {
-    update->report = fresh_report_id();
+    update.report = fresh_report_id();
     if (hooks_.on_detection) {
       hooks_.on_detection(node_.id(), epoch_, failed, /*by_deputy=*/false);
     }
@@ -348,12 +392,12 @@ void FdsAgent::round3_update() {
     } else if (target < tune_level_) {
       --tune_level_;
     }
-    update->cluster_loss_pm = static_cast<std::uint16_t>(worst);
-    update->tune_level = tune_level_;
+    update.cluster_loss_pm = static_cast<std::uint16_t>(worst);
+    update.tune_level = tune_level_;
   }
   got_scheduled_update_ = true;  // the author trivially has the update
-  scheduled_update_ = update;
-  broadcast_update(std::move(update));
+  scheduled_update_ = update_pool_;
+  broadcast_update(update_pool_);
   if (config_.checkpoint_enabled && config_.checkpoint_interval_epochs > 0 &&
       epoch_ % config_.checkpoint_interval_epochs == 0) {
     emit_checkpoint();
@@ -403,6 +447,9 @@ void FdsAgent::handle_checkpoint(
   stable_checkpoint_ = cp;
 }
 
+// LINT-ROUND-PATH: per-epoch for every agent; allocation-free in steady
+// state (tests/test_steady_state_alloc.cpp). Failure-path allocations are
+// baseline burndown debt.
 void FdsAgent::deputy_check() {
   if (!node_.alive() || !view_.affiliated()) return;
   // Ranked deputies (feature F2): the highest-ranked DCH decides now; each
@@ -486,6 +533,9 @@ void FdsAgent::evaluate_ch_failure() {
   broadcast_update(std::move(update));
 }
 
+// LINT-ROUND-PATH: per-epoch for every agent; allocation-free in steady
+// state (tests/test_steady_state_alloc.cpp). Failure-path allocations are
+// baseline burndown debt.
 void FdsAgent::completeness_check() {
   if (!node_.alive() || !view_.affiliated() || view_.is_clusterhead()) return;
   if (got_scheduled_update_) return;
@@ -563,14 +613,14 @@ void FdsAgent::prune_evidence() {
     heartbeat_seen_.erase(n);
   }
   stale.clear();
-  for (const auto& entry : evidence_.digests) {
-    const auto it = digest_seen_.find(entry.first);
+  for (const auto& [sender, slot] : evidence_.digest_index()) {
+    const auto it = digest_seen_.find(sender);
     if (it == digest_seen_.end() || it->second < cutoff) {
-      stale.push_back(entry.first);
+      stale.push_back(sender);
     }
   }
   for (NodeId n : stale) {
-    evidence_.digests.erase(n);
+    evidence_.erase_digest(n);
     digest_seen_.erase(n);
   }
   evidence_.ch_update_heard = false;
@@ -825,6 +875,9 @@ void FdsAgent::schedule_peer_forward(NodeId target) {
   });
 }
 
+// LINT-ROUND-PATH: per-epoch for every agent; allocation-free in steady
+// state (tests/test_steady_state_alloc.cpp). Failure-path allocations are
+// baseline burndown debt.
 void FdsAgent::on_frame(const Reception& reception) {
   if (!node_.alive()) return;
 
@@ -861,8 +914,8 @@ void FdsAgent::on_frame(const Reception& reception) {
     // members don't need them, so skip the bookkeeping there.
     if (view_.affiliated() && digest->cluster == view_.cluster()->id &&
         (view_.is_clusterhead() || view_.is_deputy())) {
-      evidence_.digests[digest->sender].assign(digest->heard.begin(),
-                                               digest->heard.end());
+      evidence_.digest_from(digest->sender)
+          .assign(digest->heard.begin(), digest->heard.end());
       if (config_.tolerate_epoch_skew) {
         digest_seen_[digest->sender] = timers_.now();
       }
@@ -939,6 +992,9 @@ FdsService::FdsService(Network& network, std::vector<MembershipView*> views,
     : network_(network), config_(config), timers_(network.simulator()) {
   const SimTime t_hop = network_.channel().config().t_hop;
   config_.validate(t_hop);
+  agents_.reserve(network_.nodes().size());
+  transports_.reserve(network_.nodes().size());
+  active_.reserve(network_.nodes().size());
   for (Node* node : network_.nodes()) {
     CFDS_EXPECT(node->id().value() < views.size() &&
                     views[node->id().value()] != nullptr,
@@ -947,6 +1003,32 @@ FdsService::FdsService(Network& network, std::vector<MembershipView*> views,
     agents_.push_back(std::make_unique<FdsAgent>(
         *node, *views[node->id().value()], *transports_.back(), timers_,
         t_hop, config_, hooks_));
+    if (node->alive()) active_.push_back(std::uint32_t(agents_.size() - 1));
+    watch_lifecycle(*node, agents_.size() - 1);
+  }
+}
+
+void FdsService::watch_lifecycle(Node& node, std::size_t idx) {
+  // Crash/recover events arrive as their own simulator events, never from
+  // inside a round sweep (fault injector, bench harnesses, world ops), so
+  // editing active_ here cannot invalidate an in-flight sweep.
+  node.add_lifecycle_handler([this, idx](bool alive) {
+    const auto it = std::lower_bound(active_.begin(), active_.end(),
+                                     std::uint32_t(idx));
+    const bool present = it != active_.end() && *it == std::uint32_t(idx);
+    if (alive && !present) {
+      active_.insert(it, std::uint32_t(idx));
+    } else if (!alive && present) {
+      active_.erase(it);
+    }
+  });
+}
+
+void FdsService::install_epoch_clocks(bool install) {
+  if (epoch_clocks_installed_ == install) return;
+  epoch_clocks_installed_ = install;
+  for (auto& a : agents_) {
+    a->set_epoch_clock(install ? &current_epoch_ : nullptr);
   }
 }
 
@@ -958,6 +1040,11 @@ std::vector<FdsAgent*> FdsService::agents() {
 }
 
 FdsAgent& FdsService::agent_for(NodeId id) {
+  // Agents are created in NID order (construction walks network_.nodes(),
+  // adoption appends freshly assigned NIDs), so the common case is a direct
+  // index; the scan only backs up exotic harnesses.
+  const std::size_t idx = id.value();
+  if (idx < agents_.size() && agents_[idx]->id() == id) return *agents_[idx];
   for (auto& a : agents_) {
     if (a->id() == id) return *a;
   }
@@ -970,6 +1057,11 @@ FdsAgent& FdsService::adopt_node(Node& node, MembershipView& view) {
   agents_.push_back(std::make_unique<FdsAgent>(
       node, view, *transports_.back(), timers_,
       network_.channel().config().t_hop, config_, hooks_));
+  if (epoch_clocks_installed_) agents_.back()->set_epoch_clock(&current_epoch_);
+  if (node.alive()) {
+    active_.push_back(std::uint32_t(agents_.size() - 1));
+  }
+  watch_lifecycle(node, agents_.size() - 1);
   return *agents_.back();
 }
 
@@ -977,14 +1069,22 @@ void FdsService::schedule_epoch(std::uint64_t epoch, SimTime t) {
   Simulator& sim = network_.simulator();
   const SimTime t_hop = network_.channel().config().t_hop;
   if (config_.max_clock_skew == SimTime::zero() && !skew_provider_) {
-    // Common case: one event per round drives every agent, in NID order.
+    // Common case: one event per round sweeps the alive agents, in NID
+    // order — identical firing order to the historical sweep over all
+    // agents, because a dead agent's round actions are unconditional
+    // no-ops. Idle (dead) nodes therefore cost nothing per round, which is
+    // what keeps mostly-failed megascale worlds cheap. active_ is read at
+    // fire time, so a node recovering between rounds rejoins mid-epoch
+    // exactly as it did under the full sweep.
+    install_epoch_clocks(true);
     auto all = [this](void (FdsAgent::*action)()) {
       return [this, action] {
-        for (auto& agent : agents_) (agent.get()->*action)();
+        for (std::uint32_t idx : active_) (agents_[idx].get()->*action)();
       };
     };
     sim.schedule_at(t, [this, epoch] {
-      for (auto& agent : agents_) agent->begin_epoch(epoch);
+      current_epoch_ = epoch;
+      for (std::uint32_t idx : active_) agents_[idx]->begin_epoch(epoch);
     });
     sim.schedule_at(t, all(&FdsAgent::round1_heartbeat));
     sim.schedule_at(t + t_hop, all(&FdsAgent::round2_digest));
@@ -993,6 +1093,10 @@ void FdsService::schedule_epoch(std::uint64_t epoch, SimTime t) {
     sim.schedule_at(t + 4 * t_hop, all(&FdsAgent::completeness_check));
     return;
   }
+  // Per-agent scheduling below reaches dead agents too (begin_epoch keeps
+  // their epoch_ current), so the recovery-time epoch catch-up must not
+  // also fire.
+  install_epoch_clocks(false);
   // Skewed clocks: each agent runs its rounds shifted by its own fixed
   // offset in [0, max_clock_skew] — derived from its NID so the offset is
   // stable across epochs, like a real mis-set clock. A skew provider (the

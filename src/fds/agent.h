@@ -192,6 +192,14 @@ class FdsAgent {
   void rejoin();
   [[nodiscard]] bool has_left() const { return left_; }
 
+  /// Installed by FdsService on its batched (no-skew) scheduling path, where
+  /// dead agents are skipped entirely: a crashed node no longer receives
+  /// begin_epoch calls, so on recovery the agent reads the service's epoch
+  /// counter through this pointer instead. nullptr (per-agent scheduling,
+  /// service mode) keeps the historical behaviour where begin_epoch reaches
+  /// every agent.
+  void set_epoch_clock(const std::uint64_t* clock) { epoch_clock_ = clock; }
+
   /// Announces a sleep window covering the next `epochs` executions and
   /// powers the radio down. The harness (or application) is responsible for
   /// calling wake_up() when the window ends. Section 6 extension.
@@ -310,6 +318,23 @@ class FdsAgent {
   std::shared_ptr<const CheckpointPayload> stable_checkpoint_;
   std::uint64_t checkpoint_seq_ = 0;
   bool restored_from_checkpoint_ = false;
+
+  /// See set_epoch_clock(). Points at FdsService::current_epoch_ on the
+  /// batched scheduling path; null otherwise.
+  const std::uint64_t* epoch_clock_ = nullptr;
+
+  /// Send-side payload pools: each round's emission reuses the previous
+  /// epoch's payload object when every receiver has released it
+  /// (use_count() == 1 — receivers drop their references at the next
+  /// begin_epoch, before the author's next emission). A reference retained
+  /// longer (a stashed forward, an in-flight frame, a recording hook)
+  /// safely forces a fresh allocation instead. Every field is overwritten
+  /// before each send, so pooled payloads are never protocol inputs.
+  std::shared_ptr<HeartbeatPayload> heartbeat_pool_;
+  std::shared_ptr<DigestPayload> digest_pool_;
+  std::shared_ptr<HealthUpdatePayload> update_pool_;
+  /// Scratch for round3's sleep-exemption filtering (buffer reused).
+  std::vector<NodeId> expected_scratch_;
 };
 
 // Fingerprint tripwire (src/check/fingerprint.h): a layout change means a
@@ -319,7 +344,7 @@ class FdsAgent {
 // is computed for; other platforms rely on the lint rule alone.
 #if defined(__x86_64__) && defined(__linux__) && defined(__GLIBCXX__) && \
     !defined(_GLIBCXX_DEBUG)
-static_assert(sizeof(FdsAgent) == 568,
+static_assert(sizeof(FdsAgent) == 704,
               "FdsAgent layout changed: update src/check/fingerprint.cpp "
               "(mix or FP-EXEMPT the new member), then this tripwire");
 #endif
@@ -337,6 +362,10 @@ class FdsService {
   [[nodiscard]] FdsConfig& config() { return config_; }
   [[nodiscard]] std::vector<FdsAgent*> agents();
   [[nodiscard]] FdsAgent& agent_for(NodeId id);
+
+  /// Number of agents currently swept by the batched scheduling path:
+  /// exactly the alive nodes. Exposed for the O(active) regression bench.
+  [[nodiscard]] std::size_t active_agents() const { return active_.size(); }
 
   /// Wires a node added after construction (replenishment, Section 2.1)
   /// into the service. The node participates from the next scheduled
@@ -360,6 +389,14 @@ class FdsService {
   }
 
  private:
+  /// Registers the lifecycle handler that keeps `active_` in sync for the
+  /// agent at `idx` (slot order == NID order == agents_ order).
+  void watch_lifecycle(Node& node, std::size_t idx);
+  /// Points every agent's epoch clock at current_epoch_ (batched path) or
+  /// detaches it (per-agent path). O(n), but runs only when the scheduling
+  /// mode actually changes.
+  void install_epoch_clocks(bool install);
+
   Network& network_;
   FdsConfig config_;
   FdsHooks hooks_;
@@ -370,6 +407,17 @@ class FdsService {
   SimTimerService timers_;
   std::vector<std::unique_ptr<SimTransport>> transports_;
   std::vector<std::unique_ptr<FdsAgent>> agents_;
+
+  /// Batched path bookkeeping: the round sweeps visit only `active_`
+  /// (agents_ indices of alive nodes, ascending = NID order), so a mostly
+  /// idle world pays per round for its alive population, not its size.
+  /// Dead agents' round actions are all no-ops (every one starts with an
+  /// alive check), so skipping them changes no observable behaviour; the
+  /// one exception — begin_epoch's epoch_ bookkeeping — is covered by the
+  /// epoch clock the recovery path reads (set_epoch_clock).
+  std::vector<std::uint32_t> active_;
+  std::uint64_t current_epoch_ = 0;
+  bool epoch_clocks_installed_ = false;
 };
 
 }  // namespace cfds

@@ -7,11 +7,11 @@ namespace cfds {
 bool silent(NodeId v, const RoundEvidence& evidence, RuleMode mode) {
   if (evidence.heartbeats.contains(v)) return false;
   if (mode == RuleMode::kHeartbeatOnly) return true;
-  if (evidence.digests.contains(v)) return false;
+  if (evidence.has_digest_from(v)) return false;
   if (mode == RuleMode::kNoSpatial) return true;
 #ifndef CFDS_MUTATION_DETECT_IGNORES_MENTIONS
-  for (const auto& [sender, heard] : evidence.digests) {
-    if (sender != v && heard.contains(v)) return false;
+  for (const auto& [sender, slot] : evidence.digest_index()) {
+    if (sender != v && evidence.digest_slot(slot).contains(v)) return false;
   }
 #endif
   return true;

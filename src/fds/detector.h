@@ -26,19 +26,90 @@ namespace cfds {
 /// Evidence a deciding node (CH or DCH) accumulates over one FDS execution.
 /// Flat containers: filled and cleared once per execution, so the buffers are
 /// reused round after round instead of re-allocating tree nodes.
+///
+/// The per-sender digest sets live in a slot table (index + reusable slots)
+/// instead of a FlatMap<NodeId, FlatSet<NodeId>>: clearing such a map
+/// destroys every nested set's heap buffer, which put one allocation per
+/// digest sender back on every epoch. Slots are cleared but never destroyed
+/// by clear(), so steady-state executions recycle warm buffers.
 struct RoundEvidence {
   /// Heartbeat senders heard during fds.R-1.
   FlatSet<NodeId> heartbeats;
-  /// Digests received during fds.R-2: sender -> NIDs it reported hearing.
-  FlatMap<NodeId, FlatSet<NodeId>> digests;
   /// Whether the CH's R-3 health-status update was received (DCH rule only).
   bool ch_update_heard = false;
 
+  /// The digest set recorded for `sender`, created empty on first use.
+  [[nodiscard]] FlatSet<NodeId>& digest_from(NodeId sender) {
+    if (const auto it = digest_index_.find(sender);
+        it != digest_index_.end()) {
+      return digest_slots_[it->second];
+    }
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = used_;
+      if (used_ == digest_slots_.size()) digest_slots_.emplace_back();
+      ++used_;
+    }
+    digest_index_[sender] = slot;
+    // Slots pair with a different sender every epoch (arrival order follows
+    // the channel's delay draws), so without a floor a slot re-grows every
+    // time it meets a larger digest than it has held — a reallocation
+    // trickle that never converges. The high-water mark (maintained by
+    // clear()) converges once the largest digest has been seen anywhere.
+    digest_slots_[slot].reserve(slot_watermark_);
+    return digest_slots_[slot];
+  }
+
+  [[nodiscard]] bool has_digest_from(NodeId sender) const {
+    return digest_index_.contains(sender);
+  }
+
+  /// Sender -> slot, ascending sender order (iteration over digests is
+  /// deterministic); resolve the set with digest_slot().
+  [[nodiscard]] const FlatMap<NodeId, std::uint32_t>& digest_index() const {
+    return digest_index_;
+  }
+  [[nodiscard]] const FlatSet<NodeId>& digest_slot(std::uint32_t slot) const {
+    return digest_slots_[slot];
+  }
+
+  /// Drops `sender`'s digest; its slot is cleared and recycled (the skew
+  /// path ages digests out one sender at a time — see prune_evidence).
+  void erase_digest(NodeId sender) {
+    const auto it = digest_index_.find(sender);
+    if (it == digest_index_.end()) return;
+    digest_slots_[it->second].clear();
+    free_slots_.push_back(it->second);
+    digest_index_.erase(sender);
+  }
+
   void clear() {
     heartbeats.clear();
-    digests.clear();
+    for (std::uint32_t s = 0; s < used_; ++s) {
+      if (digest_slots_[s].capacity() > slot_watermark_) {
+        slot_watermark_ = std::uint32_t(digest_slots_[s].capacity());
+      }
+      digest_slots_[s].clear();
+    }
+    used_ = 0;
+    free_slots_.clear();
+    digest_index_.clear();
     ch_update_heard = false;
   }
+
+ private:
+  FlatMap<NodeId, std::uint32_t> digest_index_;
+  std::vector<FlatSet<NodeId>> digest_slots_;
+  /// Slots recycled by erase_digest before the epoch-end clear.
+  std::vector<std::uint32_t> free_slots_;
+  /// Slots handed out since the last clear(); [0, used_) are dirty.
+  std::uint32_t used_ = 0;
+  /// Largest slot capacity ever retired by clear(); fresh slot handouts are
+  /// pre-reserved to it (see digest_from).
+  std::uint32_t slot_watermark_ = 0;
 };
 
 // Fingerprint tripwire (src/check/fingerprint.h): a layout change means
@@ -46,7 +117,7 @@ struct RoundEvidence {
 // FP-EXEMPT it with a reason), then update the expected size.
 #if defined(__x86_64__) && defined(__linux__) && defined(__GLIBCXX__) && \
     !defined(_GLIBCXX_DEBUG)
-static_assert(sizeof(RoundEvidence) == 56,
+static_assert(sizeof(RoundEvidence) == 112,
               "RoundEvidence layout changed: update "
               "src/check/fingerprint.cpp, then this tripwire");
 #endif

@@ -8,20 +8,19 @@ Network::Network(NetworkConfig config, std::unique_ptr<LossModel> loss)
     : config_(config),
       loss_(std::move(loss)),
       rng_(config.seed),
-      channel_(sim_, *loss_, config.channel, Rng(config.seed ^ 0x5EED)) {
+      channel_(sim_, *loss_, config.channel, Rng(config.seed ^ 0x5EED)),
+      store_(config.energy) {
   CFDS_EXPECT(loss_ != nullptr, "loss model required");
 }
 
 Node& Network::add_node(Vec2 position) {
   const NodeId id{next_nid_++};
-  auto node = std::make_unique<Node>(id, position, config_.energy,
-                                     config_.initial_energy_uj);
-  channel_.attach(node->radio());
-  index_.emplace(id, nodes_.size());
-  nodes_.push_back(std::move(node));
-  node_ptrs_.push_back(nodes_.back().get());
-  const_node_ptrs_.push_back(nodes_.back().get());
-  return *nodes_.back();
+  Node& node =
+      nodes_.emplace_back(store_, id, position, config_.initial_energy_uj);
+  channel_.attach(node.radio());
+  node_ptrs_.push_back(&node);
+  const_node_ptrs_.push_back(&node);
+  return node;
 }
 
 void Network::add_nodes(const std::vector<Vec2>& positions) {
@@ -29,26 +28,20 @@ void Network::add_nodes(const std::vector<Vec2>& positions) {
 }
 
 Node& Network::node(NodeId id) {
-  const auto it = index_.find(id);
-  CFDS_EXPECT(it != index_.end(), "unknown node id");
-  return *nodes_[it->second];
+  CFDS_EXPECT(id.value() < nodes_.size(), "unknown node id");
+  return nodes_[id.value()];
 }
 
 const Node& Network::node(NodeId id) const {
-  const auto it = index_.find(id);
-  CFDS_EXPECT(it != index_.end(), "unknown node id");
-  return *nodes_[it->second];
+  CFDS_EXPECT(id.value() < nodes_.size(), "unknown node id");
+  return nodes_[id.value()];
 }
 
-bool Network::has_node(NodeId id) const { return index_.contains(id); }
-
-std::size_t Network::alive_count() const {
-  std::size_t alive = 0;
-  for (const auto& n : nodes_) {
-    if (n->alive()) ++alive;
-  }
-  return alive;
+bool Network::has_node(NodeId id) const {
+  return id.is_valid() && id.value() < nodes_.size();
 }
+
+std::size_t Network::alive_count() const { return store_.alive_count(); }
 
 void Network::crash(NodeId id) { node(id).crash(); }
 

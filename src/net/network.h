@@ -7,8 +7,8 @@
 
 #pragma once
 
+#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/geometry.h"
@@ -17,6 +17,7 @@
 #include "common/sim_time.h"
 #include "event/simulator.h"
 #include "net/node.h"
+#include "net/node_store.h"
 #include "radio/channel.h"
 #include "radio/loss_model.h"
 
@@ -82,6 +83,12 @@ class Network {
   [[nodiscard]] const Channel& channel() const { return channel_; }
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
 
+  /// The struct-of-arrays node state backing every Node view. Slot i holds
+  /// NodeId{i}'s state; whole-world scans (grid builds, alive counts,
+  /// benches) read its dense arrays directly.
+  [[nodiscard]] NodeStore& node_store() { return store_; }
+  [[nodiscard]] const NodeStore& node_store() const { return store_; }
+
   /// Fork of the network-level RNG for components needing their own stream.
   [[nodiscard]] Rng fork_rng() { return rng_.fork(); }
 
@@ -91,11 +98,15 @@ class Network {
   std::unique_ptr<LossModel> loss_;
   Rng rng_;
   Channel channel_;
-  std::vector<std::unique_ptr<Node>> nodes_;
+  NodeStore store_;
+  /// Node views in NID order. A deque so references stay stable as nodes
+  /// are added (replenishment) without one heap object per node: storage is
+  /// contiguous blocks, and NIDs are sequential so nodes_[id.value()] is
+  /// the lookup — no hash index.
+  std::deque<Node> nodes_;
   // Pointer caches backing nodes(); appended in lockstep by add_node.
   std::vector<Node*> node_ptrs_;
   std::vector<const Node*> const_node_ptrs_;
-  std::unordered_map<NodeId, std::size_t> index_;
   std::uint32_t next_nid_ = 0;
 };
 

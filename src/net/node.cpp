@@ -4,11 +4,11 @@
 
 namespace cfds {
 
-Node::Node(NodeId id, Vec2 position, EnergyModel energy_model,
+Node::Node(NodeStore& store, NodeId id, Vec2 position,
            double initial_energy_uj)
-    : radio_(id, position),
-      energy_model_(energy_model),
-      initial_energy_uj_(initial_energy_uj) {
+    : store_(&store),
+      slot_(store.add(position, initial_energy_uj)),
+      radio_(store, slot_, id) {
   radio_.set_receive_handler(
       [](void* self, const Reception& reception) {
         static_cast<Node*>(self)->dispatch(reception);
@@ -40,29 +40,29 @@ void Node::add_lifecycle_handler(LifecycleHandler handler) {
 }
 
 void Node::crash() {
-  if (!alive_) return;
-  alive_ = false;
+  if (!alive()) return;
+  store_->set_alive(slot_, false);
   radio_.set_powered(false);
   for (const auto& handler : lifecycle_handlers_) handler(false);
 }
 
 void Node::recover() {
-  if (alive_) return;
-  alive_ = true;
+  if (alive()) return;
+  store_->set_alive(slot_, true);
 #ifndef CFDS_MUTATION_SKIP_INCARNATION_BUMP
-  ++incarnation_;
+  store_->bump_incarnation(slot_);
 #endif
   radio_.set_powered(true);
   for (const auto& handler : lifecycle_handlers_) handler(true);
 }
 
 double Node::remaining_energy_uj() const {
-  return std::max(0.0, initial_energy_uj_ -
-                           energy_model_.spent_uj(radio_.counters()));
+  return std::max(0.0, initial_energy_uj() -
+                           store_->energy_model().spent_uj(radio_.counters()));
 }
 
 void Node::dispatch(const Reception& reception) {
-  if (!alive_) return;
+  if (!alive()) return;
   const std::uint32_t inline_count =
       std::min<std::uint32_t>(handler_count_, kInlineHandlers);
   for (std::uint32_t i = 0; i < inline_count; ++i) {

@@ -24,27 +24,16 @@
 
 #include "common/geometry.h"
 #include "common/ids.h"
+#include "net/node_store.h"
 #include "radio/channel.h"
 
 namespace cfds {
 
-/// Linear radio energy model: cost = base + per_byte * bytes, per frame.
-struct EnergyModel {
-  double tx_base_uj = 50.0;    ///< microjoules per transmitted frame
-  double tx_per_byte_uj = 2.0;
-  double rx_base_uj = 20.0;    ///< microjoules per received frame
-  double rx_per_byte_uj = 1.0;
-
-  /// Total energy implied by the given traffic counters, in microjoules.
-  [[nodiscard]] double spent_uj(const RadioCounters& counters) const {
-    return tx_base_uj * double(counters.frames_sent) +
-           tx_per_byte_uj * double(counters.bytes_sent) +
-           rx_base_uj * double(counters.frames_received) +
-           rx_per_byte_uj * double(counters.bytes_received);
-  }
-};
-
-/// A host in the ad hoc network.
+/// A host in the ad hoc network. A thin view over the world's NodeStore:
+/// the node's state (liveness, marking, incarnation, energy budget) lives in
+/// the store's dense arrays; the Node itself carries only the radio view and
+/// the per-node handler tables. EnergyModel and RadioCounters are defined in
+/// net/node_store.h alongside the arrays they meter.
 class Node {
  public:
   using FrameHandler = std::function<void(const Reception&)>;
@@ -53,8 +42,9 @@ class Node {
   /// this; the std::function overload boxes into it).
   using RawFrameHandler = void (*)(void* ctx, const Reception& reception);
 
-  Node(NodeId id, Vec2 position, EnergyModel energy_model,
-       double initial_energy_uj);
+  /// Appends a fresh slot to `store` and wraps it. For network-owned nodes
+  /// the slot equals id.value(); standalone hosts may use any id.
+  Node(NodeStore& store, NodeId id, Vec2 position, double initial_energy_uj);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -88,31 +78,32 @@ class Node {
   /// outlived any recorded failure. No-op on a live node.
   void recover();
 
-  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] bool alive() const { return store_->alive(slot_); }
 
   /// Number of times this node has recovered from a crash. Carried in
   /// heartbeats; a heartbeat with an incarnation newer than a failure-log
   /// entry refutes that entry.
-  [[nodiscard]] std::uint32_t incarnation() const { return incarnation_; }
+  [[nodiscard]] std::uint32_t incarnation() const {
+    return store_->incarnation(slot_);
+  }
 
   /// Remaining radio energy in microjoules (never negative).
   [[nodiscard]] double remaining_energy_uj() const;
-  [[nodiscard]] double initial_energy_uj() const { return initial_energy_uj_; }
+  [[nodiscard]] double initial_energy_uj() const {
+    return store_->initial_energy_uj(slot_);
+  }
 
   /// Marked nodes have been admitted to a cluster (paper footnote 2).
   /// Maintained by the clustering layer; read by the FDS heartbeats.
-  [[nodiscard]] bool marked() const { return marked_; }
-  void set_marked(bool m) { marked_ = m; }
+  [[nodiscard]] bool marked() const { return store_->marked(slot_); }
+  void set_marked(bool m) { store_->set_marked(slot_, m); }
 
  private:
   void dispatch(const Reception& reception);
 
+  NodeStore* store_;
+  std::uint32_t slot_;
   Radio radio_;
-  EnergyModel energy_model_;
-  double initial_energy_uj_;
-  bool alive_ = true;
-  bool marked_ = false;
-  std::uint32_t incarnation_ = 0;
   /// One registered frame handler: raw callback plus opaque context.
   struct HandlerRef {
     RawFrameHandler fn;

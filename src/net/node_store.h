@@ -1,0 +1,158 @@
+// Struct-of-arrays backing store for node/radio state.
+//
+// Per-object node state (position, power, liveness, marking, incarnation,
+// traffic counters, energy budget) lives in dense NodeId-indexed arrays owned
+// by one NodeStore per world. Node and Radio are thin views — a (store, slot)
+// pair — so a million-node world is a handful of flat allocations instead of
+// a million heap objects, and whole-world scans (grid rebuilds, alive counts,
+// mobility sweeps) walk contiguous memory instead of chasing pointers.
+//
+// Slots are append-only and never reused; for network-owned nodes the slot
+// equals the NodeId value (NIDs are assigned sequentially). Standalone hosts
+// (tests, the service-mode single-node runtime, checker worlds) create their
+// own small store. Accessors take the slot index, so the field vectors may
+// reallocate as nodes are added without invalidating any view.
+//
+// This header is include-light by design: it sits below both src/radio/ and
+// src/net/ (Radio state lives here, and cfds_radio must not link cfds_net).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.h"
+#include "common/geometry.h"
+
+namespace cfds {
+
+/// Per-radio traffic counters (basis of the energy model).
+struct RadioCounters {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// Linear radio energy model: cost = base + per_byte * bytes, per frame.
+struct EnergyModel {
+  double tx_base_uj = 50.0;  ///< microjoules per transmitted frame
+  double tx_per_byte_uj = 2.0;
+  double rx_base_uj = 20.0;  ///< microjoules per received frame
+  double rx_per_byte_uj = 1.0;
+
+  /// Total energy implied by the given traffic counters, in microjoules.
+  [[nodiscard]] double spent_uj(const RadioCounters& counters) const {
+    return tx_base_uj * double(counters.frames_sent) +
+           tx_per_byte_uj * double(counters.bytes_sent) +
+           rx_base_uj * double(counters.frames_received) +
+           rx_per_byte_uj * double(counters.bytes_received);
+  }
+};
+
+/// Dense struct-of-arrays node state. One per world; indexed by slot.
+class NodeStore {
+ public:
+  NodeStore() = default;
+  explicit NodeStore(EnergyModel energy) : energy_(energy) {}
+
+  NodeStore(const NodeStore&) = delete;
+  NodeStore& operator=(const NodeStore&) = delete;
+
+  /// Appends one node's state; returns its slot. Nodes start alive and
+  /// powered, unmarked, at incarnation 0.
+  std::uint32_t add(Vec2 position, double initial_energy_uj) {
+    const auto slot = std::uint32_t(positions_.size());
+    positions_.push_back(position);
+    powered_.push_back(1);
+    alive_.push_back(1);
+    marked_.push_back(0);
+    incarnations_.push_back(0);
+    counters_.emplace_back();
+    initial_energy_uj_.push_back(initial_energy_uj);
+    return slot;
+  }
+
+  [[nodiscard]] std::size_t size() const { return positions_.size(); }
+
+  [[nodiscard]] Vec2 position(std::uint32_t slot) const {
+    return positions_[slot];
+  }
+  void set_position(std::uint32_t slot, Vec2 p) { positions_[slot] = p; }
+
+  [[nodiscard]] bool powered(std::uint32_t slot) const {
+    return powered_[slot] != 0;
+  }
+  void set_powered(std::uint32_t slot, bool on) { powered_[slot] = on ? 1 : 0; }
+
+  [[nodiscard]] bool alive(std::uint32_t slot) const {
+    return alive_[slot] != 0;
+  }
+  void set_alive(std::uint32_t slot, bool alive) {
+    alive_[slot] = alive ? 1 : 0;
+  }
+
+  [[nodiscard]] bool marked(std::uint32_t slot) const {
+    return marked_[slot] != 0;
+  }
+  void set_marked(std::uint32_t slot, bool marked) {
+    marked_[slot] = marked ? 1 : 0;
+  }
+
+  [[nodiscard]] std::uint32_t incarnation(std::uint32_t slot) const {
+    return incarnations_[slot];
+  }
+  void bump_incarnation(std::uint32_t slot) { ++incarnations_[slot]; }
+
+  [[nodiscard]] RadioCounters& counters(std::uint32_t slot) {
+    return counters_[slot];
+  }
+  [[nodiscard]] const RadioCounters& counters(std::uint32_t slot) const {
+    return counters_[slot];
+  }
+
+  [[nodiscard]] double initial_energy_uj(std::uint32_t slot) const {
+    return initial_energy_uj_[slot];
+  }
+
+  [[nodiscard]] const EnergyModel& energy_model() const { return energy_; }
+  void set_energy_model(EnergyModel energy) { energy_ = energy; }
+
+  /// Dense views for whole-world scans (grid builds, benches).
+  [[nodiscard]] const std::vector<Vec2>& positions() const {
+    return positions_;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& alive_flags() const {
+    return alive_;
+  }
+
+  [[nodiscard]] std::size_t alive_count() const {
+    std::size_t n = 0;
+    for (const std::uint8_t a : alive_) n += a;
+    return n;
+  }
+
+  /// Resident bytes of the store itself (capacity, not size) — the "world
+  /// bytes per node" numerator reported by bench_megascale.
+  [[nodiscard]] std::size_t resident_bytes() const {
+    return positions_.capacity() * sizeof(Vec2) +
+           (powered_.capacity() + alive_.capacity() + marked_.capacity()) *
+               sizeof(std::uint8_t) +
+           incarnations_.capacity() * sizeof(std::uint32_t) +
+           counters_.capacity() * sizeof(RadioCounters) +
+           initial_energy_uj_.capacity() * sizeof(double);
+  }
+
+ private:
+  EnergyModel energy_;
+  std::vector<Vec2> positions_;
+  std::vector<std::uint8_t> powered_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<std::uint8_t> marked_;
+  std::vector<std::uint32_t> incarnations_;
+  std::vector<RadioCounters> counters_;
+  std::vector<double> initial_energy_uj_;
+};
+
+}  // namespace cfds

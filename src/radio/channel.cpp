@@ -10,22 +10,24 @@ namespace cfds {
 
 void Radio::send(PayloadPtr payload, NodeId intended) {
   CFDS_EXPECT(channel_ != nullptr, "radio not attached to a channel");
-  if (!powered_) return;  // a crashed node emits nothing (fail-stop)
-  counters_.frames_sent++;
-  counters_.bytes_sent += payload->size_bytes();
+  if (!powered()) return;  // a crashed node emits nothing (fail-stop)
+  RadioCounters& counters = store_->counters(slot_);
+  counters.frames_sent++;
+  counters.bytes_sent += payload->size_bytes();
   channel_->transmit(*this, std::move(payload), intended);
 }
 
 void Radio::set_position(Vec2 p) {
-  const Vec2 old_position = position_;
-  position_ = p;
+  const Vec2 old_position = store_->position(slot_);
+  store_->set_position(slot_, p);
   if (channel_ != nullptr) channel_->reindex(this, old_position, p);
 }
 
 void Radio::deliver(const Reception& reception, std::uint64_t payload_bytes) {
-  if (!powered_) return;  // crashed between emission and arrival
-  counters_.frames_received++;
-  counters_.bytes_received += payload_bytes;
+  if (!powered()) return;  // crashed between emission and arrival
+  RadioCounters& counters = store_->counters(slot_);
+  counters.frames_received++;
+  counters.bytes_received += payload_bytes;
   if (raw_receive_ != nullptr) {
     raw_receive_(raw_ctx_, reception);
   } else if (on_receive_) {
@@ -156,15 +158,26 @@ std::vector<NodeId> Channel::neighbors_of(NodeId self) const {
   return out;
 }
 
+// LINT-ROUND-PATH: per-broadcast hot path (see docs/PERF.md).
 Transmission* Channel::acquire_transmission() {
+  Transmission* tx = nullptr;
   if (!transmission_free_.empty()) {
-    Transmission* tx = transmission_free_.back();
+    tx = transmission_free_.back();
     transmission_free_.pop_back();
-    return tx;
+  } else {
+    transmission_slab_.push_back(std::make_unique<Transmission>());
+    transmission_slab_.back()->channel = this;
+    tx = transmission_slab_.back().get();
   }
-  transmission_slab_.push_back(std::make_unique<Transmission>());
-  transmission_slab_.back()->channel = this;
-  return transmission_slab_.back().get();
+  // Records pair with a different sender every reuse (the free list reorders
+  // by delivery completion), so without a floor each record's receiver list
+  // re-grows whenever it meets a wider fan-out than it has seen — a trickle
+  // of reallocation that never converges. The high-water mark converges
+  // after the widest broadcast has happened once.
+  if (tx->receivers.capacity() < stats_.max_fanout) {
+    tx->receivers.reserve(stats_.max_fanout);
+  }
+  return tx;
 }
 
 void Channel::release_transmission(Transmission* tx) {
@@ -174,6 +187,7 @@ void Channel::release_transmission(Transmission* tx) {
   transmission_free_.push_back(tx);
 }
 
+// LINT-ROUND-PATH: per-broadcast hot path (see docs/PERF.md).
 void Channel::deliver_one(Transmission* tx, Radio* receiver) {
   // Every receiver reads the one Reception embedded in the shared record;
   // no per-receiver payload refcount traffic.
@@ -181,11 +195,13 @@ void Channel::deliver_one(Transmission* tx, Radio* receiver) {
   if (--tx->remaining == 0) release_transmission(tx);
 }
 
+// LINT-ROUND-PATH: per-broadcast hot path (see docs/PERF.md).
 void Channel::batch_deliver(void* ctx, std::uint32_t index) {
   auto* tx = static_cast<Transmission*>(ctx);
   tx->channel->deliver_one(tx, tx->receivers[index]);
 }
 
+// LINT-ROUND-PATH: per-broadcast hot path (see docs/PERF.md).
 void Channel::transmit(Radio& sender, PayloadPtr payload, NodeId intended) {
   stats_.transmissions++;
   if (tap_) tap_(sender.id(), intended, *payload, sim_.now());

@@ -24,6 +24,7 @@
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "event/simulator.h"
+#include "net/node_store.h"
 #include "radio/loss_model.h"
 #include "radio/payload.h"
 #include "transport/drop_filter.h"
@@ -33,16 +34,11 @@ namespace cfds {
 
 class Channel;
 
-/// Per-radio traffic counters (basis of the energy model).
-struct RadioCounters {
-  std::uint64_t frames_sent = 0;
-  std::uint64_t frames_received = 0;
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t bytes_received = 0;
-};
-
-/// A node's attachment point to the channel. Owned by the node; registered
-/// with exactly one Channel for the lifetime of the simulation.
+/// A node's attachment point to the channel. A thin view: the radio's state
+/// (position, power, traffic counters) lives in the world's struct-of-arrays
+/// NodeStore; the view holds the (store, slot) pair plus the delivery
+/// handler. Registered with at most one Channel for the simulation's
+/// lifetime.
 class Radio {
  public:
   using ReceiveHandler = std::function<void(const Reception&)>;
@@ -51,19 +47,20 @@ class Radio {
   /// tests keep the std::function convenience setter).
   using RawReceiveHandler = void (*)(void* ctx, const Reception& reception);
 
-  Radio(NodeId id, Vec2 position) : id_(id), position_(position) {}
+  Radio(NodeStore& store, std::uint32_t slot, NodeId id)
+      : store_(&store), slot_(slot), id_(id) {}
 
   Radio(const Radio&) = delete;
   Radio& operator=(const Radio&) = delete;
 
   [[nodiscard]] NodeId id() const { return id_; }
-  [[nodiscard]] Vec2 position() const { return position_; }
+  [[nodiscard]] Vec2 position() const { return store_->position(slot_); }
   /// Moves the radio; keeps the channel's spatial index in sync.
   void set_position(Vec2 p);
 
   /// A powered-off radio neither transmits nor receives (fail-stop crash).
-  [[nodiscard]] bool powered() const { return powered_; }
-  void set_powered(bool on) { powered_ = on; }
+  [[nodiscard]] bool powered() const { return store_->powered(slot_); }
+  void set_powered(bool on) { store_->set_powered(slot_, on); }
 
   /// Handler invoked on every frame this radio hears (addressed or overheard).
   /// Replaces any raw handler.
@@ -86,7 +83,12 @@ class Radio {
   /// does not affect propagation, only what receivers see in Reception.
   void send(PayloadPtr payload, NodeId intended = NodeId::invalid());
 
-  [[nodiscard]] const RadioCounters& counters() const { return counters_; }
+  [[nodiscard]] const RadioCounters& counters() const {
+    return store_->counters(slot_);
+  }
+
+  [[nodiscard]] NodeStore& store() { return *store_; }
+  [[nodiscard]] std::uint32_t slot() const { return slot_; }
 
  private:
   friend class Channel;
@@ -95,14 +97,13 @@ class Radio {
   /// per broadcast by the channel (see Transmission::payload_bytes).
   void deliver(const Reception& reception, std::uint64_t payload_bytes);
 
+  NodeStore* store_;
+  std::uint32_t slot_;
   NodeId id_;
-  Vec2 position_;
-  bool powered_ = true;
   Channel* channel_ = nullptr;
   ReceiveHandler on_receive_;
   RawReceiveHandler raw_receive_ = nullptr;
   void* raw_ctx_ = nullptr;
-  RadioCounters counters_;
 };
 
 /// Channel-wide totals for scalability/energy comparisons.

@@ -156,6 +156,8 @@ void add_runner_flags(FlagSet& flags, RunnerOptions& options) {
                  "use the binary-heap event queue (calendar-queue oracle)");
   flags.add_value("--fault-plan", &options.fault_plan,
                   "FaultPlan JSONL to inject/replay (docs/FAULTS.md)");
+  flags.add_value("--label", &options.label,
+                  "label stamped on BenchRecord JSONL rows (baselines)");
 }
 
 bool parse_int_list(const std::string& text, std::vector<int>* values) {

@@ -80,6 +80,11 @@ struct RunnerOptions {
   /// be byte-identical (tools/check_perf.sh diffs the two).
   bool no_calendar = false;
   std::string fault_plan;  ///< FaultPlan JSONL to replay (empty = none)
+  /// Label stamped on every BenchRecord this run writes (--label). The
+  /// committed trajectory files (BENCH_kernel.json, BENCH_megascale.json)
+  /// key rows by label — "pre_pr4"/"post_pr4", "post_pr5", ... — so a
+  /// baseline refresh is one flag instead of a sed pass over the JSONL.
+  std::string label = "current";
 
   [[nodiscard]] std::uint64_t seed_or(std::uint64_t fallback) const {
     return seed >= 0 ? std::uint64_t(seed) : fallback;

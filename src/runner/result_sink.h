@@ -49,8 +49,9 @@ struct PointRecord {
 ///   {"bench":"graph_build","metric":"ms","n":2000,"value":3.1,
 ///    "label":"current"}
 ///
-/// `label` distinguishes committed baselines ("pre_pr", "post_pr") from
-/// fresh runs ("current") in BENCH_kernel.json-style trajectory files.
+/// `label` distinguishes committed baselines ("pre_pr4", "post_pr5") from
+/// fresh runs ("current") in BENCH_kernel.json-style trajectory files; set
+/// it with the uniform --label flag.
 struct BenchRecord {
   std::string bench;
   std::string metric;

@@ -51,7 +51,7 @@ constexpr std::uint64_t kAdoptionStreak = 3;
 ServiceAgent::ServiceAgent(const ServiceConfig& config, NodeId self,
                            Transport& raw, TimerService& timers)
     : config_(config),
-      node_(self, directory_position(self, config.node_count), EnergyModel{},
+      node_(store_, self, directory_position(self, config.node_count),
             kServiceEnergyUj),
       view_(self),
       filtered_(raw, filter_, self, config.loss_p,

@@ -78,6 +78,8 @@ class ServiceAgent {
   void note_subscription(NodeId sender, bool subscribing);
 
   ServiceConfig config_;
+  /// Single-slot backing store for this endpoint's Node view.
+  NodeStore store_;
   Node node_;
   MembershipView view_;
   DropFilter filter_;

@@ -88,21 +88,32 @@ std::uint64_t evidence_digest(const RoundEvidence& evidence) {
 TEST(FingerprintTest, EveryEvidenceFieldIsSensitive) {
   RoundEvidence base;
   base.heartbeats.insert(NodeId(1));
-  base.digests[NodeId(2)].insert(NodeId(1));
+  base.digest_from(NodeId(2)).insert(NodeId(1));
 
   RoundEvidence e;
   e.heartbeats = base.heartbeats;
-  e.digests = base.digests;
+  e.digest_from(NodeId(2)).insert(NodeId(1));
   e.ch_update_heard = true;
   EXPECT_NE(evidence_digest(base), evidence_digest(e));
 
   e.ch_update_heard = false;
+  EXPECT_EQ(evidence_digest(base), evidence_digest(e));
   e.heartbeats.insert(NodeId(3));
   EXPECT_NE(evidence_digest(base), evidence_digest(e));
 
   e.heartbeats = base.heartbeats;
-  e.digests[NodeId(2)].insert(NodeId(3));
+  e.digest_from(NodeId(2)).insert(NodeId(3));
   EXPECT_NE(evidence_digest(base), evidence_digest(e));
+
+  // The slot table must be transparent to the fingerprint: recording the
+  // same digests through a recycled slot (erase + re-add) hashes identically
+  // to recording them fresh.
+  RoundEvidence recycled;
+  recycled.heartbeats.insert(NodeId(1));
+  recycled.digest_from(NodeId(7)).insert(NodeId(8));
+  recycled.erase_digest(NodeId(7));
+  recycled.digest_from(NodeId(2)).insert(NodeId(1));
+  EXPECT_EQ(evidence_digest(base), evidence_digest(recycled));
 }
 
 std::uint64_t log_digest(const FailureLog& log) {

@@ -22,7 +22,7 @@ TEST(Detector, HeartbeatAloneClearsSuspicion) {
 TEST(Detector, OwnDigestClearsSuspicion) {
   // Time redundancy: heartbeat lost, but the digest from v arrived.
   RoundEvidence e;
-  e.digests[NodeId{4}] = {};
+  e.digest_from(NodeId{4}) = {};
   EXPECT_FALSE(silent(NodeId{4}, e, RuleMode::kFull));
   EXPECT_FALSE(silent(NodeId{4}, e, RuleMode::kNoSpatial));
   // A heartbeat-only detector ignores the digest.
@@ -32,7 +32,7 @@ TEST(Detector, OwnDigestClearsSuspicion) {
 TEST(Detector, WitnessDigestClearsSuspicionOnlyInFullMode) {
   // Spatial redundancy: node 5 silent to the CH, but node 6 heard it.
   RoundEvidence e;
-  e.digests[NodeId{6}] = {NodeId{5}};
+  e.digest_from(NodeId{6}) = {NodeId{5}};
   EXPECT_FALSE(silent(NodeId{5}, e, RuleMode::kFull));
   EXPECT_TRUE(silent(NodeId{5}, e, RuleMode::kNoSpatial));
   EXPECT_TRUE(silent(NodeId{5}, e, RuleMode::kHeartbeatOnly));
@@ -42,13 +42,13 @@ TEST(Detector, SelfMentionInOwnDigestDoesNotCount) {
   // A digest from v mentioning v is direct evidence anyway; but a digest
   // from v mentioning *only others* still proves v alive (it sent a frame).
   RoundEvidence e;
-  e.digests[NodeId{7}] = {NodeId{7}};
+  e.digest_from(NodeId{7}) = {NodeId{7}};
   EXPECT_FALSE(silent(NodeId{7}, e, RuleMode::kFull));
 }
 
 TEST(Detector, DetectFailedFiltersExpectedMembers) {
   RoundEvidence e = evidence_with({1, 3});
-  e.digests[NodeId{5}] = {NodeId{2}};
+  e.digest_from(NodeId{5}) = {NodeId{2}};
   const std::vector<NodeId> expected{NodeId{1}, NodeId{2}, NodeId{3},
                                      NodeId{4}, NodeId{5}};
   // 1, 3 heartbeats; 2 witnessed by 5; 5 sent a digest; 4 fully silent.
@@ -77,7 +77,7 @@ TEST(Detector, ClusterheadRuleRequiresAllThreeConditions) {
   }
   {  // condition 2 fails: witness digest reflects the CH
     RoundEvidence e;
-    e.digests[NodeId{3}] = {NodeId{0}};
+    e.digest_from(NodeId{3}) = {NodeId{0}};
     EXPECT_FALSE(clusterhead_failed(ch, e, RuleMode::kFull));
   }
   {  // condition 3 fails: the R-3 update arrived
@@ -87,19 +87,38 @@ TEST(Detector, ClusterheadRuleRequiresAllThreeConditions) {
   }
   {  // all conditions met
     RoundEvidence e;
-    e.digests[NodeId{3}] = {NodeId{4}};  // digest exists but no CH mention
+    e.digest_from(NodeId{3}) = {NodeId{4}};  // digest exists but no CH mention
     EXPECT_TRUE(clusterhead_failed(ch, e, RuleMode::kFull));
   }
 }
 
 TEST(Detector, EvidenceClearResets) {
   RoundEvidence e = evidence_with({1});
-  e.digests[NodeId{2}] = {NodeId{1}};
+  e.digest_from(NodeId{2}) = {NodeId{1}};
   e.ch_update_heard = true;
   e.clear();
   EXPECT_TRUE(e.heartbeats.empty());
-  EXPECT_TRUE(e.digests.empty());
+  EXPECT_TRUE(e.digest_index().empty());
   EXPECT_FALSE(e.ch_update_heard);
+}
+
+TEST(Detector, EvidenceDigestSlotsRecycleAcrossEraseAndClear) {
+  RoundEvidence e;
+  e.digest_from(NodeId{1}) = {NodeId{2}};
+  e.digest_from(NodeId{2}) = {NodeId{1}, NodeId{3}};
+  EXPECT_TRUE(e.has_digest_from(NodeId{1}));
+  // erase_digest recycles the slot: the next new sender reuses it empty.
+  e.erase_digest(NodeId{1});
+  EXPECT_FALSE(e.has_digest_from(NodeId{1}));
+  EXPECT_TRUE(e.digest_from(NodeId{5}).empty());
+  EXPECT_EQ(e.digest_index().size(), 2u);
+  // Re-recording a sender after clear() must start from an empty set, not
+  // leak the previous execution's entries out of the recycled slot.
+  e.clear();
+  EXPECT_TRUE(e.digest_from(NodeId{2}).empty());
+  e.digest_from(NodeId{2}).insert(NodeId{9});
+  EXPECT_FALSE(silent(NodeId{9}, e, RuleMode::kFull));
+  EXPECT_TRUE(silent(NodeId{3}, e, RuleMode::kFull));
 }
 
 // Soundness: under the fail-stop model a crashed node generates no frames,
@@ -107,8 +126,8 @@ TEST(Detector, EvidenceClearResets) {
 // clear it. Conversely the rule only clears nodes with genuine evidence.
 TEST(Detector, NoEvidenceChannelCanFabricateLife) {
   RoundEvidence e = evidence_with({1, 2, 3});
-  e.digests[NodeId{1}] = {NodeId{2}, NodeId{3}};
-  e.digests[NodeId{2}] = {NodeId{1}};
+  e.digest_from(NodeId{1}) = {NodeId{2}, NodeId{3}};
+  e.digest_from(NodeId{2}) = {NodeId{1}};
   // Node 9 crashed: it appears in no heartbeat and no digest. All modes
   // must flag it.
   for (RuleMode mode :

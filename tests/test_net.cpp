@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <limits>
 
 #include "common/statistics.h"
@@ -206,6 +208,69 @@ TEST(UnitDiskGraph, GridMatchesBruteForceOnClusteredFields) {
     pts.insert(pts.end(), blob.begin(), blob.end());
   }
   expect_same_adjacency(pts, 100.0);
+}
+
+// --- Incremental grid vs full-rebuild oracle --------------------------
+
+/// Asserts the incremental grid's adjacency is *byte-identical* to a
+/// from-scratch UnitDiskGraph over the same placement: build_csr sorts every
+/// neighbour slice, so equal edge sets must yield equal CSR arrays, and any
+/// stale chain link after a move() shows up as a hard mismatch here.
+void expect_csr_identical(const MobileGrid& grid) {
+  const UnitDiskGraph incremental = grid.graph();
+  const UnitDiskGraph rebuilt(grid.positions(), grid.range());
+  ASSERT_EQ(incremental.csr_offsets().size(), rebuilt.csr_offsets().size());
+  ASSERT_EQ(incremental.csr_neighbors().size(),
+            rebuilt.csr_neighbors().size());
+  EXPECT_EQ(0, std::memcmp(incremental.csr_offsets().data(),
+                           rebuilt.csr_offsets().data(),
+                           rebuilt.csr_offsets().size() * sizeof(std::size_t)));
+  EXPECT_EQ(0, std::memcmp(
+                   incremental.csr_neighbors().data(),
+                   rebuilt.csr_neighbors().data(),
+                   rebuilt.csr_neighbors().size() * sizeof(std::uint32_t)));
+}
+
+TEST(MobileGrid, IncrementalMovesMatchFullRebuild) {
+  for (std::uint64_t seed : {1u, 7u, 23u}) {
+    Rng rng(seed);
+    MobileGrid grid(uniform_rect(300, 700.0, 450.0, rng), 100.0);
+    // Interleave bursts of random moves with oracle checks: short jitters
+    // that mostly stay inside a cell, plus long teleports that cross many
+    // cell boundaries (including into never-occupied cells and back).
+    for (int burst = 0; burst < 4; ++burst) {
+      for (int k = 0; k < 100; ++k) {
+        const std::size_t i = grid.size() == 0 ? 0 : rng.below(grid.size());
+        Vec2 p = grid.position(i);
+        if (rng.bernoulli(0.25)) {
+          p = Vec2{rng.uniform(-300.0, 1000.0), rng.uniform(-300.0, 750.0)};
+        } else {
+          p.x += rng.uniform(-30.0, 30.0);
+          p.y += rng.uniform(-30.0, 30.0);
+        }
+        grid.move(i, p);
+      }
+      expect_csr_identical(grid);
+    }
+  }
+}
+
+TEST(MobileGrid, ForEachInRangeMatchesGraphNeighbors) {
+  Rng rng(5);
+  MobileGrid grid(uniform_rect(200, 500.0, 500.0, rng), 100.0);
+  for (int k = 0; k < 50; ++k) {
+    grid.move(rng.below(grid.size()),
+              Vec2{rng.uniform(0.0, 500.0), rng.uniform(0.0, 500.0)});
+  }
+  const UnitDiskGraph oracle = grid.graph();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::vector<std::uint32_t> heard;
+    grid.for_each_in_range(i, [&](std::uint32_t j) { heard.push_back(j); });
+    std::sort(heard.begin(), heard.end());
+    const auto expected = oracle.neighbors(i);
+    ASSERT_EQ(heard.size(), expected.size()) << "node " << i;
+    EXPECT_TRUE(std::equal(heard.begin(), heard.end(), expected.begin()));
+  }
 }
 
 TEST(UnitDiskGraph, GridMatchesBruteForceOnDegenerateFields) {

@@ -77,7 +77,8 @@ class ChannelFixture : public ::testing::Test {
       : loss_(), channel_(sim_, loss_, ChannelConfig{}, Rng(1)) {}
 
   Radio& add_radio(std::uint32_t id, Vec2 pos) {
-    radios_.push_back(std::make_unique<Radio>(NodeId{id}, pos));
+    const std::uint32_t slot = store_.add(pos, /*initial_energy_uj=*/1e9);
+    radios_.push_back(std::make_unique<Radio>(store_, slot, NodeId{id}));
     channel_.attach(*radios_.back());
     return *radios_.back();
   }
@@ -85,6 +86,7 @@ class ChannelFixture : public ::testing::Test {
   Simulator sim_;
   PerfectLinks loss_;
   Channel channel_;
+  NodeStore store_;
   std::vector<std::unique_ptr<Radio>> radios_;
 };
 

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Gate a fresh bench_megascale run against the committed baseline.
+
+Usage:
+  tools/check_megascale.py --fresh RUN.jsonl [--baseline BENCH_megascale.json]
+                           [--n 100000] [--floor-ratio 0.25] [--ceil-ratio 2.0]
+
+Reads BenchRecord JSONL rows ({"bench":"megascale","metric":...,"n":...,
+"value":...,"label":...}) from both files and asserts, for the chosen decade:
+
+  fresh events_per_sec >= floor-ratio * committed events_per_sec
+  fresh bytes_per_node <= ceil-ratio  * committed bytes_per_node
+
+The ratios are deliberately loose: CI machines differ from the machine that
+captured the baseline, and the gate exists to catch order-of-magnitude
+regressions (an accidental O(n) sweep, a reintroduced per-epoch allocation
+storm), not 10% noise. Tighten them only with a baseline captured on the CI
+machine class itself.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path, n):
+    rows = {}
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                if rec.get("bench") != "megascale" or rec.get("n") != n:
+                    continue
+                # Last row wins: reruns append, and the freshest capture is
+                # the one the label refers to.
+                rows[rec["metric"]] = float(rec["value"])
+    except OSError as err:
+        sys.exit(f"check_megascale: cannot read {path}: {err}")
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--fresh", required=True, help="JSONL from this run")
+    ap.add_argument("--baseline", default="BENCH_megascale.json")
+    ap.add_argument("--n", type=int, default=100_000)
+    ap.add_argument("--floor-ratio", type=float, default=0.25)
+    ap.add_argument("--ceil-ratio", type=float, default=2.0)
+    args = ap.parse_args()
+
+    committed = load_rows(args.baseline, args.n)
+    fresh = load_rows(args.fresh, args.n)
+    for metric in ("events_per_sec", "bytes_per_node"):
+        if metric not in committed:
+            sys.exit(f"check_megascale: no committed {metric} row for "
+                     f"n={args.n} in {args.baseline}")
+        if metric not in fresh:
+            sys.exit(f"check_megascale: no fresh {metric} row for "
+                     f"n={args.n} in {args.fresh}")
+
+    failures = []
+    floor = args.floor_ratio * committed["events_per_sec"]
+    if fresh["events_per_sec"] < floor:
+        failures.append(
+            f"events_per_sec {fresh['events_per_sec']:.0f} < floor "
+            f"{floor:.0f} ({args.floor_ratio} x committed "
+            f"{committed['events_per_sec']:.0f})")
+    ceil = args.ceil_ratio * committed["bytes_per_node"]
+    if fresh["bytes_per_node"] > ceil:
+        failures.append(
+            f"bytes_per_node {fresh['bytes_per_node']:.0f} > ceiling "
+            f"{ceil:.0f} ({args.ceil_ratio} x committed "
+            f"{committed['bytes_per_node']:.0f})")
+
+    print(f"check_megascale: n={args.n}")
+    print(f"  events_per_sec: fresh {fresh['events_per_sec']:.0f}  "
+          f"committed {committed['events_per_sec']:.0f}  floor {floor:.0f}")
+    print(f"  bytes_per_node: fresh {fresh['bytes_per_node']:.0f}  "
+          f"committed {committed['bytes_per_node']:.0f}  ceiling {ceil:.0f}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        sys.exit(1)
+    print("check_megascale: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,9 @@
 # bench_kernel study under both (catching crashes, CFDS_EXPECT aborts, and
 # data races on the schedule/cancel/fire paths), then checks that the fig5
 # Monte-Carlo JSONL is byte-identical across thread counts AND across event
-# queue implementations (calendar queue vs the --no-calendar binary heap).
+# queue implementations (calendar queue vs the --no-calendar binary heap),
+# and finally gates the megascale n=10^5 decade (events/s floor, bytes/node
+# ceiling) against the committed BENCH_megascale.json baseline.
 #
 # Usage: tools/check_perf.sh [build-dir-prefix]
 #   Build trees land in <prefix>-release/ and <prefix>-tsan/
@@ -25,6 +27,8 @@ build() {
 }
 
 build "$prefix-release" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$prefix-release" -j "$(nproc)" --target bench_megascale \
+    bench_scalability >/dev/null
 build "$prefix-tsan" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCFDS_SANITIZE=thread
 
 echo "== smoke bench (Release)"
@@ -58,5 +62,10 @@ if ! cmp -s "$tmp/fig5.t8.jsonl" "$tmp/fig5.heap.jsonl"; then
   exit 1
 fi
 
+echo "== megascale: n=10^5 decade vs committed BENCH_megascale.json"
+"./$prefix-release/bench/bench_megascale" --max-nodes 100000 \
+    --threads 1 --out "$tmp/megascale.jsonl" --no-wall-time
+python3 tools/check_megascale.py --fresh "$tmp/megascale.jsonl"
+
 echo "OK: smoke benches passed, fig5 JSONL byte-identical across threads" \
-     "and queue implementations"
+     "and queue implementations, megascale within floor/ceiling"

@@ -1,0 +1,27 @@
+// Fixture: heap allocation inside marked per-round paths.
+#include <memory>
+
+struct Payload {
+  int sender = 0;
+};
+
+// LINT-ROUND-PATH: runs every epoch for every agent
+void round3_update() {
+  auto update = std::make_shared<Payload>();  // flagged
+  update->sender = 1;
+  int* scratch = new int[16];  // flagged
+  delete[] scratch;
+}
+
+// LINT-ROUND-PATH
+void on_frame() {
+  void* raw = malloc(64);  // flagged
+  (void)raw;
+}
+
+// Unmarked functions allocate freely — setup code, failure handling that
+// has its own marker elsewhere, tests.
+void setup() {
+  auto p = std::make_unique<Payload>();
+  (void)p;
+}

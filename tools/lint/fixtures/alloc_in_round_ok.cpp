@@ -1,0 +1,39 @@
+// Fixture: marked per-round paths that reuse warm buffers stay clean.
+#include <memory>
+#include <vector>
+
+struct Payload {
+  int sender = 0;
+  std::vector<int> heard;
+};
+
+Payload g_pool;
+std::vector<int> g_scratch;
+
+// LINT-ROUND-PATH: pooled payload, warm scratch — no allocation expressions
+void round2_digest() {
+  Payload& digest = g_pool;
+  digest.sender = 2;
+  digest.heard.clear();  // clear() keeps capacity
+  g_scratch.clear();
+  g_scratch.push_back(7);
+}
+
+// LINT-ROUND-PATH
+void deputy_check() {
+  // LINT-ALLOW(alloc-in-round): cold failure path, never in a quiet epoch
+  auto report = std::make_shared<Payload>();
+  (void)report;
+}
+
+// The span ends at the function's closing brace: allocation right after a
+// marked body is out of scope.
+// LINT-ROUND-PATH
+void round1_heartbeat() {
+  g_pool.sender = 1;
+}
+
+void after() {
+  auto p = std::make_shared<Payload>();
+  (void)p;
+}

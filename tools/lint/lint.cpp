@@ -335,6 +335,41 @@ std::vector<Violation> scan_source(const std::string& path,
     }
   }
 
+  // alloc-in-round: a `LINT-ROUND-PATH` marker comment on (or right above)
+  // a function definition declares its body a per-round path — code that
+  // runs every epoch for every agent, which docs/PERF.md and
+  // tests/test_steady_state_alloc.cpp require to be allocation-free in
+  // steady state. Allocation expressions inside the marked body are
+  // flagged. The span is lexical: from the marker, through the first `{`,
+  // to the brace that balances it; callees are not followed (mark them
+  // too if they are on the round path).
+  {
+    static const std::regex kAlloc(
+        R"(\bnew\s+[A-Za-z_:(]|\bmake_shared\s*<|\bmake_unique\s*<|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\()");
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+      if (raw[i].find("LINT-ROUND-PATH") == std::string::npos) continue;
+      int depth = 0;
+      bool entered = false;
+      for (std::size_t j = i; j < clean.size(); ++j) {
+        if (entered && std::regex_search(clean[j], kAlloc)) {
+          emit("alloc-in-round", j);
+        }
+        bool closed = false;
+        for (const char c : clean[j]) {
+          if (c == '{') {
+            ++depth;
+            entered = true;
+          }
+          if (c == '}' && entered && --depth == 0) {
+            closed = true;
+            break;
+          }
+        }
+        if (closed) break;
+      }
+    }
+  }
+
   // state-outside-fingerprint: `friend class check::StateFingerprinter` in
   // a class — or a `LINT-FINGERPRINT:` marker comment where the
   // fingerprint reads state through public accessors and needs no

@@ -38,6 +38,19 @@
 //                        kernel is allocation-free by contract (docs/PERF.md).
 //   raw-assert           use CFDS_EXPECT(expr, msg), not <cassert> assert —
 //                        contracts must fire in every build type.
+//   alloc-in-round       no heap allocation inside a function whose
+//                        definition is marked with a `LINT-ROUND-PATH`
+//                        comment — the per-round protocol paths (epoch
+//                        begin, the three rounds, the checks, frame
+//                        dispatch) are allocation-free in steady state by
+//                        contract (tests/test_steady_state_alloc.cpp
+//                        proves it dynamically; this rule keeps new code
+//                        honest statically). new, make_shared/make_unique,
+//                        and the malloc family are flagged within the
+//                        marked function's own body (lexical — callees get
+//                        their own marker). Failure-path allocations that
+//                        cannot fire in a quiet epoch live in the baseline
+//                        as burndown debt.
 //   schedule-in-fanout   no schedule_at/schedule_after inside a
 //                        for_each_in_range callback — per-receiver timers
 //                        cost O(k) slots and closures per broadcast; batch

@@ -230,6 +230,28 @@ TEST(LintEngine, ScheduleOutsideFanoutSpanIsClean) {
   EXPECT_TRUE(cfds::lint::scan_source("src/radio/f.cpp", source).empty());
 }
 
+TEST(LintFixtures, AllocInRoundBad) {
+  // Scanned under a non-hot path so naked-new stays quiet and the count
+  // isolates the marker-gated rule.
+  const auto vs = scan_fixture("alloc_in_round_bad.cpp", "src/sim/f.cpp");
+  EXPECT_EQ(rules_of(vs).count("alloc-in-round"), 3u);
+  EXPECT_EQ(vs.size(), 3u);
+}
+
+TEST(LintFixtures, AllocInRoundOk) {
+  EXPECT_TRUE(scan_fixture("alloc_in_round_ok.cpp", "src/sim/f.cpp").empty());
+}
+
+TEST(LintEngine, AllocInRoundSpanEndsAtFunctionClose) {
+  const std::string source =
+      "// LINT-ROUND-PATH\n"
+      "void round() {\n"
+      "  pool.sender = 1;\n"
+      "}\n"
+      "void setup() { auto p = std::make_shared<int>(); }\n";
+  EXPECT_TRUE(cfds::lint::scan_source("src/sim/f.cpp", source).empty());
+}
+
 TEST(LintEngine, CommentsAndStringsDoNotTrip) {
   const std::string source =
       "// system_clock mentioned in a comment is fine\n"
